@@ -1,0 +1,5 @@
+//! Policy backends: one compiler per platform.
+
+pub mod acm;
+pub mod camkes;
+pub mod linux_plan;

@@ -1,0 +1,156 @@
+//! AADL → ACM: the paper's "AADL to C compiler".
+//!
+//! "This source-to-source compiler can automatically generate the ACM for
+//! the AADL specification. Its job is to traverse AADL models, extract
+//! various processes and their unique ac_id, generate the matrix data
+//! structure [...] based on the specified connections" (§IV).
+//!
+//! For every connection `a.p -> b.q`, the generated matrix permits:
+//!
+//! - `a → b` with the `msg_type` of port `p` (the payload channel),
+//! - acknowledgments (type 0) in both directions between `a` and `b`,
+//!   honoring the Fig. 3 convention that "all confirm messages between
+//!   processes be allowed".
+
+use std::fmt;
+
+use bas_acm::{AcId, AccessControlMatrix, MsgType};
+
+use crate::model::AadlModel;
+
+/// Errors from the ACM backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcmCompileError {
+    /// The model failed validation; compile only validated models.
+    InvalidModel(Vec<String>),
+    /// The model has no system implementation to compile.
+    NoSystem,
+}
+
+impl fmt::Display for AcmCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcmCompileError::InvalidModel(problems) => {
+                write!(f, "invalid aadl model: {}", problems.join("; "))
+            }
+            AcmCompileError::NoSystem => write!(f, "no system implementation in model"),
+        }
+    }
+}
+
+impl std::error::Error for AcmCompileError {}
+
+/// Compiles a validated model into the access-control matrix.
+///
+/// # Errors
+///
+/// Returns [`AcmCompileError::InvalidModel`] if validation fails, or
+/// [`AcmCompileError::NoSystem`] if the model declares no system
+/// implementation.
+pub fn compile(model: &AadlModel) -> Result<AccessControlMatrix, AcmCompileError> {
+    model.validate().map_err(AcmCompileError::InvalidModel)?;
+    let sys = model.system.as_ref().ok_or(AcmCompileError::NoSystem)?;
+
+    let mut builder = AccessControlMatrix::builder();
+    for conn in &sys.connections {
+        let src = model.process_of_instance(&conn.from.0).expect("validated");
+        let dst = model.process_of_instance(&conn.to.0).expect("validated");
+        let src_ac = AcId::new(src.ac_id.expect("validated"));
+        let dst_ac = AcId::new(dst.ac_id.expect("validated"));
+        let mtype = src
+            .port(&conn.from.1)
+            .expect("validated")
+            .msg_type
+            .expect("validated");
+        builder = builder
+            .allow(src_ac, dst_ac, [MsgType::new(mtype)])
+            .allow_ack_between(src_ac, dst_ac);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r"
+        process Sensor
+        features
+          data_out: out event data port { BAS::msg_type => 1; };
+        properties
+          BAS::ac_id => 100;
+        end Sensor;
+
+        process Control
+        features
+          sensor_in: in event data port;
+        properties
+          BAS::ac_id => 101;
+        end Control;
+
+        process Web
+        features
+          setpoint_out: out event data port { BAS::msg_type => 4; };
+        properties
+          BAS::ac_id => 104;
+        end Web;
+
+        system implementation S.impl
+        subcomponents
+          sens: process Sensor.imp;
+          ctrl: process Control.imp;
+          web: process Web.imp;
+        connections
+          c1: port sens.data_out -> ctrl.sensor_in;
+          c2: port web.setpoint_out -> ctrl.sensor_in;
+        end S.impl;
+    ";
+
+    #[test]
+    fn connections_become_typed_channels() {
+        let acm = compile(&parse(SRC).unwrap()).unwrap();
+        assert!(acm
+            .check(AcId::new(100), AcId::new(101), MsgType::new(1))
+            .is_allowed());
+        assert!(acm
+            .check(AcId::new(104), AcId::new(101), MsgType::new(4))
+            .is_allowed());
+        // Cross-channel types are denied: web may not fake sensor data.
+        assert!(!acm
+            .check(AcId::new(104), AcId::new(101), MsgType::new(1))
+            .is_allowed());
+        // No channel at all between web and sensor.
+        assert!(!acm
+            .check(AcId::new(104), AcId::new(100), MsgType::new(0))
+            .is_allowed());
+    }
+
+    #[test]
+    fn acks_flow_both_ways_on_connected_pairs() {
+        let acm = compile(&parse(SRC).unwrap()).unwrap();
+        assert!(acm
+            .check(AcId::new(101), AcId::new(100), MsgType::ACK)
+            .is_allowed());
+        assert!(acm
+            .check(AcId::new(100), AcId::new(101), MsgType::ACK)
+            .is_allowed());
+        assert!(acm
+            .check(AcId::new(101), AcId::new(104), MsgType::ACK)
+            .is_allowed());
+    }
+
+    #[test]
+    fn invalid_model_rejected() {
+        let mut m = parse(SRC).unwrap();
+        m.processes[0].ac_id = None;
+        assert!(matches!(compile(&m), Err(AcmCompileError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn no_system_rejected() {
+        let mut m = parse(SRC).unwrap();
+        m.system = None;
+        assert_eq!(compile(&m).unwrap_err(), AcmCompileError::NoSystem);
+    }
+}

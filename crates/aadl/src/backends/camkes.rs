@@ -1,0 +1,150 @@
+//! AADL → CAmkES: the paper's in-progress compiler.
+//!
+//! "AADL and CAmkES are similar languages; both describe high-level
+//! component behavior. Translating between them is relatively simple
+//! because AADL processes and systems are like CAmkES components and
+//! assemblies" (§IV-B). The mapping:
+//!
+//! - each AADL process type → a CAmkES component,
+//! - each *in* port → a provided RPC interface (procedure
+//!   `port_<name>` with a single `deliver` method),
+//! - each connected *out* port → a used interface of the sink's
+//!   procedure,
+//! - each AADL connection → an `seL4RPCCall` connection.
+
+use std::fmt;
+
+use bas_camkes::assembly::Assembly;
+use bas_camkes::component::{Component, Procedure};
+
+use crate::model::{AadlModel, PortDirection};
+
+/// Errors from the CAmkES backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CamkesCompileError {
+    /// The model failed validation.
+    InvalidModel(Vec<String>),
+    /// The model has no system implementation.
+    NoSystem,
+}
+
+impl fmt::Display for CamkesCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CamkesCompileError::InvalidModel(problems) => {
+                write!(f, "invalid aadl model: {}", problems.join("; "))
+            }
+            CamkesCompileError::NoSystem => write!(f, "no system implementation in model"),
+        }
+    }
+}
+
+impl std::error::Error for CamkesCompileError {}
+
+/// The procedure generated for an in-port.
+pub fn port_procedure(port: &str) -> Procedure {
+    Procedure::new(format!("port_{port}"), ["deliver"])
+}
+
+/// The used-interface name generated on the client side of a connection.
+pub fn client_iface(conn_name: &str) -> String {
+    format!("use_{conn_name}")
+}
+
+/// Compiles a validated model into a CAmkES assembly.
+///
+/// # Errors
+///
+/// Returns [`CamkesCompileError::InvalidModel`] or
+/// [`CamkesCompileError::NoSystem`].
+pub fn compile(model: &AadlModel) -> Result<Assembly, CamkesCompileError> {
+    model.validate().map_err(CamkesCompileError::InvalidModel)?;
+    let sys = model.system.as_ref().ok_or(CamkesCompileError::NoSystem)?;
+
+    let mut assembly = Assembly::new();
+    for (inst, ty_name) in &sys.subcomponents {
+        let ty = model.process(ty_name).expect("validated");
+        let mut component = Component::new(ty_name.clone());
+        // Provided interface per in-port.
+        for port in ty.ports.iter().filter(|p| p.direction == PortDirection::In) {
+            component =
+                component.provides(format!("port_{}", port.name), port_procedure(&port.name));
+        }
+        // Used interface per outgoing connection from this instance.
+        for conn in sys.connections.iter().filter(|c| &c.from.0 == inst) {
+            component = component.uses(client_iface(&conn.name), port_procedure(&conn.to.1));
+        }
+        assembly = assembly.instance(inst.clone(), component);
+    }
+    for conn in &sys.connections {
+        assembly = assembly.rpc_connection(
+            conn.name.clone(),
+            (conn.from.0.as_str(), &client_iface(&conn.name)),
+            (conn.to.0.as_str(), &format!("port_{}", conn.to.1)),
+        );
+    }
+    debug_assert!(
+        assembly.validate().is_ok(),
+        "backend must emit valid assemblies"
+    );
+    Ok(assembly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use bas_camkes::codegen;
+
+    const SRC: &str = r"
+        process Sensor
+        features
+          data_out: out event data port { BAS::msg_type => 1; };
+        properties
+          BAS::ac_id => 100;
+        end Sensor;
+
+        process Control
+        features
+          sensor_in: in event data port;
+        properties
+          BAS::ac_id => 101;
+        end Control;
+
+        system implementation S.impl
+        subcomponents
+          sens: process Sensor.imp;
+          ctrl: process Control.imp;
+        connections
+          c1: port sens.data_out -> ctrl.sensor_in;
+        end S.impl;
+    ";
+
+    #[test]
+    fn compiles_to_valid_assembly() {
+        let assembly = compile(&parse(SRC).unwrap()).unwrap();
+        assert!(assembly.validate().is_ok());
+        assert_eq!(assembly.instances.len(), 2);
+        assert_eq!(assembly.connections.len(), 1);
+        let ctrl = assembly.find("ctrl").unwrap();
+        assert!(ctrl.component.provided("port_sensor_in").is_some());
+        let sens = assembly.find("sens").unwrap();
+        assert!(sens.component.used("use_c1").is_some());
+    }
+
+    #[test]
+    fn assembly_compiles_onward_to_capdl() {
+        let assembly = compile(&parse(SRC).unwrap()).unwrap();
+        let (spec, glue) = codegen::compile(&assembly).unwrap();
+        assert!(spec.validate().is_ok());
+        assert!(glue.client_slot("sens", "use_c1").is_some());
+        assert!(glue.server_slot("ctrl", "port_sensor_in").is_some());
+    }
+
+    #[test]
+    fn no_system_rejected() {
+        let mut m = parse(SRC).unwrap();
+        m.system = None;
+        assert_eq!(compile(&m).unwrap_err(), CamkesCompileError::NoSystem);
+    }
+}

@@ -1,0 +1,64 @@
+//! # bas-aadl — AADL-subset architecture language and policy backends
+//!
+//! The paper specifies the scenario "using AADL (the SAE Architecture
+//! Analysis Design Language)" and builds "an AADL to C compiler \[that\]
+//! can automatically generate the ACM for the AADL specification. Its job
+//! is to traverse AADL models, extract various processes and their unique
+//! ac_id, generate the matrix data structure [...] based on the specified
+//! connections" (§IV). It also reports a partial AADL→CAmkES compiler.
+//!
+//! This crate implements an AADL-inspired subset sufficient for the
+//! scenario, plus *three* backends — one per platform:
+//!
+//! - [`parser`] — parses process types (with ports and `BAS::ac_id`
+//!   properties) and a system implementation (subcomponents +
+//!   connections),
+//! - [`model`] — the semantic model with validation,
+//! - [`backends::acm`] — AADL → [`bas_acm::AccessControlMatrix`] (the
+//!   paper's AADL-to-C compiler),
+//! - [`backends::camkes`] — AADL → [`bas_camkes::Assembly`] (the paper's
+//!   in-progress AADL-to-CAmkES compiler),
+//! - [`backends::linux_plan`] — AADL → message-queue plan for the Linux
+//!   baseline (queue per in-port, reader/writer sets).
+//!
+//! ```
+//! use bas_aadl::parser::parse;
+//!
+//! let model = parse(r"
+//!     process Sensor
+//!     features
+//!       data_out: out event data port { BAS::msg_type => 1; };
+//!     properties
+//!       BAS::ac_id => 100;
+//!     end Sensor;
+//!
+//!     process Control
+//!     features
+//!       sensor_in: in event data port;
+//!     properties
+//!       BAS::ac_id => 101;
+//!     end Control;
+//!
+//!     system implementation Scenario.impl
+//!     subcomponents
+//!       sens: process Sensor.imp;
+//!       ctrl: process Control.imp;
+//!     connections
+//!       c1: port sens.data_out -> ctrl.sensor_in;
+//!     end Scenario.impl;
+//! ").unwrap();
+//! assert!(model.validate().is_ok());
+//! let acm = bas_aadl::backends::acm::compile(&model).unwrap();
+//! assert!(acm.check(
+//!     bas_acm::AcId::new(100),
+//!     bas_acm::AcId::new(101),
+//!     bas_acm::MsgType::new(1),
+//! ).is_allowed());
+//! ```
+
+pub mod backends;
+pub mod model;
+pub mod parser;
+
+pub use model::{AadlModel, Connection, Port, PortDirection, ProcessType, SystemImpl};
+pub use parser::{parse, AadlParseError};

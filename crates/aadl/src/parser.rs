@@ -1,0 +1,436 @@
+//! Parser for the AADL subset.
+//!
+//! Line-oriented; `--` starts a comment, statements end with `;`. The
+//! accepted grammar (a faithful-but-small slice of AADL concrete syntax):
+//!
+//! ```text
+//! process <Name>
+//! features
+//!   <port>: in|out event data port;
+//!   <port>: out event data port { BAS::msg_type => <n>; };
+//! properties
+//!   BAS::ac_id => <n>;
+//! end <Name>;
+//!
+//! system implementation <Name>
+//! subcomponents
+//!   <inst>: process <Type>[.imp];
+//! connections
+//!   <cname>: port <inst>.<port> -> <inst>.<port>;
+//! end <Name>;
+//! ```
+//!
+//! `process implementation <Name>.imp ... end <Name>.imp;` blocks are
+//! accepted and ignored (the subset carries no per-implementation data).
+
+use std::fmt;
+
+use crate::model::{AadlModel, Connection, Port, PortDirection, ProcessType, SystemImpl};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AadlParseError {
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AadlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "aadl parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for AadlParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> AadlParseError {
+    AadlParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Top,
+    Process { ty: ProcessType, section: Section },
+    ProcessImpl { name: String },
+    SystemImpl { sys: SystemImpl, section: Section },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Features,
+    Properties,
+    Subcomponents,
+    Connections,
+}
+
+fn parse_number(s: &str, line: usize, what: &str) -> Result<u32, AadlParseError> {
+    s.trim()
+        .parse()
+        .map_err(|_| err(line, format!("{what} must be a number, got '{s}'")))
+}
+
+/// Parses `BAS::ac_id => N` / `BAS::msg_type => N` property text,
+/// returning `(key, value)`.
+fn parse_property(text: &str, line: usize) -> Result<(String, u32), AadlParseError> {
+    let (key, value) = text
+        .split_once("=>")
+        .ok_or_else(|| err(line, "property needs 'Key => value'"))?;
+    Ok((
+        key.trim().to_string(),
+        parse_number(value, line, "property value")?,
+    ))
+}
+
+fn parse_port(stmt: &str, line: usize) -> Result<Port, AadlParseError> {
+    // <name>: in|out event data port [ { BAS::msg_type => n; } ]
+    let (name, rest) = stmt
+        .split_once(':')
+        .ok_or_else(|| err(line, "feature needs '<name>: <direction> event data port'"))?;
+    let rest = rest.trim();
+    let (dir_part, after) = match rest.split_once(char::is_whitespace) {
+        Some((d, a)) => (d, a.trim()),
+        None => return Err(err(line, "feature missing direction")),
+    };
+    let direction = match dir_part {
+        "in" => PortDirection::In,
+        "out" => PortDirection::Out,
+        other => {
+            return Err(err(
+                line,
+                format!("direction must be in/out, got '{other}'"),
+            ))
+        }
+    };
+    let (kind_part, annex) = match after.split_once('{') {
+        Some((k, a)) => {
+            let a = a
+                .strip_suffix('}')
+                .ok_or_else(|| err(line, "unterminated '{' in feature"))?;
+            (k.trim(), Some(a.trim().trim_end_matches(';').trim()))
+        }
+        None => (after, None),
+    };
+    if kind_part != "event data port" && kind_part != "data port" && kind_part != "event port" {
+        return Err(err(line, format!("unknown port kind '{kind_part}'")));
+    }
+    let msg_type = match annex {
+        Some(text) if !text.is_empty() => {
+            let (key, value) = parse_property(text, line)?;
+            if key != "BAS::msg_type" {
+                return Err(err(line, format!("unknown port property '{key}'")));
+            }
+            Some(value)
+        }
+        _ => None,
+    };
+    Ok(Port {
+        name: name.trim().to_string(),
+        direction,
+        msg_type,
+    })
+}
+
+/// Parses AADL-subset source into a model.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number. Run
+/// [`AadlModel::validate`] afterwards for semantic checks.
+pub fn parse(input: &str) -> Result<AadlModel, AadlParseError> {
+    let mut model = AadlModel::default();
+    let mut state = State::Top;
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split("--").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let stmt = line.trim_end_matches(';').trim();
+
+        state = match state {
+            State::Top => {
+                if let Some(rest) = stmt.strip_prefix("system implementation ") {
+                    State::SystemImpl {
+                        sys: SystemImpl {
+                            name: rest.trim().to_string(),
+                            subcomponents: Vec::new(),
+                            connections: Vec::new(),
+                        },
+                        section: Section::None,
+                    }
+                } else if let Some(rest) = stmt.strip_prefix("process implementation ") {
+                    State::ProcessImpl {
+                        name: rest.trim().to_string(),
+                    }
+                } else if let Some(rest) = stmt.strip_prefix("process ") {
+                    State::Process {
+                        ty: ProcessType {
+                            name: rest.trim().to_string(),
+                            ports: Vec::new(),
+                            ac_id: None,
+                        },
+                        section: Section::None,
+                    }
+                } else {
+                    return Err(err(
+                        lineno,
+                        format!("unexpected top-level statement '{stmt}'"),
+                    ));
+                }
+            }
+            State::Process { mut ty, section } => {
+                if stmt == "features" {
+                    State::Process {
+                        ty,
+                        section: Section::Features,
+                    }
+                } else if stmt == "properties" {
+                    State::Process {
+                        ty,
+                        section: Section::Properties,
+                    }
+                } else if let Some(name) = stmt.strip_prefix("end ") {
+                    if name.trim() != ty.name {
+                        return Err(err(
+                            lineno,
+                            format!("'end {}' does not match 'process {}'", name.trim(), ty.name),
+                        ));
+                    }
+                    model.processes.push(ty);
+                    State::Top
+                } else {
+                    match section {
+                        Section::Features => ty.ports.push(parse_port(stmt, lineno)?),
+                        Section::Properties => {
+                            let (key, value) = parse_property(stmt, lineno)?;
+                            if key == "BAS::ac_id" {
+                                ty.ac_id = Some(value);
+                            } else {
+                                return Err(err(lineno, format!("unknown property '{key}'")));
+                            }
+                        }
+                        _ => {
+                            return Err(err(
+                                lineno,
+                                "statement outside features/properties section",
+                            ))
+                        }
+                    }
+                    State::Process { ty, section }
+                }
+            }
+            State::ProcessImpl { name } => {
+                if let Some(end_name) = stmt.strip_prefix("end ") {
+                    if end_name.trim() != name {
+                        return Err(err(lineno, "mismatched process implementation end"));
+                    }
+                    State::Top
+                } else {
+                    // Implementation bodies carry no data in this subset.
+                    State::ProcessImpl { name }
+                }
+            }
+            State::SystemImpl { mut sys, section } => {
+                if stmt == "subcomponents" {
+                    State::SystemImpl {
+                        sys,
+                        section: Section::Subcomponents,
+                    }
+                } else if stmt == "connections" {
+                    State::SystemImpl {
+                        sys,
+                        section: Section::Connections,
+                    }
+                } else if let Some(name) = stmt.strip_prefix("end ") {
+                    if name.trim() != sys.name {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "'end {}' does not match 'system implementation {}'",
+                                name.trim(),
+                                sys.name
+                            ),
+                        ));
+                    }
+                    if model.system.is_some() {
+                        return Err(err(lineno, "multiple system implementations"));
+                    }
+                    model.system = Some(sys);
+                    State::Top
+                } else {
+                    match section {
+                        Section::Subcomponents => {
+                            // <inst>: process <Type>[.imp]
+                            let (inst, rest) = stmt.split_once(':').ok_or_else(|| {
+                                err(lineno, "subcomponent needs '<inst>: process <Type>'")
+                            })?;
+                            let ty = rest
+                                .trim()
+                                .strip_prefix("process ")
+                                .ok_or_else(|| err(lineno, "subcomponent must be a process"))?
+                                .trim();
+                            let ty = ty.strip_suffix(".imp").unwrap_or(ty);
+                            sys.subcomponents
+                                .push((inst.trim().to_string(), ty.to_string()));
+                        }
+                        Section::Connections => {
+                            // <name>: port a.x -> b.y
+                            let (cname, rest) = stmt.split_once(':').ok_or_else(|| {
+                                err(lineno, "connection needs '<name>: port a.x -> b.y'")
+                            })?;
+                            let rest = rest
+                                .trim()
+                                .strip_prefix("port ")
+                                .ok_or_else(|| err(lineno, "connection must start with 'port'"))?;
+                            let (from, to) = rest
+                                .split_once("->")
+                                .ok_or_else(|| err(lineno, "connection needs '->'"))?;
+                            let split_ref = |s: &str| -> Result<(String, String), AadlParseError> {
+                                s.trim()
+                                    .split_once('.')
+                                    .map(|(a, b)| (a.trim().to_string(), b.trim().to_string()))
+                                    .ok_or_else(|| {
+                                        err(lineno, "port reference needs '<inst>.<port>'")
+                                    })
+                            };
+                            sys.connections.push(Connection {
+                                name: cname.trim().to_string(),
+                                from: split_ref(from)?,
+                                to: split_ref(to)?,
+                            });
+                        }
+                        _ => {
+                            return Err(err(
+                                lineno,
+                                "statement outside subcomponents/connections section",
+                            ))
+                        }
+                    }
+                    State::SystemImpl { sys, section }
+                }
+            }
+        };
+    }
+
+    match state {
+        State::Top => Ok(model),
+        State::Process { ty, .. } => Err(err(
+            input.lines().count(),
+            format!("unterminated process '{}'", ty.name),
+        )),
+        State::ProcessImpl { name } => Err(err(
+            input.lines().count(),
+            format!("unterminated process implementation '{name}'"),
+        )),
+        State::SystemImpl { sys, .. } => Err(err(
+            input.lines().count(),
+            format!("unterminated system implementation '{}'", sys.name),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+        -- two processes and a link
+        process Sensor
+        features
+          data_out: out event data port { BAS::msg_type => 1; };
+        properties
+          BAS::ac_id => 100;
+        end Sensor;
+
+        process implementation Sensor.imp
+        end Sensor.imp;
+
+        process Control
+        features
+          sensor_in: in event data port;
+          cmd_out: out event data port { BAS::msg_type => 2; };
+        properties
+          BAS::ac_id => 101;
+        end Control;
+
+        system implementation Demo.impl
+        subcomponents
+          sens: process Sensor.imp;
+          ctrl: process Control.imp;
+        connections
+          c1: port sens.data_out -> ctrl.sensor_in;
+        end Demo.impl;
+    ";
+
+    #[test]
+    fn parses_sample_fully() {
+        let m = parse(SAMPLE).unwrap();
+        assert_eq!(m.processes.len(), 2);
+        let sensor = m.process("Sensor").unwrap();
+        assert_eq!(sensor.ac_id, Some(100));
+        assert_eq!(sensor.ports[0].msg_type, Some(1));
+        assert_eq!(sensor.ports[0].direction, PortDirection::Out);
+        let ctrl = m.process("Control").unwrap();
+        assert_eq!(ctrl.ports.len(), 2);
+        let sys = m.system.as_ref().unwrap();
+        assert_eq!(sys.subcomponents.len(), 2);
+        assert_eq!(sys.type_of("sens"), Some("Sensor"));
+        assert_eq!(sys.connections[0].from, ("sens".into(), "data_out".into()));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn mismatched_end_rejected() {
+        let e = parse("process A\nend B;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("does not match"));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let e = parse("process A\nfeatures").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn statement_outside_section_rejected() {
+        let e = parse("process A\nfoo: in event data port;\nend A;").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn bad_direction_rejected() {
+        let e = parse("process A\nfeatures\np: sideways event data port;\nend A;").unwrap_err();
+        assert!(e.message.contains("direction"));
+    }
+
+    #[test]
+    fn unknown_property_rejected() {
+        let e = parse("process A\nproperties\nFoo::bar => 3;\nend A;").unwrap_err();
+        assert!(e.message.contains("unknown property"));
+    }
+
+    #[test]
+    fn comments_stripped_anywhere() {
+        let m = parse("process A -- trailing\nproperties\nBAS::ac_id => 5; -- x\nend A;").unwrap();
+        assert_eq!(m.process("A").unwrap().ac_id, Some(5));
+    }
+
+    #[test]
+    fn multiple_system_impls_rejected() {
+        let src =
+            "system implementation S.impl\nend S.impl;\nsystem implementation T.impl\nend T.impl;";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("multiple system"));
+    }
+}

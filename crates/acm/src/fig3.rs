@@ -1,0 +1,146 @@
+//! The worked example of the paper's Figure 3.
+//!
+//! Three applications with public RPCs exposed as message types:
+//!
+//! - **App1** (`ac_id` 100) provides `app1_f1()`/`app1_f2()`/`app1_f3()` as
+//!   types 1/2/3,
+//! - **App2** (`ac_id` 101) provides no public procedures,
+//! - **App3** (`ac_id` 102) provides `app3_f1()`/`app3_f2()`/`app3_f3()`.
+//!
+//! Policy, quoting the paper: "We want to allow App2 access to App1's
+//! `app1_f2()`, `app1_f3()` functions, and we want `app1_f1()` only be
+//! invoked by App3. We want all confirm messages between processes be
+//! allowed."
+//!
+//! The resulting cells (sender → receiver, bitmap over types 3..0):
+//!
+//! | sender | receiver | bitmap | meaning |
+//! |---|---|---|---|
+//! | App2 (101) | App1 (100) | `1101` | types 0, 2, 3 |
+//! | App3 (102) | App1 (100) | `0011` | types 0, 1 |
+//! | App1 (100) | App2 (101) | `0001` | type 0 (ack) |
+//! | App3 (102) | App2 (101) | `0001` | type 0 (ack) |
+//! | App1 (100) | App3 (102) | `0111` | types 0, 1, 2 |
+//! | App2 (101) | App3 (102) | `0011` | types 0, 1 |
+//!
+//! (The figure's cell for App1→App3 is `0111` and App2→App3 is `0011`;
+//! acks are allowed everywhere processes interact.)
+
+use crate::id::{AcId, MsgType};
+use crate::matrix::AccessControlMatrix;
+
+/// App1's access-control identity in the figure.
+pub const APP1: AcId = AcId::new(100);
+/// App2's access-control identity in the figure.
+pub const APP2: AcId = AcId::new(101);
+/// App3's access-control identity in the figure.
+pub const APP3: AcId = AcId::new(102);
+
+fn m(n: u32) -> MsgType {
+    MsgType::new(n)
+}
+
+/// Builds exactly the matrix of Figure 3.
+///
+/// ```
+/// use bas_acm::fig3::{fig3_matrix, APP1, APP2, APP3};
+/// use bas_acm::id::MsgType;
+///
+/// let acm = fig3_matrix();
+/// // "suppose App2 tries to send a message with message type 2 to App1
+/// //  [...] the message will be allowed"
+/// assert!(acm.check(APP2, APP1, MsgType::new(2)).is_allowed());
+/// // "if the message type is 1 the message will be denied"
+/// assert!(!acm.check(APP2, APP1, MsgType::new(1)).is_allowed());
+/// ```
+pub fn fig3_matrix() -> AccessControlMatrix {
+    AccessControlMatrix::builder()
+        // App2 may call App1's f2 and f3, and ack.
+        .allow(APP2, APP1, [m(0), m(2), m(3)])
+        // App1's f1 is reserved for App3; App3 may also ack.
+        .allow(APP3, APP1, [m(0), m(1)])
+        // App2 exposes no procedures: only acks flow toward it.
+        .allow(APP1, APP2, [m(0)])
+        .allow(APP3, APP2, [m(0)])
+        // App1 may call App3's f1 and f2, and ack.
+        .allow(APP1, APP3, [m(0), m(1), m(2)])
+        // App2 may call App3's f1, and ack.
+        .allow(APP2, APP3, [m(0), m(1)])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::DenyReason;
+    use crate::matrix::MsgTypeSet;
+
+    #[test]
+    fn paper_narrative_example_type2_allowed_type1_denied() {
+        let acm = fig3_matrix();
+        assert!(acm.check(APP2, APP1, m(2)).is_allowed());
+        assert_eq!(
+            acm.check(APP2, APP1, m(1)).deny_reason(),
+            Some(DenyReason::TypeNotAllowed)
+        );
+    }
+
+    #[test]
+    fn app1_f1_reserved_for_app3() {
+        let acm = fig3_matrix();
+        assert!(acm.check(APP3, APP1, m(1)).is_allowed());
+        assert!(!acm.check(APP2, APP1, m(1)).is_allowed());
+    }
+
+    #[test]
+    fn acks_flow_on_every_declared_channel() {
+        let acm = fig3_matrix();
+        for (s, r) in [
+            (APP2, APP1),
+            (APP3, APP1),
+            (APP1, APP2),
+            (APP3, APP2),
+            (APP1, APP3),
+            (APP2, APP3),
+        ] {
+            assert!(acm.check(s, r, MsgType::ACK).is_allowed(), "{s}->{r} ack");
+        }
+    }
+
+    #[test]
+    fn bitmaps_match_figure() {
+        let acm = fig3_matrix();
+        let cell = |s, r| {
+            acm.channel(s, r)
+                .unwrap_or(MsgTypeSet::EMPTY)
+                .bitmap_string(4)
+        };
+        assert_eq!(cell(APP2, APP1), "1101");
+        assert_eq!(cell(APP3, APP1), "0011");
+        assert_eq!(cell(APP1, APP2), "0001");
+        assert_eq!(cell(APP3, APP2), "0001");
+        assert_eq!(cell(APP1, APP3), "0111");
+        assert_eq!(cell(APP2, APP3), "0011");
+    }
+
+    #[test]
+    fn app2_provides_no_procedures() {
+        let acm = fig3_matrix();
+        for sender in [APP1, APP3] {
+            for t in 1..=3 {
+                assert!(
+                    !acm.check(sender, APP2, m(t)).is_allowed(),
+                    "{sender} must not invoke m{t} on App2"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_channels_exist() {
+        let acm = fig3_matrix();
+        for id in [APP1, APP2, APP3] {
+            assert_eq!(acm.channel(id, id), None);
+        }
+    }
+}

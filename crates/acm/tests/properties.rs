@@ -1,0 +1,114 @@
+//! Property-based tests for the access-control matrix.
+
+use bas_acm::{AcId, AccessControlMatrix, MsgType, MsgTypeSet};
+use proptest::prelude::*;
+
+fn arb_ac() -> impl Strategy<Value = AcId> {
+    (0u32..16).prop_map(AcId::new)
+}
+
+fn arb_mtype() -> impl Strategy<Value = MsgType> {
+    (0u32..64).prop_map(MsgType::new)
+}
+
+/// A random rule set: (sender, receiver, allowed types).
+fn arb_rules() -> impl Strategy<Value = Vec<(AcId, AcId, Vec<MsgType>)>> {
+    prop::collection::vec(
+        (arb_ac(), arb_ac(), prop::collection::vec(arb_mtype(), 0..6)),
+        0..12,
+    )
+}
+
+fn build(rules: &[(AcId, AcId, Vec<MsgType>)]) -> AccessControlMatrix {
+    let mut b = AccessControlMatrix::builder();
+    for (s, r, types) in rules {
+        b = b.allow(*s, *r, types.iter().copied());
+    }
+    b.build()
+}
+
+proptest! {
+    /// Completeness: every allowed rule is honored by check().
+    #[test]
+    fn allowed_rules_are_honored(rules in arb_rules()) {
+        let acm = build(&rules);
+        for (s, r, types) in &rules {
+            for t in types {
+                prop_assert!(acm.check(*s, *r, *t).is_allowed(),
+                    "{s}->{r} {t} must be allowed");
+            }
+        }
+    }
+
+    /// Soundness: check() only allows what some rule granted (default
+    /// deny — the mandatory-control property).
+    #[test]
+    fn nothing_beyond_rules_is_allowed(
+        rules in arb_rules(),
+        probe_s in arb_ac(),
+        probe_r in arb_ac(),
+        probe_t in arb_mtype(),
+    ) {
+        let acm = build(&rules);
+        let granted = rules.iter().any(|(s, r, types)|
+            *s == probe_s && *r == probe_r && types.contains(&probe_t));
+        if !granted {
+            prop_assert!(
+                !acm.check(probe_s, probe_r, probe_t).is_allowed(),
+                "{probe_s}->{probe_r} {probe_t} was never granted"
+            );
+        }
+    }
+
+    /// Adding rules never revokes anything (builder monotonicity).
+    #[test]
+    fn builder_is_monotone(rules in arb_rules(), extra in arb_rules()) {
+        let base = build(&rules);
+        let mut combined_rules = rules.clone();
+        combined_rules.extend(extra);
+        let combined = build(&combined_rules);
+        for (s, r, types) in &rules {
+            for t in types {
+                if base.check(*s, *r, *t).is_allowed() {
+                    prop_assert!(combined.check(*s, *r, *t).is_allowed());
+                }
+            }
+        }
+    }
+
+    /// Direction matters: granting s→r says nothing about r→s.
+    #[test]
+    fn no_implicit_reverse_channel(s in arb_ac(), r in arb_ac(), t in arb_mtype()) {
+        prop_assume!(s != r);
+        let acm = AccessControlMatrix::builder().allow(s, r, [t]).build();
+        prop_assert!(acm.check(s, r, t).is_allowed());
+        prop_assert!(!acm.check(r, s, t).is_allowed());
+    }
+
+    /// MsgTypeSet::union is commutative, associative, and contains both
+    /// operands.
+    #[test]
+    fn msg_type_set_union_laws(
+        a in prop::collection::vec(arb_mtype(), 0..8),
+        b in prop::collection::vec(arb_mtype(), 0..8),
+    ) {
+        let sa = MsgTypeSet::of(a.iter().copied());
+        let sb = MsgTypeSet::of(b.iter().copied());
+        prop_assert_eq!(sa.union(sb), sb.union(sa));
+        for t in a.iter().chain(b.iter()) {
+            prop_assert!(sa.union(sb).contains(*t));
+        }
+    }
+
+    /// Bitmap rendering is consistent with membership.
+    #[test]
+    fn bitmap_string_matches_contains(types in prop::collection::vec(0u32..16, 0..8)) {
+        let set = MsgTypeSet::of(types.iter().map(|t| MsgType::new(*t)));
+        let s = set.bitmap_string(16);
+        prop_assert_eq!(s.len(), 16);
+        for (i, c) in s.chars().rev().enumerate() {
+            let member = set.contains(MsgType::new(i as u32));
+            prop_assert_eq!(c == '1', member, "bit {} vs contains", i);
+        }
+    }
+}

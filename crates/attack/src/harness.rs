@@ -1,0 +1,224 @@
+//! The attack runner: warmup → attack window → cooldown → verdict.
+//!
+//! During warmup the system operates benignly. Mid-window the external
+//! heat source steps up (the "manual heating" of the paper's testbed made
+//! adversarial), so every run contains a physical disturbance the control
+//! loop must answer: a healthy system rides it out (fan at full duty,
+//! alarm raised within the deadline); a subverted one violates the safety
+//! property — making the physical consequence of each attack observable,
+//! not assumed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bas_core::platform::linux::{build_linux, LinuxOverrides, UidScheme};
+use bas_core::platform::minix::{build_minix, MinixOverrides};
+use bas_core::platform::sel4::{build_sel4, Sel4Overrides};
+use bas_core::scenario::{critical_alive, Platform, Scenario, ScenarioConfig};
+use bas_sim::time::SimDuration;
+
+use crate::evidence::{new_evidence, AttackEvidence};
+use crate::library;
+use crate::model::{AttackId, AttackOutcome, AttackerModel, MechanismOutcome, PhysicalSummary};
+use crate::procs::{LinuxAttacker, MinixAttacker, Sel4Attacker};
+
+/// Timing and configuration of one attack run.
+#[derive(Clone)]
+pub struct AttackRunConfig {
+    /// Base scenario (quiet web schedule; the attacker replaces the web
+    /// interface anyway).
+    pub scenario: ScenarioConfig,
+    /// Benign operation before the attack starts.
+    pub warmup: SimDuration,
+    /// Attack duration.
+    pub window: SimDuration,
+    /// Post-attack observation.
+    pub cooldown: SimDuration,
+    /// Linux account configuration.
+    pub linux_uid_scheme: UidScheme,
+}
+
+impl Default for AttackRunConfig {
+    fn default() -> Self {
+        let warmup = SimDuration::from_secs(600);
+        let window = SimDuration::from_secs(900);
+        let mut scenario = ScenarioConfig::quiet();
+        // Physical disturbance mid-window: heat source 300 W → 600 W.
+        // With the fan at full duty the room settles at 24 °C — outside
+        // the 22±1 band — so a *healthy* controller must raise the alarm
+        // within the deadline, and a subverted one gets caught by the
+        // safety oracle.
+        scenario.plant.heat_schedule = vec![(warmup + SimDuration::from_secs(300), 600.0)];
+        AttackRunConfig {
+            scenario,
+            warmup,
+            window,
+            cooldown: SimDuration::from_secs(120),
+            linux_uid_scheme: UidScheme::SharedAccount,
+        }
+    }
+}
+
+/// Runs one attack and produces the matrix cell.
+pub fn run_attack(
+    platform: Platform,
+    attacker: AttackerModel,
+    attack: AttackId,
+    config: &AttackRunConfig,
+) -> AttackOutcome {
+    let evidence = new_evidence();
+    let total = config.warmup + config.window + config.cooldown;
+
+    let (critical, physical, alive_count): (bool, PhysicalSummary, usize) = match platform {
+        Platform::Minix => {
+            let (lookups, builder) = library::minix_script(attack, config.warmup);
+            let builder_cell = Rc::new(RefCell::new(Some((lookups, builder))));
+            let ev = evidence.clone();
+            let overrides = MinixOverrides {
+                web_factory: Some(Box::new(move || {
+                    let (lookups, builder) = builder_cell
+                        .borrow_mut()
+                        .take()
+                        .expect("web interface spawned once");
+                    Box::new(MinixAttacker::new(lookups, builder, ev.clone()))
+                })),
+                web_uid: match attacker {
+                    AttackerModel::ArbitraryCode => 1000,
+                    AttackerModel::Root => 0,
+                },
+                acm: None,
+                ..MinixOverrides::default()
+            };
+            let mut s = build_minix(&config.scenario, overrides);
+            s.run_for(total);
+            summarize(&s)
+        }
+        Platform::Sel4 => {
+            // "the seL4 kernel and CAmkES generated code have no concept
+            // of user or root" — A2 is identical to A1.
+            let ev = evidence.clone();
+            let warmup = config.warmup;
+            let overrides = Sel4Overrides {
+                web_factory: Some(Box::new(move |glue| {
+                    Box::new(Sel4Attacker::new(
+                        library::sel4_script(attack, warmup, glue),
+                        ev.clone(),
+                    ))
+                })),
+                extra_caps: Vec::new(),
+            };
+            let mut s = build_sel4(&config.scenario, overrides);
+            s.run_for(total);
+            summarize(&s)
+        }
+        Platform::Linux => {
+            let (pid_lookups, builder) = library::linux_script(attack);
+            let builder_cell = Rc::new(RefCell::new(Some((pid_lookups, builder))));
+            let ev = evidence.clone();
+            let warmup = config.warmup;
+            let overrides = LinuxOverrides {
+                web_factory: Some(Box::new(move || {
+                    let (pid_lookups, builder) = builder_cell
+                        .borrow_mut()
+                        .take()
+                        .expect("web interface spawned once");
+                    Box::new(LinuxAttacker::new(pid_lookups, builder, ev.clone(), warmup))
+                })),
+                web_uid: match attacker {
+                    AttackerModel::ArbitraryCode => None, // the scheme's web uid
+                    AttackerModel::Root => Some(0),
+                },
+                uid_scheme: config.linux_uid_scheme,
+            };
+            let mut s = build_linux(&config.scenario, overrides);
+            s.run_for(total);
+            summarize(&s)
+        }
+    };
+
+    let mut ev: AttackEvidence = evidence.borrow().clone();
+    ev.notes
+        .push(format!("{alive_count} processes alive after attack"));
+
+    AttackOutcome {
+        platform,
+        attacker,
+        attack,
+        mechanism: judge_mechanism(platform, attack, &ev),
+        critical_alive: critical,
+        physical,
+        evidence: ev,
+    }
+}
+
+fn summarize(s: &dyn Scenario) -> (bool, PhysicalSummary, usize) {
+    let plant = s.plant();
+    let plant = plant.borrow();
+    let report = plant.safety_report();
+    (
+        critical_alive(s),
+        PhysicalSummary {
+            safety_violated: !report.is_safe(),
+            max_deviation_c: report.max_deviation_c,
+            final_temp_c: plant.temperature_c(),
+            alarm_on: plant.alarm().is_on(),
+            fan_switches: plant.fan().switch_count(),
+        },
+        s.alive_names().len(),
+    )
+}
+
+fn judge_mechanism(platform: Platform, attack: AttackId, ev: &AttackEvidence) -> MechanismOutcome {
+    if attack == AttackId::BruteForceHandles {
+        // Enumeration is judged by what it found *beyond the attacker's
+        // legitimate holdings* — the paper's criterion: "unsuccessful in
+        // finding any additional capabilities". The web interface
+        // legitimately holds 1 capability on seL4, 3 queue handles on
+        // Linux (setpoint, status, reply), and 0 raw endpoints on MINIX.
+        let legitimate = match platform {
+            Platform::Sel4 => 1,
+            Platform::Linux => 3,
+            Platform::Minix => 0,
+        };
+        return if ev.handles_found > legitimate {
+            MechanismOutcome::Succeeded(format!(
+                "{} handle(s) reachable ({} beyond legitimate) of {} probed",
+                ev.handles_found,
+                ev.handles_found - legitimate,
+                ev.attempts
+            ))
+        } else {
+            MechanismOutcome::Blocked(format!(
+                "no handles beyond the {legitimate} legitimate one(s); {} probed",
+                ev.attempts
+            ))
+        };
+    }
+    if ev.successes > 0 {
+        MechanismOutcome::Succeeded(format!(
+            "{}/{} operations accepted",
+            ev.successes, ev.attempts
+        ))
+    } else if ev.denials > 0 {
+        MechanismOutcome::Blocked(format!(
+            "{}/{} operations denied by access control",
+            ev.denials, ev.attempts
+        ))
+    } else {
+        MechanismOutcome::Blocked(format!("no operation completed ({} errors)", ev.errors))
+    }
+}
+
+/// Runs the full cross-product matrix (E6): every attack × platform ×
+/// attacker model.
+pub fn run_matrix(config: &AttackRunConfig) -> Vec<AttackOutcome> {
+    let mut out = Vec::new();
+    for attack in AttackId::ALL {
+        for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+            for attacker in [AttackerModel::ArbitraryCode, AttackerModel::Root] {
+                out.push(run_attack(platform, attacker, attack, config));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,510 @@
+//! Attacker process implementations, one per platform.
+//!
+//! Each attacker is a resumable state machine that (1) sleeps until the
+//! attack start time (the system runs benignly during warmup), (2)
+//! performs reconnaissance (name-service lookups on MINIX, pid lookups on
+//! Linux; on seL4 the CapDL layout is assumed known, per the paper), (3)
+//! runs a one-time setup sequence, then (4) repeats its loop body until
+//! the loop budget is exhausted, recording classified kernel replies into
+//! a shared [`EvidenceLog`].
+
+use bas_sim::process::{Action, Process};
+use bas_sim::time::SimDuration;
+
+use crate::evidence::{classify_linux, classify_minix, classify_sel4, Class, EvidenceLog};
+
+/// One attack step: a syscall plus whether its reply counts as evidence
+/// (pacing sleeps don't).
+#[derive(Debug, Clone)]
+pub struct AttackStep<S> {
+    /// The syscall to issue.
+    pub syscall: S,
+    /// Whether the reply is evidence.
+    pub counted: bool,
+}
+
+impl<S> AttackStep<S> {
+    /// A counted step.
+    pub fn counted(syscall: S) -> Self {
+        AttackStep {
+            syscall,
+            counted: true,
+        }
+    }
+
+    /// An uncounted (pacing/bookkeeping) step.
+    pub fn pacing(syscall: S) -> Self {
+        AttackStep {
+            syscall,
+            counted: false,
+        }
+    }
+}
+
+/// The common schedule of an attack.
+pub struct AttackScript<S> {
+    /// Idle time before the attack starts (warmup).
+    pub delay: SimDuration,
+    /// One-time setup steps (queue opens, probes).
+    pub setup: Vec<AttackStep<S>>,
+    /// Steps repeated until the budget runs out.
+    pub loop_body: Vec<AttackStep<S>>,
+    /// Number of loop iterations (`None` = forever).
+    pub max_loops: Option<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// MINIX attacker
+// ---------------------------------------------------------------------------
+
+pub use minix_attacker::{MinixAttacker, MinixScriptBuilder};
+
+/// MINIX attacker implementation.
+pub mod minix_attacker {
+    use super::*;
+    use bas_minix::endpoint::Endpoint;
+    use bas_minix::syscall::{Reply, Syscall};
+
+    /// Builds the script once reconnaissance has resolved the requested
+    /// process names (a `None` entry means the name was not found).
+    pub type MinixScriptBuilder = Box<dyn FnOnce(&[Option<Endpoint>]) -> AttackScript<Syscall>>;
+
+    /// The compromised web-interface process on MINIX.
+    pub struct MinixAttacker {
+        lookups: Vec<String>,
+        resolved: Vec<Option<Endpoint>>,
+        builder: Option<MinixScriptBuilder>,
+        script: Option<AttackScript<Syscall>>,
+        evidence: EvidenceLog,
+        phase: Phase,
+        in_setup: bool,
+        idx: usize,
+        loops_done: u64,
+        last_counted: bool,
+    }
+
+    enum Phase {
+        Start,
+        AwaitDelay,
+        AwaitLookup(usize),
+        Body,
+        Idle,
+    }
+
+    impl MinixAttacker {
+        /// Creates the attacker. `lookups` are resolved before the script
+        /// builder runs.
+        pub fn new(
+            lookups: Vec<String>,
+            builder: MinixScriptBuilder,
+            evidence: EvidenceLog,
+        ) -> Self {
+            MinixAttacker {
+                lookups,
+                resolved: Vec::new(),
+                builder: Some(builder),
+                script: None,
+                evidence,
+                phase: Phase::Start,
+                in_setup: true,
+                idx: 0,
+                loops_done: 0,
+                last_counted: false,
+            }
+        }
+
+        fn next_body_action(&mut self) -> Action<Syscall> {
+            let script = self.script.as_ref().expect("script built");
+            loop {
+                let steps = if self.in_setup {
+                    &script.setup
+                } else {
+                    &script.loop_body
+                };
+                if self.idx < steps.len() {
+                    let step = &steps[self.idx];
+                    self.idx += 1;
+                    self.last_counted = step.counted;
+                    return Action::Syscall(step.syscall.clone());
+                }
+                if self.in_setup {
+                    self.in_setup = false;
+                    self.idx = 0;
+                    if script.loop_body.is_empty() {
+                        break;
+                    }
+                    continue;
+                }
+                self.loops_done += 1;
+                if script.max_loops.is_some_and(|m| self.loops_done >= m) {
+                    break;
+                }
+                self.idx = 0;
+            }
+            self.phase = Phase::Idle;
+            self.last_counted = false;
+            Action::Syscall(Syscall::Sleep {
+                duration: SimDuration::from_secs(3_600),
+            })
+        }
+    }
+
+    impl Process for MinixAttacker {
+        type Syscall = Syscall;
+        type Reply = Reply;
+
+        fn resume(&mut self, reply: Option<Reply>) -> Action<Syscall> {
+            match self.phase {
+                Phase::Start => {
+                    // Reconnaissance first (lookups are cheap and silent),
+                    // then sleep out the script's delay before acting.
+                    self.phase = Phase::AwaitDelay;
+                    if self.lookups.is_empty() {
+                        let builder = self.builder.take().expect("builder present");
+                        self.script = Some(builder(&[]));
+                        let d = self.script.as_ref().expect("built").delay;
+                        return Action::Syscall(Syscall::Sleep { duration: d });
+                    }
+                    self.phase = Phase::AwaitLookup(0);
+                    Action::Syscall(Syscall::Lookup {
+                        name: self.lookups[0].clone(),
+                    })
+                }
+                Phase::AwaitLookup(i) => {
+                    self.resolved.push(match reply {
+                        Some(Reply::Resolved(ep)) => Some(ep),
+                        _ => None,
+                    });
+                    if i + 1 < self.lookups.len() {
+                        self.phase = Phase::AwaitLookup(i + 1);
+                        return Action::Syscall(Syscall::Lookup {
+                            name: self.lookups[i + 1].clone(),
+                        });
+                    }
+                    let builder = self.builder.take().expect("builder present");
+                    self.script = Some(builder(&self.resolved));
+                    self.phase = Phase::AwaitDelay;
+                    let d = self.script.as_ref().expect("built").delay;
+                    Action::Syscall(Syscall::Sleep { duration: d })
+                }
+                Phase::AwaitDelay => {
+                    self.phase = Phase::Body;
+                    self.next_body_action()
+                }
+                Phase::Body => {
+                    if self.last_counted {
+                        if let Some(r) = &reply {
+                            let class = classify_minix(r);
+                            self.evidence.borrow_mut().record(class);
+                        }
+                    }
+                    self.next_body_action()
+                }
+                Phase::Idle => Action::Syscall(Syscall::Sleep {
+                    duration: SimDuration::from_secs(3_600),
+                }),
+            }
+        }
+
+        fn name(&self) -> &str {
+            bas_core::proto::names::WEB
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// seL4 attacker
+// ---------------------------------------------------------------------------
+
+pub use sel4_attacker::Sel4Attacker;
+
+/// seL4 attacker implementation.
+pub mod sel4_attacker {
+    use super::*;
+    use bas_sel4::objects::ObjKind;
+    use bas_sel4::syscall::{Reply, Syscall};
+
+    /// The compromised web-interface thread on seL4. The script is built
+    /// at construction time from the glue map (the attacker is assumed to
+    /// know the CapDL file, as in §IV-D.3).
+    pub struct Sel4Attacker {
+        script: AttackScript<Syscall>,
+        evidence: EvidenceLog,
+        phase: Phase,
+        in_setup: bool,
+        idx: usize,
+        loops_done: u64,
+        last_counted: bool,
+    }
+
+    enum Phase {
+        Start,
+        AwaitDelay,
+        Body,
+        Idle,
+    }
+
+    impl Sel4Attacker {
+        /// Creates the attacker from its script.
+        pub fn new(script: AttackScript<Syscall>, evidence: EvidenceLog) -> Self {
+            Sel4Attacker {
+                script,
+                evidence,
+                phase: Phase::Start,
+                in_setup: true,
+                idx: 0,
+                loops_done: 0,
+                last_counted: false,
+            }
+        }
+
+        fn next_body_action(&mut self) -> Action<Syscall> {
+            loop {
+                let steps = if self.in_setup {
+                    &self.script.setup
+                } else {
+                    &self.script.loop_body
+                };
+                if self.idx < steps.len() {
+                    let step = &steps[self.idx];
+                    self.idx += 1;
+                    self.last_counted = step.counted;
+                    return Action::Syscall(step.syscall.clone());
+                }
+                if self.in_setup {
+                    self.in_setup = false;
+                    self.idx = 0;
+                    if self.script.loop_body.is_empty() {
+                        break;
+                    }
+                    continue;
+                }
+                self.loops_done += 1;
+                if self.script.max_loops.is_some_and(|m| self.loops_done >= m) {
+                    break;
+                }
+                self.idx = 0;
+            }
+            self.phase = Phase::Idle;
+            self.last_counted = false;
+            Action::Syscall(Syscall::Sleep {
+                duration: SimDuration::from_secs(3_600),
+            })
+        }
+    }
+
+    impl Process for Sel4Attacker {
+        type Syscall = Syscall;
+        type Reply = Reply;
+
+        fn resume(&mut self, reply: Option<Reply>) -> Action<Syscall> {
+            match self.phase {
+                Phase::Start => {
+                    self.phase = Phase::AwaitDelay;
+                    Action::Syscall(Syscall::Sleep {
+                        duration: self.script.delay,
+                    })
+                }
+                Phase::AwaitDelay => {
+                    self.phase = Phase::Body;
+                    self.next_body_action()
+                }
+                Phase::Body => {
+                    if self.last_counted {
+                        if let Some(r) = &reply {
+                            let class = classify_sel4(r);
+                            let mut ev = self.evidence.borrow_mut();
+                            ev.record(class);
+                            // Enumeration bookkeeping: a probe that found
+                            // a capability.
+                            if let Reply::Identified(kind) = r {
+                                ev.handles_found += 1;
+                                ev.notes.push(format!(
+                                    "found capability: {}",
+                                    kind.map_or("reply-cap".to_string(), |k: ObjKind| k
+                                        .to_string())
+                                ));
+                            }
+                        }
+                    }
+                    self.next_body_action()
+                }
+                Phase::Idle => Action::Syscall(Syscall::Sleep {
+                    duration: SimDuration::from_secs(3_600),
+                }),
+            }
+        }
+
+        fn name(&self) -> &str {
+            bas_core::proto::names::WEB
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linux attacker
+// ---------------------------------------------------------------------------
+
+pub use linux_attacker::{LinuxAttacker, LinuxScriptBuilder};
+
+/// Linux attacker implementation.
+pub mod linux_attacker {
+    use super::*;
+    use bas_linux::syscall::{Reply, Syscall};
+    use bas_sim::process::Pid;
+
+    /// Builds the script once reconnaissance has resolved the requested
+    /// process names to pids (`None` = not found).
+    pub type LinuxScriptBuilder = Box<dyn FnOnce(&[Option<Pid>]) -> AttackScript<Syscall>>;
+
+    /// The compromised web-interface process on Linux.
+    ///
+    /// The delay is applied *before* pid reconnaissance (so targets are
+    /// looked up post-warmup); it therefore lives on the attacker and the
+    /// script's own `delay` field is unused on this platform.
+    pub struct LinuxAttacker {
+        pid_lookups: Vec<String>,
+        resolved: Vec<Option<Pid>>,
+        builder: Option<LinuxScriptBuilder>,
+        script: Option<AttackScript<Syscall>>,
+        evidence: EvidenceLog,
+        delay: SimDuration,
+        phase: Phase,
+        in_setup: bool,
+        idx: usize,
+        loops_done: u64,
+        last_counted: bool,
+    }
+
+    enum Phase {
+        Start,
+        AwaitDelay,
+        AwaitPidOf(usize),
+        Body,
+        Idle,
+    }
+
+    impl LinuxAttacker {
+        /// Creates the attacker; `pid_lookups` resolve before the script
+        /// builder runs (after the delay, so targets are post-warmup).
+        pub fn new(
+            pid_lookups: Vec<String>,
+            builder: LinuxScriptBuilder,
+            evidence: EvidenceLog,
+            delay: SimDuration,
+        ) -> Self {
+            LinuxAttacker {
+                pid_lookups,
+                resolved: Vec::new(),
+                builder: Some(builder),
+                script: None,
+                evidence,
+                phase: Phase::Start,
+                in_setup: true,
+                idx: 0,
+                loops_done: 0,
+                last_counted: false,
+                delay,
+            }
+        }
+
+        fn next_body_action(&mut self) -> Action<Syscall> {
+            let script = self.script.as_ref().expect("script built");
+            loop {
+                let steps = if self.in_setup {
+                    &script.setup
+                } else {
+                    &script.loop_body
+                };
+                if self.idx < steps.len() {
+                    let step = &steps[self.idx];
+                    self.idx += 1;
+                    self.last_counted = step.counted;
+                    return Action::Syscall(step.syscall.clone());
+                }
+                if self.in_setup {
+                    self.in_setup = false;
+                    self.idx = 0;
+                    if script.loop_body.is_empty() {
+                        break;
+                    }
+                    continue;
+                }
+                self.loops_done += 1;
+                if script.max_loops.is_some_and(|m| self.loops_done >= m) {
+                    break;
+                }
+                self.idx = 0;
+            }
+            self.phase = Phase::Idle;
+            self.last_counted = false;
+            Action::Syscall(Syscall::Sleep {
+                duration: SimDuration::from_secs(3_600),
+            })
+        }
+    }
+
+    impl Process for LinuxAttacker {
+        type Syscall = Syscall;
+        type Reply = Reply;
+
+        fn resume(&mut self, reply: Option<Reply>) -> Action<Syscall> {
+            match self.phase {
+                Phase::Start => {
+                    self.phase = Phase::AwaitDelay;
+                    Action::Syscall(Syscall::Sleep {
+                        duration: self.delay,
+                    })
+                }
+                Phase::AwaitDelay => {
+                    if self.pid_lookups.is_empty() {
+                        let builder = self.builder.take().expect("builder present");
+                        self.script = Some(builder(&[]));
+                        self.phase = Phase::Body;
+                        return self.next_body_action();
+                    }
+                    self.phase = Phase::AwaitPidOf(0);
+                    Action::Syscall(Syscall::PidOf {
+                        name: self.pid_lookups[0].clone(),
+                    })
+                }
+                Phase::AwaitPidOf(i) => {
+                    self.resolved.push(match reply {
+                        Some(Reply::Pid(p)) => Some(p),
+                        _ => None,
+                    });
+                    if i + 1 < self.pid_lookups.len() {
+                        self.phase = Phase::AwaitPidOf(i + 1);
+                        return Action::Syscall(Syscall::PidOf {
+                            name: self.pid_lookups[i + 1].clone(),
+                        });
+                    }
+                    let builder = self.builder.take().expect("builder present");
+                    self.script = Some(builder(&self.resolved));
+                    self.phase = Phase::Body;
+                    self.next_body_action()
+                }
+                Phase::Body => {
+                    if self.last_counted {
+                        if let Some(r) = &reply {
+                            let class = classify_linux(r);
+                            let mut ev = self.evidence.borrow_mut();
+                            ev.record(class);
+                            if matches!(r, Reply::Qd(_)) && class == Class::Success {
+                                ev.handles_found += 1;
+                            }
+                        }
+                    }
+                    self.next_body_action()
+                }
+                Phase::Idle => Action::Syscall(Syscall::Sleep {
+                    duration: SimDuration::from_secs(3_600),
+                }),
+            }
+        }
+
+        fn name(&self) -> &str {
+            bas_core::proto::names::WEB
+        }
+    }
+}

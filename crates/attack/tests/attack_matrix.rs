@@ -1,0 +1,425 @@
+//! The paper's §IV-D evaluation as assertions: each attack on each
+//! platform under both attacker models, judged by kernel evidence and the
+//! physical safety oracle.
+
+use bas_attack::harness::{run_attack, AttackRunConfig};
+use bas_attack::model::{AttackId, AttackerModel};
+use bas_core::scenario::Platform;
+
+fn cfg() -> AttackRunConfig {
+    AttackRunConfig::default()
+}
+
+// ---------------------------------------------------------------------------
+// §IV-D.1 — Linux
+// ---------------------------------------------------------------------------
+
+#[test]
+fn linux_a1_spoof_sensor_compromises_physical_process() {
+    // "We successfully used the web interface process to impersonate the
+    // temperature sensor process [...] the LED controlled by alarm
+    // actuator process showed everything is normal."
+    let o = run_attack(
+        Platform::Linux,
+        AttackerModel::ArbitraryCode,
+        AttackId::SpoofSensorData,
+        &cfg(),
+    );
+    assert!(o.mechanism.succeeded(), "{o}");
+    assert!(
+        o.physical.safety_violated,
+        "alarm must have been suppressed: {o}"
+    );
+    assert!(
+        !o.physical.alarm_on,
+        "the forged in-band readings keep the alarm off: {o}"
+    );
+    assert!(o.critical_alive, "spoofing does not kill processes: {o}");
+}
+
+#[test]
+fn linux_a1_spoof_actuators_forces_fan_and_alarm_off() {
+    // "we were able to send commands to the heater actuator process and
+    // the alarm actuator process to arbitrarily control the fan and LED."
+    let o = run_attack(
+        Platform::Linux,
+        AttackerModel::ArbitraryCode,
+        AttackId::SpoofActuatorCommands,
+        &cfg(),
+    );
+    assert!(o.mechanism.succeeded(), "{o}");
+    assert!(o.physical.safety_violated, "{o}");
+}
+
+#[test]
+fn linux_a1_kill_succeeds_under_shared_account() {
+    let o = run_attack(
+        Platform::Linux,
+        AttackerModel::ArbitraryCode,
+        AttackId::KillCritical,
+        &cfg(),
+    );
+    assert!(o.mechanism.succeeded(), "{o}");
+    assert!(!o.critical_alive, "controller and alarm driver killed: {o}");
+    assert!(
+        o.physical.safety_violated,
+        "nobody answers the heat burst: {o}"
+    );
+}
+
+#[test]
+fn linux_a2_root_kill_succeeds_even_hardened() {
+    // "the attacker can kill the temperature control process to
+    // incapacitate the whole control scenario."
+    use bas_core::platform::linux::UidScheme;
+    let config = AttackRunConfig {
+        linux_uid_scheme: UidScheme::PerProcessHardened,
+        ..cfg()
+    };
+    let o = run_attack(
+        Platform::Linux,
+        AttackerModel::Root,
+        AttackId::KillCritical,
+        &config,
+    );
+    assert!(o.mechanism.succeeded(), "{o}");
+    assert!(!o.critical_alive, "{o}");
+}
+
+#[test]
+fn linux_hardened_stops_a1_spoofing_but_not_root() {
+    // "Unless each process runs under a unique user account, and the
+    // message queue is specifically configured [...] the problem will
+    // still remain [with root]."
+    use bas_core::platform::linux::UidScheme;
+    let config = AttackRunConfig {
+        linux_uid_scheme: UidScheme::PerProcessHardened,
+        ..cfg()
+    };
+
+    let a1 = run_attack(
+        Platform::Linux,
+        AttackerModel::ArbitraryCode,
+        AttackId::SpoofSensorData,
+        &config,
+    );
+    assert!(
+        !a1.mechanism.succeeded(),
+        "hardened DAC stops the spoof: {a1}"
+    );
+    assert!(!a1.physical.safety_violated, "{a1}");
+
+    let a2 = run_attack(
+        Platform::Linux,
+        AttackerModel::Root,
+        AttackId::SpoofSensorData,
+        &config,
+    );
+    assert!(a2.mechanism.succeeded(), "root bypasses DAC: {a2}");
+    assert!(a2.physical.safety_violated, "{a2}");
+}
+
+#[test]
+fn linux_direct_device_write_works_in_shared_account() {
+    let o = run_attack(
+        Platform::Linux,
+        AttackerModel::ArbitraryCode,
+        AttackId::DirectDeviceWrite,
+        &cfg(),
+    );
+    assert!(o.mechanism.succeeded(), "{o}");
+    assert!(
+        o.physical.safety_violated,
+        "alarm forced off through /dev: {o}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// §IV-D.2 — MINIX 3 + ACM
+// ---------------------------------------------------------------------------
+
+#[test]
+fn minix_a1_spoof_sensor_blocked_by_acm() {
+    // "The web interface process in user land cannot change a process's
+    // identity stored in the kernel PCB, hence spoofing by trying to fake
+    // one's identity cannot work."
+    let o = run_attack(
+        Platform::Minix,
+        AttackerModel::ArbitraryCode,
+        AttackId::SpoofSensorData,
+        &cfg(),
+    );
+    assert!(!o.mechanism.succeeded(), "{o}");
+    assert!(!o.physical.safety_violated, "{o}");
+    assert!(o.critical_alive, "{o}");
+    assert!(
+        o.evidence.denials > 0,
+        "the ACM visibly dropped requests: {o}"
+    );
+}
+
+#[test]
+fn minix_a2_root_changes_nothing() {
+    // "In the second simulation, we give the web interface process root
+    // privilege; however, the result is the same."
+    for attack in [
+        AttackId::SpoofSensorData,
+        AttackId::SpoofActuatorCommands,
+        AttackId::KillCritical,
+    ] {
+        let o = run_attack(Platform::Minix, AttackerModel::Root, attack, &cfg());
+        assert!(!o.mechanism.succeeded(), "{o}");
+        assert!(!o.physical.safety_violated, "{o}");
+        assert!(o.critical_alive, "{o}");
+    }
+}
+
+#[test]
+fn minix_kill_blocked_by_pm_acm_policy() {
+    // "the policy explicitly disallowed the web interface process to use
+    // kill system call."
+    let o = run_attack(
+        Platform::Minix,
+        AttackerModel::Root,
+        AttackId::KillCritical,
+        &cfg(),
+    );
+    assert!(!o.mechanism.succeeded(), "{o}");
+    assert!(o.critical_alive, "{o}");
+}
+
+#[test]
+fn minix_fork_bomb_succeeds_without_quota() {
+    // "it can potentially launch a fork bomb to eat up system resources.
+    // This is problematic."
+    let o = run_attack(
+        Platform::Minix,
+        AttackerModel::ArbitraryCode,
+        AttackId::ForkBomb,
+        &cfg(),
+    );
+    assert!(o.mechanism.succeeded(), "forks are permitted: {o}");
+    // But the *running* control loop keeps its safety property.
+    assert!(!o.physical.safety_violated, "{o}");
+    assert!(o.critical_alive, "{o}");
+}
+
+#[test]
+fn minix_fork_quota_contains_fork_bomb() {
+    // The paper's future-work fix, implemented: "using the ACM to give
+    // each system call a quota."
+    let mut config = cfg();
+    config.scenario.web_fork_limit = Some(2);
+    let o = run_attack(
+        Platform::Minix,
+        AttackerModel::ArbitraryCode,
+        AttackId::ForkBomb,
+        &config,
+    );
+    assert!(o.evidence.successes <= 2, "quota caps the bomb: {o}");
+    assert!(o.evidence.denials > 0, "{o}");
+}
+
+#[test]
+fn minix_brute_force_finds_nothing_usable() {
+    let o = run_attack(
+        Platform::Minix,
+        AttackerModel::ArbitraryCode,
+        AttackId::BruteForceHandles,
+        &cfg(),
+    );
+    assert!(!o.mechanism.succeeded(), "{o}");
+    assert!(!o.physical.safety_violated, "{o}");
+}
+
+#[test]
+fn minix_direct_device_write_blocked_by_ownership() {
+    let o = run_attack(
+        Platform::Minix,
+        AttackerModel::Root,
+        AttackId::DirectDeviceWrite,
+        &cfg(),
+    );
+    assert!(!o.mechanism.succeeded(), "{o}");
+    assert!(!o.physical.safety_violated, "{o}");
+}
+
+// ---------------------------------------------------------------------------
+// §IV-D.3 — seL4/CAmkES
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sel4_spoof_sensor_rejected_by_badge() {
+    // The forged report carries the web interface's own badge; the
+    // controller rejects it.
+    let o = run_attack(
+        Platform::Sel4,
+        AttackerModel::ArbitraryCode,
+        AttackId::SpoofSensorData,
+        &cfg(),
+    );
+    assert!(!o.mechanism.succeeded(), "{o}");
+    assert!(!o.physical.safety_violated, "{o}");
+    assert!(o.critical_alive, "{o}");
+}
+
+#[test]
+fn sel4_brute_force_finds_exactly_one_capability() {
+    // "Per the CapDL file, our malicious process [...] should only have
+    // access to one capability [...] This brute-force program was
+    // unsuccessful in finding any additional capabilities, so it never
+    // could send arbitrary data nor kill any other processes."
+    let o = run_attack(
+        Platform::Sel4,
+        AttackerModel::ArbitraryCode,
+        AttackId::BruteForceHandles,
+        &cfg(),
+    );
+    assert_eq!(
+        o.evidence.handles_found, 1,
+        "exactly the one RPC capability: {o}"
+    );
+    assert!(o.critical_alive, "{o}");
+    assert!(!o.physical.safety_violated, "{o}");
+}
+
+#[test]
+fn sel4_kill_and_actuator_attacks_confined() {
+    for attack in [
+        AttackId::KillCritical,
+        AttackId::SpoofActuatorCommands,
+        AttackId::DirectDeviceWrite,
+    ] {
+        let o = run_attack(Platform::Sel4, AttackerModel::ArbitraryCode, attack, &cfg());
+        assert!(!o.mechanism.succeeded(), "{o}");
+        assert!(o.critical_alive, "{o}");
+        assert!(!o.physical.safety_violated, "{o}");
+    }
+}
+
+#[test]
+fn sel4_fork_bomb_impossible() {
+    let o = run_attack(
+        Platform::Sel4,
+        AttackerModel::ArbitraryCode,
+        AttackId::ForkBomb,
+        &cfg(),
+    );
+    assert!(
+        !o.mechanism.succeeded(),
+        "no authority to create threads: {o}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Cross-platform invariants
+// ---------------------------------------------------------------------------
+
+#[test]
+fn setpoint_tamper_bounded_by_validation_everywhere() {
+    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+        let o = run_attack(
+            platform,
+            AttackerModel::ArbitraryCode,
+            AttackId::SetpointTamper,
+            &cfg(),
+        );
+        assert!(!o.physical.safety_violated, "{o}");
+        assert!(
+            o.evidence.denials > 0,
+            "validation rejected the tamper: {o}"
+        );
+    }
+}
+
+#[test]
+fn flood_of_legitimate_channel_does_not_break_safety() {
+    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+        let o = run_attack(
+            platform,
+            AttackerModel::ArbitraryCode,
+            AttackId::FloodLegitChannel,
+            &cfg(),
+        );
+        assert!(!o.physical.safety_violated, "{o}");
+        assert!(o.critical_alive, "{o}");
+    }
+}
+
+#[test]
+fn headline_result_microkernels_stop_what_linux_cannot() {
+    // The paper's abstract, as an assertion: for the physical-impact
+    // attacks, Linux falls and both microkernel platforms stand.
+    for attack in [
+        AttackId::SpoofSensorData,
+        AttackId::SpoofActuatorCommands,
+        AttackId::KillCritical,
+    ] {
+        for attacker in [AttackerModel::ArbitraryCode, AttackerModel::Root] {
+            let linux = run_attack(Platform::Linux, attacker, attack, &cfg());
+            assert!(
+                linux.compromised(),
+                "linux should fall to {attack} under {attacker}: {linux}"
+            );
+            let minix = run_attack(Platform::Minix, attacker, attack, &cfg());
+            assert!(!minix.compromised(), "minix must stand: {minix}");
+            let sel4 = run_attack(Platform::Sel4, attacker, attack, &cfg());
+            assert!(!sel4.compromised(), "sel4 must stand: {sel4}");
+        }
+    }
+}
+
+#[test]
+fn replay_of_in_range_setpoint_compromises_every_platform() {
+    // The boundary of the paper's claim: a captured *legitimate* admin
+    // action replayed through the compromised admin channel is
+    // indistinguishable from a real one at the IPC layer. The controller
+    // obediently regulates to 26 °C while the building's actual reference
+    // stays 22 °C — and the controller's own alarm logic, anchored to the
+    // forged setpoint, stays silent. Only application-layer
+    // authentication/freshness could stop this.
+    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+        let o = run_attack(
+            platform,
+            AttackerModel::ArbitraryCode,
+            AttackId::ReplaySetpoint,
+            &cfg(),
+        );
+        assert!(o.mechanism.succeeded(), "{o}");
+        assert!(o.critical_alive, "no process harmed: {o}");
+        assert!(
+            o.physical.safety_violated,
+            "room out of the *real* band with no alarm: {o}"
+        );
+    }
+}
+
+#[test]
+fn headline_results_hold_across_sensor_seeds() {
+    // The matrix cells are not artifacts of one noise seed.
+    for seed in [7u64, 99, 123_456] {
+        let mut config = cfg();
+        config.scenario.seed = seed;
+        let linux = run_attack(
+            Platform::Linux,
+            AttackerModel::ArbitraryCode,
+            AttackId::SpoofSensorData,
+            &config,
+        );
+        assert!(linux.compromised(), "seed {seed}: {linux}");
+        let minix = run_attack(
+            Platform::Minix,
+            AttackerModel::ArbitraryCode,
+            AttackId::SpoofSensorData,
+            &config,
+        );
+        assert!(!minix.compromised(), "seed {seed}: {minix}");
+        let sel4 = run_attack(
+            Platform::Sel4,
+            AttackerModel::ArbitraryCode,
+            AttackId::SpoofSensorData,
+            &config,
+        );
+        assert!(!sel4.compromised(), "seed {seed}: {sel4}");
+    }
+}

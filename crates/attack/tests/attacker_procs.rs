@@ -1,0 +1,128 @@
+//! Direct tests of the attacker state machines: reconnaissance ordering,
+//! delay honoring, loop budgets, and evidence bookkeeping — independent of
+//! any full scenario.
+
+use bas_attack::evidence::new_evidence;
+use bas_attack::procs::{AttackScript, AttackStep, MinixAttacker, Sel4Attacker};
+use bas_minix::syscall::{Reply as MReply, Syscall as MSyscall};
+use bas_sel4::syscall::{Reply as SReply, Syscall as SSyscall};
+use bas_sim::process::{Action, Process};
+use bas_sim::time::SimDuration;
+
+#[test]
+fn minix_attacker_resolves_then_delays_then_acts() {
+    let evidence = new_evidence();
+    let delay = SimDuration::from_secs(10);
+    let builder = Box::new(move |resolved: &[Option<bas_minix::endpoint::Endpoint>]| {
+        let target = resolved[0].expect("resolved in this test");
+        AttackScript {
+            delay,
+            setup: vec![],
+            loop_body: vec![AttackStep::counted(MSyscall::send(target, 1, []))],
+            max_loops: Some(2),
+        }
+    });
+    let mut attacker =
+        MinixAttacker::new(vec!["temp_control".into()], builder, evidence.clone());
+
+    // 1. Reconnaissance lookup first.
+    let a = attacker.resume(None);
+    assert!(
+        matches!(a, Action::Syscall(MSyscall::Lookup { ref name }) if name == "temp_control"),
+        "{a:?}"
+    );
+    // 2. Then the warmup sleep.
+    let target = bas_minix::endpoint::Endpoint::new(2, 0);
+    let a = attacker.resume(Some(MReply::Resolved(target)));
+    assert!(
+        matches!(a, Action::Syscall(MSyscall::Sleep { duration }) if duration == delay),
+        "{a:?}"
+    );
+    // 3. Then exactly two counted loop iterations...
+    let a = attacker.resume(Some(MReply::Ok));
+    assert!(matches!(a, Action::Syscall(MSyscall::Send { dest, .. }) if dest == target));
+    let a = attacker.resume(Some(MReply::Ok)); // reply to send #1
+    assert!(matches!(a, Action::Syscall(MSyscall::Send { .. })));
+    // 4. ...then idle sleeps forever.
+    let a = attacker.resume(Some(MReply::Err(bas_minix::error::MinixError::CallDenied)));
+    assert!(matches!(a, Action::Syscall(MSyscall::Sleep { .. })));
+    let a = attacker.resume(Some(MReply::Ok));
+    assert!(matches!(a, Action::Syscall(MSyscall::Sleep { .. })));
+
+    // Evidence: one success, one denial, from the two counted sends.
+    let ev = evidence.borrow();
+    assert_eq!(ev.attempts, 2);
+    assert_eq!(ev.successes, 1);
+    assert_eq!(ev.denials, 1);
+}
+
+#[test]
+fn minix_attacker_handles_failed_reconnaissance() {
+    let evidence = new_evidence();
+    let builder = Box::new(move |resolved: &[Option<bas_minix::endpoint::Endpoint>]| {
+        assert_eq!(resolved, &[None], "lookup failure propagates as None");
+        AttackScript {
+            delay: SimDuration::ZERO,
+            setup: vec![],
+            loop_body: vec![],
+            max_loops: Some(1),
+        }
+    });
+    let mut attacker = MinixAttacker::new(vec!["ghost".into()], builder, evidence.clone());
+    let _ = attacker.resume(None); // lookup
+    let _ = attacker.resume(Some(MReply::Err(bas_minix::error::MinixError::NoSuchProcess)));
+    // Empty script: goes idle without panicking, zero evidence.
+    let a = attacker.resume(Some(MReply::Ok));
+    assert!(matches!(a, Action::Syscall(MSyscall::Sleep { .. })));
+    assert_eq!(evidence.borrow().attempts, 0);
+}
+
+#[test]
+fn sel4_attacker_counts_identified_handles() {
+    let evidence = new_evidence();
+    let script = AttackScript {
+        delay: SimDuration::ZERO,
+        setup: vec![
+            AttackStep::counted(SSyscall::Identify { slot: bas_sel4::cap::CPtr::new(0) }),
+            AttackStep::counted(SSyscall::Identify { slot: bas_sel4::cap::CPtr::new(1) }),
+        ],
+        loop_body: vec![],
+        max_loops: Some(1),
+    };
+    let mut attacker = Sel4Attacker::new(script, evidence.clone());
+    let _ = attacker.resume(None); // delay sleep
+    let _ = attacker.resume(Some(SReply::Ok)); // -> identify 0
+    let _ = attacker.resume(Some(SReply::Identified(Some(
+        bas_sel4::objects::ObjKind::Endpoint,
+    )))); // -> identify 1
+    let _ = attacker.resume(Some(SReply::Err(bas_sel4::error::Sel4Error::InvalidCapability)));
+
+    let ev = evidence.borrow();
+    assert_eq!(ev.attempts, 2);
+    assert_eq!(ev.handles_found, 1, "one occupied slot discovered");
+    assert_eq!(ev.denials, 1, "one empty slot denied");
+    assert!(ev.notes.iter().any(|n| n.contains("endpoint")));
+}
+
+#[test]
+fn pacing_steps_are_never_counted() {
+    let evidence = new_evidence();
+    let script = AttackScript {
+        delay: SimDuration::ZERO,
+        setup: vec![],
+        loop_body: vec![
+            AttackStep::counted(SSyscall::GetTime),
+            AttackStep::pacing(SSyscall::Sleep { duration: SimDuration::from_secs(1) }),
+        ],
+        max_loops: Some(3),
+    };
+    let mut attacker = Sel4Attacker::new(script, evidence.clone());
+    let mut reply = None;
+    for _ in 0..12 {
+        let _ = attacker.resume(reply.take());
+        reply = Some(SReply::Ok);
+    }
+    // 3 loops × 1 counted step; the sleeps' Ok replies don't count.
+    assert_eq!(evidence.borrow().attempts, 3);
+    assert_eq!(evidence.borrow().successes, 3);
+}

@@ -1,0 +1,93 @@
+//! B1–B5: primitive micro-benchmarks — ACM lookup, CSpace lookup, mq
+//! enqueue/dequeue, plant integration step, and protocol codecs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_acm_lookup(c: &mut Criterion) {
+    use bas_acm::fig3::{fig3_matrix, APP1, APP2};
+    use bas_acm::MsgType;
+    let acm = fig3_matrix();
+    c.bench_function("acm_check", |b| {
+        b.iter(|| {
+            black_box(acm.check(black_box(APP2), black_box(APP1), black_box(MsgType::new(2))))
+        })
+    });
+}
+
+fn bench_cspace_lookup(c: &mut Criterion) {
+    use bas_sel4::cap::{CPtr, Capability};
+    use bas_sel4::cspace::CSpace;
+    use bas_sel4::objects::ObjId;
+    use bas_sel4::rights::CapRights;
+    let mut cs = CSpace::new(64);
+    for i in 0..16 {
+        cs.insert(Capability::to_object(
+            ObjId::new(i),
+            CapRights::RW,
+            u64::from(i),
+        ))
+        .unwrap();
+    }
+    c.bench_function("cspace_lookup", |b| {
+        b.iter(|| black_box(cs.lookup(black_box(CPtr::new(7)))))
+    });
+}
+
+fn bench_mq_ops(c: &mut Criterion) {
+    use bas_linux::cred::{Mode, Uid};
+    use bas_linux::mq::{MessageQueue, MqMessage};
+    c.bench_function("mq_push_pop", |b| {
+        let mut q = MessageQueue::new("/bench", Uid::new(1), Mode::new(0o600), 64);
+        b.iter(|| {
+            q.push(MqMessage {
+                priority: 0,
+                data: vec![1, 2, 3, 4],
+            });
+            black_box(q.pop())
+        })
+    });
+}
+
+fn bench_plant_step(c: &mut Criterion) {
+    use bas_plant::world::{PlantConfig, PlantWorld};
+    use bas_sim::time::{SimDuration, SimTime};
+    c.bench_function("plant_step_1s", |b| {
+        let mut world = PlantWorld::new(PlantConfig::default(), 1);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_secs(1);
+            world.step_to(t);
+            black_box(world.temperature_c())
+        })
+    });
+}
+
+fn bench_proto_codec(c: &mut Criterion) {
+    use bas_core::proto::BasMsg;
+    let msg = BasMsg::SensorReading {
+        milli_c: 21_500,
+        seq: 42,
+    };
+    c.bench_function("proto_minix_roundtrip", |b| {
+        b.iter(|| {
+            let (t, p) = black_box(msg).to_minix();
+            black_box(BasMsg::from_minix(t, &p).unwrap())
+        })
+    });
+    c.bench_function("proto_bytes_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(msg).to_bytes();
+            black_box(BasMsg::from_bytes(&bytes).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_acm_lookup,
+    bench_cspace_lookup,
+    bench_mq_ops,
+    bench_plant_step,
+    bench_proto_codec
+);
+criterion_main!(benches);

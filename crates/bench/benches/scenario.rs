@@ -1,0 +1,51 @@
+//! End-to-end simulation throughput: one simulated minute of the full
+//! five-process scenario per platform.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bas_core::platform::linux::{build_linux, LinuxOverrides};
+use bas_core::platform::minix::{build_minix, MinixOverrides};
+use bas_core::platform::sel4::{build_sel4, Sel4Overrides};
+use bas_core::scenario::{Scenario, ScenarioConfig};
+use bas_sim::time::SimDuration;
+
+fn bench_scenario(c: &mut Criterion) {
+    let config = ScenarioConfig::quiet();
+    let mut group = c.benchmark_group("scenario_minute");
+    group.sample_size(20);
+
+    group.bench_function("minix", |b| {
+        b.iter_batched(
+            || build_minix(&config, MinixOverrides::default()),
+            |mut s| {
+                s.run_for(SimDuration::from_mins(1));
+                s.metrics().ipc_messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sel4", |b| {
+        b.iter_batched(
+            || build_sel4(&config, Sel4Overrides::default()),
+            |mut s| {
+                s.run_for(SimDuration::from_mins(1));
+                s.metrics().ipc_messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("linux", |b| {
+        b.iter_batched(
+            || build_linux(&config, LinuxOverrides::default()),
+            |mut s| {
+                s.run_for(SimDuration::from_mins(1));
+                s.metrics().ipc_messages
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario);
+criterion_main!(benches);

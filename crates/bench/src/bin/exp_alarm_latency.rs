@@ -1,0 +1,90 @@
+//! E11 (extension figure): alarm latency distribution. For each platform
+//! and 20 sensor-noise seeds, a heat burst pushes the room out of band
+//! and we measure how long the control loop takes to raise the alarm —
+//! the quantitative version of the scenario's "e.g., 5 minutes" safety
+//! requirement.
+//!
+//! Run: `cargo run --release -p bas-bench --bin exp_alarm_latency`
+
+use bas_bench::{rule, section};
+use bas_core::platform::linux::{build_linux, LinuxOverrides};
+use bas_core::platform::minix::{build_minix, MinixOverrides};
+use bas_core::platform::sel4::{build_sel4, Sel4Overrides};
+use bas_core::scenario::{Scenario, ScenarioConfig};
+use bas_sim::time::SimDuration;
+
+const SEEDS: u64 = 20;
+
+fn config(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::quiet();
+    cfg.seed = seed;
+    // Burst at t=300s: 300 W → 600 W; the fan cannot hold the band, so
+    // the alarm must fire within the 300 s deadline (plus oracle grace).
+    cfg.plant.heat_schedule = vec![(SimDuration::from_secs(300), 600.0)];
+    cfg
+}
+
+fn run_one(platform: &str, seed: u64) -> Option<f64> {
+    let cfg = config(seed);
+    let mut boxed: Box<dyn Scenario> = match platform {
+        "minix" => Box::new(build_minix(&cfg, MinixOverrides::default())),
+        "sel4" => Box::new(build_sel4(&cfg, Sel4Overrides::default())),
+        _ => Box::new(build_linux(&cfg, LinuxOverrides::default())),
+    };
+    let scenario: &mut dyn Scenario = boxed.as_mut();
+    scenario.run_for(SimDuration::from_secs(1_500));
+    let plant = scenario.plant();
+    let plant = plant.borrow();
+    assert!(
+        plant.safety_report().is_safe(),
+        "{platform} seed {seed} violated safety"
+    );
+    let latencies = plant.safety_report().alarm_latencies;
+    latencies.first().map(|d| d.as_secs_f64())
+}
+
+fn stats(xs: &[f64]) -> (f64, f64, f64) {
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (mean, min, max)
+}
+
+fn main() {
+    section(&format!(
+        "alarm latency after an out-of-band heat burst ({SEEDS} sensor-noise seeds per platform)"
+    ));
+    println!("controller deadline: 300 s; oracle limit: 330 s (deadline + detection grace)\n");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10}",
+        "platform", "n", "mean[s]", "min[s]", "max[s]"
+    );
+    rule();
+    for platform in ["minix", "sel4", "linux"] {
+        let latencies: Vec<f64> = (1..=SEEDS)
+            .filter_map(|seed| run_one(platform, seed))
+            .collect();
+        assert_eq!(
+            latencies.len() as u64,
+            SEEDS,
+            "{platform}: every seed must produce an alarm"
+        );
+        let (mean, min, max) = stats(&latencies);
+        println!(
+            "{platform:<14} {:>8} {mean:>10.1} {min:>10.1} {max:>10.1}",
+            latencies.len()
+        );
+        assert!(max <= 330.0, "{platform}: alarm beyond the oracle limit");
+        assert!(
+            min >= 295.0,
+            "{platform}: alarm suspiciously early (before the deadline window)"
+        );
+    }
+    rule();
+    println!(
+        "reading: all three platforms raise the alarm within one sensor period of the 300 s\n\
+         deadline, for every noise seed — the safety requirement is met with margin, and the\n\
+         platforms are behaviorally interchangeable for the benign workload (the paper's\n\
+         premise that security, not function, differentiates them)."
+    );
+}

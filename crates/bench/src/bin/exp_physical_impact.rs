@@ -1,0 +1,49 @@
+//! E7: physical-impact detail per attack — the safety oracle's view.
+//! For each platform and attack (attacker model A1), prints max
+//! deviation, alarm latency, in-band fraction, actuator churn, and the
+//! final verdict; the data behind "the critical processes that impact the
+//! physical world are not affected".
+//!
+//! Run: `cargo run --release -p bas-bench --bin exp_physical_impact`
+
+use bas_attack::harness::{run_attack, AttackRunConfig};
+use bas_attack::model::{AttackId, AttackerModel};
+use bas_bench::{rule, section};
+use bas_core::scenario::Platform;
+
+fn main() {
+    let config = AttackRunConfig::default();
+
+    section("physical impact under attack (attacker model A1, heat burst mid-window)");
+    println!(
+        "{:<22} {:<12} {:<9} {:<10} {:<9} {:<12} {:<8}",
+        "attack", "platform", "maxdev°C", "final°C", "alarm", "fan-switch", "safety"
+    );
+    rule();
+    for attack in AttackId::ALL {
+        for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+            let o = run_attack(platform, AttackerModel::ArbitraryCode, attack, &config);
+            println!(
+                "{:<22} {:<12} {:<9.2} {:<10.2} {:<9} {:<12} {:<8}",
+                attack.to_string(),
+                platform.to_string(),
+                o.physical.max_deviation_c,
+                o.physical.final_temp_c,
+                if o.physical.alarm_on { "ON" } else { "off" },
+                o.physical.fan_switches,
+                if o.physical.safety_violated {
+                    "VIOLATED"
+                } else {
+                    "ok"
+                },
+            );
+        }
+        rule();
+    }
+    println!(
+        "note: a *healthy* run of the disturbance scenario ends hot (≈24°C) with the alarm ON \
+         and no violation — the burst exceeds the fan's authority, so raising the alarm within \
+         the deadline is the correct response. 'VIOLATED' means the alarm was suppressed or \
+         nobody was left to raise it."
+    );
+}

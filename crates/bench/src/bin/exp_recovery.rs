@@ -1,0 +1,74 @@
+//! A3 (extension): MINIX self-repair. The paper picked MINIX partly for
+//! its reliability pedigree (its ref \[7\] is "MINIX 3: A highly reliable,
+//! self-repairing operating system"). This experiment injects a heater
+//! driver crash mid-run and compares an unsupervised system against one
+//! with a reincarnation-style supervisor, printing the fan/temperature
+//! timeline around the fault.
+//!
+//! Run: `cargo run --release -p bas-bench --bin exp_recovery`
+
+use bas_bench::{rule, section};
+use bas_core::platform::minix::{build_minix, MinixOverrides};
+use bas_core::scenario::{critical_alive, Scenario, ScenarioConfig};
+use bas_sim::time::SimDuration;
+
+fn run(label: &str, supervise: bool) {
+    section(&format!("{label} (heater driver crashes after ~3 minutes)"));
+    let overrides = MinixOverrides {
+        heater_crash_after: Some(50),
+        supervise,
+        ..MinixOverrides::default()
+    };
+    // At t = 20 min the heat source drops to 150 W. A healthy system
+    // keeps cycling the fan inside the band; with the driver dead the fan
+    // is frozen and the room settles out of band in either frozen state
+    // (25.5 or 19.5 degrees), so the surviving controller must hold the
+    // alarm on.
+    let mut cfg = ScenarioConfig::quiet();
+    cfg.plant.heat_schedule = vec![(SimDuration::from_secs(1_200), 150.0)];
+    let mut s = build_minix(&cfg, overrides);
+    s.run_for(SimDuration::from_mins(40));
+
+    let plant = s.plant();
+    let plant = plant.borrow();
+    println!(
+        "{:>8} {:>9} {:>5} {:>6}",
+        "t[s]", "temp[°C]", "fan", "alarm"
+    );
+    for sample in plant.trace().iter().filter(|p| p.time.as_secs() % 180 == 0) {
+        println!(
+            "{:>8} {:>9.2} {:>5} {:>6}",
+            sample.time.as_secs(),
+            sample.temp_c,
+            if sample.fan_on { "ON" } else { "off" },
+            if sample.alarm_on { "ON" } else { "off" },
+        );
+    }
+    rule();
+    println!(
+        "fan switches: {} | final temp: {:.2}°C | critical alive: {} | procs created: {} | safety: {}",
+        plant.fan().switch_count(),
+        plant.temperature_c(),
+        critical_alive(&s),
+        s.metrics().processes_created,
+        if plant.safety_report().is_safe() { "OK" } else { "VIOLATED" },
+    );
+}
+
+fn main() {
+    run("configuration 1: no supervisor", false);
+    run(
+        "configuration 2: reincarnation-style supervisor (2 s health checks)",
+        true,
+    );
+
+    section("conclusion");
+    println!(
+        "without supervision the driver's death freezes the fan in its last state and the\n\
+         controller can only escalate to the alarm; with the supervisor the driver is\n\
+         re-forked (note the extra process creation), the controller re-resolves its new\n\
+         endpoint generation, and full regulation resumes — the self-repair behavior the\n\
+         paper's platform choice is predicated on, implemented purely as an unprivileged\n\
+         process under the same ACM."
+    );
+}

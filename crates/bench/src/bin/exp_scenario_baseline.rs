@@ -1,0 +1,75 @@
+//! E1 (paper Fig. 2): the benign temperature-control scenario on all
+//! three platforms. Prints the temperature/fan/alarm time series each
+//! platform produces plus a summary: convergence, fan duty, safety.
+//!
+//! Run: `cargo run --release -p bas-bench --bin exp_scenario_baseline`
+
+use bas_bench::{rule, section};
+use bas_core::platform::linux::{build_linux, LinuxOverrides};
+use bas_core::platform::minix::{build_minix, MinixOverrides};
+use bas_core::platform::sel4::{build_sel4, Sel4Overrides};
+use bas_core::scenario::{critical_alive, Scenario, ScenarioConfig};
+use bas_sim::time::SimDuration;
+
+fn run(label: &str, scenario: &mut dyn Scenario) {
+    section(&format!(
+        "{label} — 45 simulated minutes, setpoint change at t=20min"
+    ));
+    scenario.run_for(SimDuration::from_mins(45));
+
+    let plant = scenario.plant();
+    let plant = plant.borrow();
+
+    println!(
+        "{:>8} {:>9} {:>5} {:>6} {:>9}",
+        "t[s]", "temp[°C]", "fan", "alarm", "setp[°C]"
+    );
+    for sample in plant.trace().iter().filter(|s| s.time.as_secs() % 120 == 0) {
+        println!(
+            "{:>8} {:>9.2} {:>5} {:>6} {:>9.1}",
+            sample.time.as_secs(),
+            sample.temp_c,
+            if sample.fan_on { "ON" } else { "off" },
+            if sample.alarm_on { "ON" } else { "off" },
+            sample.setpoint_c,
+        );
+    }
+
+    let report = plant.safety_report();
+    rule();
+    println!(
+        "final temp: {:.2}°C | fan switches: {} | in-band fraction: {:.3} | \
+         max deviation: {:.2}°C | safety: {} | critical alive: {} | {}",
+        plant.temperature_c(),
+        plant.fan().switch_count(),
+        report.in_band_fraction,
+        report.max_deviation_c,
+        if report.is_safe() { "OK" } else { "VIOLATED" },
+        critical_alive(scenario),
+        scenario.metrics(),
+    );
+}
+
+fn main() {
+    // The default schedule raises the setpoint to 24 °C at t=1200 s and
+    // queries status at t=2400 s — the administrator session of §II.
+    let config = ScenarioConfig::default();
+
+    let mut minix = build_minix(&config, MinixOverrides::default());
+    run("MINIX 3 + ACM", &mut minix);
+
+    let mut sel4 = build_sel4(&config, Sel4Overrides::default());
+    run("seL4/CAmkES", &mut sel4);
+
+    let mut linux = build_linux(&config, LinuxOverrides::default());
+    run("Linux (POSIX mq)", &mut linux);
+
+    section("web-interface sessions (administrator's view)");
+    for (name, responses) in [
+        ("minix", minix.web_responses()),
+        ("sel4", sel4.web_responses()),
+        ("linux", linux.web_responses()),
+    ] {
+        println!("{name:<6}: {responses:?}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # bas-bench — experiment binaries and benchmarks
+//!
+//! One binary per paper artifact (see `DESIGN.md`'s experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `exp_scenario_baseline` | E1 — Fig. 2 temperature-control time series |
+//! | `exp_fig3_acm` | E2 — Fig. 3 ACM worked example |
+//! | `exp_attack_matrix` | E3–E6 — §IV-D attack outcomes, paper-vs-measured |
+//! | `exp_physical_impact` | E7 — physical safety metrics per attack |
+//! | `exp_ipc_overhead` | E8 — microkernel-vs-monolithic IPC cost |
+//! | `exp_aadl_pipeline` | E9 — AADL → per-platform policy artifacts |
+//! | `exp_capdl_verify` | E10 — CapDL spec-vs-live-system audit |
+//! | `exp_ablation_acm` | A1 — ACM enforcement ablation |
+//! | `exp_ablation_caps` | A2 — capability over-grant ablation |
+//!
+//! Criterion benches (`benches/`): `ipc` (round-trip cost per platform),
+//! `micro` (ACM/CSpace/mq/plant primitives), `scenario` (end-to-end
+//! simulation throughput).
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints a horizontal rule sized to typical table width.
+pub fn rule() {
+    println!("{}", "-".repeat(100));
+}
+
+/// Formats a boolean as a fixed-width verdict.
+pub fn verdict(b: bool, yes: &str, no: &str) -> String {
+    if b {
+        yes.to_string()
+    } else {
+        no.to_string()
+    }
+}

@@ -1,0 +1,288 @@
+//! Compiling an assembly into a capability distribution.
+//!
+//! This is the CAmkES "glue code generation" step: each connected provided
+//! interface becomes one badged endpoint; the server gets a read
+//! capability; every client gets a write+grant capability with a unique
+//! badge so the server can tell clients apart; hardware dependencies
+//! become device-frame capabilities. The output is a
+//! [`bas_capdl::CapDlSpec`] — "For CAmkES, CapDL is used to describe the
+//! state of all the capabilities after bootstrap" — plus a [`GlueMap`]
+//! telling the runtime glue which slot carries what.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bas_capdl::spec::{CapDecl, CapDlSpec, CapTargetSpec, ObjDecl, SpecObjKind, ThreadDecl};
+use bas_sel4::cap::CPtr;
+use bas_sel4::rights::CapRights;
+
+use crate::assembly::Assembly;
+
+/// Errors from [`compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The assembly failed validation.
+    Invalid(Vec<String>),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Invalid(problems) => {
+                write!(f, "invalid assembly: {}", problems.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Slot and badge layout produced by compilation; the runtime glue's map
+/// from interfaces to CSpace slots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GlueMap {
+    client_slots: BTreeMap<(String, String), CPtr>,
+    server_slots: BTreeMap<(String, String), CPtr>,
+    device_slots: BTreeMap<(String, String), CPtr>,
+    badges: BTreeMap<(String, String), u64>,
+    clients_by_badge: BTreeMap<(String, String, u64), String>,
+}
+
+impl GlueMap {
+    /// The slot where `instance`'s used interface `iface` capability
+    /// lives.
+    pub fn client_slot(&self, instance: &str, iface: &str) -> Option<CPtr> {
+        self.client_slots
+            .get(&(instance.to_string(), iface.to_string()))
+            .copied()
+    }
+
+    /// The slot where `instance`'s provided interface `iface` endpoint
+    /// capability lives.
+    pub fn server_slot(&self, instance: &str, iface: &str) -> Option<CPtr> {
+        self.server_slots
+            .get(&(instance.to_string(), iface.to_string()))
+            .copied()
+    }
+
+    /// The slot of a hardware dependency's device capability.
+    pub fn device_slot(&self, instance: &str, hw: &str) -> Option<CPtr> {
+        self.device_slots
+            .get(&(instance.to_string(), hw.to_string()))
+            .copied()
+    }
+
+    /// The badge a client instance sends with on a used interface.
+    pub fn badge_of(&self, instance: &str, iface: &str) -> Option<u64> {
+        self.badges
+            .get(&(instance.to_string(), iface.to_string()))
+            .copied()
+    }
+
+    /// Resolves a received badge on a server's provided interface to the
+    /// client instance name.
+    pub fn client_of_badge(&self, server: &str, iface: &str, badge: u64) -> Option<&str> {
+        self.clients_by_badge
+            .get(&(server.to_string(), iface.to_string(), badge))
+            .map(String::as_str)
+    }
+}
+
+/// Compiles `assembly` into a CapDL spec and its glue map.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Invalid`] if the assembly fails validation.
+pub fn compile(assembly: &Assembly) -> Result<(CapDlSpec, GlueMap), CompileError> {
+    assembly.validate().map_err(CompileError::Invalid)?;
+
+    let mut spec = CapDlSpec::default();
+    let mut glue = GlueMap::default();
+
+    // Endpoint objects: one per connected provided interface.
+    let ep_name = |server: &str, iface: &str| format!("ep_{server}_{iface}");
+    let mut declared_eps = std::collections::BTreeSet::new();
+    for conn in &assembly.connections {
+        let name = ep_name(&conn.to.0, &conn.to.1);
+        if declared_eps.insert(name.clone()) {
+            spec.objects.push(ObjDecl {
+                name,
+                kind: SpecObjKind::Endpoint,
+            });
+        }
+    }
+
+    // Badges: per endpoint, clients numbered from 1 in connection order.
+    let mut next_badge: BTreeMap<String, u64> = BTreeMap::new();
+    for conn in &assembly.connections {
+        let ep = ep_name(&conn.to.0, &conn.to.1);
+        let badge = next_badge.entry(ep).and_modify(|b| *b += 1).or_insert(1);
+        glue.badges
+            .insert((conn.from.0.clone(), conn.from.1.clone()), *badge);
+        glue.clients_by_badge.insert(
+            (conn.to.0.clone(), conn.to.1.clone(), *badge),
+            conn.from.0.clone(),
+        );
+    }
+
+    // Threads plus per-instance slot layout.
+    for inst in &assembly.instances {
+        spec.threads.push(ThreadDecl {
+            name: inst.name.clone(),
+        });
+        let mut next_slot = 0u32;
+        let mut push_cap = |spec: &mut CapDlSpec, target: CapTargetSpec, rights, badge| {
+            let slot = next_slot;
+            next_slot += 1;
+            spec.caps.push(CapDecl {
+                holder: inst.name.clone(),
+                slot,
+                target,
+                rights,
+                badge,
+            });
+            CPtr::new(slot)
+        };
+
+        // Server side: read cap per connected provided interface.
+        for iface in &inst.component.provides {
+            let ep = ep_name(&inst.name, &iface.name);
+            if declared_eps.contains(&ep) {
+                let slot = push_cap(&mut spec, CapTargetSpec::Object(ep), CapRights::READ, 0);
+                glue.server_slots
+                    .insert((inst.name.clone(), iface.name.clone()), slot);
+            }
+        }
+
+        // Client side: write+grant badged cap per connected used interface.
+        for iface in &inst.component.uses {
+            let conn = assembly
+                .connections
+                .iter()
+                .find(|c| c.from.0 == inst.name && c.from.1 == iface.name);
+            if let Some(conn) = conn {
+                let ep = ep_name(&conn.to.0, &conn.to.1);
+                let badge = glue.badges[&(inst.name.clone(), iface.name.clone())];
+                let slot = push_cap(
+                    &mut spec,
+                    CapTargetSpec::Object(ep),
+                    CapRights::WRITE_GRANT,
+                    badge,
+                );
+                glue.client_slots
+                    .insert((inst.name.clone(), iface.name.clone()), slot);
+            }
+        }
+
+        // Hardware: one device object + cap per declared dependency.
+        for hw in &inst.component.hardware {
+            let obj = format!("dev_{}_{}", inst.name, hw.name);
+            spec.objects.push(ObjDecl {
+                name: obj.clone(),
+                kind: SpecObjKind::Device(hw.dev),
+            });
+            let slot = push_cap(&mut spec, CapTargetSpec::Object(obj), hw.rights, 0);
+            glue.device_slots
+                .insert((inst.name.clone(), hw.name.clone()), slot);
+        }
+    }
+
+    debug_assert!(spec.validate().is_ok(), "compiler must emit valid capdl");
+    Ok((spec, glue))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, Procedure};
+    use bas_sim::device::DeviceId;
+
+    fn p() -> Procedure {
+        Procedure::new("api", ["m0", "m1"])
+    }
+
+    fn two_clients() -> Assembly {
+        Assembly::new()
+            .instance("srv", Component::new("server").provides("api", p()))
+            .instance("c1", Component::new("client").uses("api", p()))
+            .instance("c2", Component::new("client").uses("api", p()))
+            .rpc_connection("k1", ("c1", "api"), ("srv", "api"))
+            .rpc_connection("k2", ("c2", "api"), ("srv", "api"))
+    }
+
+    #[test]
+    fn one_endpoint_per_provided_interface() {
+        let (spec, _) = compile(&two_clients()).unwrap();
+        assert_eq!(spec.objects.len(), 1);
+        assert_eq!(spec.objects[0].name, "ep_srv_api");
+    }
+
+    #[test]
+    fn clients_get_unique_badges() {
+        let (_, glue) = compile(&two_clients()).unwrap();
+        let b1 = glue.badge_of("c1", "api").unwrap();
+        let b2 = glue.badge_of("c2", "api").unwrap();
+        assert_ne!(b1, b2);
+        assert_eq!(glue.client_of_badge("srv", "api", b1), Some("c1"));
+        assert_eq!(glue.client_of_badge("srv", "api", b2), Some("c2"));
+        assert_eq!(glue.client_of_badge("srv", "api", 999), None);
+    }
+
+    #[test]
+    fn rights_follow_connector_semantics() {
+        let (spec, glue) = compile(&two_clients()).unwrap();
+        let server_slot = glue.server_slot("srv", "api").unwrap();
+        let server_cap = spec
+            .caps
+            .iter()
+            .find(|c| c.holder == "srv" && c.slot == server_slot.slot())
+            .unwrap();
+        assert_eq!(server_cap.rights, CapRights::READ);
+        let client_slot = glue.client_slot("c1", "api").unwrap();
+        let client_cap = spec
+            .caps
+            .iter()
+            .find(|c| c.holder == "c1" && c.slot == client_slot.slot())
+            .unwrap();
+        assert_eq!(client_cap.rights, CapRights::WRITE_GRANT);
+    }
+
+    #[test]
+    fn hardware_becomes_device_caps() {
+        let a = Assembly::new().instance(
+            "driver",
+            Component::new("fan_driver").hardware("fan", DeviceId::FAN, CapRights::WRITE),
+        );
+        let (spec, glue) = compile(&a).unwrap();
+        assert!(spec.objects.iter().any(|o| o.name == "dev_driver_fan"));
+        assert!(glue.device_slot("driver", "fan").is_some());
+        assert!(glue.device_slot("driver", "zz").is_none());
+    }
+
+    #[test]
+    fn unconnected_interfaces_get_no_caps() {
+        let a = Assembly::new().instance(
+            "lonely",
+            Component::new("t").provides("api", p()).uses("out", p()),
+        );
+        let (spec, glue) = compile(&a).unwrap();
+        assert!(spec.caps.is_empty(), "nothing connected, nothing granted");
+        assert!(spec.objects.is_empty());
+        assert!(glue.server_slot("lonely", "api").is_none());
+        assert!(glue.client_slot("lonely", "out").is_none());
+    }
+
+    #[test]
+    fn invalid_assembly_rejected() {
+        let a = Assembly::new().rpc_connection("bad", ("x", "i"), ("y", "j"));
+        assert!(matches!(compile(&a), Err(CompileError::Invalid(_))));
+    }
+
+    #[test]
+    fn compiled_spec_validates_and_roundtrips_text() {
+        let (spec, _) = compile(&two_clients()).unwrap();
+        assert!(spec.validate().is_ok());
+        let reparsed = CapDlSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+}

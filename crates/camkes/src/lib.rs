@@ -1,0 +1,48 @@
+//! # bas-camkes — component framework (CAmkES analogue)
+//!
+//! §III-D: "This tool, CAmkES, will generate all the boilerplate code that
+//! implements a specified process architecture. This boilerplate code, also
+//! called glue code, abstracts away seL4 capabilities from the developers,
+//! and it allows them to think about high-level design."
+//!
+//! The crate mirrors that workflow:
+//!
+//! - [`component`] — components with *provided* and *used* RPC procedures
+//!   plus hardware (device) dependencies,
+//! - [`assembly`] — instances wired by connections; the only connector is
+//!   [`assembly::Connector::Sel4RpcCall`], the type the paper chooses "to
+//!   avoid a scenario where the malicious web interface could indefinitely
+//!   block one of the temperature controller's threads",
+//! - [`codegen`] — compiles an assembly into a [`bas_capdl::CapDlSpec`]
+//!   (one badged endpoint per connected provided interface) plus a
+//!   [`codegen::GlueMap`] telling each instance which CSpace slot carries
+//!   which interface,
+//! - [`glue`] — the runtime glue: RPC marshaling over `seL4_Call` /
+//!   `seL4_Reply`.
+//!
+//! ```
+//! use bas_camkes::assembly::Assembly;
+//! use bas_camkes::codegen::compile;
+//! use bas_camkes::component::{Component, Procedure};
+//!
+//! let ctrl_iface = Procedure::new("ctrl", ["set_setpoint", "get_status"]);
+//! let server = Component::new("controller").provides("ctrl", ctrl_iface.clone());
+//! let client = Component::new("web").uses("ctrl", ctrl_iface);
+//! let assembly = Assembly::new()
+//!     .instance("controller", server)
+//!     .instance("web", client)
+//!     .rpc_connection("conn1", ("web", "ctrl"), ("controller", "ctrl"));
+//! let (spec, glue) = compile(&assembly).unwrap();
+//! assert_eq!(spec.objects.len(), 1, "one endpoint for the one connection");
+//! assert!(glue.client_slot("web", "ctrl").is_some());
+//! ```
+
+pub mod assembly;
+pub mod codegen;
+pub mod component;
+pub mod glue;
+
+pub use assembly::{Assembly, Connection, Connector};
+pub use codegen::{compile, CompileError, GlueMap};
+pub use component::{Component, HardwareDecl, Procedure};
+pub use glue::{RpcClient, RpcServer};

@@ -1,0 +1,45 @@
+//! # bas-capdl — capability-distribution specs (CapDL analogue)
+//!
+//! The paper (§III-D): "CapDL is a domain specific language used to
+//! describe capability-based systems. For CAmkES, CapDL is used to describe
+//! the state of all the capabilities after bootstrap. With this language,
+//! then, a bootstrap process can be generated to implement the desired
+//! architecture." And §IV-D.3: "for high-assurance systems this file can
+//! also be machine verified with the correlating source code."
+//!
+//! This crate provides all three roles:
+//!
+//! - [`spec::CapDlSpec`] — the data model: objects, threads, and the exact
+//!   capability layout of every thread's CSpace after bootstrap,
+//! - [`text`] — a line-oriented concrete syntax with parser and printer,
+//! - [`mod@realize`] — the generated-bootstrap analogue: builds the described
+//!   system inside a [`bas_sel4::Sel4Kernel`],
+//! - [`mod@verify`] — the machine-verification analogue: audits a *live*
+//!   kernel against the spec and reports every deviation (missing caps,
+//!   extra caps, wrong rights/badges/targets).
+//!
+//! ```
+//! use bas_capdl::spec::CapDlSpec;
+//!
+//! let spec = CapDlSpec::parse(r"
+//!     object ep_ctrl endpoint
+//!     thread server
+//!     thread client
+//!     cap server[0] = ep_ctrl R-- badge=0
+//!     cap client[0] = ep_ctrl -WG badge=7
+//! ").unwrap();
+//! assert_eq!(spec.objects.len(), 1);
+//! assert_eq!(spec.caps.len(), 2);
+//! // Round-trips through its own printer.
+//! assert_eq!(CapDlSpec::parse(&spec.to_text()).unwrap(), spec);
+//! ```
+
+pub mod realize;
+pub mod spec;
+pub mod text;
+pub mod verify;
+
+pub use realize::{realize, RealizeError, RealizedSystem};
+pub use spec::{CapDecl, CapDlSpec, CapTargetSpec, ObjDecl, SpecObjKind, ThreadDecl};
+pub use text::CapDlParseError;
+pub use verify::{verify, VerifyIssue};

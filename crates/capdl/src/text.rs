@@ -1,0 +1,298 @@
+//! Concrete syntax for CapDL specs.
+//!
+//! Line-oriented; `#` starts a comment. Three statement forms:
+//!
+//! ```text
+//! object <name> endpoint|notification|device <dev>|untyped <bytes>
+//! thread <name>
+//! cap <holder>[<slot>] = <target> <rights> badge=<n>
+//! ```
+//!
+//! `<target>` is an object name or `tcb:<thread>`; `<rights>` is a
+//! three-character `RWG` triple with `-` for absent rights (e.g. `-WG`);
+//! `<dev>` is `temp-sensor`, `fan`, `alarm`, or a raw device number.
+
+use std::fmt;
+
+use bas_sel4::rights::CapRights;
+use bas_sim::device::DeviceId;
+
+use crate::spec::{CapDecl, CapDlSpec, CapTargetSpec, ObjDecl, SpecObjKind, ThreadDecl};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapDlParseError {
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CapDlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "capdl parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for CapDlParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> CapDlParseError {
+    CapDlParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_device(s: &str, line: usize) -> Result<DeviceId, CapDlParseError> {
+    match s {
+        "temp-sensor" => Ok(DeviceId::TEMP_SENSOR),
+        "fan" => Ok(DeviceId::FAN),
+        "alarm" => Ok(DeviceId::ALARM),
+        other => other
+            .parse::<u32>()
+            .map(DeviceId::new)
+            .map_err(|_| err(line, format!("unknown device '{other}'"))),
+    }
+}
+
+fn device_name(dev: DeviceId) -> String {
+    match dev {
+        DeviceId::TEMP_SENSOR => "temp-sensor".into(),
+        DeviceId::FAN => "fan".into(),
+        DeviceId::ALARM => "alarm".into(),
+        other => other.as_u32().to_string(),
+    }
+}
+
+fn parse_rights(s: &str, line: usize) -> Result<CapRights, CapDlParseError> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() != 3 {
+        return Err(err(
+            line,
+            format!("rights must be 3 chars (RWG/-), got '{s}'"),
+        ));
+    }
+    let bit = |c: char, want: char| -> Result<bool, CapDlParseError> {
+        if c == want {
+            Ok(true)
+        } else if c == '-' {
+            Ok(false)
+        } else {
+            Err(err(
+                line,
+                format!("bad rights char '{c}' (expected '{want}' or '-')"),
+            ))
+        }
+    };
+    Ok(CapRights {
+        read: bit(chars[0], 'R')?,
+        write: bit(chars[1], 'W')?,
+        grant: bit(chars[2], 'G')?,
+    })
+}
+
+/// Parses a spec from text.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse(input: &str) -> Result<CapDlSpec, CapDlParseError> {
+    let mut spec = CapDlSpec::default();
+    for (i, raw_line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "object" => {
+                if tokens.len() < 3 {
+                    return Err(err(lineno, "object needs: object <name> <kind>"));
+                }
+                let kind = match tokens[2] {
+                    "endpoint" => SpecObjKind::Endpoint,
+                    "notification" => SpecObjKind::Notification,
+                    "device" => {
+                        let dev = tokens
+                            .get(3)
+                            .ok_or_else(|| err(lineno, "device object needs a device name"))?;
+                        SpecObjKind::Device(parse_device(dev, lineno)?)
+                    }
+                    "untyped" => {
+                        let bytes = tokens
+                            .get(3)
+                            .ok_or_else(|| err(lineno, "untyped object needs a size"))?
+                            .parse::<usize>()
+                            .map_err(|_| err(lineno, "untyped size must be a number"))?;
+                        SpecObjKind::Untyped(bytes)
+                    }
+                    other => return Err(err(lineno, format!("unknown object kind '{other}'"))),
+                };
+                spec.objects.push(ObjDecl {
+                    name: tokens[1].to_string(),
+                    kind,
+                });
+            }
+            "thread" => {
+                if tokens.len() != 2 {
+                    return Err(err(lineno, "thread needs: thread <name>"));
+                }
+                spec.threads.push(ThreadDecl {
+                    name: tokens[1].to_string(),
+                });
+            }
+            "cap" => {
+                // cap holder[slot] = target RWG badge=n
+                if tokens.len() != 6 || tokens[2] != "=" {
+                    return Err(err(
+                        lineno,
+                        "cap needs: cap <holder>[<slot>] = <target> <rights> badge=<n>",
+                    ));
+                }
+                let holder_slot = tokens[1];
+                let open = holder_slot
+                    .find('[')
+                    .ok_or_else(|| err(lineno, "missing '[' in holder[slot]"))?;
+                if !holder_slot.ends_with(']') {
+                    return Err(err(lineno, "missing ']' in holder[slot]"));
+                }
+                let holder = holder_slot[..open].to_string();
+                let slot: u32 = holder_slot[open + 1..holder_slot.len() - 1]
+                    .parse()
+                    .map_err(|_| err(lineno, "slot must be a number"))?;
+                let target = match tokens[3].strip_prefix("tcb:") {
+                    Some(thread) => CapTargetSpec::Tcb(thread.to_string()),
+                    None => CapTargetSpec::Object(tokens[3].to_string()),
+                };
+                let rights = parse_rights(tokens[4], lineno)?;
+                let badge: u64 = tokens[5]
+                    .strip_prefix("badge=")
+                    .ok_or_else(|| err(lineno, "expected badge=<n>"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "badge must be a number"))?;
+                spec.caps.push(CapDecl {
+                    holder,
+                    slot,
+                    target,
+                    rights,
+                    badge,
+                });
+            }
+            other => return Err(err(lineno, format!("unknown statement '{other}'"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// Prints a spec in the concrete syntax accepted by [`parse`].
+pub fn print(spec: &CapDlSpec) -> String {
+    let mut out = String::new();
+    for o in &spec.objects {
+        match o.kind {
+            SpecObjKind::Endpoint => out.push_str(&format!("object {} endpoint\n", o.name)),
+            SpecObjKind::Notification => out.push_str(&format!("object {} notification\n", o.name)),
+            SpecObjKind::Device(dev) => {
+                out.push_str(&format!("object {} device {}\n", o.name, device_name(dev)))
+            }
+            SpecObjKind::Untyped(bytes) => {
+                out.push_str(&format!("object {} untyped {bytes}\n", o.name))
+            }
+        }
+    }
+    for t in &spec.threads {
+        out.push_str(&format!("thread {}\n", t.name));
+    }
+    for c in &spec.caps {
+        let target = match &c.target {
+            CapTargetSpec::Object(name) => name.clone(),
+            CapTargetSpec::Tcb(name) => format!("tcb:{name}"),
+        };
+        out.push_str(&format!(
+            "cap {}[{}] = {} {} badge={}\n",
+            c.holder, c.slot, target, c.rights, c.badge
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+        # the scenario's control endpoint
+        object ep_ctrl endpoint
+        object ntfn notification
+        object dev_fan device fan
+        object dev_x device 42
+        object pool untyped 4096
+        thread ctrl
+        thread web
+        cap ctrl[0] = ep_ctrl R-- badge=0
+        cap web[0] = ep_ctrl -WG badge=9
+        cap ctrl[1] = dev_fan -W- badge=0
+        cap ctrl[2] = tcb:web RW- badge=0
+    ";
+
+    #[test]
+    fn parses_sample() {
+        let spec = parse(SAMPLE).unwrap();
+        assert_eq!(spec.objects.len(), 5);
+        assert!(matches!(spec.objects[4].kind, SpecObjKind::Untyped(4096)));
+        assert_eq!(spec.threads.len(), 2);
+        assert_eq!(spec.caps.len(), 4);
+        assert_eq!(spec.caps[1].rights, CapRights::WRITE_GRANT);
+        assert_eq!(spec.caps[1].badge, 9);
+        assert!(matches!(spec.caps[3].target, CapTargetSpec::Tcb(ref t) if t == "web"));
+        assert!(matches!(
+            spec.objects[3].kind,
+            SpecObjKind::Device(d) if d == DeviceId::new(42)
+        ));
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn roundtrips_through_printer() {
+        let spec = parse(SAMPLE).unwrap();
+        let printed = print(&spec);
+        assert_eq!(parse(&printed).unwrap(), spec);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let input = "object a endpoint\nbogus statement\n";
+        let e = parse(input).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn bad_rights_rejected() {
+        let e = parse("thread t\ncap t[0] = x QWG badge=0\nobject x endpoint").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("rights") || e.message.contains("char"));
+    }
+
+    #[test]
+    fn bad_badge_rejected() {
+        let e = parse("object x endpoint\nthread t\ncap t[0] = x RWG badge=zz").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let e = parse("object d device warpdrive").unwrap_err();
+        assert!(e.message.contains("warpdrive"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse("# just a comment\n\n   \nobject e endpoint # trailing\n").unwrap();
+        assert_eq!(spec.objects.len(), 1);
+    }
+}

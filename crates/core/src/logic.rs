@@ -1,0 +1,9 @@
+//! Platform-independent application logic.
+//!
+//! The same pure cores run on all three platforms — exactly how the paper
+//! ports one scenario across MINIX 3, seL4/CAmkES and Linux — wrapped by
+//! thin per-platform adapters in [`crate::platform`].
+
+pub mod control;
+pub mod http;
+pub mod web;

@@ -1,0 +1,203 @@
+//! The web interface's HTTP surface.
+//!
+//! §IV-A: the web interface "is a static HTTP web server [...] maintains
+//! TCP socket on port 8080 and supports HTTP GET and HTTP POST." This
+//! module is that server's request/response layer: it maps the two
+//! supported requests onto administrator actions and renders status
+//! responses. It is also the compromise surface of the threat model —
+//! "the web interface process does not hold any security guarantee" — so
+//! the parser is written defensively and property-tested to never panic
+//! on arbitrary input.
+//!
+//! ```
+//! use bas_core::logic::http::{parse_request, HttpRequestOutcome};
+//! use bas_core::logic::web::WebAction;
+//!
+//! assert_eq!(
+//!     parse_request("GET /status HTTP/1.1"),
+//!     HttpRequestOutcome::Action(WebAction::QueryStatus),
+//! );
+//! assert_eq!(
+//!     parse_request("POST /setpoint?milli_c=24000 HTTP/1.1"),
+//!     HttpRequestOutcome::Action(WebAction::SetSetpoint(24_000)),
+//! );
+//! ```
+
+use crate::logic::control::ControlStatus;
+use crate::logic::web::WebAction;
+
+/// Result of parsing one HTTP request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpRequestOutcome {
+    /// A valid administrator action.
+    Action(WebAction),
+    /// `400 Bad Request`: syntactically broken or unsupported.
+    BadRequest(&'static str),
+    /// `404 Not Found`: well-formed but unknown path.
+    NotFound,
+    /// `405 Method Not Allowed`: known path, wrong method.
+    MethodNotAllowed,
+}
+
+/// Parses one HTTP/1.x request line into an administrator action.
+///
+/// Supported requests:
+///
+/// - `GET /status HTTP/1.x` → [`WebAction::QueryStatus`]
+/// - `POST /setpoint?milli_c=<i32> HTTP/1.x` → [`WebAction::SetSetpoint`]
+///
+/// Never panics, whatever the input.
+pub fn parse_request(line: &str) -> HttpRequestOutcome {
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return HttpRequestOutcome::BadRequest("malformed request line");
+    };
+    if parts.next().is_some() {
+        return HttpRequestOutcome::BadRequest("trailing tokens");
+    }
+    if !version.starts_with("HTTP/1.") {
+        return HttpRequestOutcome::BadRequest("unsupported protocol version");
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+
+    match path {
+        "/status" => match method {
+            "GET" => HttpRequestOutcome::Action(WebAction::QueryStatus),
+            _ => HttpRequestOutcome::MethodNotAllowed,
+        },
+        "/setpoint" => match method {
+            "POST" => {
+                let Some(query) = query else {
+                    return HttpRequestOutcome::BadRequest("missing milli_c parameter");
+                };
+                let value = query.split('&').find_map(|kv| {
+                    kv.strip_prefix("milli_c=")
+                        .and_then(|v| v.parse::<i32>().ok())
+                });
+                match value {
+                    Some(milli_c) => HttpRequestOutcome::Action(WebAction::SetSetpoint(milli_c)),
+                    None => HttpRequestOutcome::BadRequest("milli_c must be an integer"),
+                }
+            }
+            _ => HttpRequestOutcome::MethodNotAllowed,
+        },
+        _ => HttpRequestOutcome::NotFound,
+    }
+}
+
+/// Renders the controller's status as the `/status` response body.
+pub fn render_status(status: &ControlStatus) -> String {
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\n\
+         temp_milli_c={} setpoint_milli_c={} fan={} alarm={}\r\n",
+        status.last_reading_milli_c,
+        status.setpoint_milli_c,
+        u8::from(status.fan_on),
+        u8::from(status.alarm_on),
+    )
+}
+
+/// Renders a setpoint-change acknowledgment.
+pub fn render_ack(code: u32) -> String {
+    if code == 0 {
+        "HTTP/1.1 200 OK\r\n\r\naccepted\r\n".to_string()
+    } else {
+        format!("HTTP/1.1 422 Unprocessable Entity\r\n\r\nrejected code={code}\r\n")
+    }
+}
+
+/// Renders the error outcome of a failed parse.
+pub fn render_error(outcome: &HttpRequestOutcome) -> String {
+    match outcome {
+        HttpRequestOutcome::Action(_) => unreachable!("not an error"),
+        HttpRequestOutcome::BadRequest(why) => {
+            format!("HTTP/1.1 400 Bad Request\r\n\r\n{why}\r\n")
+        }
+        HttpRequestOutcome::NotFound => "HTTP/1.1 404 Not Found\r\n\r\n".to_string(),
+        HttpRequestOutcome::MethodNotAllowed => {
+            "HTTP/1.1 405 Method Not Allowed\r\n\r\n".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supported_requests_parse() {
+        assert_eq!(
+            parse_request("GET /status HTTP/1.1"),
+            HttpRequestOutcome::Action(WebAction::QueryStatus)
+        );
+        assert_eq!(
+            parse_request("POST /setpoint?milli_c=21500 HTTP/1.0"),
+            HttpRequestOutcome::Action(WebAction::SetSetpoint(21_500))
+        );
+        assert_eq!(
+            parse_request("POST /setpoint?foo=1&milli_c=-5 HTTP/1.1"),
+            HttpRequestOutcome::Action(WebAction::SetSetpoint(-5)),
+            "extra params tolerated; range enforcement is the controller's job"
+        );
+    }
+
+    #[test]
+    fn wrong_method_is_405() {
+        assert_eq!(
+            parse_request("POST /status HTTP/1.1"),
+            HttpRequestOutcome::MethodNotAllowed
+        );
+        assert_eq!(
+            parse_request("GET /setpoint?milli_c=1 HTTP/1.1"),
+            HttpRequestOutcome::MethodNotAllowed
+        );
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        assert_eq!(
+            parse_request("GET /admin HTTP/1.1"),
+            HttpRequestOutcome::NotFound
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_400() {
+        for bad in [
+            "",
+            "GET",
+            "GET /status",
+            "GET /status HTTP/2",
+            "GET /status HTTP/1.1 extra",
+            "POST /setpoint HTTP/1.1",
+            "POST /setpoint?milli_c=abc HTTP/1.1",
+            "POST /setpoint?milli_c=99999999999999999 HTTP/1.1",
+        ] {
+            assert!(
+                matches!(parse_request(bad), HttpRequestOutcome::BadRequest(_)),
+                "{bad:?} should be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_have_http_shape() {
+        let status = ControlStatus {
+            last_reading_milli_c: 21_900,
+            setpoint_milli_c: 22_000,
+            fan_on: true,
+            alarm_on: false,
+        };
+        let body = render_status(&status);
+        assert!(body.starts_with("HTTP/1.1 200"));
+        assert!(body.contains("temp_milli_c=21900"));
+        assert!(render_ack(0).contains("200 OK"));
+        assert!(render_ack(1).contains("422"));
+        assert!(render_error(&HttpRequestOutcome::NotFound).contains("404"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Benign web-interface behavior: a scripted administrator session.
+//!
+//! §II: the web interface "provides administrators a way to change the
+//! desired room temperature setpoint". The benign schedule drives that
+//! legitimate channel; attack variants (in `bas-attack`) replace the whole
+//! process, modeling remote compromise.
+
+use bas_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One administrator action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WebAction {
+    /// Change the setpoint (milli-°C).
+    SetSetpoint(i32),
+    /// Poll controller status.
+    QueryStatus,
+}
+
+/// A time-ordered schedule of administrator actions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WebSchedule {
+    actions: Vec<(SimTime, WebAction)>,
+    next: usize,
+}
+
+impl WebSchedule {
+    /// Creates a schedule; actions are sorted by time.
+    pub fn new(mut actions: Vec<(SimTime, WebAction)>) -> Self {
+        actions.sort_by_key(|(t, _)| *t);
+        WebSchedule { actions, next: 0 }
+    }
+
+    /// An empty schedule (web interface stays idle).
+    pub fn idle() -> Self {
+        WebSchedule::default()
+    }
+
+    /// The time of the next pending action.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.actions.get(self.next).map(|(t, _)| *t)
+    }
+
+    /// Pops the next action if it is due at `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<WebAction> {
+        match self.actions.get(self.next) {
+            Some(&(t, action)) if t <= now => {
+                self.next += 1;
+                Some(action)
+            }
+            _ => None,
+        }
+    }
+
+    /// Actions not yet popped.
+    pub fn remaining(&self) -> usize {
+        self.actions.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_sim::time::SimDuration;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn actions_delivered_in_time_order() {
+        let mut s = WebSchedule::new(vec![
+            (at(20), WebAction::QueryStatus),
+            (at(10), WebAction::SetSetpoint(24_000)),
+        ]);
+        assert_eq!(s.next_time(), Some(at(10)));
+        assert_eq!(s.pop_due(at(5)), None, "not due yet");
+        assert_eq!(s.pop_due(at(10)), Some(WebAction::SetSetpoint(24_000)));
+        assert_eq!(s.pop_due(at(30)), Some(WebAction::QueryStatus));
+        assert_eq!(s.pop_due(at(40)), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn idle_schedule_never_acts() {
+        let mut s = WebSchedule::idle();
+        assert_eq!(s.next_time(), None);
+        assert_eq!(s.pop_due(at(1_000_000)), None);
+    }
+}

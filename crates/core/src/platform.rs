@@ -1,0 +1,5 @@
+//! Per-platform process adapters and scenario builders.
+
+pub mod linux;
+pub mod minix;
+pub mod sel4;

@@ -1,0 +1,674 @@
+//! The scenario on seL4/CAmkES (§IV-B).
+//!
+//! The assembly from [`crate::policy::scenario_assembly`] is compiled to a
+//! CapDL spec, realized as the bootstrap process would, and *verified*
+//! against the spec before any thread runs ("for high-assurance systems
+//! this file can also be machine verified"). All IPC is `seL4RPCCall`
+//! RPC — chosen by the paper "to avoid a scenario where the malicious web
+//! interface could indefinitely block one of the temperature controller's
+//! threads". The controller authenticates callers by endpoint badge, the
+//! kernel-enforced identity of the capability system.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bas_camkes::codegen::{compile, GlueMap};
+use bas_camkes::glue::{RpcClient, RpcRequest, RpcServer};
+use bas_capdl::realize::{realize, RealizedSystem};
+use bas_capdl::spec::CapDlSpec;
+use bas_capdl::verify::verify;
+use bas_plant::devices::install_devices;
+use bas_plant::world::PlantWorld;
+use bas_plant::SharedPlant;
+use bas_sel4::cap::CPtr;
+use bas_sel4::kernel::{Sel4Config, Sel4Kernel, Sel4Thread};
+use bas_sel4::syscall::{Reply, Syscall};
+use bas_sim::metrics::KernelMetrics;
+use bas_sim::process::{Action, Process};
+use bas_sim::time::{SimDuration, SimTime};
+
+use crate::logic::control::{ControlCore, Directive};
+use crate::logic::web::{WebAction, WebSchedule};
+use crate::policy::{self, actuator_rpc, ctrl_rpc, instances};
+use crate::proto::BasMsg;
+use crate::scenario::{new_web_log, Platform, Scenario, ScenarioConfig, WebLog};
+
+fn encode_i32(v: i32) -> u64 {
+    u64::from(v as u32)
+}
+
+fn decode_i32(w: u64) -> i32 {
+    w as u32 as i32
+}
+
+// ---------------------------------------------------------------------------
+// Controller thread
+// ---------------------------------------------------------------------------
+
+/// The temperature controller as an RPC server plus actuator RPC client.
+pub struct Sel4Control {
+    core: ControlCore,
+    server: RpcServer,
+    fan: RpcClient,
+    alarm: RpcClient,
+    sensor_badge: u64,
+    web_badge: u64,
+    pending: Option<RpcRequest>,
+    outbox: VecDeque<Syscall>,
+    state: CtrlSt,
+}
+
+enum CtrlSt {
+    Start,
+    AwaitRecv,
+    AwaitTime,
+    Drain,
+}
+
+impl Sel4Control {
+    /// Creates the controller thread from its glue slots and badges.
+    pub fn new(
+        core: ControlCore,
+        server: RpcServer,
+        fan: RpcClient,
+        alarm: RpcClient,
+        sensor_badge: u64,
+        web_badge: u64,
+    ) -> Self {
+        Sel4Control {
+            core,
+            server,
+            fan,
+            alarm,
+            sensor_badge,
+            web_badge,
+            pending: None,
+            outbox: VecDeque::new(),
+            state: CtrlSt::Start,
+        }
+    }
+
+    fn handle(&mut self, req: RpcRequest, now: SimTime) {
+        match req.label {
+            ctrl_rpc::REPORT_READING => {
+                // Badge authentication: only the sensor's connection may
+                // report readings. A compromised web interface calling
+                // with a forged label still carries *its own* badge.
+                if req.badge != self.sensor_badge || req.args.is_empty() {
+                    self.outbox.push_back(self.server.reply(1, vec![]));
+                    return;
+                }
+                let milli_c = decode_i32(req.args[0]);
+                for d in self.core.on_sensor_reading(now, milli_c) {
+                    match d {
+                        Directive::SetFan(on) => self
+                            .outbox
+                            .push_back(self.fan.call(actuator_rpc::SET, vec![u64::from(on)])),
+                        Directive::SetAlarm(on) => self
+                            .outbox
+                            .push_back(self.alarm.call(actuator_rpc::SET, vec![u64::from(on)])),
+                    }
+                }
+                self.outbox.push_back(self.server.reply(0, vec![]));
+            }
+            ctrl_rpc::SET_SETPOINT => {
+                if req.badge != self.web_badge || req.args.is_empty() {
+                    self.outbox.push_back(self.server.reply(1, vec![]));
+                    return;
+                }
+                let code = match self.core.on_setpoint_update(now, decode_i32(req.args[0])) {
+                    Ok(()) => 0u64,
+                    Err(_) => 1u64,
+                };
+                let actual = encode_i32(self.core.status().setpoint_milli_c);
+                // The reply label doubles as the result code so callers
+                // (and the attack evidence classifier) see validation
+                // failures at the RPC layer.
+                self.outbox
+                    .push_back(self.server.reply(code, vec![code, actual]));
+            }
+            ctrl_rpc::GET_STATUS => {
+                if req.badge != self.web_badge {
+                    self.outbox.push_back(self.server.reply(1, vec![]));
+                    return;
+                }
+                let s = self.core.status();
+                self.outbox.push_back(self.server.reply(
+                    0,
+                    vec![
+                        encode_i32(s.last_reading_milli_c),
+                        encode_i32(s.setpoint_milli_c),
+                        u64::from(s.fan_on),
+                        u64::from(s.alarm_on),
+                    ],
+                ));
+            }
+            _ => self.outbox.push_back(self.server.reply(1, vec![])),
+        }
+    }
+}
+
+impl Process for Sel4Control {
+    type Syscall = Syscall;
+    type Reply = Reply;
+
+    fn resume(&mut self, mut reply: Option<Reply>) -> Action<Syscall> {
+        loop {
+            match self.state {
+                CtrlSt::Start => {
+                    self.state = CtrlSt::AwaitRecv;
+                    return Action::Syscall(self.server.next_request());
+                }
+                CtrlSt::AwaitRecv => match reply.take() {
+                    Some(Reply::Msg(m)) => {
+                        self.pending = Some(self.server.decode(&m));
+                        self.state = CtrlSt::AwaitTime;
+                        return Action::Syscall(Syscall::GetTime);
+                    }
+                    _ => return Action::Syscall(self.server.next_request()),
+                },
+                CtrlSt::AwaitTime => {
+                    let now = match reply.take() {
+                        Some(Reply::Time(t)) => t,
+                        _ => SimTime::ZERO,
+                    };
+                    if let Some(req) = self.pending.take() {
+                        self.handle(req, now);
+                    }
+                    self.state = CtrlSt::Drain;
+                }
+                CtrlSt::Drain => match self.outbox.pop_front() {
+                    // Actuator-call errors (e.g. suspended driver) are
+                    // tolerated; the controller keeps serving.
+                    Some(sys) => return Action::Syscall(sys),
+                    None => {
+                        self.state = CtrlSt::AwaitRecv;
+                        return Action::Syscall(self.server.next_request());
+                    }
+                },
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        instances::CONTROL
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sensor thread
+// ---------------------------------------------------------------------------
+
+/// The sensor driver thread: read the device frame, `seL4_Call` the
+/// controller, sleep, repeat.
+pub struct Sel4Sensor {
+    dev: CPtr,
+    ctrl: RpcClient,
+    period: SimDuration,
+    seq: u32,
+    state: SensorSt,
+}
+
+enum SensorSt {
+    Start,
+    AwaitDevRead,
+    AwaitCall,
+    AwaitSleep,
+}
+
+impl Sel4Sensor {
+    /// Creates the sensor thread.
+    pub fn new(dev: CPtr, ctrl: RpcClient, period: SimDuration) -> Self {
+        Sel4Sensor {
+            dev,
+            ctrl,
+            period,
+            seq: 0,
+            state: SensorSt::Start,
+        }
+    }
+}
+
+impl Process for Sel4Sensor {
+    type Syscall = Syscall;
+    type Reply = Reply;
+
+    fn resume(&mut self, reply: Option<Reply>) -> Action<Syscall> {
+        match self.state {
+            SensorSt::Start => {
+                self.state = SensorSt::AwaitDevRead;
+                Action::Syscall(Syscall::DevRead { dev: self.dev })
+            }
+            SensorSt::AwaitDevRead => match reply {
+                Some(Reply::DevValue(v)) => {
+                    self.seq += 1;
+                    self.state = SensorSt::AwaitCall;
+                    Action::Syscall(self.ctrl.call(
+                        ctrl_rpc::REPORT_READING,
+                        vec![encode_i32(v as i32), u64::from(self.seq)],
+                    ))
+                }
+                _ => Action::Exit(1),
+            },
+            SensorSt::AwaitCall => {
+                // The RPC reply content is an ack; errors (controller
+                // restart) just mean a dropped sample.
+                self.state = SensorSt::AwaitSleep;
+                Action::Syscall(Syscall::Sleep {
+                    duration: self.period,
+                })
+            }
+            SensorSt::AwaitSleep => {
+                self.state = SensorSt::AwaitDevRead;
+                Action::Syscall(Syscall::DevRead { dev: self.dev })
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        instances::SENSOR
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Actuator threads
+// ---------------------------------------------------------------------------
+
+/// An actuator driver thread: serve `set(on)` RPCs, drive the device
+/// frame, reply.
+pub struct Sel4Actuator {
+    server: RpcServer,
+    dev: CPtr,
+    which: &'static str,
+    state: ActSt,
+}
+
+enum ActSt {
+    Start,
+    AwaitRecv,
+    AwaitWrite,
+    AwaitReply,
+}
+
+impl Sel4Actuator {
+    /// Creates an actuator thread (`which` is its instance name).
+    pub fn new(server: RpcServer, dev: CPtr, which: &'static str) -> Self {
+        Sel4Actuator {
+            server,
+            dev,
+            which,
+            state: ActSt::Start,
+        }
+    }
+}
+
+impl Process for Sel4Actuator {
+    type Syscall = Syscall;
+    type Reply = Reply;
+
+    fn resume(&mut self, reply: Option<Reply>) -> Action<Syscall> {
+        match self.state {
+            ActSt::Start => {
+                self.state = ActSt::AwaitRecv;
+                Action::Syscall(self.server.next_request())
+            }
+            ActSt::AwaitRecv => match reply {
+                Some(Reply::Msg(m)) => {
+                    let req = self.server.decode(&m);
+                    if req.label == actuator_rpc::SET && !req.args.is_empty() {
+                        self.state = ActSt::AwaitWrite;
+                        Action::Syscall(Syscall::DevWrite {
+                            dev: self.dev,
+                            value: i64::from(req.args[0] != 0),
+                        })
+                    } else {
+                        self.state = ActSt::AwaitReply;
+                        Action::Syscall(self.server.reply(1, vec![]))
+                    }
+                }
+                _ => Action::Syscall(self.server.next_request()),
+            },
+            ActSt::AwaitWrite => {
+                self.state = ActSt::AwaitReply;
+                Action::Syscall(self.server.reply(0, vec![]))
+            }
+            ActSt::AwaitReply => {
+                self.state = ActSt::AwaitRecv;
+                Action::Syscall(self.server.next_request())
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.which
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Web interface thread (benign)
+// ---------------------------------------------------------------------------
+
+/// The benign web interface thread: scripted administrator RPCs.
+pub struct Sel4Web {
+    ctrl: RpcClient,
+    schedule: WebSchedule,
+    responses: WebLog,
+    last_action: Option<WebAction>,
+    state: WebSt,
+}
+
+enum WebSt {
+    Start,
+    AwaitTime,
+    AwaitSleep,
+    AwaitRpc,
+}
+
+impl Sel4Web {
+    /// Creates the benign web interface.
+    pub fn new(ctrl: RpcClient, schedule: WebSchedule, responses: WebLog) -> Self {
+        Sel4Web {
+            ctrl,
+            schedule,
+            responses,
+            last_action: None,
+            state: WebSt::Start,
+        }
+    }
+}
+
+impl Process for Sel4Web {
+    type Syscall = Syscall;
+    type Reply = Reply;
+
+    fn resume(&mut self, reply: Option<Reply>) -> Action<Syscall> {
+        match self.state {
+            WebSt::Start => {
+                self.state = WebSt::AwaitTime;
+                Action::Syscall(Syscall::GetTime)
+            }
+            WebSt::AwaitTime => {
+                let now = match reply {
+                    Some(Reply::Time(t)) => t,
+                    _ => SimTime::ZERO,
+                };
+                match self.schedule.next_time() {
+                    None => {
+                        self.state = WebSt::AwaitSleep;
+                        Action::Syscall(Syscall::Sleep {
+                            duration: SimDuration::from_secs(3_600),
+                        })
+                    }
+                    Some(t) if now < t => {
+                        self.state = WebSt::AwaitSleep;
+                        Action::Syscall(Syscall::Sleep { duration: t - now })
+                    }
+                    Some(_) => {
+                        let action = self.schedule.pop_due(now).expect("due action");
+                        self.last_action = Some(action);
+                        self.state = WebSt::AwaitRpc;
+                        match action {
+                            WebAction::SetSetpoint(mc) => Action::Syscall(
+                                self.ctrl.call(ctrl_rpc::SET_SETPOINT, vec![encode_i32(mc)]),
+                            ),
+                            WebAction::QueryStatus => {
+                                Action::Syscall(self.ctrl.call(ctrl_rpc::GET_STATUS, vec![]))
+                            }
+                        }
+                    }
+                }
+            }
+            WebSt::AwaitSleep => {
+                self.state = WebSt::AwaitTime;
+                Action::Syscall(Syscall::GetTime)
+            }
+            WebSt::AwaitRpc => {
+                if let Some(Reply::Msg(m)) = reply {
+                    let decoded = match self.last_action {
+                        Some(WebAction::SetSetpoint(_)) if !m.words.is_empty() => {
+                            Some(BasMsg::Ack {
+                                code: m.words[0] as u32,
+                            })
+                        }
+                        Some(WebAction::QueryStatus) if m.words.len() >= 4 => {
+                            Some(BasMsg::Status {
+                                temp_milli_c: decode_i32(m.words[0]),
+                                setpoint_milli_c: decode_i32(m.words[1]),
+                                fan_on: m.words[2] != 0,
+                                alarm_on: m.words[3] != 0,
+                            })
+                        }
+                        _ => None,
+                    };
+                    if let Some(d) = decoded {
+                        self.responses.borrow_mut().push(d);
+                    }
+                }
+                self.state = WebSt::AwaitTime;
+                Action::Syscall(Syscall::GetTime)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        instances::WEB
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder + runner
+// ---------------------------------------------------------------------------
+
+/// An extra capability deliberately granted after bootstrap — the
+/// capability-misconfiguration ablation (the paper's security argument is
+/// exactly that policy, not the kernel alone, provides the protection).
+pub struct ExtraCap {
+    /// The thread (instance name) receiving the capability.
+    pub holder: &'static str,
+    /// The endpoint to grant, named as `(server instance, interface)`.
+    pub endpoint_of: (&'static str, &'static str),
+    /// Rights on the granted capability.
+    pub rights: bas_sel4::rights::CapRights,
+    /// Badge on the granted capability.
+    pub badge: u64,
+}
+
+/// Factory producing the web-interface thread from the glue map.
+pub type WebThreadFactory = Box<dyn FnOnce(&GlueMap) -> Sel4Thread>;
+
+/// Build-time knobs used by the attack harness.
+#[derive(Default)]
+pub struct Sel4Overrides {
+    /// Replaces the web interface thread. The factory receives the glue
+    /// map — the paper grants the attacker "access to the capability
+    /// distribution information" (the CapDL file).
+    pub web_factory: Option<WebThreadFactory>,
+    /// Extra capability grants applied after boot-time verification.
+    pub extra_caps: Vec<ExtraCap>,
+}
+
+/// A running seL4 scenario.
+pub struct Sel4Scenario {
+    /// The simulated kernel (public for experiment introspection).
+    pub kernel: Sel4Kernel,
+    /// The compiled CapDL spec (for live verification experiments).
+    pub spec: CapDlSpec,
+    /// Bootstrap name maps.
+    pub sys: RealizedSystem,
+    /// Slot/badge layout.
+    pub glue: GlueMap,
+    plant: SharedPlant,
+    chunk: SimDuration,
+    reference_changes: Vec<(SimTime, i32)>,
+    next_reference: usize,
+    web_log: WebLog,
+}
+
+/// Builds and boots the scenario on seL4/CAmkES.
+///
+/// # Panics
+///
+/// Panics if the compiled system fails its boot-time CapDL verification —
+/// that would mean the toolchain itself is broken.
+pub fn build_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Scenario {
+    let assembly = policy::scenario_assembly();
+    let (spec, glue) = compile(&assembly).expect("scenario assembly is valid");
+
+    let plant: SharedPlant = Rc::new(std::cell::RefCell::new(PlantWorld::new(
+        config.synced_plant(),
+        config.seed,
+    )));
+
+    let mut kernel = Sel4Kernel::new(Sel4Config {
+        max_threads: config.max_procs,
+        cost_model: config.cost_model,
+        ..Sel4Config::default()
+    });
+    install_devices(&plant, kernel.devices_mut());
+
+    let web_log = new_web_log();
+    let mut web_factory = overrides.web_factory;
+
+    let control_config = config.control;
+    let period = config.sensor_period;
+    let schedule = config.web_schedule.clone();
+    let web_log_for_loader = web_log.clone();
+    let glue_for_loader = glue.clone();
+
+    let mut loader = |name: &str| -> Option<Sel4Thread> {
+        let g = &glue_for_loader;
+        match name {
+            x if x == instances::CONTROL => Some(Box::new(Sel4Control::new(
+                ControlCore::new(control_config),
+                RpcServer::new(g.server_slot(instances::CONTROL, "ctrl")?),
+                RpcClient::new(g.client_slot(instances::CONTROL, "fan")?),
+                RpcClient::new(g.client_slot(instances::CONTROL, "alarm")?),
+                g.badge_of(instances::SENSOR, "ctrl")?,
+                g.badge_of(instances::WEB, "ctrl")?,
+            ))),
+            x if x == instances::SENSOR => Some(Box::new(Sel4Sensor::new(
+                g.device_slot(instances::SENSOR, "temp")?,
+                RpcClient::new(g.client_slot(instances::SENSOR, "ctrl")?),
+                period,
+            ))),
+            x if x == instances::HEATER => Some(Box::new(Sel4Actuator::new(
+                RpcServer::new(g.server_slot(instances::HEATER, "cmd")?),
+                g.device_slot(instances::HEATER, "fan")?,
+                instances::HEATER,
+            ))),
+            x if x == instances::ALARM => Some(Box::new(Sel4Actuator::new(
+                RpcServer::new(g.server_slot(instances::ALARM, "cmd")?),
+                g.device_slot(instances::ALARM, "alarm")?,
+                instances::ALARM,
+            ))),
+            x if x == instances::WEB => match web_factory.take() {
+                Some(factory) => Some(factory(g)),
+                None => Some(Box::new(Sel4Web::new(
+                    RpcClient::new(g.client_slot(instances::WEB, "ctrl")?),
+                    WebSchedule::new(schedule.clone()),
+                    web_log_for_loader.clone(),
+                ))),
+            },
+            _ => None,
+        }
+    };
+
+    let sys = realize(&spec, &mut kernel, &mut loader).expect("scenario realizes");
+
+    // Boot-time machine verification of the capability distribution.
+    let issues = verify(&spec, &kernel, &sys);
+    assert!(
+        issues.is_empty(),
+        "boot-time capdl verification failed: {issues:?}"
+    );
+
+    // Deliberate misconfigurations for ablation experiments.
+    for extra in overrides.extra_caps {
+        let pid = sys.threads[extra.holder];
+        let obj_name = format!("ep_{}_{}", extra.endpoint_of.0, extra.endpoint_of.1);
+        let obj = sys.objects[obj_name.as_str()];
+        kernel
+            .grant_cap(
+                pid,
+                bas_sel4::cap::Capability::to_object(obj, extra.rights, extra.badge),
+            )
+            .expect("ablation cap fits");
+    }
+
+    for name in [
+        instances::CONTROL,
+        instances::HEATER,
+        instances::ALARM,
+        instances::SENSOR,
+        instances::WEB,
+    ] {
+        kernel.start_thread(sys.threads[name]);
+    }
+
+    Sel4Scenario {
+        kernel,
+        spec,
+        sys,
+        glue,
+        plant,
+        chunk: config.lockstep_chunk,
+        reference_changes: config.reference_changes(),
+        next_reference: 0,
+        web_log,
+    }
+}
+
+impl Scenario for Sel4Scenario {
+    fn platform(&self) -> Platform {
+        Platform::Sel4
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        let end = self.kernel.now() + d;
+        while self.kernel.now() < end {
+            let target = {
+                let t = self.kernel.now() + self.chunk;
+                if t > end {
+                    end
+                } else {
+                    t
+                }
+            };
+            self.kernel.run_until(target);
+            while let Some(&(t, mc)) = self.reference_changes.get(self.next_reference) {
+                if t <= self.kernel.now() {
+                    self.plant.borrow_mut().set_reference(mc as f64 / 1000.0);
+                    self.next_reference += 1;
+                } else {
+                    break;
+                }
+            }
+            let now = self.kernel.now();
+            self.plant.borrow_mut().step_to(now);
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    fn plant(&self) -> SharedPlant {
+        self.plant.clone()
+    }
+
+    fn metrics(&self) -> KernelMetrics {
+        *self.kernel.metrics()
+    }
+
+    fn alive_names(&self) -> Vec<String> {
+        self.kernel.alive_thread_names()
+    }
+
+    fn trace_count(&self, category: &str) -> usize {
+        self.kernel.trace().events_in(category).count()
+    }
+
+    fn web_responses(&self) -> Vec<BasMsg> {
+        self.web_log.borrow().clone()
+    }
+}

@@ -1,0 +1,235 @@
+//! Scenario configuration and the cross-platform runner interface.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bas_plant::world::PlantConfig;
+use bas_plant::SharedPlant;
+use bas_sim::clock::CostModel;
+use bas_sim::metrics::KernelMetrics;
+use bas_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::logic::control::ControlConfig;
+use crate::logic::web::WebAction;
+use crate::proto::BasMsg;
+
+/// Which platform a scenario instance runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Security-enhanced MINIX 3 (ACM).
+    Minix,
+    /// seL4 + CAmkES.
+    Sel4,
+    /// Monolithic Linux baseline.
+    Linux,
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Platform::Minix => write!(f, "minix3+acm"),
+            Platform::Sel4 => write!(f, "sel4/camkes"),
+            Platform::Linux => write!(f, "linux"),
+        }
+    }
+}
+
+/// Shared log of the responses the web interface receives (the
+/// administrator's view of the system).
+pub type WebLog = Rc<RefCell<Vec<BasMsg>>>;
+
+/// Creates an empty web log.
+pub fn new_web_log() -> WebLog {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// Full configuration of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// RNG seed (sensor noise).
+    pub seed: u64,
+    /// Controller parameters.
+    pub control: ControlConfig,
+    /// Physical-world parameters. Use [`ScenarioConfig::synced_plant`] to
+    /// keep the safety oracle aligned with the controller.
+    pub plant: PlantConfig,
+    /// Sensor sampling period (paper: periodic sampling; default 1 s).
+    pub sensor_period: SimDuration,
+    /// Scripted administrator actions on the web interface.
+    pub web_schedule: Vec<(SimTime, WebAction)>,
+    /// Kernel process-table size.
+    pub max_procs: usize,
+    /// Fork quota for the web interface (`None` = paper baseline).
+    pub web_fork_limit: Option<u64>,
+    /// Virtual-time cost model.
+    pub cost_model: CostModel,
+    /// Kernel/plant lockstep granularity.
+    pub lockstep_chunk: SimDuration,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        let control = ControlConfig::default();
+        let mut config = ScenarioConfig {
+            seed: 42,
+            control,
+            plant: PlantConfig::default(),
+            sensor_period: SimDuration::from_secs(1),
+            web_schedule: vec![
+                (
+                    SimTime::ZERO + SimDuration::from_secs(1_200),
+                    WebAction::SetSetpoint(24_000),
+                ),
+                (
+                    SimTime::ZERO + SimDuration::from_secs(2_400),
+                    WebAction::QueryStatus,
+                ),
+            ],
+            max_procs: 32,
+            web_fork_limit: None,
+            cost_model: CostModel::default(),
+            lockstep_chunk: SimDuration::from_millis(100),
+        };
+        config.plant = config.synced_plant();
+        config
+    }
+}
+
+impl ScenarioConfig {
+    /// A configuration with no administrator activity (pure regulation).
+    pub fn quiet() -> Self {
+        ScenarioConfig {
+            web_schedule: Vec::new(),
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// Grace added to the oracle's deadline over the controller's: the
+    /// controller only *sees* an excursion at its next sensor sample and
+    /// needs one control cycle to actuate the alarm, so the physical
+    /// requirement allows for bounded detection latency.
+    pub const ORACLE_GRACE: SimDuration = SimDuration::from_secs(30);
+
+    /// Derives a plant configuration whose safety oracle mirrors the
+    /// controller's setpoint and band, with the alarm deadline extended
+    /// by [`ScenarioConfig::ORACLE_GRACE`] for detection latency.
+    pub fn synced_plant(&self) -> PlantConfig {
+        PlantConfig {
+            setpoint_c: self.control.setpoint_milli_c as f64 / 1000.0,
+            band_c: self.control.band_milli_c as f64 / 1000.0,
+            alarm_deadline: self.control.alarm_deadline + Self::ORACLE_GRACE,
+            ..self.plant.clone()
+        }
+    }
+
+    /// The authorized setpoint changes (in range, in time order) the
+    /// safety oracle should follow during a run.
+    pub fn reference_changes(&self) -> Vec<(SimTime, i32)> {
+        let mut v: Vec<(SimTime, i32)> = self
+            .web_schedule
+            .iter()
+            .filter_map(|(t, a)| match a {
+                WebAction::SetSetpoint(mc)
+                    if *mc >= self.control.min_setpoint_milli_c
+                        && *mc <= self.control.max_setpoint_milli_c =>
+                {
+                    Some((*t, *mc))
+                }
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+}
+
+/// The names of the processes whose survival the paper's claim is about.
+pub const CRITICAL_PROCESSES: [&str; 4] = [
+    crate::proto::names::SENSOR,
+    crate::proto::names::CONTROL,
+    crate::proto::names::HEATER,
+    crate::proto::names::ALARM,
+];
+
+/// A running scenario on some platform, as seen by experiments and the
+/// attack harness.
+pub trait Scenario {
+    /// The platform this scenario runs on.
+    fn platform(&self) -> Platform;
+
+    /// Advances kernel and plant in lockstep for `d` of virtual time.
+    fn run_for(&mut self, d: SimDuration);
+
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Handle to the physical world (safety oracle, actuator history,
+    /// traces).
+    fn plant(&self) -> SharedPlant;
+
+    /// Kernel counters.
+    fn metrics(&self) -> KernelMetrics;
+
+    /// Names of live processes/threads.
+    fn alive_names(&self) -> Vec<String>;
+
+    /// Number of kernel-trace events in a category (e.g. `"acm.deny"`).
+    fn trace_count(&self, category: &str) -> usize;
+
+    /// Responses observed by the web interface.
+    fn web_responses(&self) -> Vec<BasMsg>;
+}
+
+/// True if every critical process is still alive. Fork-suffixed names
+/// (`temp_control#7`) count as the same program.
+pub fn critical_alive(scenario: &dyn Scenario) -> bool {
+    let names = scenario.alive_names();
+    CRITICAL_PROCESSES.iter().all(|c| {
+        names
+            .iter()
+            .any(|n| n == c || n.starts_with(&format!("{c}#")))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn synced_plant_mirrors_controller() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.control.setpoint_milli_c = 25_000;
+        cfg.control.band_milli_c = 500;
+        let p = cfg.synced_plant();
+        assert_eq!(p.setpoint_c, 25.0);
+        assert_eq!(p.band_c, 0.5);
+        assert_eq!(
+            p.alarm_deadline,
+            cfg.control.alarm_deadline + ScenarioConfig::ORACLE_GRACE
+        );
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn reference_changes_filter_out_of_range() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.web_schedule = vec![
+            (SimTime::from_nanos(2), WebAction::SetSetpoint(24_000)),
+            (SimTime::from_nanos(1), WebAction::SetSetpoint(99_000)), // out of range
+            (SimTime::from_nanos(3), WebAction::QueryStatus),
+        ];
+        assert_eq!(
+            cfg.reference_changes(),
+            vec![(SimTime::from_nanos(2), 24_000)]
+        );
+    }
+
+    #[test]
+    fn platform_display() {
+        assert_eq!(Platform::Minix.to_string(), "minix3+acm");
+        assert_eq!(Platform::Sel4.to_string(), "sel4/camkes");
+        assert_eq!(Platform::Linux.to_string(), "linux");
+    }
+}

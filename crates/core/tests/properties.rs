@@ -1,0 +1,168 @@
+//! Property-based tests for the protocol codecs and the control core.
+
+use bas_core::logic::control::{ControlConfig, ControlCore, Directive};
+use bas_core::proto::BasMsg;
+use bas_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_msg() -> impl Strategy<Value = BasMsg> {
+    prop_oneof![
+        (any::<i32>(), any::<u32>())
+            .prop_map(|(milli_c, seq)| BasMsg::SensorReading { milli_c, seq }),
+        any::<bool>().prop_map(|on| BasMsg::FanCmd { on }),
+        any::<bool>().prop_map(|on| BasMsg::AlarmCmd { on }),
+        any::<i32>().prop_map(|milli_c| BasMsg::SetpointUpdate { milli_c }),
+        Just(BasMsg::StatusQuery),
+        any::<u32>().prop_map(|code| BasMsg::Ack { code }),
+        (any::<i32>(), any::<i32>(), any::<bool>(), any::<bool>()).prop_map(
+            |(temp_milli_c, setpoint_milli_c, fan_on, alarm_on)| BasMsg::Status {
+                temp_milli_c,
+                setpoint_milli_c,
+                fan_on,
+                alarm_on,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    /// Every protocol message round-trips through the MINIX encoding.
+    #[test]
+    fn proto_minix_roundtrip(msg in arb_msg()) {
+        let (mtype, payload) = msg.to_minix();
+        prop_assert_eq!(BasMsg::from_minix(mtype, &payload), Ok(msg));
+    }
+
+    /// ...and through the Linux byte encoding.
+    #[test]
+    fn proto_bytes_roundtrip(msg in arb_msg()) {
+        prop_assert_eq!(BasMsg::from_bytes(&msg.to_bytes()), Ok(msg));
+    }
+
+    /// Truncation semantics are deterministic zero-fill: decoding a
+    /// truncated message equals decoding the original with its tail
+    /// zeroed (or fails cleanly when even the tag is cut).
+    #[test]
+    fn proto_bytes_truncation_is_zero_fill(msg in arb_msg(), cut in 0usize..24) {
+        let bytes = msg.to_bytes();
+        let cut = cut.min(bytes.len());
+        let truncated = BasMsg::from_bytes(&bytes[..cut]);
+        if cut < 4 {
+            prop_assert!(truncated.is_err(), "tag missing must fail");
+        } else {
+            let mut padded = bytes[..cut].to_vec();
+            padded.resize(bytes.len(), 0);
+            prop_assert_eq!(truncated, BasMsg::from_bytes(&padded));
+        }
+    }
+
+    /// Fan directives respect hysteresis: no command is issued while the
+    /// reading stays strictly inside the hysteresis window.
+    #[test]
+    fn control_no_chatter_inside_hysteresis(
+        readings in prop::collection::vec(21_800i32..22_200, 1..100),
+    ) {
+        let mut core = ControlCore::new(ControlConfig::default()); // 22.0 ± 0.3 hysteresis
+        for (i, r) in readings.iter().enumerate() {
+            let d = core.on_sensor_reading(
+                SimTime::ZERO + SimDuration::from_secs(i as u64),
+                *r,
+            );
+            prop_assert!(
+                !d.iter().any(|x| matches!(x, Directive::SetFan(_))),
+                "fan command for in-window reading {r}"
+            );
+        }
+    }
+
+    /// The alarm directive never fires before the configured deadline of
+    /// continuous excursion, and always fires once the excursion exceeds
+    /// it (for a constant out-of-band signal).
+    #[test]
+    fn control_alarm_exactly_at_deadline(excess in 1_100i32..8_000, period_s in 1u64..10) {
+        let config = ControlConfig::default(); // band 1.0, deadline 300 s
+        let mut core = ControlCore::new(config);
+        let reading = config.setpoint_milli_c + excess;
+        let deadline_s = 300u64;
+        let mut t = 0u64;
+        let mut alarm_at: Option<u64> = None;
+        while t <= deadline_s + 2 * period_s {
+            let d = core.on_sensor_reading(
+                SimTime::ZERO + SimDuration::from_secs(t),
+                reading,
+            );
+            if d.contains(&Directive::SetAlarm(true)) {
+                alarm_at = Some(t);
+                break;
+            }
+            t += period_s;
+        }
+        let fired = alarm_at.expect("alarm must fire after the deadline");
+        prop_assert!(fired >= deadline_s, "fired early at {fired}s");
+        prop_assert!(fired <= deadline_s + period_s, "fired late at {fired}s");
+    }
+
+    /// Setpoint updates preserve the invariant that the active setpoint
+    /// is always within the configured range.
+    #[test]
+    fn control_setpoint_always_in_range(updates in prop::collection::vec(any::<i32>(), 0..50)) {
+        let config = ControlConfig::default();
+        let mut core = ControlCore::new(config);
+        for (i, u) in updates.iter().enumerate() {
+            let _ = core.on_setpoint_update(
+                SimTime::ZERO + SimDuration::from_secs(i as u64),
+                *u,
+            );
+            let sp = core.status().setpoint_milli_c;
+            prop_assert!(sp >= config.min_setpoint_milli_c && sp <= config.max_setpoint_milli_c);
+        }
+    }
+
+    /// Directives are edge-triggered: replaying the same reading twice
+    /// never produces the same actuator command twice in a row.
+    #[test]
+    fn control_directives_are_edges(readings in prop::collection::vec(15_000i32..30_000, 1..60)) {
+        let mut core = ControlCore::new(ControlConfig::default());
+        let mut last_fan: Option<bool> = None;
+        let mut last_alarm: Option<bool> = None;
+        for (i, r) in readings.iter().enumerate() {
+            for d in core.on_sensor_reading(
+                SimTime::ZERO + SimDuration::from_secs(i as u64),
+                *r,
+            ) {
+                match d {
+                    Directive::SetFan(on) => {
+                        prop_assert_ne!(Some(on), last_fan, "duplicate fan command");
+                        last_fan = Some(on);
+                    }
+                    Directive::SetAlarm(on) => {
+                        prop_assert_ne!(Some(on), last_alarm, "duplicate alarm command");
+                        last_alarm = Some(on);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The HTTP parser never panics and classifies every input into one
+    /// of its four outcomes (the compromise surface is total).
+    #[test]
+    fn http_parser_is_total(line in ".{0,200}") {
+        let _ = bas_core::logic::http::parse_request(&line);
+    }
+
+    /// Round trip: every in-range setpoint value survives the HTTP
+    /// encoding the administrator's browser would produce.
+    #[test]
+    fn http_setpoint_roundtrip(milli_c in any::<i32>()) {
+        use bas_core::logic::http::{parse_request, HttpRequestOutcome};
+        use bas_core::logic::web::WebAction;
+        let line = format!("POST /setpoint?milli_c={milli_c} HTTP/1.1");
+        prop_assert_eq!(
+            parse_request(&line),
+            HttpRequestOutcome::Action(WebAction::SetSetpoint(milli_c))
+        );
+    }
+}

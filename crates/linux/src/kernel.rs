@@ -1,0 +1,805 @@
+//! The simulated monolithic Linux kernel.
+//!
+//! Contrast with `bas-minix`: IPC objects (message queues) are *globally
+//! named* and guarded only by DAC mode bits at open time; delivered
+//! messages carry no kernel identity; `kill` is a direct syscall gated by
+//! uid comparison with a root bypass. Every attack in §IV-D.1 flows
+//! through one of those three facts.
+
+use std::collections::BTreeMap;
+
+use bas_sim::clock::{CostModel, VirtualClock};
+use bas_sim::device::{DeviceBus, DeviceId};
+use bas_sim::metrics::KernelMetrics;
+use bas_sim::process::{Action, Pid, ProcState, ProgramFactory};
+use bas_sim::sched::RunQueue;
+use bas_sim::time::SimTime;
+use bas_sim::timer::TimerQueue;
+use bas_sim::trace::TraceLog;
+
+use crate::cred::{Mode, Uid};
+use crate::error::LinuxError;
+use crate::mq::{MessageQueue, MqMessage, MQ_MSG_MAX};
+use crate::syscall::{MqAccess, Reply, Signal, Syscall};
+
+/// A boxed Linux user process.
+pub type LinuxProcess = Box<dyn bas_sim::process::Process<Syscall = Syscall, Reply = Reply>>;
+
+/// `O_CREAT` attributes for `mq_open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MqCreate {
+    /// Permission bits for the new queue.
+    pub mode: u16,
+    /// Maximum number of queued messages.
+    pub capacity: usize,
+}
+
+/// Kernel construction parameters.
+pub struct LinuxConfig {
+    /// Maximum process count.
+    pub max_procs: usize,
+    /// Virtual-time cost model. The monolithic kernel performs mq
+    /// operations in a single kernel entry with no extra context switches
+    /// — the paper's performance contrast with the microkernels.
+    pub cost_model: CostModel,
+    /// `/dev` node ownership: device → (owner uid, mode).
+    pub device_nodes: BTreeMap<DeviceId, (Uid, Mode)>,
+    /// Trace capacity in events.
+    pub trace_capacity: usize,
+}
+
+impl Default for LinuxConfig {
+    fn default() -> Self {
+        LinuxConfig {
+            max_procs: 64,
+            cost_model: CostModel::default(),
+            device_nodes: BTreeMap::new(),
+            trace_capacity: TraceLog::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenQueue {
+    qname: String,
+    access: MqAccess,
+}
+
+#[derive(Debug)]
+enum Block {
+    MqSendWait {
+        qname: String,
+        data: Vec<u8>,
+        priority: u32,
+    },
+    MqRecvWait {
+        qname: String,
+    },
+}
+
+struct ProcEntry {
+    name: String,
+    uid: Uid,
+    fds: Vec<Option<OpenQueue>>,
+    state: ProcState<Block>,
+    logic: Option<LinuxProcess>,
+    pending_reply: Option<Reply>,
+}
+
+/// The simulated Linux kernel.
+pub struct LinuxKernel {
+    procs: Vec<Option<ProcEntry>>,
+    queues: BTreeMap<String, MessageQueue>,
+    programs: Vec<(String, ProgramFactory<Syscall, Reply>)>,
+    names: BTreeMap<String, Pid>,
+    run_queue: RunQueue,
+    timers: TimerQueue,
+    clock: VirtualClock,
+    metrics: KernelMetrics,
+    trace: TraceLog,
+    devices: DeviceBus,
+    device_nodes: BTreeMap<DeviceId, (Uid, Mode)>,
+    max_procs: usize,
+    last_run: Option<Pid>,
+}
+
+impl std::fmt::Debug for LinuxKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinuxKernel")
+            .field("now", &self.clock.now())
+            .field("processes", &self.process_count())
+            .field("queues", &self.queues.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl LinuxKernel {
+    /// Boots an empty kernel.
+    pub fn new(config: LinuxConfig) -> Self {
+        LinuxKernel {
+            procs: Vec::new(),
+            queues: BTreeMap::new(),
+            programs: Vec::new(),
+            names: BTreeMap::new(),
+            run_queue: RunQueue::new(),
+            timers: TimerQueue::new(),
+            clock: VirtualClock::new(config.cost_model),
+            metrics: KernelMetrics::default(),
+            trace: TraceLog::with_capacity(config.trace_capacity),
+            devices: DeviceBus::new(),
+            device_nodes: config.device_nodes,
+            max_procs: config.max_procs,
+            last_run: None,
+        }
+    }
+
+    // ----- construction ------------------------------------------------------
+
+    /// Registers a program image for `Fork`; returns nothing (forks refer
+    /// to programs by name).
+    pub fn register_program(
+        &mut self,
+        name: impl Into<String>,
+        factory: ProgramFactory<Syscall, Reply>,
+    ) {
+        self.programs.push((name.into(), factory));
+    }
+
+    /// Spawns a process directly (init path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinuxError::ProcessTableFull`] when at capacity.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        uid: u32,
+        logic: LinuxProcess,
+    ) -> Result<Pid, LinuxError> {
+        if self.process_count() >= self.max_procs {
+            return Err(LinuxError::ProcessTableFull);
+        }
+        let name = name.into();
+        let slot = self
+            .procs
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.procs.push(None);
+                self.procs.len() - 1
+            });
+        let pid = Pid::new(slot as u32);
+        self.procs[slot] = Some(ProcEntry {
+            name: name.clone(),
+            uid: Uid::new(uid),
+            fds: Vec::new(),
+            state: ProcState::Runnable,
+            logic: Some(logic),
+            pending_reply: None,
+        });
+        self.names.insert(name.clone(), pid);
+        self.run_queue.enqueue(pid);
+        self.metrics.processes_created += 1;
+        self.trace.record(
+            self.clock.now(),
+            Some(pid),
+            "proc.spawn",
+            format!("{name} uid={uid}"),
+        );
+        Ok(pid)
+    }
+
+    /// Mutable access to the device bus, for installing plant devices.
+    pub fn devices_mut(&mut self) -> &mut DeviceBus {
+        &mut self.devices
+    }
+
+    /// Pre-creates a message queue owned by `owner` (scenario-loader
+    /// path, mirroring the paper's "scenario process [...] creates 6
+    /// message queues").
+    pub fn create_queue(
+        &mut self,
+        name: impl Into<String>,
+        owner: Uid,
+        mode: Mode,
+        capacity: usize,
+    ) {
+        let name = name.into();
+        self.queues
+            .insert(name.clone(), MessageQueue::new(name, owner, mode, capacity));
+    }
+
+    /// Pre-creates a message queue whose mode's group triple applies to
+    /// `group` — the "specifically configured to only allow the correct
+    /// user account" setup the paper discusses.
+    pub fn create_queue_grouped(
+        &mut self,
+        name: impl Into<String>,
+        owner: Uid,
+        group: Uid,
+        mode: Mode,
+        capacity: usize,
+    ) {
+        let name = name.into();
+        self.queues.insert(
+            name.clone(),
+            MessageQueue::new(name, owner, mode, capacity).with_group(group),
+        );
+    }
+
+    // ----- introspection -------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Kernel counters.
+    pub fn metrics(&self) -> &KernelMetrics {
+        &self.metrics
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Disables tracing (throughput benchmarks).
+    pub fn disable_trace(&mut self) {
+        self.trace.disable();
+    }
+
+    /// True if the process is alive.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.entry_ref(pid).is_some()
+    }
+
+    /// Number of live processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Looks up a live process by name.
+    pub fn pid_of(&self, name: &str) -> Option<Pid> {
+        self.names.get(name).copied().filter(|&p| self.is_alive(p))
+    }
+
+    /// Names of live processes, sorted.
+    pub fn alive_process_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .procs
+            .iter()
+            .filter_map(|p| p.as_ref().map(|e| e.name.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Live queue names, for diagnostics.
+    pub fn queue_names(&self) -> Vec<String> {
+        self.queues.keys().cloned().collect()
+    }
+
+    /// Depth of a queue, if it exists.
+    pub fn queue_len(&self, name: &str) -> Option<usize> {
+        self.queues.get(name).map(MessageQueue::len)
+    }
+
+    // ----- execution -------------------------------------------------------------
+
+    /// Runs until virtual time reaches `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            self.fire_due_timers();
+            if self.clock.now() >= t {
+                return;
+            }
+            if let Some(pid) = self.run_queue.dequeue() {
+                self.dispatch(pid);
+            } else {
+                match self.timers.next_deadline() {
+                    Some(d) if d <= t => self.clock.advance_to(d),
+                    _ => {
+                        self.clock.advance_to(t);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until nothing is runnable and no timer is armed.
+    pub fn run_to_quiescence(&mut self) -> usize {
+        let mut steps = 0;
+        loop {
+            self.fire_due_timers();
+            let Some(pid) = self.run_queue.dequeue() else {
+                match self.timers.next_deadline() {
+                    Some(d) => {
+                        self.clock.advance_to(d);
+                        continue;
+                    }
+                    None => return steps,
+                }
+            };
+            self.dispatch(pid);
+            steps += 1;
+            assert!(steps < 5_000_000, "kernel failed to quiesce");
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        for pid in self.timers.pop_due(self.clock.now()) {
+            if let Some(entry) = self.entry_mut(pid) {
+                if matches!(entry.state, ProcState::Sleeping) {
+                    entry.state = ProcState::Runnable;
+                    entry.pending_reply = Some(Reply::Ok);
+                    self.run_queue.enqueue(pid);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, pid: Pid) {
+        let Some(entry) = self.entry_mut(pid) else {
+            return;
+        };
+        if !entry.state.is_runnable() {
+            return;
+        }
+        let mut logic = entry.logic.take().expect("runnable process has logic");
+        let reply = entry.pending_reply.take();
+
+        if self.last_run != Some(pid) {
+            self.clock.charge_context_switch();
+            self.metrics.context_switches += 1;
+            self.last_run = Some(pid);
+        }
+        self.clock.charge_user_compute();
+
+        let action = logic.resume(reply);
+        if let Some(entry) = self.entry_mut(pid) {
+            entry.logic = Some(logic);
+        }
+
+        match action {
+            Action::Syscall(sys) => {
+                self.metrics.kernel_entries += 1;
+                self.clock.charge_kernel_entry();
+                self.clock.charge_syscall_dispatch();
+                self.handle_syscall(pid, sys);
+            }
+            Action::Yield => self.run_queue.enqueue(pid),
+            Action::Exit(code) => {
+                self.trace.record(
+                    self.clock.now(),
+                    Some(pid),
+                    "proc.exit",
+                    format!("code={code}"),
+                );
+                self.terminate(pid);
+            }
+        }
+    }
+
+    // ----- syscalls ---------------------------------------------------------------
+
+    fn handle_syscall(&mut self, pid: Pid, sys: Syscall) {
+        match sys {
+            Syscall::MqOpen {
+                name,
+                access,
+                create,
+            } => self.do_mq_open(pid, name, access, create),
+            Syscall::MqSend {
+                qd,
+                data,
+                priority,
+                nonblocking,
+            } => self.do_mq_send(pid, qd, data, priority, nonblocking),
+            Syscall::MqReceive { qd, nonblocking } => self.do_mq_receive(pid, qd, nonblocking),
+            Syscall::MqUnlink { name } => self.do_mq_unlink(pid, name),
+            Syscall::Kill {
+                pid: target,
+                signal,
+            } => self.do_kill(pid, target, signal),
+            Syscall::Fork { program } => self.do_fork(pid, program),
+            Syscall::SetUid { uid } => {
+                let caller_uid = self.entry_ref(pid).expect("caller").uid;
+                let r = if caller_uid.is_root() {
+                    self.entry_mut(pid).expect("caller").uid = Uid::new(uid);
+                    Reply::Ok
+                } else {
+                    Reply::Err(LinuxError::NotPermitted)
+                };
+                self.ready_with(pid, r);
+            }
+            Syscall::PidOf { name } => {
+                let r = match self.pid_of(&name) {
+                    Some(p) => Reply::Pid(p),
+                    None => Reply::Err(LinuxError::NoSuchProcess),
+                };
+                self.ready_with(pid, r);
+            }
+            Syscall::GetPid => self.ready_with(pid, Reply::Pid(pid)),
+            Syscall::GetUid => {
+                let uid = self.entry_ref(pid).expect("caller").uid.as_u32();
+                self.ready_with(pid, Reply::Uid(uid));
+            }
+            Syscall::Sleep { duration } => {
+                let deadline = self.clock.now() + duration;
+                self.timers.arm(deadline, pid);
+                if let Some(entry) = self.entry_mut(pid) {
+                    entry.state = ProcState::Sleeping;
+                }
+            }
+            Syscall::GetTime => {
+                let now = self.clock.now();
+                self.ready_with(pid, Reply::Time(now));
+            }
+            Syscall::DevRead { dev } => self.do_device(pid, dev, None),
+            Syscall::DevWrite { dev, value } => self.do_device(pid, dev, Some(value)),
+        }
+    }
+
+    fn do_mq_open(&mut self, pid: Pid, name: String, access: MqAccess, create: Option<MqCreate>) {
+        let uid = self.entry_ref(pid).expect("caller").uid;
+        let exists = self.queues.contains_key(&name);
+        if !exists {
+            match create {
+                Some(attr) => {
+                    self.queues.insert(
+                        name.clone(),
+                        MessageQueue::new(name.clone(), uid, Mode::new(attr.mode), attr.capacity),
+                    );
+                    self.trace.record(
+                        self.clock.now(),
+                        Some(pid),
+                        "mq.create",
+                        format!("{name} mode={:04o}", attr.mode),
+                    );
+                }
+                None => {
+                    self.ready_with(pid, Reply::Err(LinuxError::NoEntry));
+                    return;
+                }
+            }
+        } else {
+            let q = &self.queues[&name];
+            if !q
+                .mode
+                .allows_with_group(uid, q.owner, q.group, access.read, access.write)
+            {
+                self.metrics.access_denied += 1;
+                self.trace.record(
+                    self.clock.now(),
+                    Some(pid),
+                    "dac.deny",
+                    format!("{uid} denied {name}"),
+                );
+                self.ready_with(pid, Reply::Err(LinuxError::AccessDenied));
+                return;
+            }
+        }
+        let entry = self.entry_mut(pid).expect("caller");
+        let fd = entry
+            .fds
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                entry.fds.push(None);
+                entry.fds.len() - 1
+            });
+        entry.fds[fd] = Some(OpenQueue {
+            qname: name,
+            access,
+        });
+        self.ready_with(pid, Reply::Qd(fd as u32));
+    }
+
+    fn open_queue(&self, pid: Pid, qd: u32) -> Result<OpenQueue, LinuxError> {
+        self.entry_ref(pid)
+            .and_then(|e| e.fds.get(qd as usize))
+            .and_then(|f| f.clone())
+            .ok_or(LinuxError::BadDescriptor)
+    }
+
+    fn do_mq_send(&mut self, pid: Pid, qd: u32, data: Vec<u8>, priority: u32, nonblocking: bool) {
+        let oq = match self.open_queue(pid, qd) {
+            Ok(o) => o,
+            Err(e) => return self.ready_with(pid, Reply::Err(e)),
+        };
+        if !oq.access.write {
+            return self.ready_with(pid, Reply::Err(LinuxError::BadDescriptor));
+        }
+        if data.len() > MQ_MSG_MAX {
+            return self.ready_with(pid, Reply::Err(LinuxError::MessageTooLong));
+        }
+        let Some(q) = self.queues.get_mut(&oq.qname) else {
+            return self.ready_with(pid, Reply::Err(LinuxError::NoEntry));
+        };
+        if q.is_full() {
+            if nonblocking {
+                return self.ready_with(pid, Reply::Err(LinuxError::WouldBlock));
+            }
+            if let Some(entry) = self.entry_mut(pid) {
+                entry.state = ProcState::Blocked(Block::MqSendWait {
+                    qname: oq.qname.clone(),
+                    data,
+                    priority,
+                });
+            }
+            return;
+        }
+        q.push(MqMessage { priority, data });
+        self.note_ipc(&oq.qname, pid);
+        self.ready_with(pid, Reply::Ok);
+        self.pump_queue(&oq.qname);
+    }
+
+    fn do_mq_receive(&mut self, pid: Pid, qd: u32, nonblocking: bool) {
+        let oq = match self.open_queue(pid, qd) {
+            Ok(o) => o,
+            Err(e) => return self.ready_with(pid, Reply::Err(e)),
+        };
+        if !oq.access.read {
+            return self.ready_with(pid, Reply::Err(LinuxError::BadDescriptor));
+        }
+        let Some(q) = self.queues.get_mut(&oq.qname) else {
+            return self.ready_with(pid, Reply::Err(LinuxError::NoEntry));
+        };
+        match q.pop() {
+            Some(msg) => {
+                self.ready_with(
+                    pid,
+                    Reply::Data {
+                        data: msg.data,
+                        priority: msg.priority,
+                    },
+                );
+                self.pump_queue(&oq.qname);
+            }
+            None if nonblocking => self.ready_with(pid, Reply::Err(LinuxError::WouldBlock)),
+            None => {
+                if let Some(entry) = self.entry_mut(pid) {
+                    entry.state = ProcState::Blocked(Block::MqRecvWait {
+                        qname: oq.qname.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn do_mq_unlink(&mut self, pid: Pid, name: String) {
+        let uid = self.entry_ref(pid).expect("caller").uid;
+        match self.queues.get(&name) {
+            None => self.ready_with(pid, Reply::Err(LinuxError::NoEntry)),
+            Some(q) => {
+                if uid.is_root() || uid == q.owner {
+                    self.queues.remove(&name);
+                    // Processes blocked on the queue get ENOENT.
+                    let blocked: Vec<Pid> = self.blocked_on_queue(&name);
+                    for p in blocked {
+                        self.ready_with(p, Reply::Err(LinuxError::NoEntry));
+                    }
+                    self.ready_with(pid, Reply::Ok);
+                } else {
+                    self.ready_with(pid, Reply::Err(LinuxError::AccessDenied));
+                }
+            }
+        }
+    }
+
+    fn do_kill(&mut self, caller: Pid, target: Pid, signal: Signal) {
+        let caller_uid = self.entry_ref(caller).expect("caller").uid;
+        let Some((target_uid, target_name)) =
+            self.entry_ref(target).map(|e| (e.uid, e.name.clone()))
+        else {
+            return self.ready_with(caller, Reply::Err(LinuxError::NoSuchProcess));
+        };
+        // The entire permission model: same uid or root.
+        if !caller_uid.is_root() && caller_uid != target_uid {
+            self.metrics.access_denied += 1;
+            self.trace.record(
+                self.clock.now(),
+                Some(caller),
+                "signal.deny",
+                format!("{caller_uid} may not signal {target_uid}"),
+            );
+            return self.ready_with(caller, Reply::Err(LinuxError::NotPermitted));
+        }
+        self.trace.record(
+            self.clock.now(),
+            Some(caller),
+            "signal.kill",
+            format!("{caller} sent {signal:?} to {target} ({target_name})"),
+        );
+        self.terminate(target);
+        if target != caller {
+            self.ready_with(caller, Reply::Ok);
+        }
+    }
+
+    fn do_fork(&mut self, caller: Pid, program: String) {
+        let uid = self.entry_ref(caller).expect("caller").uid;
+        let Some((name, factory)) = self.programs.iter().find(|(n, _)| *n == program) else {
+            return self.ready_with(caller, Reply::Err(LinuxError::NoSuchProgram));
+        };
+        let child_logic = factory();
+        let child_name = format!("{name}#{}", self.metrics.processes_created + 1);
+        match self.spawn(child_name, uid.as_u32(), child_logic) {
+            Ok(child) => self.ready_with(caller, Reply::Pid(child)),
+            Err(e) => self.ready_with(caller, Reply::Err(e)),
+        }
+    }
+
+    fn do_device(&mut self, pid: Pid, dev: DeviceId, write: Option<i64>) {
+        let uid = self.entry_ref(pid).expect("caller").uid;
+        let Some(&(owner, mode)) = self.device_nodes.get(&dev) else {
+            return self.ready_with(pid, Reply::Err(LinuxError::NoEntry));
+        };
+        let (want_read, want_write) = (write.is_none(), write.is_some());
+        if !mode.allows(uid, owner, want_read, want_write) {
+            self.metrics.access_denied += 1;
+            self.trace.record(
+                self.clock.now(),
+                Some(pid),
+                "dac.deny",
+                format!("{uid} denied {dev}"),
+            );
+            return self.ready_with(pid, Reply::Err(LinuxError::AccessDenied));
+        }
+        match write {
+            Some(value) => match self.devices.write(dev, value) {
+                Ok(()) => {
+                    self.trace.record(
+                        self.clock.now(),
+                        Some(pid),
+                        "dev.write",
+                        format!("{dev} <- {value}"),
+                    );
+                    self.ready_with(pid, Reply::Ok);
+                }
+                Err(_) => self.ready_with(pid, Reply::Err(LinuxError::NoEntry)),
+            },
+            None => match self.devices.read(dev) {
+                Ok(v) => self.ready_with(pid, Reply::DevValue(v)),
+                Err(_) => self.ready_with(pid, Reply::Err(LinuxError::NoEntry)),
+            },
+        }
+    }
+
+    // ----- queue wake-ups -----------------------------------------------------------
+
+    fn blocked_on_queue(&self, qname: &str) -> Vec<Pid> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let e = p.as_ref()?;
+                let hit = match &e.state {
+                    ProcState::Blocked(Block::MqSendWait { qname: q, .. })
+                    | ProcState::Blocked(Block::MqRecvWait { qname: q }) => q == qname,
+                    _ => false,
+                };
+                hit.then(|| Pid::new(i as u32))
+            })
+            .collect()
+    }
+
+    /// Drains wake-up opportunities on a queue until no progress: deliver
+    /// to waiting receivers while messages exist; admit waiting senders
+    /// while space exists.
+    fn pump_queue(&mut self, qname: &str) {
+        loop {
+            let mut progressed = false;
+
+            // Wake one receiver if a message is available.
+            if self.queues.get(qname).is_some_and(|q| !q.is_empty()) {
+                let receiver = self.procs.iter().enumerate().find_map(|(i, p)| {
+                    let e = p.as_ref()?;
+                    matches!(
+                        &e.state,
+                        ProcState::Blocked(Block::MqRecvWait { qname: q }) if q == qname
+                    )
+                    .then(|| Pid::new(i as u32))
+                });
+                if let Some(r) = receiver {
+                    let msg = self
+                        .queues
+                        .get_mut(qname)
+                        .expect("exists")
+                        .pop()
+                        .expect("nonempty");
+                    self.ready_with(
+                        r,
+                        Reply::Data {
+                            data: msg.data,
+                            priority: msg.priority,
+                        },
+                    );
+                    progressed = true;
+                }
+            }
+
+            // Admit one sender if space is available.
+            if self.queues.get(qname).is_some_and(|q| !q.is_full()) {
+                let sender = self.procs.iter().enumerate().find_map(|(i, p)| {
+                    let e = p.as_ref()?;
+                    matches!(
+                        &e.state,
+                        ProcState::Blocked(Block::MqSendWait { qname: q, .. }) if q == qname
+                    )
+                    .then(|| Pid::new(i as u32))
+                });
+                if let Some(s) = sender {
+                    let (data, priority) = {
+                        let entry = self.entry_mut(s).expect("sender alive");
+                        match std::mem::replace(&mut entry.state, ProcState::Runnable) {
+                            ProcState::Blocked(Block::MqSendWait { data, priority, .. }) => {
+                                (data, priority)
+                            }
+                            _ => unreachable!("sender was send-waiting"),
+                        }
+                    };
+                    self.queues
+                        .get_mut(qname)
+                        .expect("exists")
+                        .push(MqMessage { priority, data });
+                    self.note_ipc(qname, s);
+                    self.ready_with(s, Reply::Ok);
+                    progressed = true;
+                }
+            }
+
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn note_ipc(&mut self, qname: &str, sender: Pid) {
+        self.metrics.ipc_messages += 1;
+        self.clock.charge_ipc_copy(64);
+        self.metrics.ipc_bytes += 64;
+        self.trace.record(
+            self.clock.now(),
+            Some(sender),
+            "mq.send",
+            format!("{sender} -> {qname}"),
+        );
+    }
+
+    // ----- termination ----------------------------------------------------------------
+
+    fn terminate(&mut self, pid: Pid) {
+        let Some(entry) = self.procs.get_mut(pid.as_usize()).and_then(Option::take) else {
+            return;
+        };
+        self.run_queue.remove(pid);
+        self.timers.cancel(pid);
+        self.names.retain(|_, p| *p != pid);
+        self.metrics.processes_reaped += 1;
+        if self.last_run == Some(pid) {
+            self.last_run = None;
+        }
+        drop(entry);
+    }
+
+    fn ready_with(&mut self, pid: Pid, reply: Reply) {
+        if let Some(entry) = self.entry_mut(pid) {
+            entry.pending_reply = Some(reply);
+            entry.state = ProcState::Runnable;
+            self.run_queue.enqueue(pid);
+        }
+    }
+
+    fn entry_ref(&self, pid: Pid) -> Option<&ProcEntry> {
+        self.procs.get(pid.as_usize()).and_then(Option::as_ref)
+    }
+
+    fn entry_mut(&mut self, pid: Pid) -> Option<&mut ProcEntry> {
+        self.procs.get_mut(pid.as_usize()).and_then(Option::as_mut)
+    }
+}

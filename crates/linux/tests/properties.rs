@@ -1,0 +1,78 @@
+//! Property-based tests for the Linux model: mq ordering against a
+//! reference, and DAC decision laws.
+
+use bas_linux::cred::{Mode, Uid};
+use bas_linux::mq::{MessageQueue, MqMessage};
+use proptest::prelude::*;
+
+proptest! {
+    /// Queue delivery order matches a reference stable sort by
+    /// (priority desc, arrival asc) — the `mq_send(3)` contract.
+    #[test]
+    fn mq_order_matches_reference(msgs in prop::collection::vec((0u32..4, any::<u8>()), 0..32)) {
+        let mut q = MessageQueue::new("/p", Uid::new(1), Mode::new(0o600), 64);
+        for (prio, byte) in &msgs {
+            q.push(MqMessage { priority: *prio, data: vec![*byte] });
+        }
+        // Reference: stable sort by priority descending.
+        let mut expected: Vec<(u32, u8)> = msgs.clone();
+        expected.sort_by_key(|(p, _)| std::cmp::Reverse(*p));
+        let drained: Vec<(u32, u8)> =
+            std::iter::from_fn(|| q.pop()).map(|m| (m.priority, m.data[0])).collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Push/pop conserves messages: nothing duplicated, nothing lost.
+    #[test]
+    fn mq_conserves_messages(msgs in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut q = MessageQueue::new("/c", Uid::new(1), Mode::new(0o600), 64);
+        for b in &msgs {
+            q.push(MqMessage { priority: 0, data: vec![*b] });
+        }
+        prop_assert_eq!(q.len(), msgs.len());
+        let mut drained: Vec<u8> = std::iter::from_fn(|| q.pop()).map(|m| m.data[0]).collect();
+        let mut original = msgs.clone();
+        drained.sort_unstable();
+        original.sort_unstable();
+        prop_assert_eq!(drained, original);
+    }
+
+    /// Root always passes DAC; the owner's access depends only on the
+    /// owner triple; a stranger's only on the other triple (no group).
+    #[test]
+    fn dac_decision_laws(bits in 0u16..0o1000, owner in 1u32..100, who in 1u32..100) {
+        let mode = Mode::new(bits);
+        let owner = Uid::new(owner);
+        let who = Uid::new(who);
+        // Root bypass.
+        prop_assert!(mode.allows(Uid::ROOT, owner, true, true));
+        // Owner: governed by the 0o600 bits.
+        let owner_read = bits & 0o400 != 0;
+        let owner_write = bits & 0o200 != 0;
+        prop_assert_eq!(mode.allows(owner, owner, true, false), owner_read);
+        prop_assert_eq!(mode.allows(owner, owner, false, true), owner_write);
+        // Stranger (no group set): union of group+other triples.
+        if who != owner {
+            let r = bits & 0o044 != 0;
+            let w = bits & 0o022 != 0;
+            prop_assert_eq!(mode.allows(who, owner, true, false), r);
+            prop_assert_eq!(mode.allows(who, owner, false, true), w);
+        }
+    }
+
+    /// With a group set, exactly three disjoint classes decide access.
+    #[test]
+    fn dac_group_classes_are_disjoint(bits in 0u16..0o1000) {
+        let mode = Mode::new(bits);
+        let owner = Uid::new(1);
+        let group = Uid::new(2);
+        let stranger = Uid::new(3);
+        let g = Some(group);
+        prop_assert_eq!(mode.allows_with_group(owner, owner, g, true, false), bits & 0o400 != 0);
+        prop_assert_eq!(mode.allows_with_group(group, owner, g, true, false), bits & 0o040 != 0);
+        prop_assert_eq!(mode.allows_with_group(stranger, owner, g, true, false), bits & 0o004 != 0);
+        prop_assert_eq!(mode.allows_with_group(owner, owner, g, false, true), bits & 0o200 != 0);
+        prop_assert_eq!(mode.allows_with_group(group, owner, g, false, true), bits & 0o020 != 0);
+        prop_assert_eq!(mode.allows_with_group(stranger, owner, g, false, true), bits & 0o002 != 0);
+    }
+}

@@ -1,0 +1,1011 @@
+//! The simulated security-enhanced MINIX 3 kernel.
+//!
+//! Everything the paper relies on happens here, at the same enforcement
+//! points as in the real system:
+//!
+//! 1. **All IPC transits the kernel** — there is no user-space channel.
+//! 2. **Sender identity is kernel-stamped** — `do_send` writes the caller's
+//!    endpoint into the delivered message; user input cannot influence it.
+//! 3. **The ACM is consulted on every transfer** — before rendezvous, on
+//!    non-blocking sends, and on notifications; denied requests are dropped
+//!    with `ECALLDENIED`.
+//! 4. **PM operations are messages** — `fork2`/`kill`/`exit` reach the PM
+//!    server only through `do_send`, so the ACM gates them too.
+
+use std::collections::BTreeMap;
+
+use bas_acm::{AcId, AccessControlMatrix, MsgType, QuotaTable, SyscallClass};
+use bas_sim::clock::{CostModel, VirtualClock};
+use bas_sim::device::{DeviceBus, DeviceId};
+use bas_sim::metrics::KernelMetrics;
+use bas_sim::process::{Action, Pid, ProcState, ProgramFactory};
+use bas_sim::sched::RunQueue;
+use bas_sim::time::SimTime;
+use bas_sim::timer::TimerQueue;
+use bas_sim::trace::TraceLog;
+
+use crate::endpoint::Endpoint;
+use crate::error::MinixError;
+use crate::grant::{GrantError, GrantId};
+use crate::message::{Message, Payload};
+use crate::pcb::{BlockReason, Pcb};
+use crate::pm;
+use crate::syscall::{Reply, Syscall};
+
+/// A boxed MINIX user process.
+pub type MinixProcess = Box<dyn bas_sim::process::Process<Syscall = Syscall, Reply = Reply>>;
+
+/// Kernel construction parameters.
+pub struct MinixConfig {
+    /// Maximum number of process slots (including the PM slot). The fork
+    /// bomb experiment exhausts this.
+    pub max_procs: usize,
+    /// Virtual-time cost model.
+    pub cost_model: CostModel,
+    /// The compiled-in access-control matrix.
+    pub acm: AccessControlMatrix,
+    /// Optional per-identity syscall quotas (the paper's future-work
+    /// extension; empty = unlimited).
+    pub quotas: QuotaTable,
+    /// Which access-control identity owns each device.
+    pub device_owners: BTreeMap<DeviceId, AcId>,
+    /// Trace capacity in events.
+    pub trace_capacity: usize,
+}
+
+impl Default for MinixConfig {
+    fn default() -> Self {
+        MinixConfig {
+            max_procs: 32,
+            cost_model: CostModel::default(),
+            acm: AccessControlMatrix::deny_all(),
+            quotas: QuotaTable::new(),
+            device_owners: BTreeMap::new(),
+            trace_capacity: TraceLog::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+struct ProcEntry {
+    pcb: Pcb,
+    state: ProcState<BlockReason>,
+    logic: Option<MinixProcess>,
+    pending_reply: Option<Reply>,
+}
+
+struct Slot {
+    generation: u16,
+    entry: Option<ProcEntry>,
+}
+
+/// The simulated MINIX 3 kernel with ACM enforcement.
+pub struct MinixKernel {
+    slots: Vec<Slot>,
+    run_queue: RunQueue,
+    timers: TimerQueue,
+    clock: VirtualClock,
+    metrics: KernelMetrics,
+    trace: TraceLog,
+    devices: DeviceBus,
+    programs: Vec<(String, ProgramFactory<Syscall, Reply>)>,
+    names: BTreeMap<String, Endpoint>,
+    acm: AccessControlMatrix,
+    quotas: QuotaTable,
+    device_owners: BTreeMap<DeviceId, AcId>,
+    last_run: Option<Pid>,
+}
+
+impl std::fmt::Debug for MinixKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MinixKernel")
+            .field("now", &self.clock.now())
+            .field("processes", &self.process_count())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl MinixKernel {
+    /// Boots a kernel: slot 0 is reserved for the PM server.
+    pub fn new(config: MinixConfig) -> Self {
+        assert!(config.max_procs >= 2, "need at least PM plus one process");
+        let mut slots = Vec::with_capacity(config.max_procs);
+        for _ in 0..config.max_procs {
+            slots.push(Slot {
+                generation: 0,
+                entry: None,
+            });
+        }
+        let mut names = BTreeMap::new();
+        names.insert("pm".to_string(), pm::PM_ENDPOINT);
+        MinixKernel {
+            slots,
+            run_queue: RunQueue::new(),
+            timers: TimerQueue::new(),
+            clock: VirtualClock::new(config.cost_model),
+            metrics: KernelMetrics::default(),
+            trace: TraceLog::with_capacity(config.trace_capacity),
+            devices: DeviceBus::new(),
+            programs: Vec::new(),
+            names,
+            acm: config.acm,
+            quotas: config.quotas,
+            device_owners: config.device_owners,
+            last_run: None,
+        }
+    }
+
+    // ----- construction-time API ------------------------------------------------
+
+    /// Registers a program image that `fork2` can instantiate; returns its
+    /// program id.
+    pub fn register_program(
+        &mut self,
+        name: impl Into<String>,
+        factory: ProgramFactory<Syscall, Reply>,
+    ) -> u32 {
+        self.programs.push((name.into(), factory));
+        (self.programs.len() - 1) as u32
+    }
+
+    /// Loads a process directly (boot-time loader path; at runtime use PM
+    /// `fork2` messages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MinixError::ProcessTableFull`] when no slot is free.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        ac_id: AcId,
+        uid: u32,
+        logic: MinixProcess,
+    ) -> Result<Endpoint, MinixError> {
+        let name = name.into();
+        let slot_idx = self
+            .slots
+            .iter()
+            .enumerate()
+            .skip(1) // slot 0 is PM
+            .find(|(_, s)| s.entry.is_none())
+            .map(|(i, _)| i)
+            .ok_or(MinixError::ProcessTableFull)?;
+        let generation = self.slots[slot_idx].generation;
+        let endpoint = Endpoint::new(slot_idx as u16, generation);
+        let pid = Pid::new(slot_idx as u32);
+        self.slots[slot_idx].entry = Some(ProcEntry {
+            pcb: Pcb::new(pid, endpoint, name.clone(), ac_id, uid),
+            state: ProcState::Runnable,
+            logic: Some(logic),
+            pending_reply: None,
+        });
+        self.names.insert(name.clone(), endpoint);
+        self.run_queue.enqueue(pid);
+        self.metrics.processes_created += 1;
+        self.trace.record(
+            self.clock.now(),
+            Some(pid),
+            "proc.spawn",
+            format!("{name} ac={ac_id} uid={uid} ep={endpoint}"),
+        );
+        Ok(endpoint)
+    }
+
+    /// Mutable access to the device bus, for installing plant devices.
+    pub fn devices_mut(&mut self) -> &mut DeviceBus {
+        &mut self.devices
+    }
+
+    // ----- introspection --------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Kernel counters.
+    pub fn metrics(&self) -> &KernelMetrics {
+        &self.metrics
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Disables tracing (throughput benchmarks).
+    pub fn disable_trace(&mut self) {
+        self.trace.disable();
+    }
+
+    /// The compiled-in ACM.
+    pub fn acm(&self) -> &AccessControlMatrix {
+        &self.acm
+    }
+
+    /// Reads a window of a live process's memory buffer — a debugger-style
+    /// introspection hook used by tests and experiments (e.g. to inspect
+    /// the controller's environment log).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the endpoint is dead or the read is invalid.
+    pub fn read_process_buffer(
+        &self,
+        ep: Endpoint,
+        buf: crate::grant::BufId,
+        offset: usize,
+        len: usize,
+    ) -> Option<Vec<u8>> {
+        let pid = self.lookup_live(ep)?;
+        self.entry_ref(pid)?
+            .pcb
+            .memory
+            .read_own(buf, offset, len)
+            .ok()
+    }
+
+    /// True if the endpoint names a live process (PM counts as live).
+    pub fn is_alive(&self, ep: Endpoint) -> bool {
+        if ep == pm::PM_ENDPOINT {
+            return true;
+        }
+        self.lookup_live(ep).is_some()
+    }
+
+    /// Resolves a registered process name.
+    pub fn endpoint_of(&self, name: &str) -> Option<Endpoint> {
+        self.names
+            .get(name)
+            .copied()
+            .filter(|&ep| self.is_alive(ep))
+    }
+
+    /// Number of live user processes (excluding PM).
+    pub fn process_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.entry.is_some()).count()
+    }
+
+    /// Names of live processes, sorted.
+    pub fn alive_process_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.entry.as_ref().map(|e| e.pcb.name.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    // ----- execution ------------------------------------------------------------
+
+    /// Runs until virtual time reaches `t` (or everything is idle with no
+    /// timer before `t`, in which case the clock advances to `t`).
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            self.fire_due_timers();
+            if self.clock.now() >= t {
+                return;
+            }
+            if let Some(pid) = self.run_queue.dequeue() {
+                self.dispatch(pid);
+            } else {
+                match self.timers.next_deadline() {
+                    Some(d) if d <= t => self.clock.advance_to(d),
+                    _ => {
+                        self.clock.advance_to(t);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until no process is runnable and no timer is armed, up to
+    /// `max_steps` dispatches (a safety bound for tests).
+    pub fn run_to_quiescence(&mut self) -> usize {
+        let mut steps = 0;
+        loop {
+            self.fire_due_timers();
+            let Some(pid) = self.run_queue.dequeue() else {
+                match self.timers.next_deadline() {
+                    Some(d) => {
+                        self.clock.advance_to(d);
+                        continue;
+                    }
+                    None => return steps,
+                }
+            };
+            self.dispatch(pid);
+            steps += 1;
+            assert!(steps < 5_000_000, "kernel failed to quiesce");
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        for pid in self.timers.pop_due(self.clock.now()) {
+            if let Some(entry) = self.entry_mut(pid) {
+                if matches!(entry.state, ProcState::Sleeping) {
+                    entry.state = ProcState::Runnable;
+                    entry.pending_reply = Some(Reply::Ok);
+                    self.run_queue.enqueue(pid);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, pid: Pid) {
+        let Some(entry) = self.entry_mut(pid) else {
+            return;
+        };
+        if !entry.state.is_runnable() {
+            return; // stale queue entry
+        }
+        let mut logic = entry.logic.take().expect("runnable process has logic");
+        let reply = entry.pending_reply.take();
+
+        if self.last_run != Some(pid) {
+            self.clock.charge_context_switch();
+            self.metrics.context_switches += 1;
+            self.last_run = Some(pid);
+        }
+        self.clock.charge_user_compute();
+
+        let action = logic.resume(reply);
+
+        // The process may have been... it cannot have been killed during
+        // resume (resume has no kernel access), so the slot is intact.
+        if let Some(entry) = self.entry_mut(pid) {
+            entry.logic = Some(logic);
+        }
+
+        match action {
+            Action::Syscall(sys) => {
+                self.metrics.kernel_entries += 1;
+                self.clock.charge_kernel_entry();
+                self.clock.charge_syscall_dispatch();
+                self.handle_syscall(pid, sys);
+            }
+            Action::Yield => {
+                self.run_queue.enqueue(pid);
+            }
+            Action::Exit(code) => {
+                self.trace.record(
+                    self.clock.now(),
+                    Some(pid),
+                    "proc.exit",
+                    format!("code={code}"),
+                );
+                self.terminate(pid);
+            }
+        }
+    }
+
+    // ----- syscall handling -----------------------------------------------------
+
+    fn handle_syscall(&mut self, pid: Pid, sys: Syscall) {
+        match sys {
+            Syscall::Send {
+                dest,
+                mtype,
+                payload,
+            } => self.do_send(pid, dest, mtype, payload, true, false),
+            Syscall::SendRec {
+                dest,
+                mtype,
+                payload,
+            } => self.do_send(pid, dest, mtype, payload, true, true),
+            Syscall::NbSend {
+                dest,
+                mtype,
+                payload,
+            } => self.do_send(pid, dest, mtype, payload, false, false),
+            Syscall::Receive { from } => self.do_receive(pid, from),
+            Syscall::Notify { dest } => self.do_notify(pid, dest),
+            Syscall::Sleep { duration } => {
+                let deadline = self.clock.now() + duration;
+                self.timers.arm(deadline, pid);
+                if let Some(entry) = self.entry_mut(pid) {
+                    entry.state = ProcState::Sleeping;
+                }
+            }
+            Syscall::GetUptime => {
+                let now = self.clock.now();
+                self.ready_with(pid, Reply::Uptime(now));
+            }
+            Syscall::WhoAmI => {
+                let reply = self.entry_ref(pid).map(|e| Reply::Ident {
+                    endpoint: e.pcb.endpoint,
+                    ac_id: e.pcb.ac_id,
+                    uid: e.pcb.uid,
+                });
+                if let Some(r) = reply {
+                    self.ready_with(pid, r);
+                }
+            }
+            Syscall::Lookup { name } => {
+                let reply = match self.endpoint_of(&name) {
+                    Some(ep) => Reply::Resolved(ep),
+                    None => Reply::Err(MinixError::NoSuchProcess),
+                };
+                self.ready_with(pid, reply);
+            }
+            Syscall::DevRead { dev } => self.do_device(pid, dev, None),
+            Syscall::DevWrite { dev, value } => self.do_device(pid, dev, Some(value)),
+            Syscall::MemCreate { size } => {
+                let reply = match self.entry_mut(pid) {
+                    Some(e) => Reply::Buf(e.pcb.memory.create_buffer(size)),
+                    None => return,
+                };
+                self.ready_with(pid, reply);
+            }
+            Syscall::MemWrite { buf, offset, data } => {
+                let reply = match self.entry_mut(pid) {
+                    Some(e) => match e.pcb.memory.write_own(buf, offset, &data) {
+                        Ok(()) => Reply::Ok,
+                        Err(err) => Reply::Err(grant_errno(err)),
+                    },
+                    None => return,
+                };
+                self.ready_with(pid, reply);
+            }
+            Syscall::MemRead { buf, offset, len } => {
+                let reply = match self.entry_ref(pid) {
+                    Some(e) => match e.pcb.memory.read_own(buf, offset, len) {
+                        Ok(bytes) => Reply::Bytes(bytes),
+                        Err(err) => Reply::Err(grant_errno(err)),
+                    },
+                    None => return,
+                };
+                self.ready_with(pid, reply);
+            }
+            Syscall::GrantCreate {
+                buf,
+                offset,
+                len,
+                grantee,
+                perms,
+            } => {
+                let reply = match self.entry_mut(pid) {
+                    Some(e) => match e.pcb.memory.create_grant(buf, offset, len, grantee, perms) {
+                        Ok(g) => Reply::Granted(g),
+                        Err(err) => Reply::Err(grant_errno(err)),
+                    },
+                    None => return,
+                };
+                self.ready_with(pid, reply);
+            }
+            Syscall::GrantRevoke { grant } => {
+                let reply = match self.entry_mut(pid) {
+                    Some(e) => match e.pcb.memory.revoke(grant) {
+                        Ok(()) => Reply::Ok,
+                        Err(err) => Reply::Err(grant_errno(err)),
+                    },
+                    None => return,
+                };
+                self.ready_with(pid, reply);
+            }
+            Syscall::SafeCopyFrom {
+                granter,
+                grant,
+                offset,
+                len,
+            } => self.do_safe_copy(pid, granter, grant, offset, SafeCopyDir::From(len)),
+            Syscall::SafeCopyTo {
+                granter,
+                grant,
+                offset,
+                data,
+            } => self.do_safe_copy(pid, granter, grant, offset, SafeCopyDir::To(data)),
+        }
+    }
+
+    /// Performs a safe-copy on behalf of `caller` against `granter`'s
+    /// grant table. The caller's identity is its kernel-held endpoint —
+    /// exactly as unforgeable as message sources — and the *grant itself*
+    /// is the authorization, so no ACM row is consulted: the granter
+    /// opted in explicitly.
+    fn do_safe_copy(
+        &mut self,
+        caller: Pid,
+        granter: Endpoint,
+        grant: GrantId,
+        offset: usize,
+        dir: SafeCopyDir,
+    ) {
+        let Some(caller_ep) = self.entry_ref(caller).map(|e| e.pcb.endpoint) else {
+            return;
+        };
+        let Some(granter_pid) = self.lookup_live(granter) else {
+            self.ready_with(caller, Reply::Err(MinixError::DeadSourceOrDestination));
+            return;
+        };
+        let result = {
+            let granter_entry = self.entry_mut(granter_pid).expect("live");
+            match dir {
+                SafeCopyDir::From(len) => granter_entry
+                    .pcb
+                    .memory
+                    .safe_copy_from(grant, caller_ep, offset, len)
+                    .map(Reply::Bytes),
+                SafeCopyDir::To(ref data) => granter_entry
+                    .pcb
+                    .memory
+                    .safe_copy_to(grant, caller_ep, offset, data)
+                    .map(|()| Reply::Ok),
+            }
+        };
+        match result {
+            Ok(reply) => {
+                let bytes = match dir {
+                    SafeCopyDir::From(len) => len,
+                    SafeCopyDir::To(ref data) => data.len(),
+                };
+                self.metrics.ipc_bytes += bytes as u64;
+                self.clock.charge_ipc_copy(bytes);
+                self.ready_with(caller, reply);
+            }
+            Err(err) => {
+                if matches!(err, GrantError::NotGrantee | GrantError::PermissionDenied) {
+                    self.metrics.access_denied += 1;
+                    self.trace.record(
+                        self.clock.now(),
+                        Some(caller),
+                        "grant.deny",
+                        format!("{caller_ep} on grant {grant:?} of {granter}: {err}"),
+                    );
+                }
+                self.ready_with(caller, Reply::Err(grant_errno(err)));
+            }
+        }
+    }
+
+    fn do_device(&mut self, pid: Pid, dev: DeviceId, write: Option<i64>) {
+        let Some(ac) = self.entry_ref(pid).map(|e| e.pcb.ac_id) else {
+            return;
+        };
+        if self.device_owners.get(&dev) != Some(&ac) {
+            self.metrics.access_denied += 1;
+            self.trace.record(
+                self.clock.now(),
+                Some(pid),
+                "dev.deny",
+                format!("{dev} not owned by {ac}"),
+            );
+            self.ready_with(pid, Reply::Err(MinixError::DeviceAccessDenied));
+            return;
+        }
+        if let Some(value) = write {
+            if self.quotas.charge(ac, SyscallClass::DeviceWrite).is_err() {
+                self.ready_with(pid, Reply::Err(MinixError::QuotaExceeded));
+                return;
+            }
+            match self.devices.write(dev, value) {
+                Ok(()) => {
+                    self.trace.record(
+                        self.clock.now(),
+                        Some(pid),
+                        "dev.write",
+                        format!("{dev} <- {value}"),
+                    );
+                    self.ready_with(pid, Reply::Ok);
+                }
+                Err(_) => self.ready_with(pid, Reply::Err(MinixError::InvalidArgument)),
+            }
+        } else {
+            match self.devices.read(dev) {
+                Ok(v) => self.ready_with(pid, Reply::DevValue(v)),
+                Err(_) => self.ready_with(pid, Reply::Err(MinixError::InvalidArgument)),
+            }
+        }
+    }
+
+    fn do_send(
+        &mut self,
+        caller: Pid,
+        dest: Endpoint,
+        mtype: u32,
+        payload: Payload,
+        blocking: bool,
+        sendrec: bool,
+    ) {
+        let Some((caller_ep, caller_ac)) = self
+            .entry_ref(caller)
+            .map(|e| (e.pcb.endpoint, e.pcb.ac_id))
+        else {
+            return;
+        };
+
+        // 1. Destination validity (slot + generation).
+        let dest_ac = if dest == pm::PM_ENDPOINT {
+            pm::PM_AC_ID
+        } else {
+            match self.lookup_live(dest) {
+                Some(pid) => self.entry_ref(pid).expect("live").pcb.ac_id,
+                None => {
+                    self.metrics.syscall_errors += 1;
+                    self.ready_with(caller, Reply::Err(MinixError::DeadSourceOrDestination));
+                    return;
+                }
+            }
+        };
+
+        // 2. The mandatory ACM check — the paper's contribution.
+        let decision = self.acm.check(caller_ac, dest_ac, MsgType::new(mtype));
+        if !decision.is_allowed() {
+            self.metrics.access_denied += 1;
+            self.trace.record(
+                self.clock.now(),
+                Some(caller),
+                "acm.deny",
+                format!("{caller_ac} -> {dest_ac} m{mtype}: {decision}"),
+            );
+            self.ready_with(caller, Reply::Err(MinixError::CallDenied));
+            return;
+        }
+
+        // 3. Optional send quota (flooding bound).
+        if self.quotas.charge(caller_ac, SyscallClass::Send).is_err() {
+            self.metrics.access_denied += 1;
+            self.trace.record(
+                self.clock.now(),
+                Some(caller),
+                "quota.deny",
+                format!("{caller_ac} send quota exhausted"),
+            );
+            self.ready_with(caller, Reply::Err(MinixError::QuotaExceeded));
+            return;
+        }
+
+        // 4. PM is handled synchronously inside the kernel model, but the
+        // *cost* is the real system's: PM is a user-space server, so every
+        // PM operation pays the round trip — two context switches (to PM
+        // and back) and PM's own kernel entry for its receive.
+        if dest == pm::PM_ENDPOINT {
+            self.metrics.ipc_messages += 1;
+            self.metrics.ipc_bytes += Message::WIRE_SIZE as u64;
+            self.clock.charge_ipc_copy(Message::WIRE_SIZE);
+            self.metrics.context_switches += 2;
+            self.clock.charge_context_switch();
+            self.clock.charge_context_switch();
+            self.metrics.kernel_entries += 1;
+            self.clock.charge_kernel_entry();
+            if let Some((rtype, rpayload)) = self.handle_pm(caller, mtype, payload) {
+                if sendrec {
+                    self.ready_with(
+                        caller,
+                        Reply::Msg(Message::new(pm::PM_ENDPOINT, rtype, rpayload)),
+                    );
+                } else {
+                    self.ready_with(caller, Reply::Ok);
+                }
+            }
+            return;
+        }
+
+        // 5. Rendezvous.
+        let dest_pid = self.lookup_live(dest).expect("validated above");
+        let dest_ready = matches!(
+            self.entry_ref(dest_pid).expect("live").state,
+            ProcState::Blocked(BlockReason::Receiving { from })
+                if from.is_none() || from == Some(caller_ep)
+        );
+
+        if dest_ready {
+            self.deliver(caller_ep, dest_pid, mtype, payload);
+            if sendrec {
+                if let Some(entry) = self.entry_mut(caller) {
+                    entry.state = ProcState::Blocked(BlockReason::Receiving { from: Some(dest) });
+                }
+            } else {
+                self.ready_with(caller, Reply::Ok);
+            }
+        } else if blocking {
+            if let Some(entry) = self.entry_mut(caller) {
+                entry.state = ProcState::Blocked(BlockReason::Sending {
+                    dest,
+                    mtype,
+                    payload,
+                    sendrec,
+                });
+            }
+        } else {
+            self.ready_with(caller, Reply::Err(MinixError::NotReady));
+        }
+    }
+
+    fn do_receive(&mut self, caller: Pid, from: Option<Endpoint>) {
+        let Some(caller_ep) = self.entry_ref(caller).map(|e| e.pcb.endpoint) else {
+            return;
+        };
+
+        // Pending notifications have delivery priority (as in MINIX 3).
+        let notify = self.entry_mut(caller).and_then(|e| e.pcb.take_notify(from));
+        if let Some(source) = notify {
+            self.ready_with(
+                caller,
+                Reply::Msg(Message::new(source, pm::NOTIFY_MTYPE, Payload::zeroed())),
+            );
+            return;
+        }
+
+        // Find the lowest-slot sender blocked on us that matches the filter.
+        let candidate = self.slots.iter().enumerate().find_map(|(idx, s)| {
+            let entry = s.entry.as_ref()?;
+            match &entry.state {
+                ProcState::Blocked(BlockReason::Sending { dest, .. })
+                    if *dest == caller_ep
+                        && (from.is_none() || from == Some(entry.pcb.endpoint)) =>
+                {
+                    Some(Pid::new(idx as u32))
+                }
+                _ => None,
+            }
+        });
+
+        match candidate {
+            Some(sender_pid) => {
+                let (sender_ep, mtype, payload, sendrec) = {
+                    let entry = self.entry_ref(sender_pid).expect("candidate live");
+                    match &entry.state {
+                        ProcState::Blocked(BlockReason::Sending {
+                            mtype,
+                            payload,
+                            sendrec,
+                            ..
+                        }) => (entry.pcb.endpoint, *mtype, *payload, *sendrec),
+                        _ => unreachable!("candidate was sending"),
+                    }
+                };
+                self.deliver(sender_ep, caller, mtype, payload);
+                if sendrec {
+                    if let Some(entry) = self.entry_mut(sender_pid) {
+                        entry.state = ProcState::Blocked(BlockReason::Receiving {
+                            from: Some(caller_ep),
+                        });
+                    }
+                } else {
+                    self.ready_with(sender_pid, Reply::Ok);
+                }
+            }
+            None => {
+                if let Some(entry) = self.entry_mut(caller) {
+                    entry.state = ProcState::Blocked(BlockReason::Receiving { from });
+                }
+            }
+        }
+    }
+
+    fn do_notify(&mut self, caller: Pid, dest: Endpoint) {
+        let Some((caller_ep, caller_ac)) = self
+            .entry_ref(caller)
+            .map(|e| (e.pcb.endpoint, e.pcb.ac_id))
+        else {
+            return;
+        };
+        let Some(dest_pid) = self.lookup_live(dest) else {
+            self.ready_with(caller, Reply::Err(MinixError::DeadSourceOrDestination));
+            return;
+        };
+        let dest_ac = self.entry_ref(dest_pid).expect("live").pcb.ac_id;
+        if !self
+            .acm
+            .check(caller_ac, dest_ac, MsgType::new(pm::NOTIFY_MTYPE))
+            .is_allowed()
+        {
+            self.metrics.access_denied += 1;
+            self.trace.record(
+                self.clock.now(),
+                Some(caller),
+                "acm.deny",
+                format!("{caller_ac} -> {dest_ac} notify"),
+            );
+            self.ready_with(caller, Reply::Err(MinixError::CallDenied));
+            return;
+        }
+
+        let dest_waiting = matches!(
+            self.entry_ref(dest_pid).expect("live").state,
+            ProcState::Blocked(BlockReason::Receiving { from })
+                if from.is_none() || from == Some(caller_ep)
+        );
+        if dest_waiting {
+            self.ready_with(
+                dest_pid,
+                Reply::Msg(Message::new(caller_ep, pm::NOTIFY_MTYPE, Payload::zeroed())),
+            );
+            self.metrics.ipc_messages += 1;
+        } else if let Some(entry) = self.entry_mut(dest_pid) {
+            entry.pcb.queue_notify(caller_ep);
+        }
+        // Notify never blocks the caller.
+        self.ready_with(caller, Reply::Ok);
+    }
+
+    /// Copies a message into `dest`'s reply slot and makes it runnable.
+    fn deliver(&mut self, source: Endpoint, dest: Pid, mtype: u32, payload: Payload) {
+        self.metrics.ipc_messages += 1;
+        self.metrics.ipc_bytes += Message::WIRE_SIZE as u64;
+        self.clock.charge_ipc_copy(Message::WIRE_SIZE);
+        self.trace.record(
+            self.clock.now(),
+            Some(dest),
+            "ipc.deliver",
+            format!("{source} -> {} m{mtype}", dest),
+        );
+        self.ready_with(dest, Reply::Msg(Message::new(source, mtype, payload)));
+    }
+
+    fn ready_with(&mut self, pid: Pid, reply: Reply) {
+        if let Some(entry) = self.entry_mut(pid) {
+            entry.pending_reply = Some(reply);
+            entry.state = ProcState::Runnable;
+            self.run_queue.enqueue(pid);
+        }
+    }
+
+    // ----- PM server -------------------------------------------------------------
+
+    /// Handles a message addressed to PM; returns the reply `(mtype,
+    /// payload)` or `None` when the caller terminated.
+    fn handle_pm(&mut self, caller: Pid, mtype: u32, payload: Payload) -> Option<(u32, Payload)> {
+        let (caller_ac, caller_uid, caller_ep) = {
+            let e = self.entry_ref(caller)?;
+            (e.pcb.ac_id, e.pcb.uid, e.pcb.endpoint)
+        };
+        match mtype {
+            pm::PM_FORK2 | pm::PM_SRV_FORK2 => {
+                if self.quotas.charge(caller_ac, SyscallClass::Fork).is_err() {
+                    self.trace.record(
+                        self.clock.now(),
+                        Some(caller),
+                        "quota.deny",
+                        format!("{caller_ac} fork quota exhausted"),
+                    );
+                    return Some((pm::PM_ERR, pm::encode_err(MinixError::QuotaExceeded)));
+                }
+                let (program_id, child_ac, child_uid) = pm::decode_fork2(&payload);
+                let Some((prog_name, factory)) = self.programs.get(program_id as usize) else {
+                    return Some((pm::PM_ERR, pm::encode_err(MinixError::NoSuchProgram)));
+                };
+                let child_logic = factory();
+                // First instance of a program keeps the program name (so
+                // name-service lookups find the well-known processes);
+                // further instances — e.g. fork-bomb children — get a
+                // uniquifying suffix.
+                let child_name = if self.names.contains_key(prog_name.as_str()) {
+                    format!("{prog_name}#{}", self.metrics.processes_created + 1)
+                } else {
+                    prog_name.clone()
+                };
+                match self.spawn(child_name, child_ac, child_uid, child_logic) {
+                    Ok(child_ep) => Some((pm::PM_OK, pm::encode_fork2_ok(child_ep))),
+                    Err(e) => Some((pm::PM_ERR, pm::encode_err(e))),
+                }
+            }
+            pm::PM_KILL => {
+                let target = pm::decode_kill(&payload);
+                if target == pm::PM_ENDPOINT {
+                    return Some((pm::PM_ERR, pm::encode_err(MinixError::PermissionDenied)));
+                }
+                if self.quotas.charge(caller_ac, SyscallClass::Kill).is_err() {
+                    return Some((pm::PM_ERR, pm::encode_err(MinixError::QuotaExceeded)));
+                }
+                let Some(target_pid) = self.lookup_live(target) else {
+                    return Some((pm::PM_ERR, pm::encode_err(MinixError::NoSuchProcess)));
+                };
+                let target_uid = self.entry_ref(target_pid).expect("live").pcb.uid;
+                // POSIX-style DAC check. Note: on MINIX this is *in
+                // addition to* the ACM having allowed the KILL message type
+                // at all.
+                if caller_uid != 0 && caller_uid != target_uid {
+                    return Some((pm::PM_ERR, pm::encode_err(MinixError::PermissionDenied)));
+                }
+                self.trace.record(
+                    self.clock.now(),
+                    Some(caller),
+                    "pm.kill",
+                    format!("{caller_ep} killed {target}"),
+                );
+                self.terminate(target_pid);
+                if target_pid == caller {
+                    return None;
+                }
+                Some((pm::PM_OK, Payload::zeroed()))
+            }
+            pm::PM_EXIT => {
+                self.trace.record(
+                    self.clock.now(),
+                    Some(caller),
+                    "proc.exit",
+                    "pm exit".into(),
+                );
+                self.terminate(caller);
+                None
+            }
+            pm::PM_GETPID => {
+                let mut p = Payload::zeroed();
+                p.write_u32(0, caller.as_u32());
+                p.write_u32(4, caller_ep.as_raw());
+                Some((pm::PM_OK, p))
+            }
+            _ => Some((pm::PM_ERR, pm::encode_err(MinixError::InvalidArgument))),
+        }
+    }
+
+    // ----- termination -----------------------------------------------------------
+
+    fn terminate(&mut self, pid: Pid) {
+        let Some(entry) = self
+            .slots
+            .get_mut(pid.as_usize())
+            .and_then(|s| s.entry.take())
+        else {
+            return;
+        };
+        let dead_ep = entry.pcb.endpoint;
+        self.slots[pid.as_usize()].generation =
+            self.slots[pid.as_usize()].generation.wrapping_add(1);
+        self.run_queue.remove(pid);
+        self.timers.cancel(pid);
+        self.names.retain(|_, ep| *ep != dead_ep);
+        self.metrics.processes_reaped += 1;
+        if self.last_run == Some(pid) {
+            self.last_run = None;
+        }
+
+        // Unblock anyone waiting on the dead process.
+        let waiters: Vec<Pid> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, s)| {
+                let e = s.entry.as_ref()?;
+                let blocked_on_dead = match &e.state {
+                    ProcState::Blocked(BlockReason::Sending { dest, .. }) => *dest == dead_ep,
+                    ProcState::Blocked(BlockReason::Receiving { from }) => *from == Some(dead_ep),
+                    _ => false,
+                };
+                blocked_on_dead.then(|| Pid::new(idx as u32))
+            })
+            .collect();
+        for w in waiters {
+            self.ready_with(w, Reply::Err(MinixError::DeadSourceOrDestination));
+        }
+    }
+
+    // ----- slot helpers ---------------------------------------------------------
+
+    fn lookup_live(&self, ep: Endpoint) -> Option<Pid> {
+        let slot = self.slots.get(ep.slot() as usize)?;
+        let entry = slot.entry.as_ref()?;
+        (entry.pcb.endpoint == ep).then_some(entry.pcb.pid)
+    }
+
+    fn entry_ref(&self, pid: Pid) -> Option<&ProcEntry> {
+        self.slots
+            .get(pid.as_usize())
+            .and_then(|s| s.entry.as_ref())
+    }
+
+    fn entry_mut(&mut self, pid: Pid) -> Option<&mut ProcEntry> {
+        self.slots
+            .get_mut(pid.as_usize())
+            .and_then(|s| s.entry.as_mut())
+    }
+}
+
+enum SafeCopyDir {
+    From(usize),
+    To(Vec<u8>),
+}
+
+/// Maps grant-table failures to MINIX errnos.
+fn grant_errno(err: GrantError) -> MinixError {
+    match err {
+        GrantError::NotGrantee | GrantError::PermissionDenied => MinixError::PermissionDenied,
+        GrantError::NoSuchBuffer | GrantError::NoSuchGrant | GrantError::OutOfBounds => {
+            MinixError::InvalidArgument
+        }
+    }
+}

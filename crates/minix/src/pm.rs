@@ -1,0 +1,165 @@
+//! Process-management (PM) server protocol.
+//!
+//! §III-A: "in MINIX 3 all POSIX-compliant system calls such as fork, kill,
+//! exit, etc. can only be invoked by sending a message through kernel IPC
+//! primitives between the caller process and the process management (PM)
+//! process." The reproduction keeps that shape: there is no `fork` or
+//! `kill` trap — processes *message* PM, and because every message transits
+//! the kernel, the ACM gates which process may ask PM for which operation.
+//! That is exactly how the paper stops the root-privileged web interface
+//! from killing the controller: "the policy explicitly disallowed the web
+//! interface process to use kill system call."
+//!
+//! This module defines the wire protocol (message types and payload
+//! layouts) plus an ACM policy helper; the handler lives in
+//! [`crate::kernel`] because it manipulates the process table.
+
+use bas_acm::{AcId, AcmBuilder, MsgType};
+
+use crate::endpoint::Endpoint;
+use crate::error::MinixError;
+use crate::message::Payload;
+
+/// PM's access-control identity (system range).
+pub const PM_AC_ID: AcId = AcId::new(1);
+
+/// PM's well-known endpoint: slot 0, generation 0 (PM never dies).
+pub const PM_ENDPOINT: Endpoint = Endpoint::new(0, 0);
+
+/// Message type used for kernel notifications and generic acknowledgments
+/// (type 0 is "reserved to indicate an acknowledgment to the caller").
+pub const NOTIFY_MTYPE: u32 = 0;
+
+/// `fork2(program, ac_id, uid)` — load a registered program image as a new
+/// process with an explicit access-control identity (replaces `fork()`).
+pub const PM_FORK2: u32 = 1;
+/// `srv_fork2` — the system-server variant of `fork2` used during boot.
+pub const PM_SRV_FORK2: u32 = 2;
+/// `kill(endpoint)` — terminate another process.
+pub const PM_KILL: u32 = 3;
+/// `exit()` — terminate the caller.
+pub const PM_EXIT: u32 = 4;
+/// `getpid()` — query the caller's pid.
+pub const PM_GETPID: u32 = 5;
+
+/// PM success reply type (payload is operation-specific).
+pub const PM_OK: u32 = 0;
+/// PM error reply type (payload carries a [`MinixError`] code at offset 0).
+pub const PM_ERR: u32 = 63;
+
+/// Encodes a `fork2`/`srv_fork2` request payload.
+pub fn encode_fork2(program_id: u32, ac_id: AcId, uid: u32) -> Payload {
+    let mut p = Payload::zeroed();
+    p.write_u32(0, program_id);
+    p.write_u32(4, ac_id.as_u32());
+    p.write_u32(8, uid);
+    p
+}
+
+/// Decodes a `fork2` request payload as `(program_id, ac_id, uid)`.
+pub fn decode_fork2(p: &Payload) -> (u32, AcId, u32) {
+    (p.read_u32(0), AcId::new(p.read_u32(4)), p.read_u32(8))
+}
+
+/// Encodes a `fork2` success reply carrying the child endpoint.
+pub fn encode_fork2_ok(child: Endpoint) -> Payload {
+    let mut p = Payload::zeroed();
+    p.write_u32(0, child.as_raw());
+    p
+}
+
+/// Decodes a `fork2` success reply.
+pub fn decode_fork2_ok(p: &Payload) -> Endpoint {
+    Endpoint::from_raw(p.read_u32(0))
+}
+
+/// Encodes a `kill` request for `target`.
+pub fn encode_kill(target: Endpoint) -> Payload {
+    let mut p = Payload::zeroed();
+    p.write_u32(0, target.as_raw());
+    p
+}
+
+/// Decodes a `kill` request.
+pub fn decode_kill(p: &Payload) -> Endpoint {
+    Endpoint::from_raw(p.read_u32(0))
+}
+
+/// Encodes a PM error reply.
+pub fn encode_err(e: MinixError) -> Payload {
+    let mut p = Payload::zeroed();
+    p.write_u32(0, e.code());
+    p
+}
+
+/// Decodes a PM error reply, if the payload holds a known code.
+pub fn decode_err(p: &Payload) -> Option<MinixError> {
+    MinixError::from_code(p.read_u32(0))
+}
+
+/// Grants `ac` the given PM operations (plus the PM reply channel back).
+///
+/// Every process that talks to PM needs two ACM rows: `ac → PM` for the
+/// permitted request types, and `PM → ac` for `PM_OK`/`PM_ERR` replies.
+pub fn allow_pm_ops<I: IntoIterator<Item = u32>>(
+    builder: AcmBuilder,
+    ac: AcId,
+    ops: I,
+) -> AcmBuilder {
+    builder
+        .allow(ac, PM_AC_ID, ops.into_iter().map(MsgType::new))
+        .allow(PM_AC_ID, ac, [MsgType::new(PM_OK), MsgType::new(PM_ERR)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_acm::AccessControlMatrix;
+
+    #[test]
+    fn fork2_payload_roundtrip() {
+        let p = encode_fork2(7, AcId::new(104), 33);
+        assert_eq!(decode_fork2(&p), (7, AcId::new(104), 33));
+    }
+
+    #[test]
+    fn fork2_reply_roundtrip() {
+        let child = Endpoint::new(9, 3);
+        assert_eq!(decode_fork2_ok(&encode_fork2_ok(child)), child);
+    }
+
+    #[test]
+    fn kill_payload_roundtrip() {
+        let target = Endpoint::new(2, 1);
+        assert_eq!(decode_kill(&encode_kill(target)), target);
+    }
+
+    #[test]
+    fn err_payload_roundtrip() {
+        let p = encode_err(MinixError::PermissionDenied);
+        assert_eq!(decode_err(&p), Some(MinixError::PermissionDenied));
+        assert_eq!(decode_err(&Payload::zeroed()), None);
+    }
+
+    #[test]
+    fn allow_pm_ops_grants_request_and_reply_rows() {
+        let ac = AcId::new(104);
+        let acm: AccessControlMatrix =
+            allow_pm_ops(AccessControlMatrix::builder(), ac, [PM_FORK2, PM_GETPID]).build();
+        assert!(acm.check(ac, PM_AC_ID, MsgType::new(PM_FORK2)).is_allowed());
+        assert!(acm
+            .check(ac, PM_AC_ID, MsgType::new(PM_GETPID))
+            .is_allowed());
+        assert!(!acm.check(ac, PM_AC_ID, MsgType::new(PM_KILL)).is_allowed());
+        assert!(acm.check(PM_AC_ID, ac, MsgType::new(PM_OK)).is_allowed());
+        assert!(acm.check(PM_AC_ID, ac, MsgType::new(PM_ERR)).is_allowed());
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn pm_reply_types_fit_acm_bitmap() {
+        // PM_ERR is the highest type and must stay inside the 64-bit
+        // bitmap representation.
+        assert!(PM_ERR < 64);
+    }
+}

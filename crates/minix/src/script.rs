@@ -1,0 +1,172 @@
+//! Scripted processes: linear syscall sequences for tests and attacks.
+//!
+//! Many experiments (and most unit tests) need a process that issues a
+//! fixed sequence of system calls and records the kernel's replies — e.g.
+//! the §IV-D spoofing attack is literally "send these forged messages and
+//! see what comes back". [`ScriptProcess`] is that, with an optional shared
+//! reply log the test can inspect after the kernel has consumed the
+//! process.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bas_sim::process::{Action, Process};
+
+use crate::syscall::{Reply, Syscall};
+
+/// Shared handle to a script's recorded replies.
+///
+/// Entry *i* is the reply that arrived before issuing step *i* (so entry 0
+/// is always `None`, and the reply to the final syscall lands in the entry
+/// pushed on the script's last resume).
+pub type ReplyLog = Rc<RefCell<Vec<Option<Reply>>>>;
+
+/// A process that executes a fixed list of syscalls in order and then
+/// exits (or loops forever).
+///
+/// ```
+/// use bas_minix::script::ScriptProcess;
+/// use bas_minix::syscall::Syscall;
+/// use bas_sim::process::{Action, Process};
+///
+/// let mut p = ScriptProcess::new(vec![Syscall::GetUptime]);
+/// assert!(matches!(p.resume(None), Action::Syscall(Syscall::GetUptime)));
+/// assert!(matches!(p.resume(None), Action::Exit(0)));
+/// ```
+pub struct ScriptProcess {
+    name: String,
+    steps: Vec<Syscall>,
+    idx: usize,
+    log: Option<ReplyLog>,
+    looping: bool,
+}
+
+impl ScriptProcess {
+    /// A script that runs once and exits with code 0.
+    pub fn new(steps: Vec<Syscall>) -> Self {
+        ScriptProcess {
+            name: "script".into(),
+            steps,
+            idx: 0,
+            log: None,
+            looping: false,
+        }
+    }
+
+    /// A named one-shot script.
+    pub fn named(name: impl Into<String>, steps: Vec<Syscall>) -> Self {
+        ScriptProcess {
+            name: name.into(),
+            ..ScriptProcess::new(steps)
+        }
+    }
+
+    /// A one-shot script plus a shared log of every reply it receives.
+    pub fn with_log(steps: Vec<Syscall>) -> (Self, ReplyLog) {
+        let log: ReplyLog = Rc::new(RefCell::new(Vec::new()));
+        let p = ScriptProcess {
+            log: Some(log.clone()),
+            ..ScriptProcess::new(steps)
+        };
+        (p, log)
+    }
+
+    /// A script that repeats its steps forever (flooding attacks, periodic
+    /// stubs).
+    pub fn looping(steps: Vec<Syscall>) -> Self {
+        assert!(!steps.is_empty(), "looping script needs at least one step");
+        ScriptProcess {
+            looping: true,
+            ..ScriptProcess::new(steps)
+        }
+    }
+
+    /// Attaches a shared reply log to any script.
+    pub fn logged(mut self) -> (Self, ReplyLog) {
+        let log: ReplyLog = Rc::new(RefCell::new(Vec::new()));
+        self.log = Some(log.clone());
+        (self, log)
+    }
+}
+
+impl Process for ScriptProcess {
+    type Syscall = Syscall;
+    type Reply = Reply;
+
+    fn resume(&mut self, reply: Option<Reply>) -> Action<Syscall> {
+        if let Some(log) = &self.log {
+            log.borrow_mut().push(reply);
+        }
+        if self.idx >= self.steps.len() {
+            if self.looping {
+                self.idx = 0;
+            } else {
+                return Action::Exit(0);
+            }
+        }
+        let step = self.steps[self.idx].clone();
+        self.idx += 1;
+        Action::Syscall(step)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Extracts the non-`None` replies from a [`ReplyLog`].
+pub fn collected_replies(log: &ReplyLog) -> Vec<Reply> {
+    log.borrow().iter().flatten().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::Endpoint;
+
+    #[test]
+    fn one_shot_script_exits_after_steps() {
+        let mut p = ScriptProcess::new(vec![Syscall::GetUptime, Syscall::WhoAmI]);
+        assert!(matches!(
+            p.resume(None),
+            Action::Syscall(Syscall::GetUptime)
+        ));
+        assert!(matches!(
+            p.resume(Some(Reply::Ok)),
+            Action::Syscall(Syscall::WhoAmI)
+        ));
+        assert!(matches!(p.resume(Some(Reply::Ok)), Action::Exit(0)));
+    }
+
+    #[test]
+    fn looping_script_wraps_around() {
+        let mut p = ScriptProcess::looping(vec![Syscall::GetUptime]);
+        for _ in 0..10 {
+            assert!(matches!(
+                p.resume(None),
+                Action::Syscall(Syscall::GetUptime)
+            ));
+        }
+    }
+
+    #[test]
+    fn log_captures_replies_in_order() {
+        let (mut p, log) = ScriptProcess::with_log(vec![
+            Syscall::GetUptime,
+            Syscall::send(Endpoint::new(1, 0), 1, []),
+        ]);
+        let _ = p.resume(None);
+        let _ = p.resume(Some(Reply::Ok));
+        let _ = p.resume(Some(Reply::Ok));
+        let replies = collected_replies(&log);
+        assert_eq!(replies, vec![Reply::Ok, Reply::Ok]);
+        assert_eq!(log.borrow().len(), 3);
+        assert_eq!(log.borrow()[0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_looping_script_rejected() {
+        let _ = ScriptProcess::looping(vec![]);
+    }
+}

@@ -1,0 +1,1062 @@
+//! The simulated seL4 kernel.
+//!
+//! The kernel's entire access-control state is the set of capabilities in
+//! thread CSpaces; there is no ambient authority, no uid, no name service.
+//! "The designers of seL4 wanted a minimal kernel where all access-control
+//! policy was specified in user space. To do this, the kernel simply hands
+//! over all capabilities to the bootstrap process" — the bootstrap path
+//! here is the `create_*`/`grant_*` API used by `bas-capdl`'s realizer.
+
+use bas_sim::clock::{CostModel, VirtualClock};
+use bas_sim::device::DeviceBus;
+use bas_sim::device::DeviceId;
+use bas_sim::metrics::KernelMetrics;
+use bas_sim::process::{Action, Pid, ProcState};
+use bas_sim::sched::RunQueue;
+use bas_sim::time::SimTime;
+use bas_sim::timer::TimerQueue;
+use bas_sim::trace::TraceLog;
+
+use crate::cap::{CPtr, CapTarget, Capability};
+use crate::cspace::CSpace;
+use crate::error::Sel4Error;
+use crate::message::{DeliveredMessage, IpcMessage};
+use crate::objects::{KernelObject, ObjId};
+use crate::rights::CapRights;
+use crate::syscall::{Reply, RetypeKind, Syscall};
+
+/// A boxed seL4 user thread.
+pub type Sel4Thread = Box<dyn bas_sim::process::Process<Syscall = Syscall, Reply = Reply>>;
+
+/// Why a thread is blocked.
+#[derive(Debug)]
+enum Block {
+    SendingOn { ep: ObjId, queued: QueuedSend },
+    ReceivingOn { ep: ObjId },
+    WaitingNtfn { ntfn: ObjId },
+    AwaitingReply,
+}
+
+#[derive(Debug)]
+struct QueuedSend {
+    badge: u64,
+    label: u64,
+    words: Vec<u64>,
+    caps: Vec<Capability>,
+    is_call: bool,
+}
+
+struct ThreadEntry {
+    name: String,
+    cspace: CSpace,
+    state: ProcState<Block>,
+    logic: Option<Sel4Thread>,
+    pending_reply: Option<Reply>,
+    /// The one-shot reply capability installed by a received `Call`.
+    reply_slot: Option<Capability>,
+    started: bool,
+}
+
+/// Kernel construction parameters.
+#[derive(Debug, Clone)]
+pub struct Sel4Config {
+    /// Maximum number of threads.
+    pub max_threads: usize,
+    /// CSpace size per thread.
+    pub cspace_slots: usize,
+    /// Virtual-time cost model.
+    pub cost_model: CostModel,
+    /// Trace capacity in events.
+    pub trace_capacity: usize,
+}
+
+impl Default for Sel4Config {
+    fn default() -> Self {
+        Sel4Config {
+            max_threads: 32,
+            cspace_slots: 64,
+            cost_model: CostModel::default(),
+            trace_capacity: TraceLog::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// The simulated seL4 kernel.
+pub struct Sel4Kernel {
+    config: Sel4Config,
+    objects: Vec<KernelObject>,
+    threads: Vec<Option<ThreadEntry>>,
+    run_queue: RunQueue,
+    timers: TimerQueue,
+    clock: VirtualClock,
+    metrics: KernelMetrics,
+    trace: TraceLog,
+    devices: DeviceBus,
+    last_run: Option<Pid>,
+}
+
+impl std::fmt::Debug for Sel4Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sel4Kernel")
+            .field("now", &self.clock.now())
+            .field("objects", &self.objects.len())
+            .field("threads", &self.thread_count())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl Sel4Kernel {
+    /// Boots an empty kernel.
+    pub fn new(config: Sel4Config) -> Self {
+        Sel4Kernel {
+            objects: Vec::new(),
+            threads: Vec::new(),
+            run_queue: RunQueue::new(),
+            timers: TimerQueue::new(),
+            clock: VirtualClock::new(config.cost_model),
+            metrics: KernelMetrics::default(),
+            trace: TraceLog::with_capacity(config.trace_capacity),
+            devices: DeviceBus::new(),
+            last_run: None,
+            config,
+        }
+    }
+
+    // ----- bootstrap API ----------------------------------------------------
+
+    /// Allocates an endpoint object.
+    pub fn create_endpoint(&mut self) -> ObjId {
+        self.alloc_object(KernelObject::Endpoint)
+    }
+
+    /// Allocates a notification object.
+    pub fn create_notification(&mut self) -> ObjId {
+        self.alloc_object(KernelObject::Notification { word: 0 })
+    }
+
+    /// Allocates a device object mapping a simulated device.
+    pub fn create_device(&mut self, dev: DeviceId) -> ObjId {
+        self.alloc_object(KernelObject::Device { dev })
+    }
+
+    /// Allocates an untyped-memory region of `total` bytes.
+    pub fn create_untyped(&mut self, total: usize) -> ObjId {
+        self.alloc_object(KernelObject::Untyped { total, consumed: 0 })
+    }
+
+    /// Creates a thread (initially suspended) and its TCB object; returns
+    /// the thread's pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread table is full.
+    pub fn create_thread(&mut self, name: impl Into<String>, logic: Sel4Thread) -> Pid {
+        assert!(
+            self.threads.len() < self.config.max_threads,
+            "thread table full"
+        );
+        let pid = Pid::new(self.threads.len() as u32);
+        self.threads.push(Some(ThreadEntry {
+            name: name.into(),
+            cspace: CSpace::new(self.config.cspace_slots),
+            state: ProcState::Runnable,
+            logic: Some(logic),
+            pending_reply: None,
+            reply_slot: None,
+            started: false,
+        }));
+        let tcb = self.alloc_object(KernelObject::Tcb { pid });
+        let _ = tcb;
+        self.metrics.processes_created += 1;
+        pid
+    }
+
+    /// The TCB object backing `pid`, if the thread exists.
+    pub fn tcb_of(&self, pid: Pid) -> Option<ObjId> {
+        self.objects.iter().enumerate().find_map(|(i, o)| match o {
+            KernelObject::Tcb { pid: p } if *p == pid => Some(ObjId::new(i as u32)),
+            _ => None,
+        })
+    }
+
+    /// Installs an arbitrary capability into a thread's next free slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Sel4Error::InvalidCapability`] for an unknown thread, or
+    /// [`Sel4Error::NoFreeSlot`] if the CSpace is full.
+    pub fn grant_cap(&mut self, pid: Pid, cap: Capability) -> Result<CPtr, Sel4Error> {
+        let entry = self.entry_mut(pid).ok_or(Sel4Error::InvalidCapability)?;
+        entry.cspace.insert(cap)
+    }
+
+    /// Installs a capability at an explicit slot (CapDL layouts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSpace insertion errors.
+    pub fn grant_cap_at(&mut self, pid: Pid, slot: CPtr, cap: Capability) -> Result<(), Sel4Error> {
+        let entry = self.entry_mut(pid).ok_or(Sel4Error::InvalidCapability)?;
+        entry.cspace.insert_at(slot, cap)
+    }
+
+    /// Convenience: grants an endpoint capability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Sel4Kernel::grant_cap`] errors.
+    pub fn grant_endpoint(
+        &mut self,
+        pid: Pid,
+        ep: ObjId,
+        rights: CapRights,
+        badge: u64,
+    ) -> Result<CPtr, Sel4Error> {
+        self.grant_cap(pid, Capability::to_object(ep, rights, badge))
+    }
+
+    /// Makes a created thread runnable.
+    pub fn start_thread(&mut self, pid: Pid) {
+        if let Some(entry) = self.entry_mut(pid) {
+            if !entry.started {
+                entry.started = true;
+                entry.state = ProcState::Runnable;
+            }
+        }
+        self.run_queue.enqueue(pid);
+        self.trace
+            .record(self.clock.now(), Some(pid), "thread.start", String::new());
+    }
+
+    /// Mutable access to the device bus, for installing plant devices.
+    pub fn devices_mut(&mut self) -> &mut DeviceBus {
+        &mut self.devices
+    }
+
+    // ----- introspection ------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Kernel counters.
+    pub fn metrics(&self) -> &KernelMetrics {
+        &self.metrics
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Disables tracing (throughput benchmarks).
+    pub fn disable_trace(&mut self) {
+        self.trace.disable();
+    }
+
+    /// A thread's CSpace (CapDL verification reads this).
+    pub fn cspace_of(&self, pid: Pid) -> Option<&CSpace> {
+        self.entry_ref(pid).map(|e| &e.cspace)
+    }
+
+    /// The kernel object behind an id.
+    pub fn object(&self, obj: ObjId) -> Option<&KernelObject> {
+        self.objects.get(obj.as_usize())
+    }
+
+    /// Finds a live thread by name.
+    pub fn thread_named(&self, name: &str) -> Option<Pid> {
+        self.threads.iter().enumerate().find_map(|(i, t)| {
+            t.as_ref()
+                .filter(|e| e.name == name)
+                .map(|_| Pid::new(i as u32))
+        })
+    }
+
+    /// True if the thread exists and has not been suspended/terminated.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.entry_ref(pid).is_some()
+    }
+
+    /// Number of live threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Names of live threads, sorted.
+    pub fn alive_thread_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .threads
+            .iter()
+            .filter_map(|t| t.as_ref().map(|e| e.name.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    // ----- execution ------------------------------------------------------------
+
+    /// Runs until virtual time reaches `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            self.fire_due_timers();
+            if self.clock.now() >= t {
+                return;
+            }
+            if let Some(pid) = self.run_queue.dequeue() {
+                self.dispatch(pid);
+            } else {
+                match self.timers.next_deadline() {
+                    Some(d) if d <= t => self.clock.advance_to(d),
+                    _ => {
+                        self.clock.advance_to(t);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until nothing is runnable and no timer is armed.
+    pub fn run_to_quiescence(&mut self) -> usize {
+        let mut steps = 0;
+        loop {
+            self.fire_due_timers();
+            let Some(pid) = self.run_queue.dequeue() else {
+                match self.timers.next_deadline() {
+                    Some(d) => {
+                        self.clock.advance_to(d);
+                        continue;
+                    }
+                    None => return steps,
+                }
+            };
+            self.dispatch(pid);
+            steps += 1;
+            assert!(steps < 5_000_000, "kernel failed to quiesce");
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        for pid in self.timers.pop_due(self.clock.now()) {
+            if let Some(entry) = self.entry_mut(pid) {
+                if matches!(entry.state, ProcState::Sleeping) {
+                    entry.state = ProcState::Runnable;
+                    entry.pending_reply = Some(Reply::Ok);
+                    self.run_queue.enqueue(pid);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, pid: Pid) {
+        let Some(entry) = self.entry_mut(pid) else {
+            return;
+        };
+        if !entry.state.is_runnable() {
+            return;
+        }
+        let mut logic = entry.logic.take().expect("runnable thread has logic");
+        let reply = entry.pending_reply.take();
+
+        if self.last_run != Some(pid) {
+            self.clock.charge_context_switch();
+            self.metrics.context_switches += 1;
+            self.last_run = Some(pid);
+        }
+        self.clock.charge_user_compute();
+
+        let action = logic.resume(reply);
+        if let Some(entry) = self.entry_mut(pid) {
+            entry.logic = Some(logic);
+        }
+
+        match action {
+            Action::Syscall(sys) => {
+                self.metrics.kernel_entries += 1;
+                self.clock.charge_kernel_entry();
+                self.clock.charge_syscall_dispatch();
+                self.handle_syscall(pid, sys);
+            }
+            Action::Yield => self.run_queue.enqueue(pid),
+            Action::Exit(code) => {
+                self.trace.record(
+                    self.clock.now(),
+                    Some(pid),
+                    "thread.exit",
+                    format!("code={code}"),
+                );
+                self.terminate(pid);
+            }
+        }
+    }
+
+    // ----- syscalls --------------------------------------------------------------
+
+    fn handle_syscall(&mut self, pid: Pid, sys: Syscall) {
+        match sys {
+            Syscall::Send { ep, msg } => self.do_send(pid, ep, msg, true, false),
+            Syscall::NBSend { ep, msg } => self.do_send(pid, ep, msg, false, false),
+            Syscall::Call { ep, msg } => self.do_send(pid, ep, msg, true, true),
+            Syscall::Recv { ep } => self.do_recv(pid, ep, true),
+            Syscall::NBRecv { ep } => self.do_recv(pid, ep, false),
+            Syscall::Reply { msg } => self.do_reply(pid, msg),
+            Syscall::Signal { ntfn } => self.do_signal(pid, ntfn),
+            Syscall::Wait { ntfn } => self.do_wait(pid, ntfn),
+            Syscall::Mint { src, rights, badge } => self.do_mint(pid, src, rights, badge),
+            Syscall::Delete { slot } => {
+                let r = match self
+                    .entry_mut(pid)
+                    .expect("caller alive")
+                    .cspace
+                    .remove(slot)
+                {
+                    Ok(_) => Reply::Ok,
+                    Err(e) => Reply::Err(e),
+                };
+                self.ready_with(pid, r);
+            }
+            Syscall::Identify { slot } => {
+                let r = match self
+                    .entry_ref(pid)
+                    .expect("caller alive")
+                    .cspace
+                    .lookup(slot)
+                {
+                    Ok(cap) => match cap.target {
+                        CapTarget::Object(obj) => {
+                            Reply::Identified(self.object(obj).map(KernelObject::kind))
+                        }
+                        CapTarget::Reply(_) => Reply::Identified(None),
+                    },
+                    Err(e) => Reply::Err(e),
+                };
+                self.ready_with(pid, r);
+            }
+            Syscall::TcbSuspend { tcb } => self.do_tcb_suspend(pid, tcb),
+            Syscall::Sleep { duration } => {
+                let deadline = self.clock.now() + duration;
+                self.timers.arm(deadline, pid);
+                if let Some(entry) = self.entry_mut(pid) {
+                    entry.state = ProcState::Sleeping;
+                }
+            }
+            Syscall::GetTime => {
+                let now = self.clock.now();
+                self.ready_with(pid, Reply::Time(now));
+            }
+            Syscall::DevRead { dev } => self.do_device(pid, dev, None),
+            Syscall::DevWrite { dev, value } => self.do_device(pid, dev, Some(value)),
+            Syscall::Retype { untyped, kind } => self.do_retype(pid, untyped, kind),
+        }
+    }
+
+    fn do_retype(&mut self, caller: Pid, untyped_ptr: CPtr, kind: RetypeKind) {
+        let cap = match self
+            .entry_ref(caller)
+            .expect("caller alive")
+            .cspace
+            .lookup(untyped_ptr)
+        {
+            Ok(c) => c,
+            Err(e) => return self.deny(caller, e, "retype"),
+        };
+        let Some(obj) = cap.object() else {
+            return self.deny(caller, Sel4Error::WrongObjectType, "retype via reply cap");
+        };
+        if !matches!(self.object(obj), Some(KernelObject::Untyped { .. })) {
+            return self.deny(caller, Sel4Error::WrongObjectType, "retype of non-untyped");
+        }
+        if !cap.rights.write {
+            return self.deny(
+                caller,
+                Sel4Error::InsufficientRights,
+                "retype without write",
+            );
+        }
+        // Charge the region; creation is bounded by explicit authority.
+        let size = kind.size_bytes();
+        {
+            let Some(KernelObject::Untyped { total, consumed }) =
+                self.objects.get_mut(obj.as_usize())
+            else {
+                unreachable!("checked above");
+            };
+            if *consumed + size > *total {
+                self.ready_with(caller, Reply::Err(Sel4Error::OutOfMemory));
+                return;
+            }
+            *consumed += size;
+        }
+        let new_obj = match kind {
+            RetypeKind::Endpoint => self.alloc_object(KernelObject::Endpoint),
+            RetypeKind::Notification => self.alloc_object(KernelObject::Notification { word: 0 }),
+        };
+        let r = match self
+            .entry_mut(caller)
+            .expect("caller alive")
+            .cspace
+            .insert(Capability::to_object(new_obj, CapRights::ALL, 0))
+        {
+            Ok(slot) => Reply::Slot(slot),
+            Err(e) => Reply::Err(e),
+        };
+        self.trace.record(
+            self.clock.now(),
+            Some(caller),
+            "untyped.retype",
+            format!("{kind:?} from {obj}"),
+        );
+        self.ready_with(caller, r);
+    }
+
+    fn lookup_ep_cap(&self, pid: Pid, cptr: CPtr) -> Result<(ObjId, Capability), Sel4Error> {
+        let cap = self
+            .entry_ref(pid)
+            .ok_or(Sel4Error::InvalidCapability)?
+            .cspace
+            .lookup(cptr)?;
+        match cap.target {
+            CapTarget::Object(obj) => match self.object(obj) {
+                Some(KernelObject::Endpoint) => Ok((obj, cap)),
+                _ => Err(Sel4Error::WrongObjectType),
+            },
+            CapTarget::Reply(_) => Err(Sel4Error::WrongObjectType),
+        }
+    }
+
+    fn deny(&mut self, pid: Pid, err: Sel4Error, what: &str) {
+        self.metrics.access_denied += 1;
+        self.trace.record(
+            self.clock.now(),
+            Some(pid),
+            "cap.deny",
+            format!("{what}: {err}"),
+        );
+        self.ready_with(pid, Reply::Err(err));
+    }
+
+    fn do_send(
+        &mut self,
+        caller: Pid,
+        ep_ptr: CPtr,
+        msg: IpcMessage,
+        blocking: bool,
+        is_call: bool,
+    ) {
+        let (ep, cap) = match self.lookup_ep_cap(caller, ep_ptr) {
+            Ok(v) => v,
+            Err(e) => return self.deny(caller, e, "send"),
+        };
+        if !cap.rights.write {
+            return self.deny(caller, Sel4Error::InsufficientRights, "send without write");
+        }
+        if is_call && !cap.rights.grant {
+            // Paper: "If a thread is given grant access to an endpoint it
+            // can use seL4_Call."
+            return self.deny(caller, Sel4Error::InsufficientRights, "call without grant");
+        }
+        if !msg.caps.is_empty() && !cap.rights.grant {
+            return self.deny(
+                caller,
+                Sel4Error::InsufficientRights,
+                "cap transfer without grant",
+            );
+        }
+
+        // Resolve capabilities to transfer from the sender's CSpace.
+        let mut caps = Vec::with_capacity(msg.caps.len());
+        for src in &msg.caps {
+            match self
+                .entry_ref(caller)
+                .expect("caller alive")
+                .cspace
+                .lookup(*src)
+            {
+                Ok(c) => caps.push(c),
+                Err(e) => return self.deny(caller, e, "transfer source missing"),
+            }
+        }
+
+        let queued = QueuedSend {
+            badge: cap.badge,
+            label: msg.label,
+            words: msg.words,
+            caps,
+            is_call,
+        };
+
+        if let Some(receiver) = self.find_receiver(ep) {
+            self.rendezvous(caller, receiver, queued);
+        } else if blocking {
+            if let Some(entry) = self.entry_mut(caller) {
+                entry.state = ProcState::Blocked(Block::SendingOn { ep, queued });
+            }
+        } else {
+            self.ready_with(caller, Reply::Err(Sel4Error::NotReady));
+        }
+    }
+
+    fn do_recv(&mut self, caller: Pid, ep_ptr: CPtr, blocking: bool) {
+        let (ep, cap) = match self.lookup_ep_cap(caller, ep_ptr) {
+            Ok(v) => v,
+            Err(e) => return self.deny(caller, e, "recv"),
+        };
+        if !cap.rights.read {
+            return self.deny(caller, Sel4Error::InsufficientRights, "recv without read");
+        }
+
+        // Lowest-pid sender blocked on this endpoint.
+        let sender = self.threads.iter().enumerate().find_map(|(i, t)| {
+            let e = t.as_ref()?;
+            match &e.state {
+                ProcState::Blocked(Block::SendingOn { ep: s_ep, .. }) if *s_ep == ep => {
+                    Some(Pid::new(i as u32))
+                }
+                _ => None,
+            }
+        });
+
+        match sender {
+            Some(sender_pid) => {
+                let queued = {
+                    let entry = self.entry_mut(sender_pid).expect("sender alive");
+                    match std::mem::replace(&mut entry.state, ProcState::Runnable) {
+                        ProcState::Blocked(Block::SendingOn { queued, .. }) => queued,
+                        _ => unreachable!("sender was sending"),
+                    }
+                };
+                self.rendezvous_with_waiting_receiver(sender_pid, caller, queued);
+            }
+            None if blocking => {
+                if let Some(entry) = self.entry_mut(caller) {
+                    entry.state = ProcState::Blocked(Block::ReceivingOn { ep });
+                }
+            }
+            None => self.ready_with(caller, Reply::Err(Sel4Error::NotReady)),
+        }
+    }
+
+    /// Completes a rendezvous where the receiver was found blocked.
+    fn rendezvous(&mut self, sender: Pid, receiver: Pid, queued: QueuedSend) {
+        // Receiver was blocked ReceivingOn; clear its state first.
+        if let Some(entry) = self.entry_mut(receiver) {
+            entry.state = ProcState::Runnable;
+        }
+        self.complete_transfer(sender, receiver, queued);
+    }
+
+    /// Completes a rendezvous where the sender was found blocked (receiver
+    /// just called recv).
+    fn rendezvous_with_waiting_receiver(&mut self, sender: Pid, receiver: Pid, queued: QueuedSend) {
+        self.complete_transfer(sender, receiver, queued);
+    }
+
+    fn complete_transfer(&mut self, sender: Pid, receiver: Pid, queued: QueuedSend) {
+        let QueuedSend {
+            badge,
+            label,
+            words,
+            caps,
+            is_call,
+        } = queued;
+
+        // Install transferred caps into the receiver's CSpace; drops on
+        // overflow (with a trace record), as real seL4 truncates.
+        let mut received_caps = Vec::new();
+        for c in caps {
+            match self
+                .entry_mut(receiver)
+                .expect("receiver alive")
+                .cspace
+                .insert(c)
+            {
+                Ok(slot) => received_caps.push(slot),
+                Err(_) => self.trace.record(
+                    self.clock.now(),
+                    Some(receiver),
+                    "cap.dropped",
+                    "transfer overflowed receiver cspace".into(),
+                ),
+            }
+        }
+
+        let bytes = 8 + words.len() * 8;
+        self.metrics.ipc_messages += 1;
+        self.metrics.ipc_bytes += bytes as u64;
+        self.clock.charge_ipc_copy(bytes);
+        self.trace.record(
+            self.clock.now(),
+            Some(receiver),
+            "ipc.deliver",
+            format!("{sender} -> {receiver} label={label} badge={badge}"),
+        );
+
+        if is_call {
+            if let Some(entry) = self.entry_mut(receiver) {
+                entry.reply_slot = Some(Capability::reply_to(sender));
+            }
+            if let Some(entry) = self.entry_mut(sender) {
+                entry.state = ProcState::Blocked(Block::AwaitingReply);
+            }
+        } else {
+            self.ready_with(sender, Reply::Ok);
+        }
+
+        self.ready_with(
+            receiver,
+            Reply::Msg(DeliveredMessage {
+                badge,
+                label,
+                words,
+                received_caps,
+                reply_expected: is_call,
+            }),
+        );
+    }
+
+    fn do_reply(&mut self, caller: Pid, msg: IpcMessage) {
+        let reply_cap = match self.entry_mut(caller).and_then(|e| e.reply_slot.take()) {
+            Some(c) => c,
+            None => return self.deny(caller, Sel4Error::NoReplyCap, "reply"),
+        };
+        let CapTarget::Reply(target) = reply_cap.target else {
+            return self.deny(caller, Sel4Error::WrongObjectType, "reply slot corrupt");
+        };
+
+        // Resolve transferred caps (a reply cap carries grant).
+        let mut caps = Vec::with_capacity(msg.caps.len());
+        for src in &msg.caps {
+            match self
+                .entry_ref(caller)
+                .expect("caller alive")
+                .cspace
+                .lookup(*src)
+            {
+                Ok(c) => caps.push(c),
+                Err(e) => return self.deny(caller, e, "reply transfer source missing"),
+            }
+        }
+
+        let target_waiting = matches!(
+            self.entry_ref(target).map(|e| &e.state),
+            Some(ProcState::Blocked(Block::AwaitingReply))
+        );
+        if !target_waiting {
+            // Reply caps are one-shot: if the caller died or was restarted
+            // the reply is silently dropped (seL4 semantics).
+            self.trace.record(
+                self.clock.now(),
+                Some(caller),
+                "ipc.reply_dropped",
+                format!("target {target} not awaiting reply"),
+            );
+            self.ready_with(caller, Reply::Ok);
+            return;
+        }
+
+        let mut received_caps = Vec::new();
+        for c in caps {
+            if let Ok(slot) = self
+                .entry_mut(target)
+                .expect("target alive")
+                .cspace
+                .insert(c)
+            {
+                received_caps.push(slot);
+            }
+        }
+
+        let bytes = 8 + msg.words.len() * 8;
+        self.metrics.ipc_messages += 1;
+        self.metrics.ipc_bytes += bytes as u64;
+        self.clock.charge_ipc_copy(bytes);
+
+        self.ready_with(
+            target,
+            Reply::Msg(DeliveredMessage {
+                badge: 0,
+                label: msg.label,
+                words: msg.words,
+                received_caps,
+                reply_expected: false,
+            }),
+        );
+        self.ready_with(caller, Reply::Ok);
+    }
+
+    fn do_signal(&mut self, caller: Pid, ntfn_ptr: CPtr) {
+        let cap = match self
+            .entry_ref(caller)
+            .expect("caller alive")
+            .cspace
+            .lookup(ntfn_ptr)
+        {
+            Ok(c) => c,
+            Err(e) => return self.deny(caller, e, "signal"),
+        };
+        let Some(obj) = cap.object() else {
+            return self.deny(caller, Sel4Error::WrongObjectType, "signal on reply cap");
+        };
+        if !matches!(self.object(obj), Some(KernelObject::Notification { .. })) {
+            return self.deny(
+                caller,
+                Sel4Error::WrongObjectType,
+                "signal on non-notification",
+            );
+        }
+        if !cap.rights.write {
+            return self.deny(
+                caller,
+                Sel4Error::InsufficientRights,
+                "signal without write",
+            );
+        }
+
+        let waiter = self.threads.iter().enumerate().find_map(|(i, t)| {
+            let e = t.as_ref()?;
+            match &e.state {
+                ProcState::Blocked(Block::WaitingNtfn { ntfn }) if *ntfn == obj => {
+                    Some(Pid::new(i as u32))
+                }
+                _ => None,
+            }
+        });
+
+        let signal_bits = if cap.badge == 0 { 1 } else { cap.badge };
+        match waiter {
+            Some(w) => {
+                self.ready_with(
+                    w,
+                    Reply::Msg(DeliveredMessage {
+                        badge: signal_bits,
+                        label: 0,
+                        words: vec![],
+                        received_caps: vec![],
+                        reply_expected: false,
+                    }),
+                );
+            }
+            None => {
+                if let Some(KernelObject::Notification { word }) =
+                    self.objects.get_mut(obj.as_usize())
+                {
+                    *word |= signal_bits;
+                }
+            }
+        }
+        self.ready_with(caller, Reply::Ok);
+    }
+
+    fn do_wait(&mut self, caller: Pid, ntfn_ptr: CPtr) {
+        let cap = match self
+            .entry_ref(caller)
+            .expect("caller alive")
+            .cspace
+            .lookup(ntfn_ptr)
+        {
+            Ok(c) => c,
+            Err(e) => return self.deny(caller, e, "wait"),
+        };
+        let Some(obj) = cap.object() else {
+            return self.deny(caller, Sel4Error::WrongObjectType, "wait on reply cap");
+        };
+        if !cap.rights.read {
+            return self.deny(caller, Sel4Error::InsufficientRights, "wait without read");
+        }
+        match self.objects.get_mut(obj.as_usize()) {
+            Some(KernelObject::Notification { word }) => {
+                if *word != 0 {
+                    let bits = std::mem::take(word);
+                    self.ready_with(
+                        caller,
+                        Reply::Msg(DeliveredMessage {
+                            badge: bits,
+                            label: 0,
+                            words: vec![],
+                            received_caps: vec![],
+                            reply_expected: false,
+                        }),
+                    );
+                } else if let Some(entry) = self.entry_mut(caller) {
+                    entry.state = ProcState::Blocked(Block::WaitingNtfn { ntfn: obj });
+                }
+            }
+            _ => self.deny(
+                caller,
+                Sel4Error::WrongObjectType,
+                "wait on non-notification",
+            ),
+        }
+    }
+
+    fn do_mint(&mut self, caller: Pid, src: CPtr, rights: CapRights, badge: u64) {
+        let entry = self.entry_mut(caller).expect("caller alive");
+        let cap = match entry.cspace.lookup(src) {
+            Ok(c) => c,
+            Err(e) => return self.deny(caller, e, "mint source"),
+        };
+        let Some(derived) = cap.mint(rights, badge) else {
+            return self.deny(caller, Sel4Error::RightsViolation, "mint amplification");
+        };
+        let r = match self
+            .entry_mut(caller)
+            .expect("caller alive")
+            .cspace
+            .insert(derived)
+        {
+            Ok(slot) => Reply::Slot(slot),
+            Err(e) => Reply::Err(e),
+        };
+        self.ready_with(caller, r);
+    }
+
+    fn do_tcb_suspend(&mut self, caller: Pid, tcb_ptr: CPtr) {
+        let cap = match self
+            .entry_ref(caller)
+            .expect("caller alive")
+            .cspace
+            .lookup(tcb_ptr)
+        {
+            Ok(c) => c,
+            Err(e) => return self.deny(caller, e, "tcb suspend"),
+        };
+        let Some(obj) = cap.object() else {
+            return self.deny(caller, Sel4Error::WrongObjectType, "suspend via reply cap");
+        };
+        let target = match self.object(obj) {
+            Some(KernelObject::Tcb { pid }) => *pid,
+            _ => return self.deny(caller, Sel4Error::WrongObjectType, "suspend non-tcb"),
+        };
+        if !cap.rights.write {
+            return self.deny(
+                caller,
+                Sel4Error::InsufficientRights,
+                "suspend without write",
+            );
+        }
+        self.trace.record(
+            self.clock.now(),
+            Some(caller),
+            "tcb.suspend",
+            format!("{caller} suspended {target}"),
+        );
+        self.terminate(target);
+        if target != caller {
+            self.ready_with(caller, Reply::Ok);
+        }
+    }
+
+    fn do_device(&mut self, caller: Pid, dev_ptr: CPtr, write: Option<i64>) {
+        let cap = match self
+            .entry_ref(caller)
+            .expect("caller alive")
+            .cspace
+            .lookup(dev_ptr)
+        {
+            Ok(c) => c,
+            Err(e) => return self.deny(caller, e, "device"),
+        };
+        let Some(obj) = cap.object() else {
+            return self.deny(caller, Sel4Error::WrongObjectType, "device via reply cap");
+        };
+        let dev = match self.object(obj) {
+            Some(KernelObject::Device { dev }) => *dev,
+            _ => return self.deny(caller, Sel4Error::WrongObjectType, "not a device frame"),
+        };
+        match write {
+            Some(value) => {
+                if !cap.rights.write {
+                    return self.deny(caller, Sel4Error::InsufficientRights, "device write");
+                }
+                match self.devices.write(dev, value) {
+                    Ok(()) => {
+                        self.trace.record(
+                            self.clock.now(),
+                            Some(caller),
+                            "dev.write",
+                            format!("{dev} <- {value}"),
+                        );
+                        self.ready_with(caller, Reply::Ok);
+                    }
+                    Err(_) => self.ready_with(caller, Reply::Err(Sel4Error::WrongObjectType)),
+                }
+            }
+            None => {
+                if !cap.rights.read {
+                    return self.deny(caller, Sel4Error::InsufficientRights, "device read");
+                }
+                match self.devices.read(dev) {
+                    Ok(v) => self.ready_with(caller, Reply::DevValue(v)),
+                    Err(_) => self.ready_with(caller, Reply::Err(Sel4Error::WrongObjectType)),
+                }
+            }
+        }
+    }
+
+    // ----- internals -------------------------------------------------------------
+
+    fn find_receiver(&self, ep: ObjId) -> Option<Pid> {
+        self.threads.iter().enumerate().find_map(|(i, t)| {
+            let e = t.as_ref()?;
+            match &e.state {
+                ProcState::Blocked(Block::ReceivingOn { ep: r_ep }) if *r_ep == ep => {
+                    Some(Pid::new(i as u32))
+                }
+                _ => None,
+            }
+        })
+    }
+
+    fn alloc_object(&mut self, obj: KernelObject) -> ObjId {
+        let id = ObjId::new(self.objects.len() as u32);
+        self.objects.push(obj);
+        id
+    }
+
+    fn terminate(&mut self, pid: Pid) {
+        let Some(entry) = self.threads.get_mut(pid.as_usize()).and_then(Option::take) else {
+            return;
+        };
+        self.run_queue.remove(pid);
+        self.timers.cancel(pid);
+        self.metrics.processes_reaped += 1;
+        if self.last_run == Some(pid) {
+            self.last_run = None;
+        }
+        // If the dead thread owed someone a reply, wake the caller with an
+        // aborted-IPC error.
+        if let Some(Capability {
+            target: CapTarget::Reply(waiter),
+            ..
+        }) = entry.reply_slot
+        {
+            if matches!(
+                self.entry_ref(waiter).map(|e| &e.state),
+                Some(ProcState::Blocked(Block::AwaitingReply))
+            ) {
+                self.ready_with(waiter, Reply::Err(Sel4Error::InvalidCapability));
+            }
+        }
+    }
+
+    fn ready_with(&mut self, pid: Pid, reply: Reply) {
+        if let Some(entry) = self.entry_mut(pid) {
+            entry.pending_reply = Some(reply);
+            entry.state = ProcState::Runnable;
+            self.run_queue.enqueue(pid);
+        }
+    }
+
+    fn entry_ref(&self, pid: Pid) -> Option<&ThreadEntry> {
+        self.threads.get(pid.as_usize()).and_then(Option::as_ref)
+    }
+
+    fn entry_mut(&mut self, pid: Pid) -> Option<&mut ThreadEntry> {
+        self.threads
+            .get_mut(pid.as_usize())
+            .and_then(Option::as_mut)
+    }
+}

@@ -1,0 +1,130 @@
+//! Kernel-level counters used by the performance experiments (E8).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by every simulated kernel.
+///
+/// These back the paper's §III performance remark: the microkernel platforms
+/// pay extra context switches and kernel entries per logical operation,
+/// which `exp_ipc_overhead` quantifies.
+///
+/// ```
+/// use bas_sim::metrics::KernelMetrics;
+/// let mut m = KernelMetrics::default();
+/// m.context_switches += 1;
+/// m.ipc_messages += 2;
+/// assert!(format!("{m}").contains("ipc_messages=2"));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelMetrics {
+    /// Process-to-process switches performed by the scheduler.
+    pub context_switches: u64,
+    /// Traps into the kernel (syscall entries).
+    pub kernel_entries: u64,
+    /// IPC messages successfully delivered.
+    pub ipc_messages: u64,
+    /// Bytes copied across address spaces for IPC.
+    pub ipc_bytes: u64,
+    /// System calls rejected by access control (ACM, capabilities, DAC).
+    pub access_denied: u64,
+    /// System calls that failed for non-policy reasons.
+    pub syscall_errors: u64,
+    /// Processes created over the kernel lifetime.
+    pub processes_created: u64,
+    /// Processes that exited or were killed.
+    pub processes_reaped: u64,
+}
+
+impl KernelMetrics {
+    /// Resets every counter to zero (used between benchmark phases).
+    pub fn reset(&mut self) {
+        *self = KernelMetrics::default();
+    }
+
+    /// Field-wise difference `self - earlier`, for measuring one phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s.
+    pub fn delta_since(&self, earlier: &KernelMetrics) -> KernelMetrics {
+        KernelMetrics {
+            context_switches: self.context_switches - earlier.context_switches,
+            kernel_entries: self.kernel_entries - earlier.kernel_entries,
+            ipc_messages: self.ipc_messages - earlier.ipc_messages,
+            ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
+            access_denied: self.access_denied - earlier.access_denied,
+            syscall_errors: self.syscall_errors - earlier.syscall_errors,
+            processes_created: self.processes_created - earlier.processes_created,
+            processes_reaped: self.processes_reaped - earlier.processes_reaped,
+        }
+    }
+}
+
+impl fmt::Display for KernelMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ctx_switches={} kernel_entries={} ipc_messages={} ipc_bytes={} \
+             access_denied={} syscall_errors={} procs_created={} procs_reaped={}",
+            self.context_switches,
+            self.kernel_entries,
+            self.ipc_messages,
+            self.ipc_bytes,
+            self.access_denied,
+            self.syscall_errors,
+            self.processes_created,
+            self.processes_reaped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = KernelMetrics {
+            context_switches: 10,
+            ipc_messages: 7,
+            ..Default::default()
+        };
+        let mut b = a;
+        b.context_switches = 25;
+        b.ipc_messages = 9;
+        b.access_denied = 3;
+        let d = b.delta_since(&a);
+        assert_eq!(d.context_switches, 15);
+        assert_eq!(d.ipc_messages, 2);
+        assert_eq!(d.access_denied, 3);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = KernelMetrics {
+            kernel_entries: 5,
+            ..KernelMetrics::default()
+        };
+        m.reset();
+        assert_eq!(m, KernelMetrics::default());
+    }
+
+    #[test]
+    fn display_contains_all_counters() {
+        let s = format!("{}", KernelMetrics::default());
+        for key in [
+            "ctx_switches",
+            "kernel_entries",
+            "ipc_messages",
+            "ipc_bytes",
+            "access_denied",
+            "syscall_errors",
+            "procs_created",
+            "procs_reaped",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Round-robin run queue shared by all simulated kernels.
+
+use std::collections::VecDeque;
+
+use crate::process::Pid;
+
+/// A FIFO run queue of runnable processes.
+///
+/// The queue never holds duplicates: enqueueing a pid already present is a
+/// no-op, which lets kernel code unconditionally "make runnable" without
+/// tracking queue membership separately.
+///
+/// ```
+/// use bas_sim::process::Pid;
+/// use bas_sim::sched::RunQueue;
+///
+/// let mut q = RunQueue::new();
+/// q.enqueue(Pid::new(1));
+/// q.enqueue(Pid::new(2));
+/// q.enqueue(Pid::new(1)); // duplicate ignored
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.dequeue(), Some(Pid::new(1)));
+/// assert_eq!(q.dequeue(), Some(Pid::new(2)));
+/// assert_eq!(q.dequeue(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunQueue {
+    queue: VecDeque<Pid>,
+}
+
+impl RunQueue {
+    /// Creates an empty run queue.
+    pub fn new() -> Self {
+        RunQueue {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Adds `pid` to the back of the queue if not already queued.
+    pub fn enqueue(&mut self, pid: Pid) {
+        if !self.queue.contains(&pid) {
+            self.queue.push_back(pid);
+        }
+    }
+
+    /// Pops the next runnable pid, if any.
+    pub fn dequeue(&mut self) -> Option<Pid> {
+        self.queue.pop_front()
+    }
+
+    /// Removes `pid` wherever it sits in the queue (used when a process is
+    /// killed or blocks from under the scheduler).
+    pub fn remove(&mut self, pid: Pid) {
+        self.queue.retain(|p| *p != pid);
+    }
+
+    /// True if `pid` is currently queued.
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.queue.contains(&pid)
+    }
+
+    /// Number of queued processes.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no process is runnable.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates over queued pids in scheduling order.
+    pub fn iter(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.queue.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = RunQueue::new();
+        for i in 0..5 {
+            q.enqueue(Pid::new(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.dequeue())
+            .map(Pid::as_u32)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn remove_deletes_mid_queue_entry() {
+        let mut q = RunQueue::new();
+        q.enqueue(Pid::new(1));
+        q.enqueue(Pid::new(2));
+        q.enqueue(Pid::new(3));
+        q.remove(Pid::new(2));
+        assert!(!q.contains(Pid::new(2)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue(), Some(Pid::new(1)));
+        assert_eq!(q.dequeue(), Some(Pid::new(3)));
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let mut q = RunQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(Pid::new(9));
+        assert!(!q.is_empty());
+        q.remove(Pid::new(9));
+        assert!(q.is_empty());
+    }
+}

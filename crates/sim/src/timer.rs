@@ -1,0 +1,130 @@
+//! Timer queue for sleep and periodic wakeups.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::process::Pid;
+use crate::time::SimTime;
+
+/// A min-heap of `(deadline, pid)` wakeups.
+///
+/// Ties on deadline are broken by insertion sequence so wakeup order is
+/// deterministic.
+///
+/// ```
+/// use bas_sim::process::Pid;
+/// use bas_sim::time::SimTime;
+/// use bas_sim::timer::TimerQueue;
+///
+/// let mut tq = TimerQueue::new();
+/// tq.arm(SimTime::from_nanos(20), Pid::new(2));
+/// tq.arm(SimTime::from_nanos(10), Pid::new(1));
+/// assert_eq!(tq.next_deadline(), Some(SimTime::from_nanos(10)));
+/// assert_eq!(tq.pop_due(SimTime::from_nanos(15)), vec![Pid::new(1)]);
+/// assert_eq!(tq.pop_due(SimTime::from_nanos(15)), vec![]);
+/// ```
+#[derive(Debug, Default)]
+pub struct TimerQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, Pid)>>,
+    seq: u64,
+}
+
+impl TimerQueue {
+    /// Creates an empty timer queue.
+    pub fn new() -> Self {
+        TimerQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Arms a wakeup for `pid` at `deadline`.
+    pub fn arm(&mut self, deadline: SimTime, pid: Pid) {
+        self.heap.push(Reverse((deadline, self.seq, pid)));
+        self.seq += 1;
+    }
+
+    /// The earliest armed deadline, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pops every wakeup with `deadline <= now`, in deadline order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<Pid> {
+        let mut due = Vec::new();
+        while let Some(Reverse((t, _, _))) = self.heap.peek() {
+            if *t > now {
+                break;
+            }
+            let Reverse((_, _, pid)) = self.heap.pop().expect("peeked entry exists");
+            due.push(pid);
+        }
+        due
+    }
+
+    /// Cancels every wakeup armed for `pid` (used when a process dies while
+    /// sleeping).
+    pub fn cancel(&mut self, pid: Pid) {
+        let entries: Vec<_> = self
+            .heap
+            .drain()
+            .filter(|Reverse((_, _, p))| *p != pid)
+            .collect();
+        self.heap = entries.into();
+    }
+
+    /// Number of armed wakeups.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut tq = TimerQueue::new();
+        tq.arm(SimTime::from_nanos(30), Pid::new(3));
+        tq.arm(SimTime::from_nanos(10), Pid::new(1));
+        tq.arm(SimTime::from_nanos(20), Pid::new(2));
+        let due = tq.pop_due(SimTime::from_nanos(100));
+        assert_eq!(due, vec![Pid::new(1), Pid::new(2), Pid::new(3)]);
+    }
+
+    #[test]
+    fn equal_deadlines_pop_in_arm_order() {
+        let mut tq = TimerQueue::new();
+        let t = SimTime::from_nanos(5);
+        tq.arm(t, Pid::new(9));
+        tq.arm(t, Pid::new(4));
+        tq.arm(t, Pid::new(7));
+        assert_eq!(tq.pop_due(t), vec![Pid::new(9), Pid::new(4), Pid::new(7)]);
+    }
+
+    #[test]
+    fn cancel_removes_only_target() {
+        let mut tq = TimerQueue::new();
+        tq.arm(SimTime::from_nanos(10), Pid::new(1));
+        tq.arm(SimTime::from_nanos(20), Pid::new(2));
+        tq.arm(SimTime::from_nanos(30), Pid::new(1));
+        tq.cancel(Pid::new(1));
+        assert_eq!(tq.len(), 1);
+        assert_eq!(tq.pop_due(SimTime::from_nanos(100)), vec![Pid::new(2)]);
+    }
+
+    #[test]
+    fn not_due_entries_stay() {
+        let mut tq = TimerQueue::new();
+        tq.arm(SimTime::from_nanos(50), Pid::new(1));
+        assert!(tq.pop_due(SimTime::from_nanos(49)).is_empty());
+        assert_eq!(tq.len(), 1);
+        assert_eq!(tq.next_deadline(), Some(SimTime::from_nanos(50)));
+    }
+}

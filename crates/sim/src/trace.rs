@@ -1,0 +1,209 @@
+//! Structured event trace shared by kernels, scenario processes and the
+//! attack harness.
+//!
+//! The attack experiments (E3–E7) judge outcomes by inspecting the trace:
+//! e.g. "did the heater driver ever receive a command that did not originate
+//! from the temperature controller?" is answered by scanning delivery events
+//! rather than trusting the attacker's own report.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::Pid;
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Process the event is attributed to, if any.
+    pub pid: Option<Pid>,
+    /// Stable category tag used for filtering, e.g. `"ipc.deliver"`,
+    /// `"acm.deny"`, `"signal.kill"`, `"plant.alarm"`.
+    pub category: &'static str,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pid {
+            Some(pid) => write!(
+                f,
+                "[{}] {} {}: {}",
+                self.time, pid, self.category, self.detail
+            ),
+            None => write!(f, "[{}] - {}: {}", self.time, self.category, self.detail),
+        }
+    }
+}
+
+/// An append-only event log with bounded memory.
+///
+/// ```
+/// use bas_sim::time::SimTime;
+/// use bas_sim::trace::TraceLog;
+///
+/// let mut log = TraceLog::new();
+/// log.record(SimTime::ZERO, None, "boot", "kernel up".to_string());
+/// assert_eq!(log.events_in("boot").count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceLog {
+    /// Default maximum number of retained events.
+    pub const DEFAULT_CAPACITY: usize = 1_000_000;
+
+    /// Creates an enabled log with the default capacity.
+    pub fn new() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            capacity: Self::DEFAULT_CAPACITY,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Creates a log that retains at most `capacity` events; further events
+    /// are counted but discarded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Disables recording entirely (used by throughput benchmarks).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Re-enables recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Appends an event.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        pid: Option<Pid>,
+        category: &'static str,
+        detail: String,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            time,
+            pid,
+            category,
+            detail,
+        });
+    }
+
+    /// All retained events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose category equals `category`.
+    pub fn events_in<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Events whose category starts with `prefix` (e.g. `"ipc."`).
+    pub fn events_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.category.starts_with(prefix))
+    }
+
+    /// Number of events discarded due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears retained events (capacity and enablement unchanged).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(log: &mut TraceLog, cat: &'static str, detail: &str) {
+        log.record(SimTime::ZERO, Some(Pid::new(1)), cat, detail.to_string());
+    }
+
+    #[test]
+    fn category_filtering() {
+        let mut log = TraceLog::new();
+        ev(&mut log, "ipc.deliver", "a->b");
+        ev(&mut log, "ipc.deny", "c->b");
+        ev(&mut log, "signal.kill", "c->a");
+        assert_eq!(log.events_in("ipc.deny").count(), 1);
+        assert_eq!(log.events_with_prefix("ipc.").count(), 2);
+        assert_eq!(log.events().len(), 3);
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts() {
+        let mut log = TraceLog::with_capacity(2);
+        ev(&mut log, "x", "1");
+        ev(&mut log, "x", "2");
+        ev(&mut log, "x", "3");
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new();
+        log.disable();
+        ev(&mut log, "x", "1");
+        assert!(log.events().is_empty());
+        log.enable();
+        ev(&mut log, "x", "2");
+        assert_eq!(log.events().len(), 1);
+    }
+
+    #[test]
+    fn display_mentions_category_and_pid() {
+        let e = TraceEvent {
+            time: SimTime::from_nanos(1_000),
+            pid: Some(Pid::new(4)),
+            category: "acm.deny",
+            detail: "spoof blocked".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("acm.deny"));
+        assert!(s.contains("pid4"));
+    }
+}

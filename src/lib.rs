@@ -1,0 +1,32 @@
+//! # bas — microkernel-based BAS controller platforms
+//!
+//! Facade crate for the reproduction of *Enhanced Security of Building
+//! Automation Systems Through Microkernel-Based Controller Platforms*
+//! (Wang et al., 2017). Re-exports every workspace crate under one root so
+//! examples and integration tests can address the whole system:
+//!
+//! - [`sim`] — deterministic execution substrate
+//! - [`plant`] — simulated physical world (room, sensor, fan, alarm)
+//! - [`acm`] — the paper's access-control-matrix contribution
+//! - [`minix`] — MINIX 3 microkernel model with ACM enforcement
+//! - [`sel4`] — seL4 capability-kernel model
+//! - [`capdl`] — CapDL-style capability-distribution specs
+//! - [`camkes`] — CAmkES-style component assemblies
+//! - [`linux`] — monolithic-kernel baseline with POSIX message queues
+//! - [`aadl`] — AADL-subset architecture language and policy backends
+//! - [`core`] — the temperature-control scenario on all three platforms
+//! - [`attack`] — attacker models, attack library and outcome harness
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
+
+pub use bas_aadl as aadl;
+pub use bas_acm as acm;
+pub use bas_attack as attack;
+pub use bas_camkes as camkes;
+pub use bas_capdl as capdl;
+pub use bas_core as core;
+pub use bas_linux as linux;
+pub use bas_minix as minix;
+pub use bas_plant as plant;
+pub use bas_sel4 as sel4;
+pub use bas_sim as sim;
