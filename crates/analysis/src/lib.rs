@@ -1,0 +1,34 @@
+//! # bas-analysis — static IPC-policy analysis
+//!
+//! The repo's dynamic half *runs* the paper's attack matrix (§IV-D); this
+//! crate *predicts* it from policy alone. All three platform policies —
+//! the MINIX access-control matrix, the CAmkES-compiled CapDL spec, and
+//! the Linux loader's message-queue ACL plan — lower into one
+//! platform-neutral **Policy IR** ([`ir::PolicyModel`]): a channel graph
+//! of `(subject, object, operation, message types)` edges annotated with
+//! the enforcement mechanism that admits each edge.
+//!
+//! On top of the IR:
+//!
+//! * [`taint`] — reachability/taint analysis from untrusted subjects,
+//!   yielding a predicted attack-outcome matrix per platform × attacker
+//!   model. Cross-validated against the dynamic harness: the
+//!   `static_vs_dynamic` tests assert prediction == execution for every
+//!   cell, including both policy ablations.
+//! * [`lint`] — a policy linter diffing the effective policy against the
+//!   AADL-minimal justification: over-granted capabilities, ambient
+//!   queue authority, dangling identities, unused message types,
+//!   untrusted→actuator paths, and a least-privilege summary.
+//! * [`scenario`] — the paper's temperature-control scenario bound into
+//!   the IR (identity bindings, endpoint message types, uid schemes,
+//!   contracts), plus the predicted matrix in deterministic order.
+
+pub mod ir;
+pub mod lint;
+pub mod lower;
+pub mod scenario;
+pub mod taint;
+
+pub use ir::{Channel, ChannelKind, ObjectId, Operation, PolicyModel, Trust};
+pub use lint::{findings_to_json, lint, Finding, Justification, Severity};
+pub use taint::{expectation, predict, untrusted_actuator_paths, StaticVerdict};

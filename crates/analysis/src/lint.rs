@@ -1,0 +1,561 @@
+//! Policy linter: severity-ranked findings over the Policy IR.
+//!
+//! The linter compares the *effective* policy (the lowered channel
+//! graph) against a *justification* — the minimal authority implied by
+//! the AADL connection topology — and flags everything the policy grants
+//! beyond it. Findings are deterministically ordered (severity, code,
+//! subject, object, detail) so lint output is byte-stable.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use bas_acm::matrix::MsgTypeSet;
+use bas_acm::MsgType;
+use bas_core::proto::MT_ACK;
+use bas_sim::device::DeviceId;
+
+use crate::ir::{ChannelKind, ObjectId, Operation, PolicyModel, Trust};
+use crate::taint::untrusted_actuator_paths;
+
+/// Finding severity, most severe first (sort order = report order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Violates the scenario's security argument.
+    High,
+    /// Excess authority with a known-bounded blast radius.
+    Medium,
+    /// Hygiene: granted but unused.
+    Low,
+    /// Informational summary.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::High => "high",
+            Severity::Medium => "medium",
+            Severity::Low => "low",
+            Severity::Info => "info",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity rank.
+    pub severity: Severity,
+    /// Stable rule code.
+    pub code: &'static str,
+    /// Subject the finding is about.
+    pub subject: String,
+    /// Object (rendered) the finding is about.
+    pub object: String,
+    /// Explanation.
+    pub detail: String,
+}
+
+/// The minimal authority the scenario actually needs — synthesized from
+/// the AADL connection topology, platform-independent.
+#[derive(Debug, Clone, Default)]
+pub struct Justification {
+    /// Required `(sender, receiver, msg type)` application edges.
+    pub app_edges: BTreeSet<(String, String, u32)>,
+    /// Required process-management authority.
+    pub sys_ops: BTreeSet<(String, Operation)>,
+    /// Device → its one legitimate driver.
+    pub device_owners: BTreeMap<DeviceId, String>,
+    /// Queue → intended members (reader + writers).
+    pub queue_membership: BTreeMap<String, BTreeSet<String>>,
+    /// All expected subject names.
+    pub subjects: BTreeSet<String>,
+}
+
+impl Justification {
+    fn pair_connected(&self, a: &str, b: &str) -> bool {
+        self.app_edges
+            .iter()
+            .any(|(s, r, _)| (s == a && r == b) || (s == b && r == a))
+    }
+
+    fn justified_types(&self, sender: &str, receiver: &str) -> BTreeSet<u32> {
+        self.app_edges
+            .iter()
+            .filter(|(s, r, _)| s == sender && r == receiver)
+            .map(|(_, _, t)| *t)
+            .collect()
+    }
+}
+
+/// Runs every lint rule; returns findings sorted most-severe first.
+pub fn lint(model: &PolicyModel, justification: &Justification) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    check_message_channels(model, justification, &mut findings);
+    check_sys_ops(model, justification, &mut findings);
+    check_device_access(model, justification, &mut findings);
+    check_queue_membership(model, justification, &mut findings);
+    check_dangling_identities(model, &mut findings);
+    check_actuator_paths(model, &mut findings);
+    least_privilege_diff(model, justification, &mut findings);
+
+    findings.sort_by(|a, b| {
+        (a.severity, a.code, &a.subject, &a.object, &a.detail)
+            .cmp(&(b.severity, b.code, &b.subject, &b.object, &b.detail))
+    });
+    findings.dedup();
+    findings
+}
+
+/// Rule: over-granted-capability / unused-message-type on message
+/// channels (ACM rows, endpoint capabilities).
+fn check_message_channels(
+    model: &PolicyModel,
+    justification: &Justification,
+    findings: &mut Vec<Finding>,
+) {
+    for c in &model.channels {
+        let receiver = match (&c.kind, &c.object) {
+            (ChannelKind::AsyncSend | ChannelKind::RpcCall, ObjectId::Process(p)) => p.as_str(),
+            _ => continue,
+        };
+        if c.kind == ChannelKind::RpcCall {
+            // Capability granularity: a write cap to someone's endpoint
+            // is justified only by a connection toward that server.
+            if justification
+                .justified_types(&c.subject, receiver)
+                .is_empty()
+            {
+                findings.push(Finding {
+                    severity: Severity::High,
+                    code: "over-granted-capability",
+                    subject: c.subject.clone(),
+                    object: c.object.to_string(),
+                    detail: format!(
+                        "endpoint capability{} has no AADL connection justifying it",
+                        c.badge.map_or(String::new(), |b| format!(" (badge {b})"))
+                    ),
+                });
+            }
+            continue;
+        }
+        // ACM granularity: per message type.
+        if c.msg_types == MsgTypeSet::All {
+            findings.push(Finding {
+                severity: Severity::High,
+                code: "over-granted-capability",
+                subject: c.subject.clone(),
+                object: c.object.to_string(),
+                detail: "wildcard message-type grant (allow-all)".into(),
+            });
+            continue;
+        }
+        let justified = justification.justified_types(&c.subject, receiver);
+        let ack_ok = justification.pair_connected(&c.subject, receiver);
+        let granted: Vec<u32> = (0..64)
+            .filter(|&t| c.msg_types.contains(MsgType::new(t)))
+            .collect();
+        let excess: Vec<u32> = granted
+            .iter()
+            .copied()
+            .filter(|&t| {
+                if t == MT_ACK {
+                    !ack_ok
+                } else {
+                    !justified.contains(&t)
+                }
+            })
+            .collect();
+        if excess.is_empty() {
+            continue;
+        }
+        let has_any_justified = granted
+            .iter()
+            .any(|&t| (t == MT_ACK && ack_ok) || justified.contains(&t));
+        if has_any_justified {
+            for t in excess {
+                findings.push(Finding {
+                    severity: Severity::Low,
+                    code: "unused-message-type",
+                    subject: c.subject.clone(),
+                    object: c.object.to_string(),
+                    detail: format!("type {t} granted but no connection carries it"),
+                });
+            }
+        } else {
+            findings.push(Finding {
+                severity: Severity::High,
+                code: "over-granted-capability",
+                subject: c.subject.clone(),
+                object: c.object.to_string(),
+                detail: format!(
+                    "channel (types {:?}) has no AADL connection justifying it",
+                    excess
+                ),
+            });
+        }
+    }
+}
+
+/// Rule: fork/kill authority beyond the loader's.
+fn check_sys_ops(model: &PolicyModel, justification: &Justification, findings: &mut Vec<Finding>) {
+    for c in &model.channels {
+        if c.kind != ChannelKind::SysOp {
+            continue;
+        }
+        let needs_justification = matches!(c.op, Operation::Fork | Operation::Kill);
+        if !needs_justification {
+            continue; // getpid/exit are harmless baseline
+        }
+        if justification.sys_ops.contains(&(c.subject.clone(), c.op)) {
+            continue;
+        }
+        let untrusted = model
+            .subjects
+            .get(&c.subject)
+            .is_some_and(|s| s.trust == Trust::Untrusted);
+        let severity = if untrusted && c.op == Operation::Kill {
+            Severity::High
+        } else {
+            Severity::Medium
+        };
+        findings.push(Finding {
+            severity,
+            code: "over-granted-capability",
+            subject: c.subject.clone(),
+            object: c.object.to_string(),
+            detail: format!("{} authority not required by the scenario", c.op),
+        });
+    }
+}
+
+/// Rule: device access held by anyone but the device's driver.
+fn check_device_access(
+    model: &PolicyModel,
+    justification: &Justification,
+    findings: &mut Vec<Finding>,
+) {
+    for c in &model.channels {
+        let ObjectId::Device(dev) = &c.object else {
+            continue;
+        };
+        if justification.device_owners.get(dev) == Some(&c.subject) {
+            continue;
+        }
+        findings.push(Finding {
+            severity: Severity::High,
+            code: "over-granted-capability",
+            subject: c.subject.clone(),
+            object: c.object.to_string(),
+            detail: format!("{} access; device belongs to another driver", c.op),
+        });
+    }
+}
+
+/// Rule: ambient-authority-queue — DAC admits a subject the plan never
+/// made a member of the queue.
+fn check_queue_membership(
+    model: &PolicyModel,
+    justification: &Justification,
+    findings: &mut Vec<Finding>,
+) {
+    let mut flagged: BTreeSet<(String, String)> = BTreeSet::new();
+    for c in &model.channels {
+        let ObjectId::Queue(q) = &c.object else {
+            continue;
+        };
+        let member = justification
+            .queue_membership
+            .get(q)
+            .is_some_and(|m| m.contains(&c.subject));
+        if member {
+            continue;
+        }
+        if !flagged.insert((c.subject.clone(), q.clone())) {
+            continue;
+        }
+        let untrusted = model
+            .subjects
+            .get(&c.subject)
+            .is_some_and(|s| s.trust == Trust::Untrusted);
+        findings.push(Finding {
+            severity: if untrusted {
+                Severity::High
+            } else {
+                Severity::Medium
+            },
+            code: "ambient-authority-queue",
+            subject: c.subject.clone(),
+            object: c.object.to_string(),
+            detail: "DAC admits a non-member of the queue".into(),
+        });
+    }
+}
+
+/// Rule: dangling-ac-id — identities granted rights that no subject is
+/// bound to (stale rows after a process was removed).
+fn check_dangling_identities(model: &PolicyModel, findings: &mut Vec<Finding>) {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for c in &model.channels {
+        let mut names = vec![c.subject.clone()];
+        if let ObjectId::Process(p) = &c.object {
+            names.push(p.clone());
+        }
+        for name in names {
+            if model.subjects.contains_key(&name) || !seen.insert(name.clone()) {
+                continue;
+            }
+            findings.push(Finding {
+                severity: Severity::Medium,
+                code: "dangling-ac-id",
+                subject: name.clone(),
+                object: "-".into(),
+                detail: "identity appears in the policy but no subject is bound to it".into(),
+            });
+        }
+    }
+}
+
+/// Rule: untrusted-to-actuator-path — taint reachability from untrusted
+/// subjects into actuation.
+fn check_actuator_paths(model: &PolicyModel, findings: &mut Vec<Finding>) {
+    for path in untrusted_actuator_paths(model) {
+        let subject = path.split(' ').next().unwrap_or("?").to_string();
+        findings.push(Finding {
+            severity: Severity::High,
+            code: "untrusted-to-actuator-path",
+            subject,
+            object: "actuators".into(),
+            detail: path,
+        });
+    }
+}
+
+/// Rule: least-privilege-diff — one summary finding comparing deliverable
+/// message edges against the AADL-minimal policy.
+fn least_privilege_diff(
+    model: &PolicyModel,
+    justification: &Justification,
+    findings: &mut Vec<Finding>,
+) {
+    let mut actual: BTreeSet<(String, String, u32)> = BTreeSet::new();
+    for c in &model.channels {
+        let receiver = match (&c.kind, &c.object) {
+            (ChannelKind::AsyncSend | ChannelKind::RpcCall, ObjectId::Process(p)) => p.clone(),
+            (ChannelKind::QueueWrite, ObjectId::Queue(q)) => match model.queue_readers.get(q) {
+                Some(r) => r.clone(),
+                None => continue,
+            },
+            _ => continue,
+        };
+        for t in 0..64 {
+            if t != MT_ACK && c.msg_types.contains(MsgType::new(t)) {
+                actual.insert((c.subject.clone(), receiver.clone(), t));
+            }
+        }
+        if c.msg_types == MsgTypeSet::All {
+            // `type_bits` saturates; record symbolically as one wildcard.
+            actual.insert((c.subject.clone(), receiver.clone(), u32::MAX));
+        }
+    }
+    let minimal: BTreeSet<(String, String, u32)> = justification
+        .app_edges
+        .iter()
+        .filter(|(_, _, t)| *t != MT_ACK)
+        .cloned()
+        .collect();
+    let excess = actual.difference(&minimal).count();
+    findings.push(Finding {
+        severity: Severity::Info,
+        code: "least-privilege-diff",
+        subject: "policy".into(),
+        object: model.platform.to_string(),
+        detail: format!(
+            "{} deliverable sender->receiver message edges; {} required by AADL connections; {} excess",
+            actual.len(),
+            minimal.len(),
+            excess
+        ),
+    });
+}
+
+/// Renders findings as a JSON array (hand-rolled: stable, no deps).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"severity\": \"{}\", \"code\": \"{}\", \"subject\": \"{}\", \"object\": \"{}\", \"detail\": \"{}\"}}{}\n",
+            f.severity,
+            esc(f.code),
+            esc(&f.subject),
+            esc(&f.object),
+            esc(&f.detail),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Channel, PlatformTraits, PolicyModel, Trust};
+    use bas_core::scenario::Platform;
+
+    fn traits() -> PlatformTraits {
+        PlatformTraits {
+            kernel_stamped_identity: true,
+            rpc_in_band_validation: false,
+            uid_root_bypass: false,
+            unguessable_handles: true,
+        }
+    }
+
+    fn send(subject: &str, receiver: &str, types: &[u32]) -> Channel {
+        Channel {
+            subject: subject.into(),
+            object: ObjectId::Process(receiver.into()),
+            op: Operation::Send,
+            msg_types: MsgTypeSet::of(types.iter().map(|&t| MsgType::new(t))),
+            kind: ChannelKind::AsyncSend,
+            badge: None,
+        }
+    }
+
+    fn justification() -> Justification {
+        let mut j = Justification::default();
+        j.app_edges.insert(("a".into(), "b".into(), 1));
+        j.subjects.insert("a".into());
+        j.subjects.insert("b".into());
+        j
+    }
+
+    #[test]
+    fn justified_channel_is_clean() {
+        let mut m = PolicyModel::new(Platform::Minix, traits());
+        m.add_subject("a", Trust::Trusted, None);
+        m.add_subject("b", Trust::Trusted, None);
+        m.channels.push(send("a", "b", &[1]));
+        m.normalize();
+        let f = lint(&m, &justification());
+        assert!(f.iter().all(|x| x.severity == Severity::Info), "{f:#?}");
+    }
+
+    #[test]
+    fn extra_type_on_justified_pair_is_low() {
+        let mut m = PolicyModel::new(Platform::Minix, traits());
+        m.add_subject("a", Trust::Trusted, None);
+        m.add_subject("b", Trust::Trusted, None);
+        m.channels.push(send("a", "b", &[1, 5]));
+        m.normalize();
+        let f = lint(&m, &justification());
+        let unused: Vec<_> = f
+            .iter()
+            .filter(|x| x.code == "unused-message-type")
+            .collect();
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].severity, Severity::Low);
+    }
+
+    #[test]
+    fn unjustified_channel_is_high() {
+        let mut m = PolicyModel::new(Platform::Minix, traits());
+        m.add_subject("a", Trust::Trusted, None);
+        m.add_subject("b", Trust::Trusted, None);
+        m.channels.push(send("b", "a", &[2]));
+        m.normalize();
+        let f = lint(&m, &justification());
+        assert!(f
+            .iter()
+            .any(|x| x.code == "over-granted-capability" && x.severity == Severity::High));
+    }
+
+    #[test]
+    fn wildcard_grant_is_high() {
+        let mut m = PolicyModel::new(Platform::Minix, traits());
+        m.add_subject("a", Trust::Trusted, None);
+        m.add_subject("b", Trust::Trusted, None);
+        m.channels.push(Channel {
+            msg_types: MsgTypeSet::All,
+            ..send("a", "b", &[])
+        });
+        m.normalize();
+        let f = lint(&m, &justification());
+        assert!(f.iter().any(|x| x.detail.contains("wildcard")));
+    }
+
+    #[test]
+    fn dangling_identity_flagged_once() {
+        let mut m = PolicyModel::new(Platform::Minix, traits());
+        m.add_subject("a", Trust::Trusted, None);
+        m.channels.push(send("a", "ac107", &[1]));
+        m.channels.push(send("a", "ac107", &[2]));
+        m.normalize();
+        let f = lint(&m, &justification());
+        let dangling: Vec<_> = f.iter().filter(|x| x.code == "dangling-ac-id").collect();
+        assert_eq!(dangling.len(), 1);
+        assert_eq!(dangling[0].subject, "ac107");
+    }
+
+    #[test]
+    fn untrusted_queue_access_is_high() {
+        let mut m = PolicyModel::new(Platform::Linux, traits());
+        m.traits.kernel_stamped_identity = false;
+        m.add_subject("web", Trust::Untrusted, None);
+        m.channels.push(Channel {
+            subject: "web".into(),
+            object: ObjectId::Queue("/mq_q".into()),
+            op: Operation::Send,
+            msg_types: MsgTypeSet::of([MsgType::new(1)]),
+            kind: ChannelKind::QueueWrite,
+            badge: None,
+        });
+        m.normalize();
+        let mut j = justification();
+        j.queue_membership
+            .insert("/mq_q".into(), ["sensor".to_string()].into());
+        let f = lint(&m, &j);
+        assert!(f
+            .iter()
+            .any(|x| x.code == "ambient-authority-queue" && x.severity == Severity::High));
+    }
+
+    #[test]
+    fn findings_sorted_and_json_escapes() {
+        let findings = vec![
+            Finding {
+                severity: Severity::Low,
+                code: "unused-message-type",
+                subject: "a".into(),
+                object: "b".into(),
+                detail: "x".into(),
+            },
+            Finding {
+                severity: Severity::High,
+                code: "over-granted-capability",
+                subject: "a".into(),
+                object: "b".into(),
+                detail: "say \"hi\"".into(),
+            },
+        ];
+        let json = findings_to_json(&findings);
+        assert!(json.contains("\\\"hi\\\""));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+}

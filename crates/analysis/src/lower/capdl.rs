@@ -1,0 +1,249 @@
+//! CapDL → Policy IR (the seL4 backend).
+//!
+//! A CapDL spec *is* the post-bootstrap authority distribution: on seL4
+//! "a thread can only do what its capabilities permit". Every write-right
+//! endpoint capability becomes an RPC channel to the endpoint's server
+//! (the thread holding the read cap), device-frame caps become device
+//! channels, TCB caps become kill authority, and untyped-memory caps
+//! become creation (fork) authority.
+
+use std::collections::BTreeMap;
+
+use bas_capdl::spec::{CapDlSpec, CapTargetSpec, SpecObjKind};
+use bas_core::scenario::Platform;
+
+use crate::ir::{Channel, ChannelKind, ObjectId, Operation, PlatformTraits, PolicyModel, Trust};
+
+/// Facts the spec does not carry: which message types each endpoint's
+/// server accepts (CapDL knows objects, not protocols).
+#[derive(Debug, Clone, Default)]
+pub struct CapdlBinding {
+    /// Endpoint object name → message types its server dispatches.
+    pub endpoint_types: BTreeMap<String, Vec<u32>>,
+}
+
+/// The mechanism facts of seL4 + CAmkES.
+pub fn sel4_traits() -> PlatformTraits {
+    PlatformTraits {
+        kernel_stamped_identity: true, // badges are kernel-attached
+        rpc_in_band_validation: true,  // seL4RPCCall: server replies in-band
+        uid_root_bypass: false,        // "no concept of user or root"
+        unguessable_handles: true,     // capabilities are unforgeable
+    }
+}
+
+/// Lowers a CapDL spec into the Policy IR.
+pub fn lower(spec: &CapDlSpec, binding: &CapdlBinding) -> PolicyModel {
+    let mut model = PolicyModel::new(Platform::Sel4, sel4_traits());
+
+    for t in &spec.threads {
+        model.add_subject(&t.name, Trust::Trusted, None);
+    }
+
+    // An endpoint's server is the thread holding a read capability on it.
+    let mut server_of: BTreeMap<&str, &str> = BTreeMap::new();
+    for c in &spec.caps {
+        if let CapTargetSpec::Object(name) = &c.target {
+            if c.rights.read
+                && matches!(
+                    spec.object(name).map(|o| o.kind),
+                    Some(SpecObjKind::Endpoint | SpecObjKind::Notification)
+                )
+            {
+                server_of.entry(name.as_str()).or_insert(c.holder.as_str());
+            }
+        }
+    }
+
+    for c in &spec.caps {
+        match &c.target {
+            CapTargetSpec::Tcb(thread) => {
+                // TCB authority: suspend/kill the thread.
+                model.channels.push(Channel {
+                    subject: c.holder.clone(),
+                    object: ObjectId::Process(thread.clone()),
+                    op: Operation::Kill,
+                    msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
+                    kind: ChannelKind::SysOp,
+                    badge: None,
+                });
+            }
+            CapTargetSpec::Object(name) => {
+                let kind = spec.object(name).map(|o| o.kind);
+                match kind {
+                    Some(SpecObjKind::Endpoint | SpecObjKind::Notification) => {
+                        if !c.rights.write {
+                            continue; // the server's own receive cap
+                        }
+                        let Some(server) = server_of.get(name.as_str()) else {
+                            continue; // endpoint with no receiver: dead letter
+                        };
+                        if *server == c.holder {
+                            continue;
+                        }
+                        let types = binding
+                            .endpoint_types
+                            .get(name)
+                            .map(|ts| {
+                                bas_acm::matrix::MsgTypeSet::of(
+                                    ts.iter().map(|&t| bas_acm::MsgType::new(t)),
+                                )
+                            })
+                            .unwrap_or(bas_acm::matrix::MsgTypeSet::EMPTY);
+                        model.channels.push(Channel {
+                            subject: c.holder.clone(),
+                            object: ObjectId::Process((*server).to_string()),
+                            op: Operation::Send,
+                            msg_types: types,
+                            kind: ChannelKind::RpcCall,
+                            badge: Some(c.badge),
+                        });
+                    }
+                    Some(SpecObjKind::Device(dev)) => {
+                        if c.rights.read {
+                            model.channels.push(Channel {
+                                subject: c.holder.clone(),
+                                object: ObjectId::Device(dev),
+                                op: Operation::DevRead,
+                                msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
+                                kind: ChannelKind::DeviceAccess,
+                                badge: None,
+                            });
+                        }
+                        if c.rights.write {
+                            model.channels.push(Channel {
+                                subject: c.holder.clone(),
+                                object: ObjectId::Device(dev),
+                                op: Operation::DevWrite,
+                                msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
+                                kind: ChannelKind::DeviceAccess,
+                                badge: None,
+                            });
+                        }
+                    }
+                    Some(SpecObjKind::Untyped(_)) => {
+                        // Untyped memory is the only route to new threads.
+                        model.channels.push(Channel {
+                            subject: c.holder.clone(),
+                            object: ObjectId::ProcessManager,
+                            op: Operation::Fork,
+                            msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
+                            kind: ChannelKind::SysOp,
+                            badge: None,
+                        });
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    // Brute-force surface: every cap in a thread's CSpace is reachable
+    // by slot enumeration (`Identify`), and nothing else is.
+    for t in &spec.threads {
+        let count = spec.caps_of(&t.name).count();
+        model.enumerable_handles.insert(t.name.clone(), count);
+        model.legitimate_handles.insert(t.name.clone(), count);
+    }
+
+    model.normalize();
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_capdl::spec::{CapDecl, ObjDecl, ThreadDecl};
+    use bas_sel4::rights::CapRights;
+    use bas_sim::device::DeviceId;
+
+    fn spec() -> CapDlSpec {
+        CapDlSpec {
+            objects: vec![
+                ObjDecl {
+                    name: "ep_srv_api".into(),
+                    kind: SpecObjKind::Endpoint,
+                },
+                ObjDecl {
+                    name: "dev_srv_fan".into(),
+                    kind: SpecObjKind::Device(DeviceId::FAN),
+                },
+            ],
+            threads: vec![
+                ThreadDecl { name: "srv".into() },
+                ThreadDecl { name: "cli".into() },
+            ],
+            caps: vec![
+                CapDecl {
+                    holder: "srv".into(),
+                    slot: 0,
+                    target: CapTargetSpec::Object("ep_srv_api".into()),
+                    rights: CapRights::READ,
+                    badge: 0,
+                },
+                CapDecl {
+                    holder: "cli".into(),
+                    slot: 0,
+                    target: CapTargetSpec::Object("ep_srv_api".into()),
+                    rights: CapRights::WRITE_GRANT,
+                    badge: 7,
+                },
+                CapDecl {
+                    holder: "srv".into(),
+                    slot: 1,
+                    target: CapTargetSpec::Object("dev_srv_fan".into()),
+                    rights: CapRights::WRITE,
+                    badge: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn write_cap_becomes_rpc_channel_to_server() {
+        let mut binding = CapdlBinding::default();
+        binding.endpoint_types.insert("ep_srv_api".into(), vec![2]);
+        let m = lower(&spec(), &binding);
+        let ch = m.delivery_channel("cli", "srv", 2).expect("rpc channel");
+        assert_eq!(ch.kind, ChannelKind::RpcCall);
+        assert_eq!(ch.badge, Some(7));
+        // The server's own read cap is not a send channel.
+        assert!(m.delivery_channel("srv", "srv", 2).is_none());
+    }
+
+    #[test]
+    fn device_and_handle_counts() {
+        let m = lower(&spec(), &CapdlBinding::default());
+        assert!(m.device_channel("srv", DeviceId::FAN, true).is_some());
+        assert!(m.device_channel("cli", DeviceId::FAN, true).is_none());
+        assert_eq!(m.enumerable_handles["cli"], 1);
+        assert_eq!(m.enumerable_handles["srv"], 2);
+    }
+
+    #[test]
+    fn tcb_cap_is_kill_authority_and_untyped_is_fork() {
+        let mut s = spec();
+        s.caps.push(CapDecl {
+            holder: "cli".into(),
+            slot: 1,
+            target: CapTargetSpec::Tcb("srv".into()),
+            rights: CapRights::ALL,
+            badge: 0,
+        });
+        s.objects.push(ObjDecl {
+            name: "ut".into(),
+            kind: SpecObjKind::Untyped(4096),
+        });
+        s.caps.push(CapDecl {
+            holder: "cli".into(),
+            slot: 2,
+            target: CapTargetSpec::Object("ut".into()),
+            rights: CapRights::ALL,
+            badge: 0,
+        });
+        let m = lower(&s, &CapdlBinding::default());
+        assert!(m.can_kill("cli", "srv"));
+        assert!(m.can_fork("cli"));
+        assert!(!m.can_fork("srv"));
+    }
+}

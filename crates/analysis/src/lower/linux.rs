@@ -1,0 +1,246 @@
+//! Linux mq ACL plan → Policy IR (the monolithic baseline).
+//!
+//! Linux has no compiled-in IPC policy; what exists is the loader's
+//! deployment plan — queue owners, groups and modes, device-node owners,
+//! and the uid each process runs under. The lowering evaluates the DAC
+//! rules ([`Mode::allows_with_group`], including the root bypass) for
+//! every `(subject, object)` pair and emits a channel wherever access
+//! would be granted — the *effective* policy, which is exactly what the
+//! paper's Linux attacks probe.
+
+use std::collections::BTreeMap;
+
+use bas_core::scenario::Platform;
+use bas_linux::cred::{Mode, Uid};
+use bas_sim::device::DeviceId;
+
+use crate::ir::{Channel, ChannelKind, ObjectId, Operation, PlatformTraits, PolicyModel, Trust};
+
+/// One queue as the loader creates it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSpec {
+    /// VFS name.
+    pub name: String,
+    /// Owner uid.
+    pub owner: u32,
+    /// Group uid (one-member groups, as in the hardened scheme).
+    pub group: Option<u32>,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Intended reader (from the AADL-derived plan).
+    pub reader: String,
+    /// Intended writers.
+    pub writers: Vec<String>,
+    /// Message types the queue carries.
+    pub msg_types: Vec<u32>,
+}
+
+/// The full Linux deployment the lowering evaluates.
+#[derive(Debug, Clone, Default)]
+pub struct LinuxDeployment {
+    /// Subject → uid.
+    pub subject_uids: BTreeMap<String, u32>,
+    /// All queues.
+    pub queues: Vec<QueueSpec>,
+    /// Device node → (owner uid, mode).
+    pub devices: BTreeMap<DeviceId, (u32, Mode)>,
+}
+
+/// The mechanism facts of the monolithic baseline.
+pub fn linux_traits() -> PlatformTraits {
+    PlatformTraits {
+        kernel_stamped_identity: false, // "the bytes are all there is"
+        rpc_in_band_validation: false,
+        uid_root_bypass: true,
+        unguessable_handles: false, // queue names are well known
+    }
+}
+
+fn types_of(types: &[u32]) -> bas_acm::matrix::MsgTypeSet {
+    bas_acm::matrix::MsgTypeSet::of(types.iter().map(|&t| bas_acm::MsgType::new(t)))
+}
+
+/// Lowers a Linux deployment into the Policy IR.
+pub fn lower(dep: &LinuxDeployment) -> PolicyModel {
+    let mut model = PolicyModel::new(Platform::Linux, linux_traits());
+
+    for (name, &uid) in &dep.subject_uids {
+        model.add_subject(name, Trust::Trusted, Some(uid));
+    }
+
+    for (subject, &uid) in &dep.subject_uids {
+        let who = Uid::new(uid);
+        let mut reachable_rw = 0usize;
+        for q in &dep.queues {
+            let owner = Uid::new(q.owner);
+            let group = q.group.map(Uid::new);
+            let can_read = q.mode.allows_with_group(who, owner, group, true, false);
+            let can_write = q.mode.allows_with_group(who, owner, group, false, true);
+            if can_write {
+                model.channels.push(Channel {
+                    subject: subject.clone(),
+                    object: ObjectId::Queue(q.name.clone()),
+                    op: Operation::Send,
+                    msg_types: types_of(&q.msg_types),
+                    kind: ChannelKind::QueueWrite,
+                    badge: None,
+                });
+            }
+            if can_read {
+                model.channels.push(Channel {
+                    subject: subject.clone(),
+                    object: ObjectId::Queue(q.name.clone()),
+                    op: Operation::Receive,
+                    msg_types: types_of(&q.msg_types),
+                    kind: ChannelKind::QueueRead,
+                    badge: None,
+                });
+            }
+            if can_read && can_write {
+                reachable_rw += 1;
+            }
+        }
+        for (&dev, &(owner, mode)) in &dep.devices {
+            let owner = Uid::new(owner);
+            if mode.allows(who, owner, false, true) {
+                model.channels.push(Channel {
+                    subject: subject.clone(),
+                    object: ObjectId::Device(dev),
+                    op: Operation::DevWrite,
+                    msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
+                    kind: ChannelKind::DeviceAccess,
+                    badge: None,
+                });
+            }
+            if mode.allows(who, owner, true, false) {
+                model.channels.push(Channel {
+                    subject: subject.clone(),
+                    object: ObjectId::Device(dev),
+                    op: Operation::DevRead,
+                    msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
+                    kind: ChannelKind::DeviceAccess,
+                    badge: None,
+                });
+            }
+        }
+        // Signals: same uid or root.
+        for (victim, &victim_uid) in &dep.subject_uids {
+            if victim == subject {
+                continue;
+            }
+            if uid == 0 || uid == victim_uid {
+                model.channels.push(Channel {
+                    subject: subject.clone(),
+                    object: ObjectId::Process(victim.clone()),
+                    op: Operation::Kill,
+                    msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
+                    kind: ChannelKind::SysOp,
+                    badge: None,
+                });
+            }
+        }
+        // fork(2) is ambient authority on Linux.
+        model.channels.push(Channel {
+            subject: subject.clone(),
+            object: ObjectId::ProcessManager,
+            op: Operation::Fork,
+            msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
+            kind: ChannelKind::SysOp,
+            badge: None,
+        });
+
+        // Brute-force surface: a queue is "grabbed" when it opens
+        // read-write; legitimate holdings are the planned memberships.
+        model
+            .enumerable_handles
+            .insert(subject.clone(), reachable_rw);
+        let legit = dep
+            .queues
+            .iter()
+            .filter(|q| q.reader == *subject || q.writers.contains(subject))
+            .count();
+        model.legitimate_handles.insert(subject.clone(), legit);
+    }
+
+    for q in &dep.queues {
+        model.queue_readers.insert(q.name.clone(), q.reader.clone());
+    }
+
+    model.normalize();
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deployment(shared: bool, web_uid: u32) -> LinuxDeployment {
+        let (ctrl_uid, web_q_owner) = if shared { (1000, 1000) } else { (1002, 1002) };
+        let mut subject_uids = BTreeMap::new();
+        subject_uids.insert("ctrl".to_string(), ctrl_uid);
+        subject_uids.insert("web".to_string(), web_uid);
+        let queue = if shared {
+            QueueSpec {
+                name: "/mq_in".into(),
+                owner: 1000,
+                group: None,
+                mode: Mode::new(0o600),
+                reader: "ctrl".into(),
+                writers: vec!["sensor".into()],
+                msg_types: vec![1],
+            }
+        } else {
+            QueueSpec {
+                name: "/mq_in".into(),
+                owner: web_q_owner,
+                group: Some(1001),
+                mode: Mode::new(0o620),
+                reader: "ctrl".into(),
+                writers: vec!["sensor".into()],
+                msg_types: vec![1],
+            }
+        };
+        LinuxDeployment {
+            subject_uids,
+            queues: vec![queue],
+            devices: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn shared_account_opens_everything() {
+        let m = lower(&deployment(true, 1000));
+        assert!(m.delivery_channel("web", "ctrl", 1).is_some());
+        assert!(m.can_kill("web", "ctrl"), "same uid → signal allowed");
+    }
+
+    #[test]
+    fn hardened_scheme_separates_accounts() {
+        let m = lower(&deployment(false, 1005));
+        assert!(m.delivery_channel("web", "ctrl", 1).is_none());
+        assert!(!m.can_kill("web", "ctrl"));
+    }
+
+    #[test]
+    fn root_bypasses_dac_and_signal_checks() {
+        let m = lower(&deployment(false, 0));
+        assert!(m.delivery_channel("web", "ctrl", 1).is_some());
+        assert!(m.can_kill("web", "ctrl"));
+    }
+
+    #[test]
+    fn fork_is_ambient() {
+        let m = lower(&deployment(false, 1005));
+        assert!(m.can_fork("web"));
+        assert!(m.can_fork("ctrl"));
+    }
+
+    #[test]
+    fn handle_counts_follow_dac() {
+        let m = lower(&deployment(true, 1000));
+        assert_eq!(m.enumerable_handles["web"], 1, "0600 + owner → rw");
+        assert_eq!(m.legitimate_handles["web"], 0, "web is not a member");
+        let m = lower(&deployment(false, 1005));
+        assert_eq!(m.enumerable_handles["web"], 0, "0620 group sensor");
+    }
+}

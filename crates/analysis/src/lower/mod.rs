@@ -1,0 +1,5 @@
+//! Lowerings from each platform's policy artifact into the Policy IR.
+
+pub mod acm;
+pub mod capdl;
+pub mod linux;

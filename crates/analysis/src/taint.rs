@@ -1,0 +1,402 @@
+//! Attack prediction by reachability over the Policy IR.
+//!
+//! For each attack of the paper's §IV-D matrix the predictor walks the
+//! channel graph from the attacker's position (the untrusted web
+//! interface) and decides two things *without running anything*:
+//!
+//! * **mechanism delivery** — does the attack's primitive get past the
+//!   enforcement point it is judged at (kernel ACM / capability check /
+//!   DAC / in-band server reply)?
+//! * **compromise** — does the delivered effect reach a safety-relevant
+//!   sink (controller actuation state, actuator drivers, device
+//!   registers, or the liveness of a critical process)?
+//!
+//! The pair maps onto the dynamic harness verdicts: compromise ⇒
+//! `Compromised`, delivery without compromise ⇒ `ResourceExhaustionOnly`,
+//! neither ⇒ `Stopped`.
+
+use bas_attack::expectations::Expectation;
+use bas_attack::AttackId;
+use bas_core::proto::{MT_ALARM_CMD, MT_FAN_CMD, MT_SENSOR_READING, MT_SETPOINT};
+use bas_sim::device::DeviceId;
+
+use crate::ir::{ChannelKind, PolicyModel};
+
+/// The static verdict for one `(policy, attack)` cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticVerdict {
+    /// The attack primitive gets past its enforcement point at least once.
+    pub mechanism_delivers: bool,
+    /// The attack reaches a safety-relevant sink (plant compromise or
+    /// loss of a critical process).
+    pub compromised: bool,
+    /// Human-readable justification (one line).
+    pub rationale: String,
+}
+
+/// Collapses a verdict to the paper's three-valued outcome.
+pub fn expectation(v: &StaticVerdict) -> Expectation {
+    if v.compromised {
+        Expectation::Compromised
+    } else if v.mechanism_delivers {
+        Expectation::ResourceExhaustionOnly
+    } else {
+        Expectation::Stopped
+    }
+}
+
+/// Whether a delivered message of `mtype` from `sender` is *accepted* by
+/// the receiving application (authentication + range validation).
+fn delivered_and_accepted(
+    model: &PolicyModel,
+    sender: &str,
+    receiver: &str,
+    mtype: u32,
+    in_range: bool,
+) -> (bool, bool) {
+    let Some(ch) = model.delivery_channel(sender, receiver, mtype) else {
+        return (false, false);
+    };
+    let accepted = model.app_accepts(sender, receiver, mtype, in_range);
+    // On an RPC-call channel the mechanism verdict *is* the server's
+    // in-band reply: a rejected message never counts as delivered.
+    let mech = if ch.kind == ChannelKind::RpcCall {
+        accepted
+    } else {
+        true
+    };
+    (mech, accepted)
+}
+
+/// Predicts the outcome of `attack` mounted from the model's untrusted
+/// subject (the scenario's web interface).
+pub fn predict(model: &PolicyModel, attack: AttackId) -> StaticVerdict {
+    let web = model.roles.web.as_str();
+    let ctrl = model.roles.controller.as_str();
+    let heater = model.roles.heater.as_str();
+    let alarm = model.roles.alarm.as_str();
+
+    match attack {
+        AttackId::SpoofSensorData => {
+            let (mech, accepted) =
+                delivered_and_accepted(model, web, ctrl, MT_SENSOR_READING, true);
+            let rationale = if !mech && !accepted {
+                format!("no accepted {web} -> {ctrl} sensor-reading channel")
+            } else if !accepted {
+                format!("{ctrl} authenticates readings; {web} is not the sensor")
+            } else {
+                format!("{web} can inject accepted readings into {ctrl}")
+            };
+            StaticVerdict {
+                mechanism_delivers: mech,
+                compromised: accepted,
+                rationale,
+            }
+        }
+        AttackId::SpoofActuatorCommands => {
+            let targets = [(heater, MT_FAN_CMD), (alarm, MT_ALARM_CMD)];
+            let mut mech = false;
+            let mut accepted = false;
+            for (target, mtype) in targets {
+                let (m, a) = delivered_and_accepted(model, web, target, mtype, true);
+                mech |= m;
+                accepted |= a && model.delivery_channel(web, target, mtype).is_some();
+            }
+            let rationale = if accepted {
+                format!("{web} reaches an actuator driver; drivers obey any well-formed command")
+            } else {
+                format!("no {web} -> actuator command channel")
+            };
+            StaticVerdict {
+                mechanism_delivers: mech,
+                compromised: accepted,
+                rationale,
+            }
+        }
+        AttackId::KillCritical => {
+            let can = model.can_kill(web, ctrl) || model.can_kill(web, alarm);
+            let rationale = if can {
+                format!("{web} holds kill authority over a critical process")
+            } else {
+                format!("{web} has no kill authority over {ctrl} or {alarm}")
+            };
+            StaticVerdict {
+                mechanism_delivers: can,
+                compromised: can,
+                rationale,
+            }
+        }
+        AttackId::ForkBomb => {
+            let mech = model.can_fork(web) && model.fork_quota.get(web) != Some(&0);
+            let rationale = match (model.can_fork(web), model.fork_quota.get(web)) {
+                (false, _) => format!("{web} holds no process-creation authority"),
+                (true, Some(0)) => format!("{web} fork quota is zero"),
+                (true, Some(n)) => {
+                    format!("{web} can fork up to quota {n}; resource pressure only")
+                }
+                (true, None) => format!("{web} can fork without limit; resource pressure only"),
+            };
+            StaticVerdict {
+                mechanism_delivers: mech,
+                compromised: false,
+                rationale,
+            }
+        }
+        AttackId::BruteForceHandles => {
+            let reach = model.enumerable_handles.get(web).copied().unwrap_or(0);
+            let legit = model.legitimate_handles.get(web).copied().unwrap_or(0);
+            let mech = reach > legit;
+            let rationale = format!(
+                "enumeration reaches {reach} handle(s), {legit} legitimately {}'s",
+                web
+            );
+            StaticVerdict {
+                mechanism_delivers: mech,
+                compromised: false,
+                rationale,
+            }
+        }
+        AttackId::FloodLegitChannel => {
+            let ch = model.delivery_channel(web, ctrl, MT_SETPOINT);
+            // The flood payload is junk: on an RPC channel the server's
+            // validation reply is the verdict; elsewhere the kernel/DAC
+            // admits the traffic regardless of content.
+            let mech = match ch {
+                Some(c) if c.kind == ChannelKind::RpcCall => {
+                    model.app_accepts(web, ctrl, MT_SETPOINT, false)
+                }
+                Some(_) => true,
+                None => false,
+            };
+            let rationale = if mech {
+                format!("{web} may flood its setpoint channel; contents are discarded")
+            } else {
+                format!("flood dies at the enforcement point before {ctrl}")
+            };
+            StaticVerdict {
+                mechanism_delivers: mech,
+                compromised: false,
+                rationale,
+            }
+        }
+        AttackId::DirectDeviceWrite => {
+            let can = model.device_channel(web, DeviceId::FAN, true).is_some()
+                || model.device_channel(web, DeviceId::ALARM, true).is_some();
+            let rationale = if can {
+                format!("{web} holds write access to actuator device registers")
+            } else {
+                format!("{web} holds no device capability/node access")
+            };
+            StaticVerdict {
+                mechanism_delivers: can,
+                compromised: can,
+                rationale,
+            }
+        }
+        AttackId::SetpointTamper => {
+            let (_, accepted) = delivered_and_accepted(model, web, ctrl, MT_SETPOINT, false);
+            // Out-of-range setpoints: acceptance is the whole story —
+            // every platform's controller range-validates, so tampering
+            // is judged at the application acknowledgment.
+            let rationale = if accepted {
+                format!("{ctrl} accepts out-of-range setpoints")
+            } else {
+                format!("{ctrl} range-validates setpoints; tamper rejected in-band")
+            };
+            StaticVerdict {
+                mechanism_delivers: accepted,
+                compromised: accepted,
+                rationale,
+            }
+        }
+        AttackId::ReplaySetpoint => {
+            let (_, accepted) = delivered_and_accepted(model, web, ctrl, MT_SETPOINT, true);
+            let rationale = if accepted {
+                format!("replayed setpoints are in-range and unauthenticated; {ctrl} accepts them")
+            } else {
+                format!("no {web} -> {ctrl} setpoint channel")
+            };
+            StaticVerdict {
+                mechanism_delivers: accepted,
+                compromised: accepted,
+                rationale,
+            }
+        }
+    }
+}
+
+/// Paths by which untrusted subjects influence actuation, one line per
+/// path (sorted). Used by the linter's `untrusted-to-actuator-path` rule.
+pub fn untrusted_actuator_paths(model: &PolicyModel) -> Vec<String> {
+    let mut paths = Vec::new();
+    let actuators = [
+        (model.roles.heater.clone(), DeviceId::FAN),
+        (model.roles.alarm.clone(), DeviceId::ALARM),
+    ];
+    for u in model.untrusted_subjects() {
+        // Direct device access.
+        for (_, dev) in &actuators {
+            if model.device_channel(u, *dev, true).is_some() {
+                paths.push(format!("{u} -> dev:{dev} (direct register write)"));
+            }
+        }
+        // Direct command delivery into an actuator driver.
+        for ((target, _), mtype) in actuators.iter().zip([MT_FAN_CMD, MT_ALARM_CMD]) {
+            if model.delivery_channel(u, target, mtype).is_some() {
+                paths.push(format!(
+                    "{u} -> proc:{target} (unmediated actuator command)"
+                ));
+            }
+        }
+        // Unauthenticated influence over the controller's actuation
+        // inputs: taint flows through the control loop to the actuators.
+        for (recv, mtype) in model.contracts.actuation_inputs.clone() {
+            if model.delivery_channel(u, &recv, mtype).is_some()
+                && model.app_accepts(u, &recv, mtype, true)
+            {
+                paths.push(format!(
+                    "{u} -> proc:{recv} (type {mtype}) -> actuators (tainted control input)"
+                ));
+            }
+        }
+    }
+    paths.sort();
+    paths.dedup();
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Channel, ObjectId, Operation, PlatformTraits, PolicyModel, Trust};
+    use bas_acm::matrix::MsgTypeSet;
+    use bas_acm::MsgType;
+    use bas_core::scenario::Platform;
+
+    fn base(kind: ChannelKind, stamped: bool) -> PolicyModel {
+        let mut m = PolicyModel::new(
+            Platform::Minix,
+            PlatformTraits {
+                kernel_stamped_identity: stamped,
+                rpc_in_band_validation: kind == ChannelKind::RpcCall,
+                uid_root_bypass: false,
+                unguessable_handles: true,
+            },
+        );
+        m.roles.web = "web".into();
+        m.roles.controller = "ctrl".into();
+        m.roles.heater = "heater".into();
+        m.roles.alarm = "alarm".into();
+        m.add_subject("web", Trust::Untrusted, None);
+        m.add_subject("ctrl", Trust::Trusted, None);
+        m.contracts.authenticated.insert(
+            ("ctrl".into(), MT_SENSOR_READING),
+            ["sensor".to_string()].into(),
+        );
+        m.contracts.validated.insert(("ctrl".into(), MT_SETPOINT));
+        m.contracts
+            .actuation_inputs
+            .insert(("ctrl".into(), MT_SENSOR_READING));
+        m.channels.push(Channel {
+            subject: "web".into(),
+            object: ObjectId::Process("ctrl".into()),
+            op: Operation::Send,
+            msg_types: MsgTypeSet::of([MsgType::new(MT_SENSOR_READING), MsgType::new(MT_SETPOINT)]),
+            kind,
+            badge: Some(2),
+        });
+        m.normalize();
+        m
+    }
+
+    #[test]
+    fn spoof_on_async_channel_delivers_but_dies_at_auth() {
+        let m = base(ChannelKind::AsyncSend, true);
+        let v = predict(&m, AttackId::SpoofSensorData);
+        assert!(v.mechanism_delivers, "kernel admits the send");
+        assert!(!v.compromised, "app authentication rejects it");
+        assert_eq!(expectation(&v), Expectation::ResourceExhaustionOnly);
+    }
+
+    #[test]
+    fn spoof_on_rpc_channel_is_stopped_in_band() {
+        let m = base(ChannelKind::RpcCall, true);
+        let v = predict(&m, AttackId::SpoofSensorData);
+        assert!(!v.mechanism_delivers, "rejection is the RPC reply");
+        assert_eq!(expectation(&v), Expectation::Stopped);
+    }
+
+    #[test]
+    fn spoof_without_kernel_identity_compromises() {
+        let m = base(ChannelKind::QueueWrite, false);
+        // Queue delivery needs reader metadata.
+        let mut m = m;
+        m.channels = vec![Channel {
+            subject: "web".into(),
+            object: ObjectId::Queue("/mq_in".into()),
+            op: Operation::Send,
+            msg_types: MsgTypeSet::of([MsgType::new(MT_SENSOR_READING)]),
+            kind: ChannelKind::QueueWrite,
+            badge: None,
+        }];
+        m.queue_readers.insert("/mq_in".into(), "ctrl".into());
+        let v = predict(&m, AttackId::SpoofSensorData);
+        assert!(v.compromised, "no sender identity to authenticate");
+        assert_eq!(expectation(&v), Expectation::Compromised);
+    }
+
+    #[test]
+    fn replay_compromises_wherever_setpoints_flow() {
+        for kind in [ChannelKind::AsyncSend, ChannelKind::RpcCall] {
+            let m = base(kind, true);
+            let v = predict(&m, AttackId::ReplaySetpoint);
+            assert_eq!(expectation(&v), Expectation::Compromised, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn tamper_is_stopped_by_validation() {
+        let m = base(ChannelKind::AsyncSend, true);
+        let v = predict(&m, AttackId::SetpointTamper);
+        assert_eq!(expectation(&v), Expectation::Stopped);
+    }
+
+    #[test]
+    fn fork_quota_zero_stops_the_bomb() {
+        let mut m = base(ChannelKind::AsyncSend, true);
+        m.channels.push(Channel {
+            subject: "web".into(),
+            object: ObjectId::ProcessManager,
+            op: Operation::Fork,
+            msg_types: MsgTypeSet::EMPTY,
+            kind: ChannelKind::SysOp,
+            badge: None,
+        });
+        let v = predict(&m, AttackId::ForkBomb);
+        assert_eq!(expectation(&v), Expectation::ResourceExhaustionOnly);
+        m.fork_quota.insert("web".into(), 0);
+        let v = predict(&m, AttackId::ForkBomb);
+        assert_eq!(expectation(&v), Expectation::Stopped);
+    }
+
+    #[test]
+    fn taint_paths_surface_unauthenticated_influence() {
+        let m = base(ChannelKind::QueueWrite, false);
+        let mut m = m;
+        m.channels = vec![Channel {
+            subject: "web".into(),
+            object: ObjectId::Queue("/mq_in".into()),
+            op: Operation::Send,
+            msg_types: MsgTypeSet::of([MsgType::new(MT_SENSOR_READING)]),
+            kind: ChannelKind::QueueWrite,
+            badge: None,
+        }];
+        m.queue_readers.insert("/mq_in".into(), "ctrl".into());
+        let paths = untrusted_actuator_paths(&m);
+        assert_eq!(paths.len(), 1, "{paths:?}");
+        assert!(paths[0].contains("tainted control input"));
+        // With kernel identity, the same graph is clean.
+        let m2 = base(ChannelKind::AsyncSend, true);
+        assert!(untrusted_actuator_paths(&m2).is_empty());
+    }
+}

@@ -1,0 +1,320 @@
+//! Property-based tests for the lowerings into the Policy IR.
+//!
+//! The headline property is the backend-isomorphism one: a random AADL
+//! model compiled through the MINIX backend (ACM) and through the seL4
+//! backend (CAmkES → CapDL) must lower to the *same* Policy-IR channel
+//! skeleton — same subjects, same `(sender, receiver, message types)`
+//! delivery edges — because both artifacts encode the same AADL intent.
+//! The remaining tests are the Fig. 3 (E2) static-vs-dynamic agreement:
+//! a delivery channel exists in the lowered IR exactly when the kernel's
+//! `check()` would allow the transfer.
+
+use std::collections::BTreeMap;
+
+use bas_aadl::model::{AadlModel, Connection, Port, PortDirection, ProcessType, SystemImpl};
+use bas_acm::{AcId, AccessControlMatrix, MsgType, QuotaTable};
+use bas_analysis::ir::type_bits;
+use bas_analysis::lower::acm::{lower as lower_acm, AcmBinding};
+use bas_analysis::lower::capdl::{lower as lower_capdl, CapdlBinding};
+use bas_analysis::{ObjectId, Operation, PolicyModel};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random AADL models.
+// ---------------------------------------------------------------------
+
+/// Raw connection material: `(source pick, sink pick, msg type)`. The
+/// picks are reduced modulo the process count when the model is built,
+/// with the sink skewed so it never equals the source.
+fn arb_conns() -> impl Strategy<Value = Vec<(usize, usize, u32)>> {
+    prop::collection::vec((0usize..64, 0usize..64, 1u32..7), 1..7)
+}
+
+/// Builds a valid AADL model: `n` process types `P{i}` (ac_id `100+i`),
+/// one instance `inst{i}` each, and one connection per raw tuple with a
+/// fresh typed out-port on the source and a fresh in-port on the sink.
+fn build_model(n: usize, conns: &[(usize, usize, u32)]) -> AadlModel {
+    let mut processes: Vec<ProcessType> = (0..n)
+        .map(|i| ProcessType {
+            name: format!("P{i}"),
+            ports: vec![],
+            ac_id: Some(100 + i as u32),
+        })
+        .collect();
+    let mut connections = Vec::new();
+    for (j, &(src_pick, sink_pick, mtype)) in conns.iter().enumerate() {
+        let from = src_pick % n;
+        let mut to = sink_pick % (n - 1);
+        if to >= from {
+            to += 1;
+        }
+        let out_name = format!("out{j}");
+        let in_name = format!("in{j}");
+        processes[from].ports.push(Port {
+            name: out_name.clone(),
+            direction: PortDirection::Out,
+            msg_type: Some(mtype),
+        });
+        processes[to].ports.push(Port {
+            name: in_name.clone(),
+            direction: PortDirection::In,
+            msg_type: None,
+        });
+        connections.push(Connection {
+            name: format!("c{j}"),
+            from: (format!("inst{from}"), out_name),
+            to: (format!("inst{to}"), in_name),
+        });
+    }
+    AadlModel {
+        processes,
+        system: Some(SystemImpl {
+            name: "S.impl".into(),
+            subcomponents: (0..n)
+                .map(|i| (format!("inst{i}"), format!("P{i}")))
+                .collect(),
+            connections,
+        }),
+    }
+}
+
+/// ac_id → instance-name binding for a generated model (no PM, no
+/// devices — pure application channels).
+fn model_binding(n: usize) -> AcmBinding {
+    AcmBinding {
+        subjects: (0..n)
+            .map(|i| (AcId::new(100 + i as u32), format!("inst{i}")))
+            .collect(),
+        pm_ac: None,
+        device_owners: BTreeMap::new(),
+    }
+}
+
+/// Message types each generated endpoint's server dispatches: the
+/// from-port type of every connection landing on that endpoint.
+fn model_endpoint_types(model: &AadlModel) -> BTreeMap<String, Vec<u32>> {
+    let sys = model
+        .system
+        .as_ref()
+        .expect("generated models have a system");
+    let mut types: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for conn in &sys.connections {
+        let mtype = model
+            .process_of_instance(&conn.from.0)
+            .and_then(|p| p.port(&conn.from.1))
+            .and_then(|p| p.msg_type)
+            .expect("generated out-ports are typed");
+        types
+            .entry(format!("ep_{}_port_{}", conn.to.0, conn.to.1))
+            .or_default()
+            .push(mtype);
+    }
+    types
+}
+
+/// The comparable skeleton of a lowered model: delivery edges merged per
+/// `(sender, receiver)` pair with the ACK bit masked off (the ACM
+/// backend grants explicit ACK replies; seL4 replies in-band).
+fn skeleton(model: &PolicyModel) -> BTreeMap<(String, String), u64> {
+    let mut edges = BTreeMap::new();
+    for ch in &model.channels {
+        let ObjectId::Process(receiver) = &ch.object else {
+            continue;
+        };
+        if ch.op != Operation::Send {
+            continue;
+        }
+        let bits = type_bits(ch.msg_types) & !1u64;
+        if bits != 0 {
+            *edges
+                .entry((ch.subject.clone(), receiver.clone()))
+                .or_insert(0u64) |= bits;
+        }
+    }
+    edges
+}
+
+proptest! {
+    /// Backend isomorphism: for any valid AADL model, lowering the
+    /// compiled ACM and the compiled CapDL spec yields the same subject
+    /// set and the same delivery-edge skeleton.
+    #[test]
+    fn acm_and_capdl_lowerings_are_isomorphic(
+        n in 2usize..6,
+        conns in arb_conns(),
+    ) {
+        let model = build_model(n, &conns);
+        prop_assert!(model.validate().is_ok(), "generated model must validate");
+
+        let acm = bas_aadl::backends::acm::compile(&model).expect("acm backend");
+        let via_acm = lower_acm(&acm, &model_binding(n), &QuotaTable::new());
+
+        let assembly = bas_aadl::backends::camkes::compile(&model).expect("camkes backend");
+        let (spec, _glue) = bas_camkes::codegen::compile(&assembly).expect("capdl codegen");
+        let via_capdl = lower_capdl(
+            &spec,
+            &CapdlBinding { endpoint_types: model_endpoint_types(&model) },
+        );
+
+        let subjects_acm: Vec<&String> = via_acm.subjects.keys().collect();
+        let subjects_capdl: Vec<&String> = via_capdl.subjects.keys().collect();
+        prop_assert_eq!(subjects_acm, subjects_capdl, "same subjects on both backends");
+        prop_assert_eq!(
+            skeleton(&via_acm),
+            skeleton(&via_capdl),
+            "same delivery edges on both backends"
+        );
+    }
+
+    /// Every AADL connection shows up as a delivery channel on both
+    /// lowered models (completeness of the lowering pipeline).
+    #[test]
+    fn every_connection_is_a_delivery_channel(
+        n in 2usize..6,
+        conns in arb_conns(),
+    ) {
+        let model = build_model(n, &conns);
+        let acm = bas_aadl::backends::acm::compile(&model).expect("acm backend");
+        let via_acm = lower_acm(&acm, &model_binding(n), &QuotaTable::new());
+        let assembly = bas_aadl::backends::camkes::compile(&model).expect("camkes backend");
+        let (spec, _glue) = bas_camkes::codegen::compile(&assembly).expect("capdl codegen");
+        let via_capdl = lower_capdl(
+            &spec,
+            &CapdlBinding { endpoint_types: model_endpoint_types(&model) },
+        );
+
+        let sys = model.system.as_ref().unwrap();
+        for conn in &sys.connections {
+            let mtype = model
+                .process_of_instance(&conn.from.0)
+                .and_then(|p| p.port(&conn.from.1))
+                .and_then(|p| p.msg_type)
+                .unwrap();
+            prop_assert!(
+                via_acm.delivery_channel(&conn.from.0, &conn.to.0, mtype).is_some(),
+                "{} -> {} type {} missing from ACM lowering", conn.from.0, conn.to.0, mtype
+            );
+            prop_assert!(
+                via_capdl.delivery_channel(&conn.from.0, &conn.to.0, mtype).is_some(),
+                "{} -> {} type {} missing from CapDL lowering", conn.from.0, conn.to.0, mtype
+            );
+        }
+    }
+
+    /// Fig. 3 / E2 agreement, generalized: for a random matrix over a
+    /// bound identity set, the lowered IR has a delivery channel exactly
+    /// where the kernel's dynamic `check()` allows the transfer.
+    #[test]
+    fn random_acm_static_matches_dynamic_check(
+        rules in prop::collection::vec(
+            (100u32..105, 100u32..105, 0u32..8),
+            0..16,
+        ),
+    ) {
+        let mut b = AccessControlMatrix::builder();
+        for &(s, r, t) in &rules {
+            b = b.allow(AcId::new(s), AcId::new(r), [MsgType::new(t)]);
+        }
+        let acm = b.build();
+        let binding = AcmBinding {
+            subjects: (100u32..105)
+                .map(|id| (AcId::new(id), format!("app{}", id - 99)))
+                .collect(),
+            pm_ac: None,
+            device_owners: BTreeMap::new(),
+        };
+        let lowered = lower_acm(&acm, &binding, &QuotaTable::new());
+        for s in 100u32..105 {
+            for r in 100u32..105 {
+                for t in 0u32..8 {
+                    let statically = lowered
+                        .delivery_channel(&binding.subjects[&AcId::new(s)],
+                                          &binding.subjects[&AcId::new(r)], t)
+                        .is_some();
+                    let dynamically =
+                        acm.check(AcId::new(s), AcId::new(r), MsgType::new(t)).is_allowed();
+                    prop_assert_eq!(
+                        statically, dynamically,
+                        "ac{} -> ac{} type {}: static {} vs dynamic {}",
+                        s, r, t, statically, dynamically
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fig. 3 itself (the E2 matrix): the static IR reproduces the kernel's
+/// per-cell decisions for every app pair and every message type.
+#[test]
+fn fig3_static_matches_dynamic_check() {
+    use bas_acm::fig3::{fig3_matrix, APP1, APP2, APP3};
+    let acm = fig3_matrix();
+    let binding = AcmBinding {
+        subjects: [(APP1, "app1"), (APP2, "app2"), (APP3, "app3")]
+            .into_iter()
+            .map(|(id, name)| (id, name.to_string()))
+            .collect(),
+        pm_ac: None,
+        device_owners: BTreeMap::new(),
+    };
+    let lowered = lower_acm(&acm, &binding, &QuotaTable::new());
+    for &s in &[APP1, APP2, APP3] {
+        for &r in &[APP1, APP2, APP3] {
+            if s == r {
+                continue;
+            }
+            for t in 0u32..8 {
+                let statically = lowered
+                    .delivery_channel(&binding.subjects[&s], &binding.subjects[&r], t)
+                    .is_some();
+                let dynamically = acm.check(s, r, MsgType::new(t)).is_allowed();
+                assert_eq!(
+                    statically, dynamically,
+                    "{s} -> {r} type {t}: static prediction disagrees with check()"
+                );
+            }
+        }
+    }
+}
+
+/// The scenario matrix (E2's production sibling): same agreement
+/// property over the six scenario identities.
+#[test]
+fn scenario_acm_static_matches_dynamic_check() {
+    use bas_core::policy::scenario_acm;
+    use bas_core::proto::{names, AC_ALARM, AC_CONTROL, AC_HEATER, AC_SCENARIO, AC_SENSOR, AC_WEB};
+    let acm = scenario_acm();
+    let ids = [
+        (AC_SENSOR, names::SENSOR),
+        (AC_CONTROL, names::CONTROL),
+        (AC_HEATER, names::HEATER),
+        (AC_ALARM, names::ALARM),
+        (AC_WEB, names::WEB),
+        (AC_SCENARIO, names::SCENARIO),
+    ];
+    let binding = AcmBinding {
+        subjects: ids
+            .into_iter()
+            .map(|(id, name)| (id, name.to_string()))
+            .collect(),
+        pm_ac: Some(bas_minix::pm::PM_AC_ID),
+        device_owners: BTreeMap::new(),
+    };
+    let lowered = lower_acm(&acm, &binding, &QuotaTable::new());
+    for (s, s_name) in ids {
+        for (r, r_name) in ids {
+            if s == r {
+                continue;
+            }
+            for t in 0u32..8 {
+                let statically = lowered.delivery_channel(s_name, r_name, t).is_some();
+                let dynamically = acm.check(s, r, MsgType::new(t)).is_allowed();
+                assert_eq!(
+                    statically, dynamically,
+                    "{s_name} -> {r_name} type {t}: static prediction disagrees with check()"
+                );
+            }
+        }
+    }
+}

@@ -22,8 +22,7 @@ fn minix_attacker_resolves_then_delays_then_acts() {
             max_loops: Some(2),
         }
     });
-    let mut attacker =
-        MinixAttacker::new(vec!["temp_control".into()], builder, evidence.clone());
+    let mut attacker = MinixAttacker::new(vec!["temp_control".into()], builder, evidence.clone());
 
     // 1. Reconnaissance lookup first.
     let a = attacker.resume(None);
@@ -70,7 +69,9 @@ fn minix_attacker_handles_failed_reconnaissance() {
     });
     let mut attacker = MinixAttacker::new(vec!["ghost".into()], builder, evidence.clone());
     let _ = attacker.resume(None); // lookup
-    let _ = attacker.resume(Some(MReply::Err(bas_minix::error::MinixError::NoSuchProcess)));
+    let _ = attacker.resume(Some(MReply::Err(
+        bas_minix::error::MinixError::NoSuchProcess,
+    )));
     // Empty script: goes idle without panicking, zero evidence.
     let a = attacker.resume(Some(MReply::Ok));
     assert!(matches!(a, Action::Syscall(MSyscall::Sleep { .. })));
@@ -83,8 +84,12 @@ fn sel4_attacker_counts_identified_handles() {
     let script = AttackScript {
         delay: SimDuration::ZERO,
         setup: vec![
-            AttackStep::counted(SSyscall::Identify { slot: bas_sel4::cap::CPtr::new(0) }),
-            AttackStep::counted(SSyscall::Identify { slot: bas_sel4::cap::CPtr::new(1) }),
+            AttackStep::counted(SSyscall::Identify {
+                slot: bas_sel4::cap::CPtr::new(0),
+            }),
+            AttackStep::counted(SSyscall::Identify {
+                slot: bas_sel4::cap::CPtr::new(1),
+            }),
         ],
         loop_body: vec![],
         max_loops: Some(1),
@@ -95,7 +100,9 @@ fn sel4_attacker_counts_identified_handles() {
     let _ = attacker.resume(Some(SReply::Identified(Some(
         bas_sel4::objects::ObjKind::Endpoint,
     )))); // -> identify 1
-    let _ = attacker.resume(Some(SReply::Err(bas_sel4::error::Sel4Error::InvalidCapability)));
+    let _ = attacker.resume(Some(SReply::Err(
+        bas_sel4::error::Sel4Error::InvalidCapability,
+    )));
 
     let ev = evidence.borrow();
     assert_eq!(ev.attempts, 2);
@@ -112,7 +119,9 @@ fn pacing_steps_are_never_counted() {
         setup: vec![],
         loop_body: vec![
             AttackStep::counted(SSyscall::GetTime),
-            AttackStep::pacing(SSyscall::Sleep { duration: SimDuration::from_secs(1) }),
+            AttackStep::pacing(SSyscall::Sleep {
+                duration: SimDuration::from_secs(1),
+            }),
         ],
         max_loops: Some(3),
     };

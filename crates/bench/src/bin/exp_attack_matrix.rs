@@ -36,13 +36,15 @@ fn main() {
     );
     rule();
 
+    // Platform-major, then attack, then attacker: deterministic order,
+    // matching the statically predicted matrix of `exp_policy_audit`.
     let mut cells = 0usize;
     let mut agreements = 0usize;
-    for attack in AttackId::ALL {
-        for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
-            if filter.is_some_and(|f| f != platform) {
-                continue;
-            }
+    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+        if filter.is_some_and(|f| f != platform) {
+            continue;
+        }
+        for attack in AttackId::ALL {
             for attacker in [AttackerModel::ArbitraryCode, AttackerModel::Root] {
                 let o = run_attack(platform, attacker, attack, &config);
                 let expected = paper_expectation(platform, attacker, attack);

@@ -1,0 +1,256 @@
+//! E12: static policy audit — the attack matrix *predicted* from policy
+//! alone, plus the policy lint report, with no simulation in the loop.
+//!
+//! All three platform policies (MINIX ACM, compiled CapDL spec, Linux mq
+//! ACL plan) lower into the unified Policy IR; a reachability analysis
+//! then predicts every §IV-D attack outcome, and a lint pass diffs each
+//! policy against the AADL-minimal one. The `static_vs_dynamic` tests in
+//! `bas-analysis` assert cell-for-cell agreement with the dynamic
+//! harness; this binary prints the artifacts and re-checks the headline
+//! claims, including both ablations.
+//!
+//! Run: `cargo run --release -p bas-bench --bin exp_policy_audit`
+
+use bas_analysis::scenario::{
+    minix_model, model_for, predicted_matrix, scenario_justification, sel4_model,
+};
+use bas_analysis::taint::{expectation, predict};
+use bas_analysis::{findings_to_json, lint, Severity};
+use bas_attack::expectations::{paper_expectation, Expectation};
+use bas_attack::model::{AttackId, AttackerModel};
+use bas_bench::{rule, section, verdict};
+use bas_core::platform::linux::UidScheme;
+use bas_core::platform::sel4::ExtraCap;
+use bas_core::policy::instances;
+use bas_core::scenario::Platform;
+use bas_sel4::rights::CapRights;
+
+fn main() {
+    let justification = scenario_justification();
+
+    // -----------------------------------------------------------------
+    // 1. The lowered channel graphs.
+    // -----------------------------------------------------------------
+    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+        let model = model_for(
+            platform,
+            AttackerModel::ArbitraryCode,
+            UidScheme::SharedAccount,
+        );
+        section(&format!(
+            "policy IR: {platform} ({} subjects, {} channels)",
+            model.subjects.len(),
+            model.channels.len()
+        ));
+        print!("{}", model.render());
+    }
+
+    // -----------------------------------------------------------------
+    // 2. The predicted attack matrix.
+    // -----------------------------------------------------------------
+    section("predicted attack matrix (static; no simulation)");
+    println!(
+        "{:<12} {:<22} {:<12} {:<9} {:<12} {:<12} agrees?",
+        "platform", "attack", "attacker", "delivers", "compromise", "paper"
+    );
+    rule();
+    let mut cells = 0usize;
+    let mut agreements = 0usize;
+    for cell in predicted_matrix(UidScheme::SharedAccount) {
+        let paper = paper_expectation(cell.platform, cell.attacker, cell.attack);
+        let agrees = expectation(&cell.verdict) == paper;
+        cells += 1;
+        agreements += usize::from(agrees);
+        println!(
+            "{:<12} {:<22} {:<12} {:<9} {:<12} {:<12} {}",
+            cell.platform.to_string(),
+            cell.attack.to_string(),
+            cell.attacker.to_string(),
+            verdict(cell.verdict.mechanism_delivers, "yes", "no"),
+            verdict(cell.verdict.compromised, "COMPROMISE", "contained"),
+            format!("{paper:?}"),
+            verdict(agrees, "yes", "** NO **"),
+        );
+    }
+    rule();
+    println!("static-vs-paper agreement: {agreements}/{cells} cells");
+    assert_eq!(agreements, cells, "every static cell must match the paper");
+
+    // -----------------------------------------------------------------
+    // 3. The lint reports.
+    // -----------------------------------------------------------------
+    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+        let model = model_for(
+            platform,
+            AttackerModel::ArbitraryCode,
+            UidScheme::SharedAccount,
+        );
+        let findings = lint(&model, &justification);
+        section(&format!("lint: {platform} ({} findings)", findings.len()));
+        for f in &findings {
+            println!(
+                "{:<7} {:<26} {:<16} {:<28} {}",
+                f.severity.to_string(),
+                f.code,
+                f.subject,
+                f.object,
+                f.detail
+            );
+        }
+    }
+
+    // The hardened Linux scheme lints dramatically cleaner — that *is*
+    // the paper's "specifically configured" queue discussion.
+    let shared = model_for(
+        Platform::Linux,
+        AttackerModel::ArbitraryCode,
+        UidScheme::SharedAccount,
+    );
+    let hardened = model_for(
+        Platform::Linux,
+        AttackerModel::ArbitraryCode,
+        UidScheme::PerProcessHardened,
+    );
+    let shared_high = lint(&shared, &justification)
+        .iter()
+        .filter(|f| f.severity == Severity::High)
+        .count();
+    let hardened_high = lint(&hardened, &justification)
+        .iter()
+        .filter(|f| f.severity == Severity::High)
+        .count();
+    section("uid-scheme lint comparison");
+    println!("shared-account high-severity findings:   {shared_high}");
+    println!("per-process-hardened high-severity:      {hardened_high}");
+    assert!(
+        shared_high > hardened_high,
+        "hardening must reduce high-severity findings"
+    );
+    assert_eq!(
+        hardened_high, 0,
+        "hardened scheme lints clean at high severity"
+    );
+
+    // -----------------------------------------------------------------
+    // 4. Ablations: the static verdicts flip with the policy.
+    // -----------------------------------------------------------------
+    section("ablation predictions (static analogues of exp_ablation_acm / exp_ablation_caps)");
+    let permissive = permissive_acm();
+    let scenario_m = minix_model(AttackerModel::ArbitraryCode, None, None);
+    let permissive_m = minix_model(AttackerModel::ArbitraryCode, Some(&permissive), None);
+    for (label, model) in [
+        ("scenario ACM", &scenario_m),
+        ("permissive ACM", &permissive_m),
+    ] {
+        for attack in [AttackId::SpoofSensorData, AttackId::SpoofActuatorCommands] {
+            let v = predict(model, attack);
+            println!(
+                "minix {:<15} {:<22} -> {:?}  ({})",
+                label,
+                attack.to_string(),
+                expectation(&v),
+                v.rationale
+            );
+        }
+    }
+    let spoof = predict(&permissive_m, AttackId::SpoofActuatorCommands);
+    assert!(
+        spoof.compromised,
+        "permissive ACM must re-open the actuator attack statically"
+    );
+    assert_eq!(
+        expectation(&predict(&scenario_m, AttackId::SpoofActuatorCommands)),
+        Expectation::Stopped
+    );
+
+    let stray = vec![
+        ExtraCap {
+            holder: instances::WEB,
+            endpoint_of: (instances::HEATER, "cmd"),
+            rights: CapRights::WRITE_GRANT,
+            badge: 99,
+        },
+        ExtraCap {
+            holder: instances::WEB,
+            endpoint_of: (instances::ALARM, "cmd"),
+            rights: CapRights::WRITE_GRANT,
+            badge: 99,
+        },
+    ];
+    let clean_m = sel4_model(AttackerModel::ArbitraryCode, &[]);
+    let ablated_m = sel4_model(AttackerModel::ArbitraryCode, &stray);
+    for (label, model) in [("clean CapDL", &clean_m), ("stray caps", &ablated_m)] {
+        let v = predict(model, AttackId::SpoofActuatorCommands);
+        println!(
+            "sel4  {:<15} {:<22} -> {:?}  ({})",
+            label,
+            AttackId::SpoofActuatorCommands.to_string(),
+            expectation(&v),
+            v.rationale
+        );
+    }
+    assert!(
+        predict(&ablated_m, AttackId::SpoofActuatorCommands).compromised,
+        "stray capabilities must flip the static verdict"
+    );
+    let stray_findings: Vec<_> = lint(&ablated_m, &justification)
+        .into_iter()
+        .filter(|f| {
+            f.severity == Severity::High
+                && f.code == "over-granted-capability"
+                && f.subject == instances::WEB
+        })
+        .collect();
+    assert_eq!(stray_findings.len(), 2, "linter flags both stray caps");
+    println!(
+        "lint on the ablated spec: {} high-severity finding(s) against {}",
+        stray_findings.len(),
+        instances::WEB
+    );
+
+    // -----------------------------------------------------------------
+    // 5. Machine-readable lint output (serialized findings).
+    // -----------------------------------------------------------------
+    section("lint findings as JSON (linux shared-account)");
+    println!("{}", findings_to_json(&lint(&shared, &justification)));
+
+    section("conclusion");
+    println!(
+        "the attack matrix is a function of the policy artifacts alone: lowering ACM, CapDL\n\
+         and mq-ACLs into one channel graph predicts every dynamic outcome (see the\n\
+         static_vs_dynamic tests for the cell-by-cell cross-validation), and the linter\n\
+         localizes exactly the grants whose removal flips a cell."
+    );
+}
+
+/// Every application pair open, PM rows unchanged — as in
+/// `exp_ablation_acm`.
+fn permissive_acm() -> bas_acm::AccessControlMatrix {
+    use bas_core::proto::{AC_ALARM, AC_CONTROL, AC_HEATER, AC_SCENARIO, AC_SENSOR, AC_WEB};
+    use bas_minix::pm;
+    let ids = [AC_SENSOR, AC_CONTROL, AC_HEATER, AC_ALARM, AC_WEB];
+    let mut b = bas_acm::AccessControlMatrix::builder();
+    for s in ids {
+        for r in ids {
+            if s != r {
+                b = b.allow_all_types(s, r);
+            }
+        }
+    }
+    b = pm::allow_pm_ops(b, AC_WEB, [pm::PM_FORK2, pm::PM_GETPID]);
+    for ac in [AC_SENSOR, AC_CONTROL, AC_HEATER, AC_ALARM] {
+        b = pm::allow_pm_ops(b, ac, [pm::PM_GETPID]);
+    }
+    b = pm::allow_pm_ops(
+        b,
+        AC_SCENARIO,
+        [
+            pm::PM_FORK2,
+            pm::PM_SRV_FORK2,
+            pm::PM_KILL,
+            pm::PM_EXIT,
+            pm::PM_GETPID,
+        ],
+    );
+    b.build()
+}

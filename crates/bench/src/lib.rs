@@ -13,6 +13,10 @@
 //! | `exp_capdl_verify` | E10 — CapDL spec-vs-live-system audit |
 //! | `exp_ablation_acm` | A1 — ACM enforcement ablation |
 //! | `exp_ablation_caps` | A2 — capability over-grant ablation |
+//! | `exp_alarm_latency` | E11 — alarm-latency distribution |
+//! | `exp_cost_sensitivity` | E8b — context-switch cost sweep |
+//! | `exp_recovery` | A3 — MINIX self-repair under driver crash |
+//! | `exp_policy_audit` | E12 — static policy audit: predicted matrix + lint |
 //!
 //! Criterion benches (`benches/`): `ipc` (round-trip cost per platform),
 //! `micro` (ACM/CSpace/mq/plant primitives), `scenario` (end-to-end

@@ -6,7 +6,6 @@ use bas_capdl::spec::{CapDlSpec, SpecObjKind};
 use bas_capdl::verify::{verify, VerifyIssue};
 use bas_sel4::cap::CPtr;
 use bas_sel4::kernel::{Sel4Config, Sel4Kernel, Sel4Thread};
-use bas_sel4::rights::CapRights;
 use bas_sel4::syscall::{Reply, RetypeKind, Syscall};
 use bas_sim::script::{replies, Script};
 
@@ -32,10 +31,22 @@ fn declared_untyped_is_actually_retypable_by_its_holder() {
     let spec = CapDlSpec::parse(SPEC).unwrap();
     let mut k = Sel4Kernel::new(Sel4Config::default());
     let (alloc_script, log) = Script::<Syscall, Reply>::new(vec![
-        Syscall::Retype { untyped: CPtr::new(0), kind: RetypeKind::Endpoint },
-        Syscall::Retype { untyped: CPtr::new(0), kind: RetypeKind::Endpoint },
-        Syscall::Retype { untyped: CPtr::new(0), kind: RetypeKind::Endpoint },
-        Syscall::Retype { untyped: CPtr::new(0), kind: RetypeKind::Endpoint }, // exhausted
+        Syscall::Retype {
+            untyped: CPtr::new(0),
+            kind: RetypeKind::Endpoint,
+        },
+        Syscall::Retype {
+            untyped: CPtr::new(0),
+            kind: RetypeKind::Endpoint,
+        },
+        Syscall::Retype {
+            untyped: CPtr::new(0),
+            kind: RetypeKind::Endpoint,
+        },
+        Syscall::Retype {
+            untyped: CPtr::new(0),
+            kind: RetypeKind::Endpoint,
+        }, // exhausted
     ])
     .logged();
     let mut alloc_script = Some(alloc_script);

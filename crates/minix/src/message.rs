@@ -25,23 +25,7 @@ pub const PAYLOAD_LEN: usize = 56;
 /// assert_eq!(p.read_u64(8), 7_000_000_000);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Payload(#[serde(with = "serde_bytes_array")] [u8; PAYLOAD_LEN]);
-
-// serde does not derive for [u8; 56]; adapt through a slice.
-mod serde_bytes_array {
-    use serde::de::Error;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(bytes: &[u8; 56], s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(bytes)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; 56], D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        v.try_into()
-            .map_err(|_| D::Error::custom("payload must be exactly 56 bytes"))
-    }
-}
+pub struct Payload([u8; PAYLOAD_LEN]);
 
 impl Payload {
     /// An all-zero payload.

@@ -4,10 +4,11 @@
 //! web-interface activity, attack timing jitter — draws from a [`SimRng`]
 //! seeded by the scenario configuration, so every experiment is replayable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A deterministic RNG wrapper.
+/// A deterministic RNG.
+///
+/// Internally a SplitMix64 generator — statistically solid for simulation
+/// noise, trivially seedable, and dependency-free (the build container has
+/// no crates.io access, so `rand` is deliberately not used).
 ///
 /// ```
 /// use bas_sim::rng::SimRng;
@@ -17,25 +18,27 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: u64,
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        SimRng { state: seed }
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (SplitMix64 step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
     /// Uniform value in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -45,15 +48,17 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Multiply-shift bounded sampling; bias is negligible for sim noise.
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
     }
 
     /// Standard-normal sample via Box–Muller (avoids an extra dependency on
     /// `rand_distr`).
     pub fn gaussian(&mut self) -> f64 {
         // Draw u1 in (0, 1] to keep ln() finite.
-        let u1 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen();
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
@@ -69,7 +74,7 @@ impl SimRng {
     /// Panics if `p` is not in `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        self.inner.gen::<f64>() < p
+        self.uniform() < p
     }
 
     /// Derives an independent child RNG (e.g. one per subsystem) such that

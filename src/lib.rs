@@ -16,11 +16,13 @@
 //! - [`aadl`] — AADL-subset architecture language and policy backends
 //! - [`core`] — the temperature-control scenario on all three platforms
 //! - [`attack`] — attacker models, attack library and outcome harness
+//! - [`analysis`] — static policy IR, attack prediction and policy linter
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
 
 pub use bas_aadl as aadl;
 pub use bas_acm as acm;
+pub use bas_analysis as analysis;
 pub use bas_attack as attack;
 pub use bas_camkes as camkes;
 pub use bas_capdl as capdl;

@@ -1,0 +1,156 @@
+//! Offline mini-proptest.
+//!
+//! A dependency-free, deterministic re-implementation of the slice of the
+//! `proptest` API this workspace uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_filter`/`boxed`, range / tuple / collection / sample
+//! strategies, [`any`](arbitrary::any), `Just`, the `prop_oneof!` /
+//! `prop_assert*!` / `prop_assume!` macros, and the [`proptest!`] test
+//! harness macro.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its case number and the
+//!   deterministic seed, which is enough to replay because…
+//! - **Fully deterministic.** The RNG seed is derived from the test-function
+//!   name (FNV-1a), so a given test explores the same cases on every run and
+//!   machine. Set `PROPTEST_CASES` to change the case count (default 64).
+//! - **Rejection via `Result`.** `prop_assume!`/`prop_assert!` expand to
+//!   early `return Err(..)` inside the harness closure, exactly like real
+//!   proptest, so no panic-catching machinery is needed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod runner;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+
+/// The `prop` pseudo-module, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Mirror of `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::runner::TestCaseError;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property test; on failure the current case
+/// is reported (with its deterministic seed) and the test fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left != right) {
+            return ::core::result::Result::Err($crate::runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (without counting it) when the precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::runner::TestCaseError::Reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// expands to a `#[test]` function that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            $vis fn $name() {
+                let strategy = ($($strat,)*);
+                $crate::runner::run(stringify!($name), &strategy, |values| {
+                    let ($($arg,)*) = values;
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}

@@ -1,0 +1,59 @@
+//! Deterministic RNG for case generation (SplitMix64).
+
+/// A SplitMix64 generator; small, fast, and good enough for test-case
+/// generation (we never need cryptographic quality here).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded sampling (Lemire); bias is irrelevant for
+        // test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `i128` in `[lo, hi]` (inclusive both ends).
+    pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128;
+        if span == u128::MAX {
+            return self.next_u64() as i128 | ((self.next_u64() as i128) << 64);
+        }
+        let span = span + 1;
+        let draw = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        lo + draw as i128
+    }
+}
+
+/// FNV-1a hash of a string; used to derive per-test seeds from test names.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,63 @@
+//! The case-execution loop behind the `proptest!` macro.
+
+use crate::rng::{fnv1a, TestRng};
+use crate::strategy::Strategy;
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's preconditions were not met (`prop_assume!`); it is skipped
+    /// without counting toward the case budget.
+    Reject(&'static str),
+    /// A property assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Number of passing cases each property must accumulate.
+fn case_budget() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `body` over deterministically generated cases of `strategy`.
+///
+/// The seed derives from `name`, so every run of a given test explores the
+/// identical case sequence — failures are reproducible by construction.
+pub fn run<S, F>(name: &str, strategy: &S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let budget = case_budget();
+    let seed = fnv1a(name);
+    let mut rng = TestRng::new(seed);
+    let mut passed = 0u64;
+    let mut rejected = 0u64;
+    let mut case = 0u64;
+    while passed < budget {
+        case += 1;
+        let value = strategy.generate(&mut rng);
+        match body(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected < budget * 16,
+                    "{name}: too many rejected cases ({rejected}); last: {why}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case #{case} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}

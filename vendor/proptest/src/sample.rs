@@ -1,0 +1,27 @@
+//! `prop::sample::*` — choosing among concrete values.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy that picks one element of `values` uniformly.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(
+        !values.is_empty(),
+        "sample::select needs at least one value"
+    );
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.values.len() as u64) as usize;
+        self.values[idx].clone()
+    }
+}

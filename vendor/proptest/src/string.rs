@@ -1,0 +1,159 @@
+//! String strategies from a small regex subset.
+//!
+//! Real proptest interprets a `&str` strategy as a full regex; the stub
+//! supports the subset the workspace (and most tests) actually use:
+//! literal characters, `.`, character classes `[a-z0-9_]`, and the
+//! quantifiers `{m,n}` / `{n}` / `*` / `+` / `?`. Groups and alternation
+//! are rejected loudly rather than silently mis-generated.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except newline (mostly printable ASCII here).
+    Dot,
+    /// A literal character.
+    Literal(char),
+    /// A character class; each entry is an inclusive range.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled regex-subset strategy producing `String`s.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    pieces: Vec<Piece>,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("range end");
+                            ranges.push((lo, hi));
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                ranges.push((p, p));
+                            }
+                        }
+                        None => panic!("unterminated class in regex strategy: {pattern}"),
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().expect("escape target")),
+            '(' | ')' | '|' => {
+                panic!("regex strategy subset does not support groups/alternation: {pattern}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl RegexStrategy {
+    /// Compiles `pattern` (panicking on unsupported syntax).
+    pub fn new(pattern: &str) -> Self {
+        RegexStrategy {
+            pieces: parse(pattern),
+        }
+    }
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Dot => {
+            // Mostly printable ASCII; occasionally tabs or high code points
+            // to stress parsers, never '\n' (regex `.` excludes it).
+            match rng.below(10) {
+                0 => '\t',
+                1 => char::from_u32(0x80 + rng.below(0x2000) as u32).unwrap_or('\u{fffd}'),
+                _ => (0x20 + rng.below(0x5f) as u8) as char,
+            }
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            char::from_u32(rng.in_range_i128(lo as i128, hi as i128) as u32).unwrap_or(lo)
+        }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.in_range_i128(piece.min as i128, piece.max as i128) as u32;
+            for _ in 0..n {
+                out.push(gen_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexStrategy::new(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexStrategy::new(self).generate(rng)
+    }
+}

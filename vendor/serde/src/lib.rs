@@ -1,0 +1,36 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The reproduction container has no network access to crates.io, so this
+//! crate provides the *API shape* the workspace relies on — the
+//! [`Serialize`]/[`Deserialize`] marker traits and the matching derive
+//! macros — without any wire format. Every type is trivially serializable:
+//! the traits are blanket-implemented and the derives expand to nothing.
+//!
+//! Code that needs actual serialization (e.g. the policy-audit JSON report)
+//! emits its format by hand; the derives exist so that type definitions
+//! keep the same annotations they would carry against real serde, making a
+//! future swap-in a one-line Cargo.toml change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<T: ?Sized> Deserialize<'_> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`. Blanket-implemented.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::ser` far enough for `use serde::ser::Serialize` paths.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirror of `serde::de` far enough for `use serde::de::Deserialize` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

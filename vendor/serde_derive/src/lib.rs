@@ -1,0 +1,21 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits for all
+//! types, so the derives only need to *exist* (and accept `#[serde(...)]`
+//! helper attributes) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — expands to nothing; the marker trait is
+/// blanket-implemented in the `serde` stand-in.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]` — expands to nothing; the marker trait is
+/// blanket-implemented in the `serde` stand-in.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
