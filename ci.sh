@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full test suite.
-# Run from the repository root: ./ci.sh
+# Local CI gate: formatting, lints, the full test suite, and a smoke run
+# of every experiment binary. Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,5 +12,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
 cargo test -q --workspace
+
+echo "== experiment smoke (every exp_* binary, --quick) =="
+cargo build -q --release -p bas-bench
+for bin in crates/bench/src/bin/exp_*.rs; do
+  name="$(basename "$bin" .rs)"
+  echo "-- $name --quick"
+  "./target/release/$name" --quick > /dev/null
+done
 
 echo "CI OK"

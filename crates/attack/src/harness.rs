@@ -14,7 +14,10 @@ use std::rc::Rc;
 use bas_core::platform::linux::{build_linux, LinuxOverrides, UidScheme};
 use bas_core::platform::minix::{build_minix, MinixOverrides};
 use bas_core::platform::sel4::{build_sel4, Sel4Overrides};
-use bas_core::scenario::{critical_alive, Platform, Scenario, ScenarioConfig};
+use bas_core::scenario::{
+    critical_alive, plant_snapshot, PlantSnapshot, Platform, Scenario, ScenarioConfig,
+};
+use bas_sim::metrics::KernelMetrics;
 use bas_sim::time::SimDuration;
 
 use crate::evidence::{new_evidence, AttackEvidence};
@@ -69,72 +72,73 @@ pub fn run_attack(
     let evidence = new_evidence();
     let total = config.warmup + config.window + config.cooldown;
 
-    let (critical, physical, alive_count): (bool, PhysicalSummary, usize) = match platform {
-        Platform::Minix => {
-            let (lookups, builder) = library::minix_script(attack, config.warmup);
-            let builder_cell = Rc::new(RefCell::new(Some((lookups, builder))));
-            let ev = evidence.clone();
-            let overrides = MinixOverrides {
-                web_factory: Some(Box::new(move || {
-                    let (lookups, builder) = builder_cell
-                        .borrow_mut()
-                        .take()
-                        .expect("web interface spawned once");
-                    Box::new(MinixAttacker::new(lookups, builder, ev.clone()))
-                })),
-                web_uid: match attacker {
-                    AttackerModel::ArbitraryCode => 1000,
-                    AttackerModel::Root => 0,
-                },
-                acm: None,
-                ..MinixOverrides::default()
-            };
-            let mut s = build_minix(&config.scenario, overrides);
-            s.run_for(total);
-            summarize(&s)
-        }
-        Platform::Sel4 => {
-            // "the seL4 kernel and CAmkES generated code have no concept
-            // of user or root" — A2 is identical to A1.
-            let ev = evidence.clone();
-            let warmup = config.warmup;
-            let overrides = Sel4Overrides {
-                web_factory: Some(Box::new(move |glue| {
-                    Box::new(Sel4Attacker::new(
-                        library::sel4_script(attack, warmup, glue),
-                        ev.clone(),
-                    ))
-                })),
-                extra_caps: Vec::new(),
-            };
-            let mut s = build_sel4(&config.scenario, overrides);
-            s.run_for(total);
-            summarize(&s)
-        }
-        Platform::Linux => {
-            let (pid_lookups, builder) = library::linux_script(attack);
-            let builder_cell = Rc::new(RefCell::new(Some((pid_lookups, builder))));
-            let ev = evidence.clone();
-            let warmup = config.warmup;
-            let overrides = LinuxOverrides {
-                web_factory: Some(Box::new(move || {
-                    let (pid_lookups, builder) = builder_cell
-                        .borrow_mut()
-                        .take()
-                        .expect("web interface spawned once");
-                    Box::new(LinuxAttacker::new(pid_lookups, builder, ev.clone(), warmup))
-                })),
-                web_uid: match attacker {
-                    AttackerModel::ArbitraryCode => None, // the scheme's web uid
-                    AttackerModel::Root => Some(0),
-                },
-                uid_scheme: config.linux_uid_scheme,
-            };
-            let mut s = build_linux(&config.scenario, overrides);
-            s.run_for(total);
-            summarize(&s)
-        }
-    };
+    let (critical, plant, metrics, alive_count): (bool, PlantSnapshot, KernelMetrics, usize) =
+        match platform {
+            Platform::Minix => {
+                let (lookups, builder) = library::minix_script(attack, config.warmup);
+                let builder_cell = Rc::new(RefCell::new(Some((lookups, builder))));
+                let ev = evidence.clone();
+                let overrides = MinixOverrides {
+                    web_factory: Some(Box::new(move || {
+                        let (lookups, builder) = builder_cell
+                            .borrow_mut()
+                            .take()
+                            .expect("web interface spawned once");
+                        Box::new(MinixAttacker::new(lookups, builder, ev.clone()))
+                    })),
+                    web_uid: match attacker {
+                        AttackerModel::ArbitraryCode => 1000,
+                        AttackerModel::Root => 0,
+                    },
+                    acm: None,
+                    ..MinixOverrides::default()
+                };
+                let mut s = build_minix(&config.scenario, overrides);
+                s.run_for(total);
+                summarize(&s)
+            }
+            Platform::Sel4 => {
+                // "the seL4 kernel and CAmkES generated code have no concept
+                // of user or root" — A2 is identical to A1.
+                let ev = evidence.clone();
+                let warmup = config.warmup;
+                let overrides = Sel4Overrides {
+                    web_factory: Some(Box::new(move |glue| {
+                        Box::new(Sel4Attacker::new(
+                            library::sel4_script(attack, warmup, glue),
+                            ev.clone(),
+                        ))
+                    })),
+                    extra_caps: Vec::new(),
+                };
+                let mut s = build_sel4(&config.scenario, overrides);
+                s.run_for(total);
+                summarize(&s)
+            }
+            Platform::Linux => {
+                let (pid_lookups, builder) = library::linux_script(attack);
+                let builder_cell = Rc::new(RefCell::new(Some((pid_lookups, builder))));
+                let ev = evidence.clone();
+                let warmup = config.warmup;
+                let overrides = LinuxOverrides {
+                    web_factory: Some(Box::new(move || {
+                        let (pid_lookups, builder) = builder_cell
+                            .borrow_mut()
+                            .take()
+                            .expect("web interface spawned once");
+                        Box::new(LinuxAttacker::new(pid_lookups, builder, ev.clone(), warmup))
+                    })),
+                    web_uid: match attacker {
+                        AttackerModel::ArbitraryCode => None, // the scheme's web uid
+                        AttackerModel::Root => Some(0),
+                    },
+                    uid_scheme: config.linux_uid_scheme,
+                };
+                let mut s = build_linux(&config.scenario, overrides);
+                s.run_for(total);
+                summarize(&s)
+            }
+        };
 
     let mut ev: AttackEvidence = evidence.borrow().clone();
     ev.notes
@@ -146,24 +150,24 @@ pub fn run_attack(
         attack,
         mechanism: judge_mechanism(platform, attack, &ev),
         critical_alive: critical,
-        physical,
+        physical: PhysicalSummary {
+            safety_violated: plant.safety_violated,
+            max_deviation_c: plant.max_deviation_c,
+            final_temp_c: plant.final_temp_c,
+            alarm_on: plant.alarm_on,
+            fan_switches: plant.fan_switches,
+        },
+        plant,
+        metrics,
         evidence: ev,
     }
 }
 
-fn summarize(s: &dyn Scenario) -> (bool, PhysicalSummary, usize) {
-    let plant = s.plant();
-    let plant = plant.borrow();
-    let report = plant.safety_report();
+fn summarize(s: &dyn Scenario) -> (bool, PlantSnapshot, KernelMetrics, usize) {
     (
         critical_alive(s),
-        PhysicalSummary {
-            safety_violated: !report.is_safe(),
-            max_deviation_c: report.max_deviation_c,
-            final_temp_c: plant.temperature_c(),
-            alarm_on: plant.alarm().is_on(),
-            fan_switches: plant.fan().switch_count(),
-        },
+        plant_snapshot(s),
+        s.metrics(),
         s.alive_names().len(),
     )
 }

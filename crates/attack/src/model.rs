@@ -1,6 +1,7 @@
 //! Attacker models, attack identifiers, and outcome types.
 
-use bas_core::scenario::Platform;
+use bas_core::scenario::{PlantSnapshot, Platform};
+use bas_sim::metrics::KernelMetrics;
 use serde::{Deserialize, Serialize};
 
 /// The paper's two attacker models.
@@ -147,6 +148,11 @@ pub struct AttackOutcome {
     pub critical_alive: bool,
     /// Physical-world verdict.
     pub physical: PhysicalSummary,
+    /// Full plant safety snapshot (superset of `physical`, including
+    /// alarm latencies — consumed by the fleet aggregator).
+    pub plant: PlantSnapshot,
+    /// Kernel counters at the end of the run.
+    pub metrics: KernelMetrics,
     /// Raw evidence counters (attempts/successes/denials/errors).
     pub evidence: crate::evidence::AttackEvidence,
 }

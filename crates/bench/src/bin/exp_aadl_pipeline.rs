@@ -5,10 +5,12 @@
 //! Run: `cargo run --release -p bas-bench --bin exp_aadl_pipeline`
 
 use bas_aadl::backends;
-use bas_bench::{rule, section};
+use bas_bench::{rule, section, Harness};
 use bas_core::policy;
 
 fn main() {
+    // Static experiment; the harness only standardizes flag handling.
+    let _h = Harness::new("aadl_pipeline");
     section("scenario architecture (AADL subset, paper Fig. 2)");
     println!("{}", policy::SCENARIO_AADL.trim());
 

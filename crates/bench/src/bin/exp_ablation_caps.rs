@@ -12,9 +12,9 @@ use bas_attack::evidence::new_evidence;
 use bas_attack::library;
 use bas_attack::model::AttackId;
 use bas_attack::procs::{AttackScript, AttackStep, Sel4Attacker};
-use bas_bench::{rule, section};
+use bas_bench::{rule, section, Harness};
 use bas_capdl::verify::verify;
-use bas_core::platform::sel4::{build_sel4, ExtraCap, Sel4Overrides};
+use bas_core::platform::sel4::{ExtraCap, Sel4Overrides, Sel4Stack};
 use bas_core::policy::{actuator_rpc, instances};
 use bas_core::scenario::{Scenario, ScenarioConfig};
 use bas_sel4::cap::CPtr;
@@ -31,6 +31,7 @@ fn scenario_cfg() -> ScenarioConfig {
 }
 
 fn main() {
+    let h = Harness::new("ablation_caps");
     section("configuration 1: the compiled capability distribution (paper §IV-D.3)");
     {
         let evidence = new_evidence();
@@ -44,7 +45,7 @@ fn main() {
             })),
             extra_caps: Vec::new(),
         };
-        let mut s = build_sel4(&scenario_cfg(), overrides);
+        let mut s = h.build_stack::<Sel4Stack>(&scenario_cfg(), overrides);
         s.run_for(WARMUP + SimDuration::from_secs(1_020));
         let e = evidence.borrow();
         let plant = s.plant();
@@ -105,10 +106,10 @@ fn main() {
                 },
             ],
         };
-        let mut s = build_sel4(&scenario_cfg(), overrides);
+        let mut s = h.build_stack::<Sel4Stack>(&scenario_cfg(), overrides);
 
         // The auditor catches the misconfiguration immediately:
-        let issues = verify(&s.spec, &s.kernel, &s.sys);
+        let issues = verify(&s.stack.spec, &s.stack.kernel, &s.stack.sys);
         rule();
         println!("capdl audit before running: {} issue(s)", issues.len());
         for i in &issues {

@@ -1,19 +1,15 @@
 //! E11 (extension figure): alarm latency distribution. For each platform
-//! and 20 sensor-noise seeds, a heat burst pushes the room out of band
-//! and we measure how long the control loop takes to raise the alarm —
-//! the quantitative version of the scenario's "e.g., 5 minutes" safety
-//! requirement.
+//! and 20 sensor-noise seeds (3 under `--quick`), a heat burst pushes the
+//! room out of band and we measure how long the control loop takes to
+//! raise the alarm — the quantitative version of the scenario's "e.g.,
+//! 5 minutes" safety requirement.
 //!
-//! Run: `cargo run --release -p bas-bench --bin exp_alarm_latency`
+//! Run: `cargo run --release -p bas-bench --bin exp_alarm_latency [-- --quick --json]`
 
-use bas_bench::{rule, section};
-use bas_core::platform::linux::{build_linux, LinuxOverrides};
-use bas_core::platform::minix::{build_minix, MinixOverrides};
-use bas_core::platform::sel4::{build_sel4, Sel4Overrides};
-use bas_core::scenario::{Scenario, ScenarioConfig};
+use bas_bench::{rule, section, Harness};
+use bas_core::scenario::{plant_snapshot, Platform, ScenarioConfig};
+use bas_fleet::{Json, LatencyHistogram};
 use bas_sim::time::SimDuration;
-
-const SEEDS: u64 = 20;
 
 fn config(seed: u64) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::quiet();
@@ -24,35 +20,23 @@ fn config(seed: u64) -> ScenarioConfig {
     cfg
 }
 
-fn run_one(platform: &str, seed: u64) -> Option<f64> {
-    let cfg = config(seed);
-    let mut boxed: Box<dyn Scenario> = match platform {
-        "minix" => Box::new(build_minix(&cfg, MinixOverrides::default())),
-        "sel4" => Box::new(build_sel4(&cfg, Sel4Overrides::default())),
-        _ => Box::new(build_linux(&cfg, LinuxOverrides::default())),
-    };
-    let scenario: &mut dyn Scenario = boxed.as_mut();
+fn run_one(h: &Harness, platform: Platform, seed: u64) -> Option<f64> {
+    let mut scenario = h.build(platform, &config(seed));
     scenario.run_for(SimDuration::from_secs(1_500));
-    let plant = scenario.plant();
-    let plant = plant.borrow();
+    let snapshot = plant_snapshot(scenario.as_ref());
     assert!(
-        plant.safety_report().is_safe(),
+        !snapshot.safety_violated,
         "{platform} seed {seed} violated safety"
     );
-    let latencies = plant.safety_report().alarm_latencies;
-    latencies.first().map(|d| d.as_secs_f64())
-}
-
-fn stats(xs: &[f64]) -> (f64, f64, f64) {
-    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    (mean, min, max)
+    snapshot.alarm_latencies_s.first().copied()
 }
 
 fn main() {
+    let h = Harness::new("alarm_latency");
+    let seeds = h.scale(20, 3);
+
     section(&format!(
-        "alarm latency after an out-of-band heat burst ({SEEDS} sensor-noise seeds per platform)"
+        "alarm latency after an out-of-band heat burst ({seeds} sensor-noise seeds per platform)"
     ));
     println!("controller deadline: 300 s; oracle limit: 330 s (deadline + detection grace)\n");
     println!(
@@ -60,25 +44,37 @@ fn main() {
         "platform", "n", "mean[s]", "min[s]", "max[s]"
     );
     rule();
-    for platform in ["minix", "sel4", "linux"] {
-        let latencies: Vec<f64> = (1..=SEEDS)
-            .filter_map(|seed| run_one(platform, seed))
-            .collect();
-        assert_eq!(
-            latencies.len() as u64,
-            SEEDS,
-            "{platform}: every seed must produce an alarm"
+    let mut json_platforms = Vec::new();
+    for platform in h.platforms() {
+        let mut hist = LatencyHistogram::new(
+            LatencyHistogram::DEFAULT_BIN_WIDTH_S,
+            LatencyHistogram::DEFAULT_BINS,
         );
-        let (mean, min, max) = stats(&latencies);
+        let mut min = f64::INFINITY;
+        for seed in 1..=seeds {
+            let latency = run_one(&h, platform, seed).unwrap_or_else(|| {
+                panic!("{platform} seed {seed}: every seed must produce an alarm")
+            });
+            hist.record(latency);
+            min = min.min(latency);
+        }
         println!(
-            "{platform:<14} {:>8} {mean:>10.1} {min:>10.1} {max:>10.1}",
-            latencies.len()
+            "{:<14} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+            platform.to_string(),
+            hist.samples,
+            hist.mean_s(),
+            min,
+            hist.max_s
         );
-        assert!(max <= 330.0, "{platform}: alarm beyond the oracle limit");
+        assert!(
+            hist.max_s <= 330.0,
+            "{platform}: alarm beyond the oracle limit"
+        );
         assert!(
             min >= 295.0,
             "{platform}: alarm suspiciously early (before the deadline window)"
         );
+        json_platforms.push((platform, hist, min));
     }
     rule();
     println!(
@@ -87,4 +83,34 @@ fn main() {
          platforms are behaviorally interchangeable for the benign workload (the paper's\n\
          premise that security, not function, differentiates them)."
     );
+
+    h.emit_json(&Json::obj(vec![
+        ("schema", Json::Str("bas-alarm-latency/v1".into())),
+        ("seeds", Json::UInt(seeds)),
+        ("deadline_s", Json::Num(300.0)),
+        ("oracle_limit_s", Json::Num(330.0)),
+        (
+            "platforms",
+            Json::Arr(
+                json_platforms
+                    .iter()
+                    .map(|(platform, hist, min)| {
+                        Json::obj(vec![
+                            ("platform", Json::Str(platform.to_string())),
+                            ("samples", Json::UInt(hist.samples)),
+                            ("mean_s", Json::Num(hist.mean_s())),
+                            ("min_s", Json::Num(*min)),
+                            ("max_s", Json::Num(hist.max_s)),
+                            ("bin_width_s", Json::Num(hist.bin_width_s)),
+                            (
+                                "counts",
+                                Json::Arr(hist.counts.iter().map(|&c| Json::UInt(c)).collect()),
+                            ),
+                            ("overflow", Json::UInt(hist.overflow)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
 }

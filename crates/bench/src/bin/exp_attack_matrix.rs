@@ -8,25 +8,11 @@
 use bas_attack::expectations::{paper_expectation, Expectation};
 use bas_attack::harness::{run_attack, AttackRunConfig};
 use bas_attack::model::{AttackId, AttackerModel};
-use bas_bench::{rule, section};
+use bas_bench::{rule, section, Harness};
 use bas_core::scenario::Platform;
 
-fn parse_platform_filter() -> Option<Platform> {
-    let args: Vec<String> = std::env::args().collect();
-    let idx = args.iter().position(|a| a == "--platform")?;
-    match args.get(idx + 1).map(String::as_str) {
-        Some("linux") => Some(Platform::Linux),
-        Some("minix") => Some(Platform::Minix),
-        Some("sel4") => Some(Platform::Sel4),
-        other => {
-            eprintln!("unknown platform {other:?}; expected linux|minix|sel4");
-            std::process::exit(2);
-        }
-    }
-}
-
 fn main() {
-    let filter = parse_platform_filter();
+    let h = Harness::new("attack_matrix");
     let config = AttackRunConfig::default();
 
     section("attack matrix: warmup 600s, attack window 900s (heat burst at 900s), cooldown 120s");
@@ -40,10 +26,7 @@ fn main() {
     // matching the statically predicted matrix of `exp_policy_audit`.
     let mut cells = 0usize;
     let mut agreements = 0usize;
-    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
-        if filter.is_some_and(|f| f != platform) {
-            continue;
-        }
+    for platform in h.platforms() {
         for attack in AttackId::ALL {
             for attacker in [AttackerModel::ArbitraryCode, AttackerModel::Root] {
                 let o = run_attack(platform, attacker, attack, &config);
@@ -84,7 +67,7 @@ fn main() {
     rule();
     println!("paper-vs-measured agreement: {agreements}/{cells} cells");
 
-    if filter.is_none() || filter == Some(Platform::Linux) {
+    if h.platforms().contains(&Platform::Linux) {
         hardened_linux_section();
     }
 }

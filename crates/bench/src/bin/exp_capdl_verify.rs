@@ -9,9 +9,9 @@
 //!
 //! Run: `cargo run --release -p bas-bench --bin exp_capdl_verify`
 
-use bas_bench::{rule, section};
+use bas_bench::{rule, section, Harness};
 use bas_capdl::verify::verify;
-use bas_core::platform::sel4::{build_sel4, Sel4Overrides};
+use bas_core::platform::sel4::{Sel4Overrides, Sel4Stack};
 use bas_core::policy::instances;
 use bas_core::scenario::{Scenario, ScenarioConfig};
 use bas_sel4::cap::Capability;
@@ -19,34 +19,36 @@ use bas_sel4::rights::CapRights;
 use bas_sim::time::SimDuration;
 
 fn main() {
-    let mut s = build_sel4(&ScenarioConfig::quiet(), Sel4Overrides::default());
+    let h = Harness::new("capdl_verify");
+    let mut s = h.build_stack::<Sel4Stack>(&ScenarioConfig::quiet(), Sel4Overrides::default());
 
     section("compiled CapDL specification");
-    print!("{}", s.spec.to_text());
+    print!("{}", s.stack.spec.to_text());
 
     section("audit #1: freshly booted system");
-    let issues = verify(&s.spec, &s.kernel, &s.sys);
+    let issues = verify(&s.stack.spec, &s.stack.kernel, &s.stack.sys);
     println!("{} issue(s): {issues:?}", issues.len());
     assert!(issues.is_empty());
 
     section("audit #2: after 10 simulated minutes of operation");
     s.run_for(SimDuration::from_mins(10));
-    let issues = verify(&s.spec, &s.kernel, &s.sys);
+    let issues = verify(&s.stack.spec, &s.stack.kernel, &s.stack.sys);
     println!("{} issue(s): {issues:?}", issues.len());
     println!("(RPC service transfers no capabilities, so the distribution is invariant)");
 
     section("audit #3: after injecting an undeclared capability");
     // Simulate a bootstrap bug: the web interface is handed a write
     // capability to the heater's command endpoint.
-    let web = s.sys.threads[instances::WEB];
-    let heater_ep = s.sys.objects[&format!("ep_{}_{}", instances::HEATER, "cmd")];
-    s.kernel
+    let web = s.stack.sys.threads[instances::WEB];
+    let heater_ep = s.stack.sys.objects[&format!("ep_{}_{}", instances::HEATER, "cmd")];
+    s.stack
+        .kernel
         .grant_cap(
             web,
             Capability::to_object(heater_ep, CapRights::WRITE_GRANT, 99),
         )
         .expect("room in web cspace");
-    let issues = verify(&s.spec, &s.kernel, &s.sys);
+    let issues = verify(&s.stack.spec, &s.stack.kernel, &s.stack.sys);
     rule();
     for issue in &issues {
         println!("CAUGHT: {issue}");

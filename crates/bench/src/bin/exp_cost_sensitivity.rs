@@ -6,7 +6,7 @@
 //! Run: `cargo run --release -p bas-bench --bin exp_cost_sensitivity`
 
 use bas_acm::{AcId, AccessControlMatrix};
-use bas_bench::{rule, section};
+use bas_bench::{rule, section, Harness};
 use bas_linux::kernel::{LinuxConfig, LinuxKernel};
 use bas_linux::syscall::{Reply as LReply, Syscall as LSyscall};
 use bas_minix::kernel::{MinixConfig, MinixKernel};
@@ -16,8 +16,6 @@ use bas_minix::syscall::{Reply as MReply, Syscall as MSyscall};
 use bas_sim::clock::CostModel;
 use bas_sim::process::{Action, Process};
 use bas_sim::time::SimDuration;
-
-const N: u64 = 10_000;
 
 struct MinixGetpid {
     remaining: u64,
@@ -53,7 +51,7 @@ impl Process for LinuxGetpid {
     }
 }
 
-fn minix_ns_per_op(cost_model: CostModel) -> f64 {
+fn minix_ns_per_op(n: u64, cost_model: CostModel) -> f64 {
     let acm = pm::allow_pm_ops(
         AccessControlMatrix::builder(),
         AcId::new(1),
@@ -70,29 +68,33 @@ fn minix_ns_per_op(cost_model: CostModel) -> f64 {
         "caller",
         AcId::new(1),
         0,
-        Box::new(MinixGetpid { remaining: N }),
+        Box::new(MinixGetpid { remaining: n }),
     )
     .unwrap();
     let t0 = k.now();
     k.run_to_quiescence();
-    (k.now() - t0).as_nanos() as f64 / N as f64
+    (k.now() - t0).as_nanos() as f64 / n as f64
 }
 
-fn linux_ns_per_op(cost_model: CostModel) -> f64 {
+fn linux_ns_per_op(n: u64, cost_model: CostModel) -> f64 {
     let mut k = LinuxKernel::new(LinuxConfig {
         cost_model,
         ..LinuxConfig::default()
     });
     k.disable_trace();
-    k.spawn("caller", 1_000, Box::new(LinuxGetpid { remaining: N }))
+    k.spawn("caller", 1_000, Box::new(LinuxGetpid { remaining: n }))
         .unwrap();
     let t0 = k.now();
     k.run_to_quiescence();
-    (k.now() - t0).as_nanos() as f64 / N as f64
+    (k.now() - t0).as_nanos() as f64 / n as f64
 }
 
 fn main() {
-    section("microkernel service-call overhead vs context-switch cost (getpid, 10k calls)");
+    let h = Harness::new("cost_sensitivity");
+    let n = h.scale(10_000, 500);
+    section(&format!(
+        "microkernel service-call overhead vs context-switch cost (getpid, {n} calls)"
+    ));
     println!(
         "{:>16} {:>18} {:>18} {:>10}",
         "ctx-switch[ns]", "minix-via-PM[ns]", "linux-direct[ns]", "overhead"
@@ -103,8 +105,8 @@ fn main() {
             context_switch: SimDuration::from_nanos(ctx_ns),
             ..CostModel::default()
         };
-        let minix = minix_ns_per_op(cost_model);
-        let linux = linux_ns_per_op(cost_model);
+        let minix = minix_ns_per_op(n, cost_model);
+        let linux = linux_ns_per_op(n, cost_model);
         println!(
             "{:>16} {:>18.1} {:>18.1} {:>9.2}x",
             ctx_ns,

@@ -7,9 +7,11 @@
 
 use bas_acm::fig3::{fig3_matrix, APP1, APP2, APP3};
 use bas_acm::{AcId, MsgType};
-use bas_bench::{rule, section};
+use bas_bench::{rule, section, Harness};
 
 fn main() {
+    // Static experiment; the harness only standardizes flag handling.
+    let _h = Harness::new("fig3_acm");
     let acm = fig3_matrix();
 
     section("Figure 3 access-control matrix (bitmap over message types 3..0)");

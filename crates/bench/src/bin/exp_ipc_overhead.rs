@@ -9,52 +9,98 @@
 //! Run: `cargo run --release -p bas-bench --bin exp_ipc_overhead`
 
 use bas_acm::{AcId, AccessControlMatrix};
-use bas_bench::{rule, section};
+use bas_bench::{rule, section, Harness};
+use bas_fleet::Json;
 use bas_sim::process::{Action, Process};
 
-const N: u64 = 10_000;
-
-fn main() {
-    section(&format!(
-        "RPC round-trip cost, averaged over {N} round trips"
-    ));
-    println!(
-        "{:<18} {:>16} {:>16} {:>16}",
-        "platform", "ctx-switch/op", "kernel-entry/op", "virtual-ns/op"
-    );
-    rule();
-    minix_roundtrip();
-    sel4_roundtrip();
-    linux_roundtrip();
-
-    section(&format!(
-        "getpid()-class service call, averaged over {N} calls"
-    ));
-    println!(
-        "{:<18} {:>16} {:>16} {:>16}",
-        "platform", "ctx-switch/op", "kernel-entry/op", "virtual-ns/op"
-    );
-    rule();
-    minix_getpid();
-    linux_getpid();
-    println!("(seL4 has no process server in this scenario; the nearest analog is the RPC above)");
+/// One measured row: per-op cost of an IPC pattern on one platform.
+struct Row {
+    group: &'static str,
+    label: &'static str,
+    ops: u64,
+    ctx_per_op: f64,
+    kentry_per_op: f64,
+    ns_per_op: f64,
 }
 
-fn report(label: &str, m: bas_sim::metrics::KernelMetrics, vt_ns: u64) {
+fn main() {
+    let h = Harness::new("ipc_overhead");
+    let n = h.scale(10_000, 500);
+    let mut rows = Vec::new();
+
+    section(&format!(
+        "RPC round-trip cost, averaged over {n} round trips"
+    ));
+    println!(
+        "{:<18} {:>16} {:>16} {:>16}",
+        "platform", "ctx-switch/op", "kernel-entry/op", "virtual-ns/op"
+    );
+    rule();
+    rows.push(minix_roundtrip(n));
+    rows.push(sel4_roundtrip(n));
+    rows.push(linux_roundtrip(n));
+
+    section(&format!(
+        "getpid()-class service call, averaged over {n} calls"
+    ));
+    println!(
+        "{:<18} {:>16} {:>16} {:>16}",
+        "platform", "ctx-switch/op", "kernel-entry/op", "virtual-ns/op"
+    );
+    rule();
+    rows.push(minix_getpid(n));
+    rows.push(linux_getpid(n));
+    println!("(seL4 has no process server in this scenario; the nearest analog is the RPC above)");
+
+    h.emit_json(&Json::obj(vec![
+        ("schema", Json::Str("bas-ipc-overhead/v1".into())),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("group", Json::Str(r.group.into())),
+                            ("platform", Json::Str(r.label.into())),
+                            ("ops", Json::UInt(r.ops)),
+                            ("ctx_switches_per_op", Json::Num(r.ctx_per_op)),
+                            ("kernel_entries_per_op", Json::Num(r.kentry_per_op)),
+                            ("virtual_ns_per_op", Json::Num(r.ns_per_op)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
+}
+
+fn report(
+    group: &'static str,
+    label: &'static str,
+    n: u64,
+    m: bas_sim::metrics::KernelMetrics,
+    vt_ns: u64,
+) -> Row {
+    let row = Row {
+        group,
+        label,
+        ops: n,
+        ctx_per_op: m.context_switches as f64 / n as f64,
+        kentry_per_op: m.kernel_entries as f64 / n as f64,
+        ns_per_op: vt_ns as f64 / n as f64,
+    };
     println!(
         "{:<18} {:>16.2} {:>16.2} {:>16.1}",
-        label,
-        m.context_switches as f64 / N as f64,
-        m.kernel_entries as f64 / N as f64,
-        vt_ns as f64 / N as f64,
+        label, row.ctx_per_op, row.kentry_per_op, row.ns_per_op,
     );
+    row
 }
 
 // ---------------------------------------------------------------------------
 // MINIX
 // ---------------------------------------------------------------------------
 
-fn minix_roundtrip() {
+fn minix_roundtrip(n: u64) -> Row {
     use bas_minix::endpoint::Endpoint;
     use bas_minix::kernel::{MinixConfig, MinixKernel};
     use bas_minix::syscall::{Reply, Syscall};
@@ -105,7 +151,7 @@ fn minix_roundtrip() {
         0,
         Box::new(Client {
             server,
-            remaining: N,
+            remaining: n,
         }),
     )
     .unwrap();
@@ -113,13 +159,15 @@ fn minix_roundtrip() {
     let t0 = k.now();
     k.run_to_quiescence();
     report(
+        "rpc_roundtrip",
         "minix3+acm",
+        n,
         k.metrics().delta_since(&before),
         (k.now() - t0).as_nanos(),
-    );
+    )
 }
 
-fn minix_getpid() {
+fn minix_getpid(n: u64) -> Row {
     use bas_minix::kernel::{MinixConfig, MinixKernel};
     use bas_minix::message::Payload;
     use bas_minix::pm;
@@ -159,24 +207,26 @@ fn minix_getpid() {
         "caller",
         AcId::new(1_000),
         0,
-        Box::new(Caller { remaining: N }),
+        Box::new(Caller { remaining: n }),
     )
     .unwrap();
     let before = *k.metrics();
     let t0 = k.now();
     k.run_to_quiescence();
     report(
+        "getpid",
         "minix3 (via PM)",
+        n,
         k.metrics().delta_since(&before),
         (k.now() - t0).as_nanos(),
-    );
+    )
 }
 
 // ---------------------------------------------------------------------------
 // seL4
 // ---------------------------------------------------------------------------
 
-fn sel4_roundtrip() {
+fn sel4_roundtrip(n: u64) -> Row {
     use bas_sel4::cap::CPtr;
     use bas_sel4::kernel::{Sel4Config, Sel4Kernel};
     use bas_sel4::message::IpcMessage;
@@ -219,7 +269,7 @@ fn sel4_roundtrip() {
     k.disable_trace();
     let ep = k.create_endpoint();
     let server = k.create_thread("server", Box::new(Server));
-    let client = k.create_thread("client", Box::new(Client { remaining: N }));
+    let client = k.create_thread("client", Box::new(Client { remaining: n }));
     k.grant_endpoint(server, ep, CapRights::READ, 0).unwrap();
     k.grant_endpoint(client, ep, CapRights::WRITE_GRANT, 1)
         .unwrap();
@@ -229,17 +279,19 @@ fn sel4_roundtrip() {
     let t0 = k.now();
     k.run_to_quiescence();
     report(
+        "rpc_roundtrip",
         "sel4/camkes",
+        n,
         k.metrics().delta_since(&before),
         (k.now() - t0).as_nanos(),
-    );
+    )
 }
 
 // ---------------------------------------------------------------------------
 // Linux
 // ---------------------------------------------------------------------------
 
-fn linux_roundtrip() {
+fn linux_roundtrip(n: u64) -> Row {
     use bas_linux::cred::{Mode, Uid};
     use bas_linux::kernel::{LinuxConfig, LinuxKernel};
     use bas_linux::syscall::{MqAccess, Reply, Syscall};
@@ -347,7 +399,7 @@ fn linux_roundtrip() {
         Box::new(Client {
             opened: 0,
             awaiting: false,
-            remaining: N,
+            remaining: n,
         }),
     )
     .unwrap();
@@ -355,13 +407,15 @@ fn linux_roundtrip() {
     let t0 = k.now();
     k.run_to_quiescence();
     report(
+        "rpc_roundtrip",
         "linux (mq)",
+        n,
         k.metrics().delta_since(&before),
         (k.now() - t0).as_nanos(),
-    );
+    )
 }
 
-fn linux_getpid() {
+fn linux_getpid(n: u64) -> Row {
     use bas_linux::kernel::{LinuxConfig, LinuxKernel};
     use bas_linux::syscall::{Reply, Syscall};
 
@@ -382,14 +436,16 @@ fn linux_getpid() {
 
     let mut k = LinuxKernel::new(LinuxConfig::default());
     k.disable_trace();
-    k.spawn("caller", 1_000, Box::new(Caller { remaining: N }))
+    k.spawn("caller", 1_000, Box::new(Caller { remaining: n }))
         .unwrap();
     let before = *k.metrics();
     let t0 = k.now();
     k.run_to_quiescence();
     report(
+        "getpid",
         "linux (direct)",
+        n,
         k.metrics().delta_since(&before),
         (k.now() - t0).as_nanos(),
-    );
+    )
 }

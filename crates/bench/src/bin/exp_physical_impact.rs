@@ -8,10 +8,10 @@
 
 use bas_attack::harness::{run_attack, AttackRunConfig};
 use bas_attack::model::{AttackId, AttackerModel};
-use bas_bench::{rule, section};
-use bas_core::scenario::Platform;
+use bas_bench::{rule, section, Harness};
 
 fn main() {
+    let h = Harness::new("physical_impact");
     let config = AttackRunConfig::default();
 
     section("physical impact under attack (attacker model A1, heat burst mid-window)");
@@ -21,7 +21,7 @@ fn main() {
     );
     rule();
     for attack in AttackId::ALL {
-        for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+        for platform in h.platforms() {
             let o = run_attack(platform, AttackerModel::ArbitraryCode, attack, &config);
             println!(
                 "{:<22} {:<12} {:<9.2} {:<10.2} {:<9} {:<12} {:<8}",

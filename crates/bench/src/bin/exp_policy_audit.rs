@@ -18,7 +18,7 @@ use bas_analysis::taint::{expectation, predict};
 use bas_analysis::{findings_to_json, lint, Severity};
 use bas_attack::expectations::{paper_expectation, Expectation};
 use bas_attack::model::{AttackId, AttackerModel};
-use bas_bench::{rule, section, verdict};
+use bas_bench::{rule, section, verdict, Harness};
 use bas_core::platform::linux::UidScheme;
 use bas_core::platform::sel4::ExtraCap;
 use bas_core::policy::instances;
@@ -26,6 +26,8 @@ use bas_core::scenario::Platform;
 use bas_sel4::rights::CapRights;
 
 fn main() {
+    // Static experiment; the harness only standardizes flag handling.
+    let _h = Harness::new("policy_audit");
     let justification = scenario_justification();
 
     // -----------------------------------------------------------------

@@ -7,12 +7,12 @@
 //!
 //! Run: `cargo run --release -p bas-bench --bin exp_recovery`
 
-use bas_bench::{rule, section};
-use bas_core::platform::minix::{build_minix, MinixOverrides};
+use bas_bench::{rule, section, Harness};
+use bas_core::platform::minix::{MinixOverrides, MinixStack};
 use bas_core::scenario::{critical_alive, Scenario, ScenarioConfig};
 use bas_sim::time::SimDuration;
 
-fn run(label: &str, supervise: bool) {
+fn run(h: &Harness, label: &str, supervise: bool) {
     section(&format!("{label} (heater driver crashes after ~3 minutes)"));
     let overrides = MinixOverrides {
         heater_crash_after: Some(50),
@@ -26,7 +26,7 @@ fn run(label: &str, supervise: bool) {
     // alarm on.
     let mut cfg = ScenarioConfig::quiet();
     cfg.plant.heat_schedule = vec![(SimDuration::from_secs(1_200), 150.0)];
-    let mut s = build_minix(&cfg, overrides);
+    let mut s = h.build_stack::<MinixStack>(&cfg, overrides);
     s.run_for(SimDuration::from_mins(40));
 
     let plant = s.plant();
@@ -56,8 +56,10 @@ fn run(label: &str, supervise: bool) {
 }
 
 fn main() {
-    run("configuration 1: no supervisor", false);
+    let h = Harness::new("recovery");
+    run(&h, "configuration 1: no supervisor", false);
     run(
+        &h,
         "configuration 2: reincarnation-style supervisor (2 s health checks)",
         true,
     );

@@ -4,18 +4,15 @@
 //!
 //! Run: `cargo run --release -p bas-bench --bin exp_scenario_baseline`
 
-use bas_bench::{rule, section};
-use bas_core::platform::linux::{build_linux, LinuxOverrides};
-use bas_core::platform::minix::{build_minix, MinixOverrides};
-use bas_core::platform::sel4::{build_sel4, Sel4Overrides};
+use bas_bench::{rule, section, Harness};
 use bas_core::scenario::{critical_alive, Scenario, ScenarioConfig};
 use bas_sim::time::SimDuration;
 
-fn run(label: &str, scenario: &mut dyn Scenario) {
+fn run(label: &str, scenario: &mut dyn Scenario, minutes: u64) {
     section(&format!(
-        "{label} — 45 simulated minutes, setpoint change at t=20min"
+        "{label} — {minutes} simulated minutes, setpoint change at t=20min"
     ));
-    scenario.run_for(SimDuration::from_mins(45));
+    scenario.run_for(SimDuration::from_mins(minutes));
 
     let plant = scenario.plant();
     let plant = plant.borrow();
@@ -51,25 +48,22 @@ fn run(label: &str, scenario: &mut dyn Scenario) {
 }
 
 fn main() {
+    let h = Harness::new("scenario_baseline");
     // The default schedule raises the setpoint to 24 °C at t=1200 s and
     // queries status at t=2400 s — the administrator session of §II.
     let config = ScenarioConfig::default();
+    // Fast enough that --quick needs no shrinking (sub-second full run).
+    let minutes = 45;
 
-    let mut minix = build_minix(&config, MinixOverrides::default());
-    run("MINIX 3 + ACM", &mut minix);
-
-    let mut sel4 = build_sel4(&config, Sel4Overrides::default());
-    run("seL4/CAmkES", &mut sel4);
-
-    let mut linux = build_linux(&config, LinuxOverrides::default());
-    run("Linux (POSIX mq)", &mut linux);
+    let mut scenarios = Vec::new();
+    for platform in h.platforms() {
+        let mut s = h.build(platform, &config);
+        run(&platform.to_string(), s.as_mut(), minutes);
+        scenarios.push((platform, s));
+    }
 
     section("web-interface sessions (administrator's view)");
-    for (name, responses) in [
-        ("minix", minix.web_responses()),
-        ("sel4", sel4.web_responses()),
-        ("linux", linux.web_responses()),
-    ] {
-        println!("{name:<6}: {responses:?}");
+    for (platform, s) in &scenarios {
+        println!("{platform:<12}: {:?}", s.web_responses());
     }
 }

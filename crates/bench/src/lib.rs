@@ -17,10 +17,133 @@
 //! | `exp_cost_sensitivity` | E8b — context-switch cost sweep |
 //! | `exp_recovery` | A3 — MINIX self-repair under driver crash |
 //! | `exp_policy_audit` | E12 — static policy audit: predicted matrix + lint |
+//! | `exp_fleet_scale` | E13 — fleet scaling: N buildings × worker threads |
+//!
+//! Every binary drives a [`Harness`], which owns the shared experiment
+//! plumbing: flag parsing (`--quick`, `--json`, `--platform`), platform
+//! iteration, scenario construction through the `PlatformKernel` trait,
+//! and table/JSON emission. The binaries keep only experiment-specific
+//! logic.
 //!
 //! Criterion benches (`benches/`): `ipc` (round-trip cost per platform),
 //! `micro` (ACM/CSpace/mq/plant primitives), `scenario` (end-to-end
 //! simulation throughput).
+
+use std::path::PathBuf;
+
+use bas_core::engine::PlatformKernel;
+use bas_core::scenario::{Platform, Scenario, ScenarioConfig};
+use bas_core::{boot_platform, ScenarioEngine};
+use bas_fleet::Json;
+
+/// Shared plumbing for every `exp_*` binary.
+///
+/// Construct one with [`Harness::new`] at the top of `main`; it parses
+/// the process arguments once:
+///
+/// - `--quick` — smoke-test mode (CI): shrink iteration counts via
+///   [`Harness::scale`] / [`Harness::quick`], keep every assertion.
+/// - `--json` — additionally write `BENCH_<name>.json` via
+///   [`Harness::emit_json`].
+/// - `--platform linux|minix|sel4` — restrict [`Harness::platforms`].
+pub struct Harness {
+    name: &'static str,
+    quick: bool,
+    json: bool,
+    platform_filter: Option<Platform>,
+}
+
+impl Harness {
+    /// Parses the process arguments. `name` becomes the JSON file stem.
+    pub fn new(name: &'static str) -> Harness {
+        let args: Vec<String> = std::env::args().collect();
+        let platform_filter = args.iter().position(|a| a == "--platform").map(|idx| {
+            match args.get(idx + 1).map(String::as_str) {
+                Some("linux") => Platform::Linux,
+                Some("minix") => Platform::Minix,
+                Some("sel4") => Platform::Sel4,
+                other => {
+                    eprintln!("unknown platform {other:?}; expected linux|minix|sel4");
+                    std::process::exit(2);
+                }
+            }
+        });
+        Harness {
+            name,
+            quick: args.iter().any(|a| a == "--quick"),
+            json: args.iter().any(|a| a == "--json"),
+            platform_filter,
+        }
+    }
+
+    /// True when `--quick` was passed.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// True when `--json` was passed.
+    pub fn json(&self) -> bool {
+        self.json
+    }
+
+    /// `full` normally, `quick` under `--quick`.
+    pub fn scale(&self, full: u64, quick: u64) -> u64 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// The platform filter, if `--platform` was passed.
+    pub fn platform_filter(&self) -> Option<Platform> {
+        self.platform_filter
+    }
+
+    /// The platforms this run covers, in canonical matrix order.
+    pub fn platforms(&self) -> Vec<Platform> {
+        [Platform::Linux, Platform::Minix, Platform::Sel4]
+            .into_iter()
+            .filter(|p| self.platform_filter.is_none_or(|f| f == *p))
+            .collect()
+    }
+
+    /// Boots the default scenario stack for `platform` — the one-liner
+    /// replacing the per-binary three-way `build_*` match.
+    pub fn build(&self, platform: Platform, config: &ScenarioConfig) -> Box<dyn Scenario> {
+        boot_platform(platform, config)
+    }
+
+    /// Boots a *typed* stack with experiment-specific overrides, through
+    /// the same [`PlatformKernel`] trait the generic path uses. For
+    /// experiments that must reach into the stack (CapDL audits, crash
+    /// injection, attacker processes).
+    pub fn build_stack<K: PlatformKernel>(
+        &self,
+        config: &ScenarioConfig,
+        overrides: K::Overrides,
+    ) -> ScenarioEngine<K> {
+        ScenarioEngine::boot(config, overrides)
+    }
+
+    /// Writes `BENCH_<name>.json` in the current directory when `--json`
+    /// was passed; returns the path if written.
+    pub fn emit_json(&self, value: &Json) -> Option<PathBuf> {
+        if !self.json {
+            return None;
+        }
+        Some(self.write_json(value))
+    }
+
+    /// Unconditionally writes `BENCH_<name>.json` in the current
+    /// directory (for experiments whose artifact *is* the JSON).
+    pub fn write_json(&self, value: &Json) -> PathBuf {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, value.render()).expect("write benchmark JSON");
+        println!("\nwrote {}", path.display());
+        path
+    }
+}
 
 /// Prints a section header.
 pub fn section(title: &str) {

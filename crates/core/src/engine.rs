@@ -1,0 +1,194 @@
+//! The generic scenario engine: one lockstep runner over every platform.
+//!
+//! Each platform stack ([`platform::minix::MinixStack`],
+//! [`platform::sel4::Sel4Stack`], [`platform::linux::LinuxStack`])
+//! implements [`PlatformKernel`] — boot the five-process scenario from its
+//! policy artifact, step the kernel, expose trace/metrics and the physical
+//! plant — and [`ScenarioEngine`] supplies everything that used to be
+//! copy-pasted per platform: the kernel/plant lockstep loop, the
+//! authorized-reference bookkeeping for the safety oracle, and the
+//! [`Scenario`] trait surface the experiments and the attack harness
+//! consume.
+//!
+//! [`platform::minix::MinixStack`]: crate::platform::minix::MinixStack
+//! [`platform::sel4::Sel4Stack`]: crate::platform::sel4::Sel4Stack
+//! [`platform::linux::LinuxStack`]: crate::platform::linux::LinuxStack
+
+use bas_plant::SharedPlant;
+use bas_sim::metrics::KernelMetrics;
+use bas_sim::time::{SimDuration, SimTime};
+
+use crate::proto::BasMsg;
+use crate::scenario::{Platform, Scenario, ScenarioConfig};
+
+/// One platform's bootable kernel stack, as seen by the generic engine
+/// and the fleet layer.
+///
+/// Implementations own the simulated kernel, the plant handle, and the
+/// web-interface log; the engine owns the lockstep loop and the
+/// cross-platform [`Scenario`] surface. Attack injection and ablation
+/// policies ride in through [`PlatformKernel::Overrides`].
+pub trait PlatformKernel {
+    /// The platform this stack models.
+    const PLATFORM: Platform;
+
+    /// Build-time knobs: attacker web-interface factories, replacement
+    /// policies, fault injection, supervision.
+    type Overrides: Default;
+
+    /// Boots the five-process scenario from the platform's policy
+    /// artifact (ACM / CapDL spec / mq ACL plan).
+    fn boot(config: &ScenarioConfig, overrides: Self::Overrides) -> Self;
+
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Advances the kernel's event loop to `target` virtual time.
+    fn run_until(&mut self, target: SimTime);
+
+    /// Handle to the physical world (safety oracle, actuator history).
+    fn plant(&self) -> SharedPlant;
+
+    /// Kernel counters.
+    fn metrics(&self) -> KernelMetrics;
+
+    /// Names of live processes/threads.
+    fn alive_names(&self) -> Vec<String>;
+
+    /// Number of kernel-trace events in a category (e.g. `"acm.deny"`).
+    fn trace_count(&self, category: &str) -> usize;
+
+    /// Responses observed by the (benign) web interface.
+    fn web_responses(&self) -> Vec<BasMsg>;
+}
+
+/// A booted scenario on some [`PlatformKernel`]: the single generic
+/// runner that replaced the three hand-rolled per-platform adapters.
+///
+/// ```no_run
+/// use bas_core::engine::ScenarioEngine;
+/// use bas_core::platform::minix::MinixStack;
+/// use bas_core::scenario::{critical_alive, Scenario, ScenarioConfig};
+/// use bas_sim::time::SimDuration;
+///
+/// let mut s = ScenarioEngine::<MinixStack>::boot(&ScenarioConfig::default(), Default::default());
+/// s.run_for(SimDuration::from_mins(30));
+/// assert!(critical_alive(&s));
+/// ```
+pub struct ScenarioEngine<K: PlatformKernel> {
+    /// The booted platform stack (public for experiment introspection:
+    /// `s.stack.kernel`, and on seL4 `s.stack.spec` / `s.stack.sys`).
+    pub stack: K,
+    plant: SharedPlant,
+    chunk: SimDuration,
+    reference_changes: Vec<(SimTime, i32)>,
+    next_reference: usize,
+}
+
+impl<K: PlatformKernel> ScenarioEngine<K> {
+    /// Boots the scenario on `K` and prepares the lockstep runner.
+    pub fn boot(config: &ScenarioConfig, overrides: K::Overrides) -> Self {
+        let stack = K::boot(config, overrides);
+        let plant = stack.plant();
+        ScenarioEngine {
+            stack,
+            plant,
+            chunk: config.lockstep_chunk,
+            reference_changes: config.reference_changes(),
+            next_reference: 0,
+        }
+    }
+}
+
+impl<K: PlatformKernel> Scenario for ScenarioEngine<K> {
+    fn platform(&self) -> Platform {
+        K::PLATFORM
+    }
+
+    fn run_for(&mut self, d: SimDuration) {
+        let end = self.stack.now() + d;
+        while self.stack.now() < end {
+            let target = {
+                let t = self.stack.now() + self.chunk;
+                if t > end {
+                    end
+                } else {
+                    t
+                }
+            };
+            self.stack.run_until(target);
+            // Keep the safety oracle's authorized reference in sync with
+            // the administrator's (in-range, in-order) setpoint changes.
+            while let Some(&(t, mc)) = self.reference_changes.get(self.next_reference) {
+                if t <= self.stack.now() {
+                    self.plant.borrow_mut().set_reference(mc as f64 / 1000.0);
+                    self.next_reference += 1;
+                } else {
+                    break;
+                }
+            }
+            let now = self.stack.now();
+            self.plant.borrow_mut().step_to(now);
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.stack.now()
+    }
+
+    fn plant(&self) -> SharedPlant {
+        self.plant.clone()
+    }
+
+    fn metrics(&self) -> KernelMetrics {
+        self.stack.metrics()
+    }
+
+    fn alive_names(&self) -> Vec<String> {
+        self.stack.alive_names()
+    }
+
+    fn trace_count(&self, category: &str) -> usize {
+        self.stack.trace_count(category)
+    }
+
+    fn web_responses(&self) -> Vec<BasMsg> {
+        self.stack.web_responses()
+    }
+}
+
+/// Boots the scenario on the named platform with default overrides —
+/// the one entry point experiments use instead of hand-wiring builders.
+pub fn boot_platform(platform: Platform, config: &ScenarioConfig) -> Box<dyn Scenario> {
+    match platform {
+        Platform::Minix => Box::new(ScenarioEngine::<crate::platform::minix::MinixStack>::boot(
+            config,
+            Default::default(),
+        )),
+        Platform::Sel4 => Box::new(ScenarioEngine::<crate::platform::sel4::Sel4Stack>::boot(
+            config,
+            Default::default(),
+        )),
+        Platform::Linux => Box::new(ScenarioEngine::<crate::platform::linux::LinuxStack>::boot(
+            config,
+            Default::default(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::critical_alive;
+
+    #[test]
+    fn boot_platform_runs_everywhere() {
+        for platform in [Platform::Minix, Platform::Sel4, Platform::Linux] {
+            let mut s = boot_platform(platform, &ScenarioConfig::quiet());
+            assert_eq!(s.platform(), platform);
+            s.run_for(SimDuration::from_mins(5));
+            assert!(critical_alive(s.as_ref()), "{platform} lost a process");
+            assert!(s.metrics().ipc_messages > 0, "{platform} ipc starved");
+        }
+    }
+}

@@ -11,7 +11,10 @@
 //! - [`policy`] — the ACM, quotas, device ownership, CAmkES assembly,
 //!   Linux queue set, and the canonical AADL source they all derive from,
 //! - [`platform::minix`] / [`platform::sel4`] / [`platform::linux`] —
-//!   adapters and builders per platform,
+//!   per-platform process implementations and the bootable kernel stacks,
+//! - [`engine`] — the [`engine::PlatformKernel`] trait every stack
+//!   implements and the generic [`engine::ScenarioEngine`] lockstep
+//!   runner (one implementation of setup/step/aggregate for all three),
 //! - [`scenario`] — configuration and the cross-platform [`Scenario`]
 //!   interface used by experiments and the attack harness.
 //!
@@ -26,11 +29,15 @@
 //! assert!(scenario.plant().borrow().safety_report().is_safe());
 //! ```
 
+pub mod engine;
 pub mod logic;
 pub mod platform;
 pub mod policy;
 pub mod proto;
 pub mod scenario;
 
+pub use engine::{boot_platform, PlatformKernel, ScenarioEngine};
 pub use proto::BasMsg;
-pub use scenario::{critical_alive, Platform, Scenario, ScenarioConfig};
+pub use scenario::{
+    critical_alive, plant_snapshot, PlantSnapshot, Platform, Scenario, ScenarioConfig,
+};

@@ -33,11 +33,12 @@ use bas_sim::metrics::KernelMetrics;
 use bas_sim::process::{Action, Process};
 use bas_sim::time::{SimDuration, SimTime};
 
+use crate::engine::{PlatformKernel, ScenarioEngine};
 use crate::logic::control::{ControlCore, Directive};
 use crate::logic::web::{WebAction, WebSchedule};
 use crate::policy::queues;
 use crate::proto::{names, BasMsg};
-use crate::scenario::{new_web_log, Platform, Scenario, ScenarioConfig, WebLog};
+use crate::scenario::{new_web_log, Platform, ScenarioConfig, WebLog};
 
 /// Scenario uids.
 pub mod uids {
@@ -631,19 +632,23 @@ impl Default for LinuxOverrides {
     }
 }
 
-/// A running Linux scenario.
-pub struct LinuxScenario {
+/// The booted Linux stack: kernel, plant, and web log.
+pub struct LinuxStack {
     /// The simulated kernel (public for experiment introspection).
     pub kernel: LinuxKernel,
     plant: SharedPlant,
-    chunk: SimDuration,
-    reference_changes: Vec<(SimTime, i32)>,
-    next_reference: usize,
     web_log: WebLog,
 }
 
+/// A running Linux scenario: the generic engine over [`LinuxStack`].
+pub type LinuxScenario = ScenarioEngine<LinuxStack>;
+
 /// Builds and boots the scenario on the Linux baseline.
 pub fn build_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxScenario {
+    ScenarioEngine::boot(config, overrides)
+}
+
+fn boot_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxStack {
     let plant: SharedPlant = Rc::new(std::cell::RefCell::new(PlantWorld::new(
         config.synced_plant(),
         config.seed,
@@ -791,48 +796,27 @@ pub fn build_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxS
         }),
     );
 
-    LinuxScenario {
+    LinuxStack {
         kernel,
         plant,
-        chunk: config.lockstep_chunk,
-        reference_changes: config.reference_changes(),
-        next_reference: 0,
         web_log,
     }
 }
 
-impl Scenario for LinuxScenario {
-    fn platform(&self) -> Platform {
-        Platform::Linux
-    }
+impl PlatformKernel for LinuxStack {
+    const PLATFORM: Platform = Platform::Linux;
+    type Overrides = LinuxOverrides;
 
-    fn run_for(&mut self, d: SimDuration) {
-        let end = self.kernel.now() + d;
-        while self.kernel.now() < end {
-            let target = {
-                let t = self.kernel.now() + self.chunk;
-                if t > end {
-                    end
-                } else {
-                    t
-                }
-            };
-            self.kernel.run_until(target);
-            while let Some(&(t, mc)) = self.reference_changes.get(self.next_reference) {
-                if t <= self.kernel.now() {
-                    self.plant.borrow_mut().set_reference(mc as f64 / 1000.0);
-                    self.next_reference += 1;
-                } else {
-                    break;
-                }
-            }
-            let now = self.kernel.now();
-            self.plant.borrow_mut().step_to(now);
-        }
+    fn boot(config: &ScenarioConfig, overrides: LinuxOverrides) -> Self {
+        boot_linux(config, overrides)
     }
 
     fn now(&self) -> SimTime {
         self.kernel.now()
+    }
+
+    fn run_until(&mut self, target: SimTime) {
+        self.kernel.run_until(target);
     }
 
     fn plant(&self) -> SharedPlant {

@@ -25,13 +25,14 @@ use bas_sim::metrics::KernelMetrics;
 use bas_sim::process::{Action, Process};
 use bas_sim::time::{SimDuration, SimTime};
 
+use crate::engine::{PlatformKernel, ScenarioEngine};
 use crate::logic::control::{ControlCore, Directive};
 use crate::logic::web::{WebAction, WebSchedule};
 use crate::policy;
 use crate::proto::{
     names, BasMsg, AC_ALARM, AC_CONTROL, AC_HEATER, AC_SCENARIO, AC_SENSOR, AC_WEB,
 };
-use crate::scenario::{new_web_log, Platform, Scenario, ScenarioConfig, WebLog};
+use crate::scenario::{new_web_log, Platform, ScenarioConfig, WebLog};
 
 const LOOKUP_RETRY: SimDuration = SimDuration::from_millis(50);
 const MAX_LOOKUP_RETRIES: u32 = 400;
@@ -840,19 +841,23 @@ impl Default for MinixOverrides {
     }
 }
 
-/// A running MINIX scenario.
-pub struct MinixScenario {
+/// The booted MINIX 3 + ACM stack: kernel, plant, and web log.
+pub struct MinixStack {
     /// The simulated kernel (public for experiment introspection).
     pub kernel: MinixKernel,
     plant: SharedPlant,
-    chunk: SimDuration,
-    reference_changes: Vec<(SimTime, i32)>,
-    next_reference: usize,
     web_log: WebLog,
 }
 
+/// A running MINIX scenario: the generic engine over [`MinixStack`].
+pub type MinixScenario = ScenarioEngine<MinixStack>;
+
 /// Builds and boots the scenario on security-enhanced MINIX 3.
 pub fn build_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixScenario {
+    ScenarioEngine::boot(config, overrides)
+}
+
+fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack {
     let plant: SharedPlant = Rc::new(std::cell::RefCell::new(PlantWorld::new(
         config.synced_plant(),
         config.seed,
@@ -956,48 +961,27 @@ pub fn build_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixS
             .expect("fresh kernel has room for the supervisor");
     }
 
-    MinixScenario {
+    MinixStack {
         kernel,
         plant,
-        chunk: config.lockstep_chunk,
-        reference_changes: config.reference_changes(),
-        next_reference: 0,
         web_log,
     }
 }
 
-impl Scenario for MinixScenario {
-    fn platform(&self) -> Platform {
-        Platform::Minix
-    }
+impl PlatformKernel for MinixStack {
+    const PLATFORM: Platform = Platform::Minix;
+    type Overrides = MinixOverrides;
 
-    fn run_for(&mut self, d: SimDuration) {
-        let end = self.kernel.now() + d;
-        while self.kernel.now() < end {
-            let target = {
-                let t = self.kernel.now() + self.chunk;
-                if t > end {
-                    end
-                } else {
-                    t
-                }
-            };
-            self.kernel.run_until(target);
-            while let Some(&(t, mc)) = self.reference_changes.get(self.next_reference) {
-                if t <= self.kernel.now() {
-                    self.plant.borrow_mut().set_reference(mc as f64 / 1000.0);
-                    self.next_reference += 1;
-                } else {
-                    break;
-                }
-            }
-            let now = self.kernel.now();
-            self.plant.borrow_mut().step_to(now);
-        }
+    fn boot(config: &ScenarioConfig, overrides: MinixOverrides) -> Self {
+        boot_minix(config, overrides)
     }
 
     fn now(&self) -> SimTime {
         self.kernel.now()
+    }
+
+    fn run_until(&mut self, target: SimTime) {
+        self.kernel.run_until(target);
     }
 
     fn plant(&self) -> SharedPlant {

@@ -27,11 +27,12 @@ use bas_sim::metrics::KernelMetrics;
 use bas_sim::process::{Action, Process};
 use bas_sim::time::{SimDuration, SimTime};
 
+use crate::engine::{PlatformKernel, ScenarioEngine};
 use crate::logic::control::{ControlCore, Directive};
 use crate::logic::web::{WebAction, WebSchedule};
 use crate::policy::{self, actuator_rpc, ctrl_rpc, instances};
 use crate::proto::BasMsg;
-use crate::scenario::{new_web_log, Platform, Scenario, ScenarioConfig, WebLog};
+use crate::scenario::{new_web_log, Platform, ScenarioConfig, WebLog};
 
 fn encode_i32(v: i32) -> u64 {
     u64::from(v as u32)
@@ -487,8 +488,9 @@ pub struct Sel4Overrides {
     pub extra_caps: Vec<ExtraCap>,
 }
 
-/// A running seL4 scenario.
-pub struct Sel4Scenario {
+/// The booted seL4/CAmkES stack: kernel, compiled CapDL artifacts, plant,
+/// and web log.
+pub struct Sel4Stack {
     /// The simulated kernel (public for experiment introspection).
     pub kernel: Sel4Kernel,
     /// The compiled CapDL spec (for live verification experiments).
@@ -498,11 +500,11 @@ pub struct Sel4Scenario {
     /// Slot/badge layout.
     pub glue: GlueMap,
     plant: SharedPlant,
-    chunk: SimDuration,
-    reference_changes: Vec<(SimTime, i32)>,
-    next_reference: usize,
     web_log: WebLog,
 }
+
+/// A running seL4 scenario: the generic engine over [`Sel4Stack`].
+pub type Sel4Scenario = ScenarioEngine<Sel4Stack>;
 
 /// Builds and boots the scenario on seL4/CAmkES.
 ///
@@ -511,6 +513,10 @@ pub struct Sel4Scenario {
 /// Panics if the compiled system fails its boot-time CapDL verification —
 /// that would mean the toolchain itself is broken.
 pub fn build_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Scenario {
+    ScenarioEngine::boot(config, overrides)
+}
+
+fn boot_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Stack {
     let assembly = policy::scenario_assembly();
     let (spec, glue) = compile(&assembly).expect("scenario assembly is valid");
 
@@ -605,51 +611,30 @@ pub fn build_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Scen
         kernel.start_thread(sys.threads[name]);
     }
 
-    Sel4Scenario {
+    Sel4Stack {
         kernel,
         spec,
         sys,
         glue,
         plant,
-        chunk: config.lockstep_chunk,
-        reference_changes: config.reference_changes(),
-        next_reference: 0,
         web_log,
     }
 }
 
-impl Scenario for Sel4Scenario {
-    fn platform(&self) -> Platform {
-        Platform::Sel4
-    }
+impl PlatformKernel for Sel4Stack {
+    const PLATFORM: Platform = Platform::Sel4;
+    type Overrides = Sel4Overrides;
 
-    fn run_for(&mut self, d: SimDuration) {
-        let end = self.kernel.now() + d;
-        while self.kernel.now() < end {
-            let target = {
-                let t = self.kernel.now() + self.chunk;
-                if t > end {
-                    end
-                } else {
-                    t
-                }
-            };
-            self.kernel.run_until(target);
-            while let Some(&(t, mc)) = self.reference_changes.get(self.next_reference) {
-                if t <= self.kernel.now() {
-                    self.plant.borrow_mut().set_reference(mc as f64 / 1000.0);
-                    self.next_reference += 1;
-                } else {
-                    break;
-                }
-            }
-            let now = self.kernel.now();
-            self.plant.borrow_mut().step_to(now);
-        }
+    fn boot(config: &ScenarioConfig, overrides: Sel4Overrides) -> Self {
+        boot_sel4(config, overrides)
     }
 
     fn now(&self) -> SimTime {
         self.kernel.now()
+    }
+
+    fn run_until(&mut self, target: SimTime) {
+        self.kernel.run_until(target);
     }
 
     fn plant(&self) -> SharedPlant {

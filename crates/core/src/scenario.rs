@@ -181,6 +181,47 @@ pub trait Scenario {
     fn web_responses(&self) -> Vec<BasMsg>;
 }
 
+/// A serializable snapshot of the plant's safety state at some instant —
+/// the cross-platform "what did the physical world experience" record the
+/// attack harness and the fleet engine aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantSnapshot {
+    /// The alarm-deadline safety property was violated.
+    pub safety_violated: bool,
+    /// Largest observed |temperature − setpoint|, °C.
+    pub max_deviation_c: f64,
+    /// Fraction of observations inside the band.
+    pub in_band_fraction: f64,
+    /// Temperature at snapshot time, °C.
+    pub final_temp_c: f64,
+    /// Alarm state at snapshot time.
+    pub alarm_on: bool,
+    /// Fan switch count (actuator churn).
+    pub fan_switches: usize,
+    /// Excursion-start → alarm-on latencies, seconds.
+    pub alarm_latencies_s: Vec<f64>,
+}
+
+/// Snapshots the scenario's plant safety state.
+pub fn plant_snapshot(scenario: &dyn Scenario) -> PlantSnapshot {
+    let plant = scenario.plant();
+    let plant = plant.borrow();
+    let report = plant.safety_report();
+    PlantSnapshot {
+        safety_violated: !report.is_safe(),
+        max_deviation_c: report.max_deviation_c,
+        in_band_fraction: report.in_band_fraction,
+        final_temp_c: plant.temperature_c(),
+        alarm_on: plant.alarm().is_on(),
+        fan_switches: plant.fan().switch_count(),
+        alarm_latencies_s: report
+            .alarm_latencies
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect(),
+    }
+}
+
 /// True if every critical process is still alive. Fork-suffixed names
 /// (`temp_control#7`) count as the same program.
 pub fn critical_alive(scenario: &dyn Scenario) -> bool {

@@ -207,7 +207,7 @@ fn sel4_boot_verifies_against_capdl_and_stays_clean() {
     s.run_for(SimDuration::from_mins(5));
     // After five minutes of serving RPCs, the live capability state still
     // matches the compiled CapDL spec exactly: no capability drift.
-    let issues = verify(&s.spec, &s.kernel, &s.sys);
+    let issues = verify(&s.stack.spec, &s.stack.kernel, &s.stack.sys);
     assert_eq!(issues, vec![], "capability state drifted during operation");
 }
 
@@ -243,10 +243,12 @@ fn minix_controller_writes_environment_log() {
     s.run_for(SimDuration::from_mins(10));
 
     let ctrl_ep = s
+        .stack
         .kernel
         .endpoint_of(bas_core::proto::names::CONTROL)
         .expect("controller alive");
     let log = s
+        .stack
         .kernel
         .read_process_buffer(ctrl_ep, BufId(0), 0, CONTROL_LOG_SIZE)
         .expect("log buffer exists");
@@ -275,7 +277,7 @@ fn soak_eight_simulated_hours_stays_regulated() {
     assert!(plant.safety_report().in_band_fraction > 0.99);
     assert!(critical_alive(&s));
     assert_eq!(
-        s.kernel.trace().dropped(),
+        s.stack.kernel.trace().dropped(),
         0,
         "trace stayed within capacity"
     );

@@ -1,0 +1,236 @@
+//! The fleet runner: N independent buildings across worker threads.
+//!
+//! Each instance is a complete scenario — kernel stack plus plant —
+//! booted and driven entirely on whichever worker thread claims it
+//! (scenarios hold `Rc<RefCell<…>>` plant state and never cross
+//! threads). Work is distributed by an atomic ticket counter, so thread
+//! scheduling decides only *who* computes an instance, never *what* that
+//! instance computes: every per-instance RNG seed derives from the root
+//! seed and instance index alone, which is what makes the
+//! [`FleetReport`] deterministic under any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use bas_attack::harness::{run_attack, AttackRunConfig};
+use bas_attack::model::{AttackId, AttackerModel};
+use bas_core::scenario::{critical_alive, plant_snapshot, Platform, ScenarioConfig};
+use bas_sim::time::SimDuration;
+
+use crate::report::{AttackCell, FleetReport, InstanceReport};
+use crate::seed::instance_seed;
+
+/// An attack campaign: every instance runs the same attack under the
+/// same attacker model, each with its own derived seed.
+#[derive(Clone)]
+pub struct Campaign {
+    /// The attack to run on every instance.
+    pub attack: AttackId,
+    /// The attacker model.
+    pub attacker: AttackerModel,
+    /// Timing and scenario template for the attack runs (the campaign
+    /// uses `run.scenario`, not [`FleetConfig::template`], so the
+    /// heat-burst disturbance of [`AttackRunConfig::default`] survives).
+    pub run: AttackRunConfig,
+}
+
+impl Campaign {
+    /// A campaign with the paper's standard attack-run timing.
+    pub fn new(attack: AttackId, attacker: AttackerModel) -> Campaign {
+        Campaign {
+            attack,
+            attacker,
+            run: AttackRunConfig::default(),
+        }
+    }
+}
+
+/// Configuration of one fleet run.
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Platform every instance runs on.
+    pub platform: Platform,
+    /// Number of building instances.
+    pub instances: usize,
+    /// Worker threads (clamped to `1..=instances`).
+    pub workers: usize,
+    /// Root seed; instance `i` runs with
+    /// [`instance_seed`]`(root_seed, i)`.
+    pub root_seed: u64,
+    /// Simulated horizon per benign instance (campaigns use the
+    /// campaign's own warmup/window/cooldown instead).
+    pub horizon: SimDuration,
+    /// Scenario template for benign instances (seed is overwritten
+    /// per instance).
+    pub template: ScenarioConfig,
+    /// `Some` turns the fleet into an attack campaign.
+    pub campaign: Option<Campaign>,
+}
+
+impl FleetConfig {
+    /// A benign fleet with the default quiet scenario and a 30-minute
+    /// horizon.
+    pub fn benign(platform: Platform, instances: usize, workers: usize) -> FleetConfig {
+        FleetConfig {
+            platform,
+            instances,
+            workers,
+            root_seed: 42,
+            horizon: SimDuration::from_mins(30),
+            template: ScenarioConfig::quiet(),
+            campaign: None,
+        }
+    }
+}
+
+/// Wall-clock throughput of a fleet run. Deliberately *outside*
+/// [`FleetReport`]: timing and worker count vary run to run, the report
+/// must not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallStats {
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Elapsed wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Simulated seconds advanced per wall-clock second.
+    pub sim_seconds_per_wall_second: f64,
+    /// IPC messages delivered per wall-clock second.
+    pub ipc_messages_per_wall_second: f64,
+}
+
+/// A completed fleet run: the deterministic report plus wall-clock
+/// throughput.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Simulation outcome (pure function of the configuration).
+    pub report: FleetReport,
+    /// Wall-clock throughput (varies run to run).
+    pub wall: WallStats,
+}
+
+/// Runs the fleet and aggregates the report.
+pub fn run_fleet(config: &FleetConfig) -> FleetRun {
+    assert!(config.instances > 0, "fleet needs at least one instance");
+    let workers = config.workers.clamp(1, config.instances);
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<InstanceReport>> = Mutex::new(Vec::with_capacity(config.instances));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= config.instances {
+                    break;
+                }
+                let report = run_instance(config, index);
+                results.lock().expect("worker panicked").push(report);
+            });
+        }
+    });
+
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let mut per_instance = results.into_inner().expect("worker panicked");
+    // Completion order depends on scheduling; report order must not.
+    per_instance.sort_by_key(|r| r.index);
+
+    let report = FleetReport::aggregate(
+        config.platform,
+        config.root_seed,
+        config.campaign.as_ref().map(|c| (c.attack, c.attacker)),
+        per_instance,
+    );
+    let denom = wall_seconds.max(1e-9);
+    let wall = WallStats {
+        workers,
+        wall_seconds,
+        sim_seconds_per_wall_second: report.totals.sim_seconds / denom,
+        ipc_messages_per_wall_second: report.totals.ipc_messages as f64 / denom,
+    };
+    FleetRun { report, wall }
+}
+
+/// Boots, runs, and snapshots one instance, entirely on the calling
+/// thread.
+fn run_instance(config: &FleetConfig, index: usize) -> InstanceReport {
+    let seed = instance_seed(config.root_seed, index);
+    match &config.campaign {
+        None => {
+            let mut scenario_cfg = config.template.clone();
+            scenario_cfg.seed = seed;
+            let mut s = bas_core::boot_platform(config.platform, &scenario_cfg);
+            s.run_for(config.horizon);
+            InstanceReport {
+                index,
+                seed,
+                sim_seconds: s.now().as_secs_f64(),
+                critical_alive: critical_alive(s.as_ref()),
+                metrics: s.metrics(),
+                plant: plant_snapshot(s.as_ref()),
+                attack: None,
+            }
+        }
+        Some(campaign) => {
+            let mut run = campaign.run.clone();
+            run.scenario.seed = seed;
+            let outcome = run_attack(config.platform, campaign.attacker, campaign.attack, &run);
+            let cell = AttackCell {
+                mechanism_succeeded: outcome.mechanism.succeeded(),
+                compromised: outcome.compromised(),
+            };
+            InstanceReport {
+                index,
+                seed,
+                sim_seconds: (run.warmup + run.window + run.cooldown).as_secs_f64(),
+                critical_alive: outcome.critical_alive,
+                metrics: outcome.metrics,
+                plant: outcome.plant,
+                attack: Some(cell),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_fleet_runs_and_aggregates() {
+        let mut config = FleetConfig::benign(Platform::Minix, 3, 2);
+        config.horizon = SimDuration::from_mins(5);
+        let run = run_fleet(&config);
+        assert_eq!(run.report.instances, 3);
+        assert_eq!(run.report.per_instance.len(), 3);
+        assert!(run.report.totals.ipc_messages > 0);
+        assert_eq!(run.report.totals.critical_losses, 0);
+        assert!(run.report.per_instance.iter().all(|r| r.critical_alive));
+        // Indices are dense and ordered regardless of completion order.
+        for (i, r) in run.report.per_instance.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.seed, instance_seed(config.root_seed, i));
+        }
+        assert!(run.wall.workers == 2);
+        assert!(run.wall.sim_seconds_per_wall_second > 0.0);
+    }
+
+    #[test]
+    fn campaign_fleet_reports_cells() {
+        let mut config = FleetConfig::benign(Platform::Sel4, 2, 1);
+        config.campaign = Some(Campaign::new(
+            AttackId::SpoofSensorData,
+            AttackerModel::ArbitraryCode,
+        ));
+        let run = run_fleet(&config);
+        let campaign = run.report.campaign.expect("campaign summary");
+        // seL4 blocks sensor spoofing for every instance (E6).
+        assert_eq!(campaign.mechanism_succeeded, 0);
+        assert_eq!(campaign.compromised, 0);
+        assert!(run
+            .report
+            .per_instance
+            .iter()
+            .all(|r| r.attack.is_some() && r.critical_alive));
+    }
+}

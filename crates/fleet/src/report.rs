@@ -1,0 +1,418 @@
+//! Fleet report types and their deterministic JSON form.
+//!
+//! [`FleetReport`] is the *simulation outcome* of a fleet run: everything
+//! in it — and therefore every byte of [`FleetReport::to_json`] — is a
+//! pure function of the fleet configuration and root seed. Wall-clock
+//! timing and worker count live in [`crate::engine::WallStats`] instead,
+//! precisely so the report stays byte-identical no matter how many
+//! threads computed it (the determinism guard in `tests/determinism.rs`).
+
+use bas_attack::model::{AttackId, AttackerModel};
+use bas_core::scenario::{PlantSnapshot, Platform};
+use bas_sim::metrics::KernelMetrics;
+use serde::{Deserialize, Serialize};
+
+use crate::json::Json;
+
+/// A fixed-width histogram of excursion→alarm latencies, seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Width of each bin, seconds.
+    pub bin_width_s: f64,
+    /// `counts[i]` covers `[i·w, (i+1)·w)`.
+    pub counts: Vec<u64>,
+    /// Samples at or beyond the last bin edge.
+    pub overflow: u64,
+    /// Total samples recorded.
+    pub samples: u64,
+    /// Sum of all samples (for the mean), seconds.
+    pub sum_s: f64,
+    /// Largest sample, seconds.
+    pub max_s: f64,
+}
+
+impl LatencyHistogram {
+    /// Alarm latencies cluster around the paper's ~300 s deadline; 30 s
+    /// bins over 0–600 s resolve that region well.
+    pub const DEFAULT_BIN_WIDTH_S: f64 = 30.0;
+    /// Default bin count (covers 0–600 s).
+    pub const DEFAULT_BINS: usize = 20;
+
+    /// An empty histogram with the given geometry.
+    pub fn new(bin_width_s: f64, bins: usize) -> Self {
+        LatencyHistogram {
+            bin_width_s,
+            counts: vec![0; bins],
+            overflow: 0,
+            samples: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_s: f64) {
+        let bin = (latency_s / self.bin_width_s).floor();
+        if bin >= 0.0 && (bin as usize) < self.counts.len() {
+            self.counts[bin as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.samples += 1;
+        self.sum_s += latency_s;
+        if latency_s > self.max_s {
+            self.max_s = latency_s;
+        }
+    }
+
+    /// Mean latency, seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_s / self.samples as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bin_width_s", Json::Num(self.bin_width_s)),
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("overflow", Json::UInt(self.overflow)),
+            ("samples", Json::UInt(self.samples)),
+            ("mean_s", Json::Num(self.mean_s())),
+            ("max_s", Json::Num(self.max_s)),
+        ])
+    }
+}
+
+/// Attack-campaign verdict for one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackCell {
+    /// The kernel accepted the malicious operations.
+    pub mechanism_succeeded: bool,
+    /// Safety violated or a critical process lost.
+    pub compromised: bool,
+}
+
+/// Outcome of one building instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceReport {
+    /// Instance index within the fleet (0-based).
+    pub index: usize,
+    /// Derived scenario seed (see [`crate::seed::instance_seed`]).
+    pub seed: u64,
+    /// Simulated seconds this instance advanced.
+    pub sim_seconds: f64,
+    /// Every critical process survived.
+    pub critical_alive: bool,
+    /// Kernel counters at the end of the run.
+    pub metrics: KernelMetrics,
+    /// Plant safety snapshot at the end of the run.
+    pub plant: PlantSnapshot,
+    /// Campaign verdict (`None` for benign fleets).
+    pub attack: Option<AttackCell>,
+}
+
+impl InstanceReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("index", Json::UInt(self.index as u64)),
+            ("seed", Json::UInt(self.seed)),
+            ("sim_seconds", Json::Num(self.sim_seconds)),
+            ("critical_alive", Json::Bool(self.critical_alive)),
+            ("metrics", metrics_to_json(&self.metrics)),
+            ("plant", plant_to_json(&self.plant)),
+        ];
+        fields.push((
+            "attack",
+            match &self.attack {
+                None => Json::Null,
+                Some(cell) => Json::obj(vec![
+                    ("mechanism_succeeded", Json::Bool(cell.mechanism_succeeded)),
+                    ("compromised", Json::Bool(cell.compromised)),
+                ]),
+            },
+        ));
+        Json::obj(fields)
+    }
+}
+
+/// Fleet-wide sums over the per-instance reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetTotals {
+    /// Total simulated seconds across all instances.
+    pub sim_seconds: f64,
+    /// Total IPC messages delivered.
+    pub ipc_messages: u64,
+    /// Total IPC payload bytes.
+    pub ipc_bytes: u64,
+    /// Total kernel entries.
+    pub kernel_entries: u64,
+    /// Total context switches.
+    pub context_switches: u64,
+    /// Total operations denied by access control.
+    pub access_denied: u64,
+    /// Total processes created.
+    pub processes_created: u64,
+    /// Instances whose safety property was violated.
+    pub safety_violations: usize,
+    /// Instances that lost a critical process.
+    pub critical_losses: usize,
+}
+
+impl FleetTotals {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("sim_seconds", Json::Num(self.sim_seconds)),
+            ("ipc_messages", Json::UInt(self.ipc_messages)),
+            ("ipc_bytes", Json::UInt(self.ipc_bytes)),
+            ("kernel_entries", Json::UInt(self.kernel_entries)),
+            ("context_switches", Json::UInt(self.context_switches)),
+            ("access_denied", Json::UInt(self.access_denied)),
+            ("processes_created", Json::UInt(self.processes_created)),
+            (
+                "safety_violations",
+                Json::UInt(self.safety_violations as u64),
+            ),
+            ("critical_losses", Json::UInt(self.critical_losses as u64)),
+        ])
+    }
+}
+
+/// Campaign identity and aggregate verdict counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// The attack every instance ran.
+    pub attack: AttackId,
+    /// The attacker model.
+    pub attacker: AttackerModel,
+    /// Instances where the mechanism succeeded.
+    pub mechanism_succeeded: usize,
+    /// Instances compromised (safety violated or critical loss).
+    pub compromised: usize,
+}
+
+/// The deterministic outcome of a fleet run.
+///
+/// Contains *only* simulation-derived data — no wall-clock, no worker
+/// count — so [`FleetReport::to_json`] is byte-identical for the same
+/// `(config, root_seed)` regardless of parallelism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Platform every instance ran on.
+    pub platform: Platform,
+    /// Root seed the per-instance seeds derive from.
+    pub root_seed: u64,
+    /// Number of building instances.
+    pub instances: usize,
+    /// Campaign summary (`None` for benign fleets).
+    pub campaign: Option<CampaignSummary>,
+    /// Fleet-wide sums.
+    pub totals: FleetTotals,
+    /// Excursion→alarm latency distribution across the fleet.
+    pub alarm_latency: LatencyHistogram,
+    /// Per-instance outcomes, ordered by instance index.
+    pub per_instance: Vec<InstanceReport>,
+}
+
+impl FleetReport {
+    /// Aggregates per-instance reports (must be sorted by index) into the
+    /// fleet report.
+    pub fn aggregate(
+        platform: Platform,
+        root_seed: u64,
+        campaign: Option<(AttackId, AttackerModel)>,
+        per_instance: Vec<InstanceReport>,
+    ) -> FleetReport {
+        let mut totals = FleetTotals::default();
+        let mut hist = LatencyHistogram::new(
+            LatencyHistogram::DEFAULT_BIN_WIDTH_S,
+            LatencyHistogram::DEFAULT_BINS,
+        );
+        let mut mech = 0usize;
+        let mut comp = 0usize;
+        for r in &per_instance {
+            totals.sim_seconds += r.sim_seconds;
+            totals.ipc_messages += r.metrics.ipc_messages;
+            totals.ipc_bytes += r.metrics.ipc_bytes;
+            totals.kernel_entries += r.metrics.kernel_entries;
+            totals.context_switches += r.metrics.context_switches;
+            totals.access_denied += r.metrics.access_denied;
+            totals.processes_created += r.metrics.processes_created;
+            if r.plant.safety_violated {
+                totals.safety_violations += 1;
+            }
+            if !r.critical_alive {
+                totals.critical_losses += 1;
+            }
+            for &lat in &r.plant.alarm_latencies_s {
+                hist.record(lat);
+            }
+            if let Some(cell) = &r.attack {
+                if cell.mechanism_succeeded {
+                    mech += 1;
+                }
+                if cell.compromised {
+                    comp += 1;
+                }
+            }
+        }
+        FleetReport {
+            platform,
+            root_seed,
+            instances: per_instance.len(),
+            campaign: campaign.map(|(attack, attacker)| CampaignSummary {
+                attack,
+                attacker,
+                mechanism_succeeded: mech,
+                compromised: comp,
+            }),
+            totals,
+            alarm_latency: hist,
+            per_instance,
+        }
+    }
+
+    /// Renders the report as deterministic JSON (stable key order, stable
+    /// float formatting, no wall-clock data).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The report as a [`Json`] tree (for embedding in larger reports).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str("bas-fleet-report/v1".into())),
+            ("platform", Json::Str(self.platform.to_string())),
+            ("root_seed", Json::UInt(self.root_seed)),
+            ("instances", Json::UInt(self.instances as u64)),
+            (
+                "campaign",
+                match &self.campaign {
+                    None => Json::Null,
+                    Some(c) => Json::obj(vec![
+                        ("attack", Json::Str(c.attack.to_string())),
+                        ("attacker", Json::Str(c.attacker.to_string())),
+                        (
+                            "mechanism_succeeded",
+                            Json::UInt(c.mechanism_succeeded as u64),
+                        ),
+                        ("compromised", Json::UInt(c.compromised as u64)),
+                    ]),
+                },
+            ),
+            ("totals", self.totals.to_json()),
+            ("alarm_latency", self.alarm_latency.to_json()),
+            (
+                "per_instance",
+                Json::Arr(self.per_instance.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Kernel counters as a JSON object (shared by fleet and bench reports).
+pub fn metrics_to_json(m: &KernelMetrics) -> Json {
+    Json::obj(vec![
+        ("context_switches", Json::UInt(m.context_switches)),
+        ("kernel_entries", Json::UInt(m.kernel_entries)),
+        ("ipc_messages", Json::UInt(m.ipc_messages)),
+        ("ipc_bytes", Json::UInt(m.ipc_bytes)),
+        ("access_denied", Json::UInt(m.access_denied)),
+        ("syscall_errors", Json::UInt(m.syscall_errors)),
+        ("processes_created", Json::UInt(m.processes_created)),
+        ("processes_reaped", Json::UInt(m.processes_reaped)),
+    ])
+}
+
+/// Plant safety snapshot as a JSON object.
+pub fn plant_to_json(p: &PlantSnapshot) -> Json {
+    Json::obj(vec![
+        ("safety_violated", Json::Bool(p.safety_violated)),
+        ("max_deviation_c", Json::Num(p.max_deviation_c)),
+        ("in_band_fraction", Json::Num(p.in_band_fraction)),
+        ("final_temp_c", Json::Num(p.final_temp_c)),
+        ("alarm_on", Json::Bool(p.alarm_on)),
+        ("fan_switches", Json::UInt(p.fan_switches as u64)),
+        (
+            "alarm_latencies_s",
+            Json::Arr(p.alarm_latencies_s.iter().map(|&l| Json::Num(l)).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = LatencyHistogram::new(30.0, 20);
+        h.record(0.0);
+        h.record(29.9);
+        h.record(30.0);
+        h.record(599.9);
+        h.record(600.0);
+        h.record(1e9);
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[19], 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.samples, 6);
+        assert!(h.max_s >= 1e9);
+    }
+
+    #[test]
+    fn aggregate_counts_violations_and_campaign() {
+        let make =
+            |index: usize, violated: bool, alive: bool, cell: Option<AttackCell>| InstanceReport {
+                index,
+                seed: index as u64,
+                sim_seconds: 10.0,
+                critical_alive: alive,
+                metrics: KernelMetrics {
+                    ipc_messages: 5,
+                    ..KernelMetrics::default()
+                },
+                plant: PlantSnapshot {
+                    safety_violated: violated,
+                    max_deviation_c: 0.5,
+                    in_band_fraction: 1.0,
+                    final_temp_c: 22.0,
+                    alarm_on: false,
+                    fan_switches: 0,
+                    alarm_latencies_s: vec![300.0],
+                },
+                attack: cell,
+            };
+        let cell = AttackCell {
+            mechanism_succeeded: true,
+            compromised: false,
+        };
+        let report = FleetReport::aggregate(
+            Platform::Minix,
+            42,
+            Some((AttackId::ForkBomb, AttackerModel::ArbitraryCode)),
+            vec![
+                make(0, false, true, Some(cell)),
+                make(1, true, false, Some(cell)),
+            ],
+        );
+        assert_eq!(report.instances, 2);
+        assert_eq!(report.totals.ipc_messages, 10);
+        assert_eq!(report.totals.safety_violations, 1);
+        assert_eq!(report.totals.critical_losses, 1);
+        assert_eq!(report.alarm_latency.samples, 2);
+        let c = report.campaign.unwrap();
+        assert_eq!(c.mechanism_succeeded, 2);
+        assert_eq!(c.compromised, 0);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"bas-fleet-report/v1\""));
+        assert!(json.contains("\"fork-bomb\""));
+        assert_eq!(json, report.to_json());
+    }
+}

@@ -1,0 +1,37 @@
+//! Per-instance seed derivation.
+//!
+//! Every building in a fleet gets its own RNG stream, derived from the
+//! fleet's root seed and the instance index — never from thread identity
+//! or scheduling order. The derivation is one SplitMix64 step (the same
+//! mixer `bas_sim::rng::SimRng` uses internally) over
+//! `root + index · golden_gamma`, so neighbouring indices land in
+//! well-separated stream positions and the mapping is O(1) per instance.
+
+use bas_sim::rng::SimRng;
+
+/// Weyl increment of SplitMix64 (2^64 / φ, odd).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the scenario seed for instance `index` of a fleet rooted at
+/// `root`. Deterministic, order-free, and collision-resistant for any
+/// realistic fleet size.
+pub fn instance_seed(root: u64, index: usize) -> u64 {
+    let mut rng = SimRng::seed_from(root.wrapping_add((index as u64).wrapping_mul(GOLDEN_GAMMA)));
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..256 {
+            assert!(seen.insert(instance_seed(42, i)), "collision at {i}");
+        }
+        // Stable across calls (pure function of root and index).
+        assert_eq!(instance_seed(42, 7), instance_seed(42, 7));
+        assert_ne!(instance_seed(42, 7), instance_seed(43, 7));
+    }
+}
