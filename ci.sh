@@ -7,7 +7,7 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== cargo clippy (deny warnings) =="
+echo "== cargo clippy (deny warnings; covers the bas-analysis mc module) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
@@ -20,5 +20,10 @@ for bin in crates/bench/src/bin/exp_*.rs; do
   echo "-- $name --quick"
   "./target/release/$name" --quick > /dev/null
 done
+
+echo "== model check (E14: exhaustive bounded verification, capped state budget) =="
+# Exits nonzero on any cell disagreement, truncated exploration, reachable
+# internal invariant, POR verdict divergence, or failed counterexample replay.
+./target/release/exp_model_check --quick --state-budget 500000 > /dev/null
 
 echo "CI OK"

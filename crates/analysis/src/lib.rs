@@ -22,10 +22,16 @@
 //! * [`scenario`] — the paper's temperature-control scenario bound into
 //!   the IR (identity bindings, endpoint message types, uid schemes,
 //!   contracts), plus the predicted matrix in deterministic order.
+//! * [`mc`] — a bounded explicit-state model checker over the scenario
+//!   transition relation: every interleaving of the five processes and
+//!   the attacker, dual-adjudicated by the Policy IR *and* the kernel
+//!   artifacts, with partial-order reduction and counterexample replay
+//!   into the dynamic engine.
 
 pub mod ir;
 pub mod lint;
 pub mod lower;
+pub mod mc;
 pub mod scenario;
 pub mod taint;
 

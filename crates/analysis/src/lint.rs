@@ -20,6 +20,10 @@ use crate::taint::untrusted_actuator_paths;
 /// Finding severity, most severe first (sort order = report order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// An *untrusted* subject holds authority that breaks the scenario's
+    /// security argument — CI gates on this level (`exp_policy_audit`
+    /// exits nonzero when a secure configuration produces one).
+    Error,
     /// Violates the scenario's security argument.
     High,
     /// Excess authority with a known-bounded blast radius.
@@ -33,6 +37,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
+            Severity::Error => "error",
             Severity::High => "high",
             Severity::Medium => "medium",
             Severity::Low => "low",
@@ -89,6 +94,24 @@ impl Justification {
     }
 }
 
+/// Whether `subject` is bound and marked untrusted — excess authority in
+/// untrusted hands is what the CI gate fails the build on.
+fn is_untrusted(model: &PolicyModel, subject: &str) -> bool {
+    model
+        .subjects
+        .get(subject)
+        .is_some_and(|s| s.trust == Trust::Untrusted)
+}
+
+/// `Error` when the subject is untrusted, `base` otherwise.
+fn escalate(model: &PolicyModel, subject: &str, base: Severity) -> Severity {
+    if is_untrusted(model, subject) {
+        Severity::Error
+    } else {
+        base
+    }
+}
+
 /// Runs every lint rule; returns findings sorted most-severe first.
 pub fn lint(model: &PolicyModel, justification: &Justification) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -129,7 +152,7 @@ fn check_message_channels(
                 .is_empty()
             {
                 findings.push(Finding {
-                    severity: Severity::High,
+                    severity: escalate(model, &c.subject, Severity::High),
                     code: "over-granted-capability",
                     subject: c.subject.clone(),
                     object: c.object.to_string(),
@@ -144,7 +167,7 @@ fn check_message_channels(
         // ACM granularity: per message type.
         if c.msg_types == MsgTypeSet::All {
             findings.push(Finding {
-                severity: Severity::High,
+                severity: escalate(model, &c.subject, Severity::High),
                 code: "over-granted-capability",
                 subject: c.subject.clone(),
                 object: c.object.to_string(),
@@ -186,7 +209,7 @@ fn check_message_channels(
             }
         } else {
             findings.push(Finding {
-                severity: Severity::High,
+                severity: escalate(model, &c.subject, Severity::High),
                 code: "over-granted-capability",
                 subject: c.subject.clone(),
                 object: c.object.to_string(),
@@ -212,12 +235,11 @@ fn check_sys_ops(model: &PolicyModel, justification: &Justification, findings: &
         if justification.sys_ops.contains(&(c.subject.clone(), c.op)) {
             continue;
         }
-        let untrusted = model
-            .subjects
-            .get(&c.subject)
-            .is_some_and(|s| s.trust == Trust::Untrusted);
-        let severity = if untrusted && c.op == Operation::Kill {
-            Severity::High
+        // Kill authority in untrusted hands defeats the availability half
+        // of the security argument; unjustified fork stays a bounded
+        // hygiene issue (the quota contains it), so it is never escalated.
+        let severity = if c.op == Operation::Kill {
+            escalate(model, &c.subject, Severity::Medium)
         } else {
             Severity::Medium
         };
@@ -245,7 +267,7 @@ fn check_device_access(
             continue;
         }
         findings.push(Finding {
-            severity: Severity::High,
+            severity: escalate(model, &c.subject, Severity::High),
             code: "over-granted-capability",
             subject: c.subject.clone(),
             object: c.object.to_string(),
@@ -276,16 +298,8 @@ fn check_queue_membership(
         if !flagged.insert((c.subject.clone(), q.clone())) {
             continue;
         }
-        let untrusted = model
-            .subjects
-            .get(&c.subject)
-            .is_some_and(|s| s.trust == Trust::Untrusted);
         findings.push(Finding {
-            severity: if untrusted {
-                Severity::High
-            } else {
-                Severity::Medium
-            },
+            severity: escalate(model, &c.subject, Severity::Medium),
             code: "ambient-authority-queue",
             subject: c.subject.clone(),
             object: c.object.to_string(),
@@ -323,8 +337,10 @@ fn check_dangling_identities(model: &PolicyModel, findings: &mut Vec<Finding>) {
 fn check_actuator_paths(model: &PolicyModel, findings: &mut Vec<Finding>) {
     for path in untrusted_actuator_paths(model) {
         let subject = path.split(' ').next().unwrap_or("?").to_string();
+        // The path's source is untrusted by construction, so this always
+        // escalates; `High` covers a source that lost its binding.
         findings.push(Finding {
-            severity: Severity::High,
+            severity: escalate(model, &subject, Severity::High),
             code: "untrusted-to-actuator-path",
             subject,
             object: "actuators".into(),
@@ -514,7 +530,7 @@ mod tests {
     }
 
     #[test]
-    fn untrusted_queue_access_is_high() {
+    fn untrusted_queue_access_is_error() {
         let mut m = PolicyModel::new(Platform::Linux, traits());
         m.traits.kernel_stamped_identity = false;
         m.add_subject("web", Trust::Untrusted, None);
@@ -533,7 +549,43 @@ mod tests {
         let f = lint(&m, &j);
         assert!(f
             .iter()
-            .any(|x| x.code == "ambient-authority-queue" && x.severity == Severity::High));
+            .any(|x| x.code == "ambient-authority-queue" && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn trusted_queue_access_stays_medium() {
+        let mut m = PolicyModel::new(Platform::Linux, traits());
+        m.add_subject("sensor2", Trust::Trusted, None);
+        m.channels.push(Channel {
+            subject: "sensor2".into(),
+            object: ObjectId::Queue("/mq_q".into()),
+            op: Operation::Send,
+            msg_types: MsgTypeSet::of([MsgType::new(1)]),
+            kind: ChannelKind::QueueWrite,
+            badge: None,
+        });
+        m.normalize();
+        let mut j = justification();
+        j.queue_membership
+            .insert("/mq_q".into(), ["sensor".to_string()].into());
+        let f = lint(&m, &j);
+        assert!(f
+            .iter()
+            .any(|x| x.code == "ambient-authority-queue" && x.severity == Severity::Medium));
+    }
+
+    #[test]
+    fn untrusted_channel_escalates_to_error() {
+        let mut m = PolicyModel::new(Platform::Minix, traits());
+        m.add_subject("a", Trust::Trusted, None);
+        m.add_subject("w", Trust::Untrusted, None);
+        m.channels.push(send("w", "a", &[2]));
+        m.normalize();
+        let f = lint(&m, &justification());
+        assert!(f
+            .iter()
+            .any(|x| x.code == "over-granted-capability" && x.severity == Severity::Error));
+        assert_eq!(f[0].severity, Severity::Error, "errors sort first");
     }
 
     #[test]

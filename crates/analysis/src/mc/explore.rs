@@ -1,0 +1,369 @@
+//! Bounded explicit-state exploration with ample-set reduction.
+//!
+//! The explorer is generic over [`StepSemantics`]: breadth-first search
+//! with hashed-state deduplication, so the first trace reaching any fact
+//! is a shortest one. A `classify` callback maps each discovered state
+//! to a bitmask of facts; the explorer records the first hit of every
+//! bit together with its action trace.
+//!
+//! # Partial-order reduction
+//!
+//! At each state the explorer looks for a *singleton ample set*: one
+//! process whose only enabled action is invisible and independent of
+//! every co-enabled action of other processes. If found, only that
+//! action is expanded; otherwise the state is fully expanded. The three
+//! classic soundness conditions hold as follows for the scenario model
+//! (and are assumed of any other semantics passed in):
+//!
+//! * **C1** (no dependent action first): the candidate's independence is
+//!   checked against all *currently* enabled actions; the round barrier
+//!   guarantees no new dependent action can become enabled before the
+//!   deferred process moves, because the environment tick — the only
+//!   enabler of fresh actions — waits on every living process's own bit.
+//! * **C2** (invisibility): enforced via [`StepSemantics::is_visible`].
+//! * **C3** (no cycle starves an action): vacuous on a DAG; the scenario
+//!   state strictly grows `(round, moved)` on every transition.
+//!
+//! Correctness is additionally validated empirically: the verdict layer
+//! runs reduced and unreduced explorations at equal depth and asserts
+//! identical verdicts (see `exp_model_check` and the crate tests).
+
+use std::collections::HashMap;
+
+use bas_core::semantics::{replay_trace, StepSemantics};
+
+/// Exploration limits and switches.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOpts {
+    /// Enable ample-set partial-order reduction.
+    pub use_por: bool,
+    /// Hard cap on stored states; hitting it sets
+    /// [`ExploreStats::truncated`] (the run is then *not* exhaustive).
+    pub state_budget: usize,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> ExploreOpts {
+        ExploreOpts {
+            use_por: true,
+            state_budget: 2_000_000,
+        }
+    }
+}
+
+/// Counters for one exploration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreStats {
+    /// Distinct states stored.
+    pub states: usize,
+    /// Transitions applied.
+    pub transitions: usize,
+    /// Longest trace depth reached.
+    pub max_depth: usize,
+    /// States whose successor set was reduced to an ample singleton.
+    pub ample_states: usize,
+    /// The state budget was exhausted; coverage is incomplete.
+    pub truncated: bool,
+}
+
+/// The result of one exploration.
+pub struct Exploration<A> {
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// Shortest witness trace for each fact bit that was reached,
+    /// indexed by bit position.
+    pub first_hits: Vec<Option<Vec<A>>>,
+}
+
+impl<A> Exploration<A> {
+    /// Whether fact `bit` was reached.
+    pub fn reached(&self, bit: u32) -> bool {
+        self.first_hits
+            .get(bit.trailing_zeros() as usize)
+            .is_some_and(Option::is_some)
+    }
+
+    /// The witness trace for fact `bit`, if reached.
+    pub fn witness(&self, bit: u32) -> Option<&[A]> {
+        self.first_hits
+            .get(bit.trailing_zeros() as usize)?
+            .as_deref()
+    }
+}
+
+struct Node<A> {
+    parent: usize,
+    action: Option<A>,
+    depth: usize,
+}
+
+fn trace_of<A: Clone>(nodes: &[Node<A>], mut idx: usize) -> Vec<A> {
+    let mut trace = Vec::with_capacity(nodes[idx].depth);
+    while let Some(a) = &nodes[idx].action {
+        trace.push(a.clone());
+        idx = nodes[idx].parent;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Picks a singleton ample action, if any process qualifies.
+fn ample_action<S: StepSemantics>(
+    sem: &S,
+    state: &S::State,
+    enabled: &[S::Action],
+) -> Option<S::Action> {
+    for candidate in enabled {
+        let owner = sem.owner(candidate);
+        if enabled.iter().filter(|a| sem.owner(a) == owner).count() != 1 {
+            continue; // only singleton ample sets are attempted
+        }
+        if sem.is_visible(state, candidate) {
+            continue;
+        }
+        if enabled
+            .iter()
+            .filter(|a| sem.owner(a) != owner)
+            .all(|other| sem.independent(candidate, other))
+        {
+            return Some(candidate.clone());
+        }
+    }
+    None
+}
+
+/// Explores the reachable state space of `sem` breadth-first, calling
+/// `classify` on every discovered state. Fact bit 0..32 first-hits are
+/// recorded with shortest witness traces.
+pub fn explore<S, F>(sem: &S, opts: &ExploreOpts, classify: F) -> Exploration<S::Action>
+where
+    S: StepSemantics,
+    F: Fn(&S::State) -> u32,
+{
+    let mut stats = ExploreStats::default();
+    let mut first_hits: Vec<Option<Vec<S::Action>>> = (0..32).map(|_| None).collect();
+    let mut hit_mask: u32 = 0;
+
+    let mut nodes: Vec<Node<S::Action>> = Vec::new();
+    let mut seen: HashMap<S::State, usize> = HashMap::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    let mut states: Vec<S::State> = Vec::new();
+
+    let initial = sem.initial_state();
+    let facts = classify(&initial);
+    nodes.push(Node {
+        parent: 0,
+        action: None,
+        depth: 0,
+    });
+    for (bit, hit) in first_hits.iter_mut().enumerate() {
+        if facts & (1 << bit) != 0 {
+            *hit = Some(Vec::new());
+            hit_mask |= 1 << bit;
+        }
+    }
+    seen.insert(initial.clone(), 0);
+    states.push(initial);
+    frontier.push(0);
+    stats.states = 1;
+
+    while !frontier.is_empty() && !stats.truncated {
+        let mut next = Vec::new();
+        for &idx in &frontier {
+            let state = states[idx].clone();
+            let enabled = sem.enabled_actions(&state);
+            if enabled.is_empty() {
+                continue;
+            }
+            let expand: Vec<S::Action> = if opts.use_por {
+                match ample_action(sem, &state, &enabled) {
+                    Some(a) => {
+                        stats.ample_states += 1;
+                        vec![a]
+                    }
+                    None => enabled,
+                }
+            } else {
+                enabled
+            };
+            for action in expand {
+                let succ = sem.apply(&state, &action);
+                stats.transitions += 1;
+                if seen.contains_key(&succ) {
+                    continue;
+                }
+                if stats.states >= opts.state_budget {
+                    stats.truncated = true;
+                    break;
+                }
+                let depth = nodes[idx].depth + 1;
+                let node = nodes.len();
+                nodes.push(Node {
+                    parent: idx,
+                    action: Some(action),
+                    depth,
+                });
+                stats.max_depth = stats.max_depth.max(depth);
+                let facts = classify(&succ);
+                let fresh = facts & !hit_mask;
+                if fresh != 0 {
+                    for (bit, hit) in first_hits.iter_mut().enumerate() {
+                        if fresh & (1 << bit) != 0 {
+                            *hit = Some(trace_of(&nodes, node));
+                        }
+                    }
+                    hit_mask |= fresh;
+                }
+                seen.insert(succ.clone(), node);
+                states.push(succ);
+                next.push(node);
+                stats.states += 1;
+            }
+            if stats.truncated {
+                break;
+            }
+        }
+        frontier = next;
+    }
+
+    Exploration { stats, first_hits }
+}
+
+/// Greedily shrinks a witness trace: repeatedly drops any single action
+/// whose removal leaves the trace feasible *and* still reaching a state
+/// where `violates` holds (facts are monotone in the scenario model, so
+/// any visited state may witness). The result is 1-minimal: no single
+/// action can be removed.
+pub fn minimize_trace<S, F>(sem: &S, trace: &[S::Action], violates: F) -> Vec<S::Action>
+where
+    S: StepSemantics,
+    F: Fn(&S::State) -> bool,
+{
+    let still_violates =
+        |t: &[S::Action]| replay_trace(sem, t).is_some_and(|states| states.iter().any(&violates));
+    debug_assert!(still_violates(trace), "input trace must witness");
+    let mut current: Vec<S::Action> = trace.to_vec();
+    let mut shrunk = true;
+    while shrunk {
+        shrunk = false;
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if still_violates(&candidate) {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three independent counters, each stepping 0 → 2. Counter 0
+    /// reaching 2 is the observed fact; the others are invisible noise.
+    struct Counters;
+
+    const N: usize = 3;
+    const GOAL: u32 = 1 << 0;
+
+    impl StepSemantics for Counters {
+        type State = [u8; N];
+        type Action = usize;
+
+        fn initial_state(&self) -> [u8; N] {
+            [0; N]
+        }
+
+        fn enabled_actions(&self, s: &[u8; N]) -> Vec<usize> {
+            (0..N).filter(|&i| s[i] < 2).collect()
+        }
+
+        fn apply(&self, s: &[u8; N], a: &usize) -> [u8; N] {
+            let mut t = *s;
+            t[*a] += 1;
+            t
+        }
+
+        fn is_visible(&self, _s: &[u8; N], a: &usize) -> bool {
+            *a == 0
+        }
+
+        fn independent(&self, a: &usize, b: &usize) -> bool {
+            a != b
+        }
+
+        fn owner(&self, a: &usize) -> usize {
+            *a
+        }
+    }
+
+    fn classify(s: &[u8; N]) -> u32 {
+        u32::from(s[0] == 2)
+    }
+
+    #[test]
+    fn bfs_finds_the_shortest_witness() {
+        let opts = ExploreOpts {
+            use_por: false,
+            state_budget: 10_000,
+        };
+        let ex = explore(&Counters, &opts, classify);
+        assert_eq!(ex.stats.states, 27, "full product space");
+        assert!(ex.reached(GOAL));
+        assert_eq!(ex.witness(GOAL).unwrap(), &[0, 0], "two steps, no noise");
+    }
+
+    #[test]
+    fn por_reduces_states_with_identical_verdicts() {
+        let full = explore(
+            &Counters,
+            &ExploreOpts {
+                use_por: false,
+                state_budget: 10_000,
+            },
+            classify,
+        );
+        let reduced = explore(
+            &Counters,
+            &ExploreOpts {
+                use_por: true,
+                state_budget: 10_000,
+            },
+            classify,
+        );
+        assert!(
+            reduced.stats.states < full.stats.states,
+            "{} !< {}",
+            reduced.stats.states,
+            full.stats.states
+        );
+        assert!(reduced.stats.ample_states > 0);
+        assert_eq!(reduced.reached(GOAL), full.reached(GOAL));
+    }
+
+    #[test]
+    fn state_budget_truncates() {
+        let ex = explore(
+            &Counters,
+            &ExploreOpts {
+                use_por: false,
+                state_budget: 5,
+            },
+            classify,
+        );
+        assert!(ex.stats.truncated);
+        assert!(ex.stats.states <= 5);
+    }
+
+    #[test]
+    fn minimization_drops_noise_actions() {
+        let sem = Counters;
+        let noisy = vec![1, 2, 0, 1, 2, 0];
+        let min = minimize_trace(&sem, &noisy, |s| s[0] == 2);
+        assert_eq!(min, vec![0, 0]);
+    }
+}

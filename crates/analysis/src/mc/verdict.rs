@@ -1,0 +1,318 @@
+//! Per-cell model-checking verdicts over the attack matrix.
+//!
+//! [`check_cell`] explores one `(platform, attacker, attack)` cell and
+//! reduces reachability facts to the paper's three-valued outcome:
+//! a reachable compromise state ⇒ `Compromised`, reachable mechanism
+//! delivery without compromise ⇒ `ResourceExhaustionOnly`, neither ⇒
+//! `Stopped`. Because exploration is exhaustive at the bounded horizon
+//! (unless truncated), a `Stopped` verdict is a *proof over every
+//! interleaving* at that depth — strictly stronger than the single
+//! schedule the dynamic harness runs.
+
+use bas_attack::expectations::{paper_expectation, Expectation};
+use bas_attack::{AttackId, AttackerModel};
+use bas_core::platform::linux::UidScheme;
+use bas_core::scenario::Platform;
+
+use super::explore::{explore, minimize_trace, ExploreOpts, ExploreStats};
+use super::model::{McBounds, ScenarioModel};
+use super::state::{McAction, McState};
+use crate::taint;
+
+/// Fact bits produced by [`classify`]. Bits 0–3 coincide with the
+/// monotone state flags; the rest are derived from state shape.
+pub mod props {
+    use super::super::state::flags;
+
+    /// The attack mechanism delivered (a fact, not a violation).
+    pub const DELIVERED: u32 = flags::DELIVERED as u32;
+    /// Policy IR vs kernel artifact disagreement.
+    pub const GATE_MISMATCH: u32 = flags::GATE_MISMATCH as u32;
+    /// Fork admitted beyond quota.
+    pub const QUOTA_BREACH: u32 = flags::QUOTA_BREACH as u32;
+    /// Device register written by a non-driver.
+    pub const UNAUTH_DEV_WRITE: u32 = flags::UNAUTH_DEV_WRITE as u32;
+    /// `hot_unalarmed` exceeded the bounded-response bound `k`.
+    pub const BOUNDED_RESPONSE: u32 = 1 << 4;
+    /// A critical process is dead.
+    pub const CRITICAL_KILLED: u32 = 1 << 5;
+    /// The plant reference diverged from the authorized setpoint.
+    pub const REF_DIVERGENCE: u32 = 1 << 6;
+
+    /// Facts that constitute a compromise.
+    pub const COMPROMISE: u32 =
+        UNAUTH_DEV_WRITE | BOUNDED_RESPONSE | CRITICAL_KILLED | REF_DIVERGENCE;
+    /// Internal invariants expected unreachable in every healthy config.
+    pub const INVARIANT: u32 = GATE_MISMATCH | QUOTA_BREACH;
+}
+
+/// The property a counterexample witnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McProperty {
+    /// The alarm stayed off more than `k` ticks past the threshold.
+    BoundedResponse,
+    /// A critical process was terminated.
+    CriticalKilled,
+    /// An unauthorized setpoint was accepted.
+    ReferenceDivergence,
+    /// A non-driver subject wrote a device register.
+    UnauthorizedDeviceWrite,
+    /// Policy IR and kernel artifact disagreed on an operation.
+    GateMismatch,
+    /// A fork was admitted beyond its quota.
+    QuotaBreach,
+}
+
+impl McProperty {
+    /// The fact bit this property corresponds to.
+    pub fn bit(self) -> u32 {
+        match self {
+            McProperty::BoundedResponse => props::BOUNDED_RESPONSE,
+            McProperty::CriticalKilled => props::CRITICAL_KILLED,
+            McProperty::ReferenceDivergence => props::REF_DIVERGENCE,
+            McProperty::UnauthorizedDeviceWrite => props::UNAUTH_DEV_WRITE,
+            McProperty::GateMismatch => props::GATE_MISMATCH,
+            McProperty::QuotaBreach => props::QUOTA_BREACH,
+        }
+    }
+
+    /// All properties, counterexample-priority first (process loss and
+    /// divergence replay most directly; invariants last).
+    pub const ALL: [McProperty; 6] = [
+        McProperty::CriticalKilled,
+        McProperty::ReferenceDivergence,
+        McProperty::UnauthorizedDeviceWrite,
+        McProperty::BoundedResponse,
+        McProperty::GateMismatch,
+        McProperty::QuotaBreach,
+    ];
+}
+
+impl std::fmt::Display for McProperty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            McProperty::BoundedResponse => "bounded-response",
+            McProperty::CriticalKilled => "critical-killed",
+            McProperty::ReferenceDivergence => "reference-divergence",
+            McProperty::UnauthorizedDeviceWrite => "unauthorized-device-write",
+            McProperty::GateMismatch => "gate-mismatch",
+            McProperty::QuotaBreach => "quota-breach",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps a state to its fact bitmask.
+pub fn classify(bounds: &McBounds, s: &McState) -> u32 {
+    let mut f = u32::from(s.flags); // flags bits 0..3 are the low bits
+    if s.hot_unalarmed > bounds.response_bound {
+        f |= props::BOUNDED_RESPONSE;
+    }
+    if s.critical_lost() {
+        f |= props::CRITICAL_KILLED;
+    }
+    if s.diverged {
+        f |= props::REF_DIVERGENCE;
+    }
+    f
+}
+
+/// A minimized violation witness.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The violated property.
+    pub property: McProperty,
+    /// A 1-minimal action trace from the initial state to a violating
+    /// state (every action is enabled where it is taken).
+    pub trace: Vec<McAction>,
+}
+
+/// The model-checking result for one matrix cell.
+pub struct CellReport {
+    /// Platform of the cell.
+    pub platform: Platform,
+    /// Attacker model of the cell.
+    pub attacker: AttackerModel,
+    /// Attack of the cell.
+    pub attack: AttackId,
+    /// The checker's verdict over all interleavings at the bound.
+    pub mc: Expectation,
+    /// The paper's ground-truth expectation.
+    pub paper: Expectation,
+    /// The static analyzer's (PR 1 taint) verdict for the same policy.
+    pub taint: Expectation,
+    /// Exploration counters (reduced run).
+    pub stats: ExploreStats,
+    /// Which properties were reachable (bitmask over [`props`]).
+    pub reached: u32,
+    /// The highest-priority compromise counterexample, minimized.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CellReport {
+    /// Three-way agreement: checker == paper == static analyzer.
+    pub fn agrees(&self) -> bool {
+        self.mc == self.paper && self.mc == self.taint
+    }
+
+    /// Whether an internal invariant (gate mismatch / quota breach) was
+    /// reachable — expected false in every healthy configuration.
+    pub fn invariant_violated(&self) -> bool {
+        self.reached & props::INVARIANT != 0
+    }
+}
+
+/// Collapses reachability to the three-valued outcome.
+fn to_expectation(reached: u32) -> Expectation {
+    if reached & props::COMPROMISE != 0 {
+        Expectation::Compromised
+    } else if reached & props::DELIVERED != 0 {
+        Expectation::ResourceExhaustionOnly
+    } else {
+        Expectation::Stopped
+    }
+}
+
+/// Model-checks one cell. `opts` controls POR and the state budget.
+pub fn check_cell(model: &ScenarioModel, opts: &ExploreOpts) -> CellReport {
+    let bounds = model.bounds;
+    let ex = explore(model, opts, |s| classify(&bounds, s));
+
+    let mut reached = 0;
+    for bit in 0..32 {
+        if ex.reached(1 << bit) {
+            reached |= 1 << bit;
+        }
+    }
+
+    let counterexample = McProperty::ALL
+        .iter()
+        .find(|p| ex.reached(p.bit()))
+        .map(|&property| {
+            let witness = ex.witness(property.bit()).expect("reached");
+            let trace = minimize_trace(model, witness, |s| {
+                classify(&bounds, s) & property.bit() != 0
+            });
+            Counterexample { property, trace }
+        });
+
+    CellReport {
+        platform: model.platform,
+        attacker: model.attacker,
+        attack: model.attack,
+        mc: to_expectation(reached),
+        paper: paper_expectation(model.platform, model.attacker, model.attack),
+        taint: taint::expectation(&taint::predict(model.ir(), model.attack)),
+        stats: ex.stats,
+        reached,
+        counterexample,
+    }
+}
+
+/// Model-checks the full 54-cell matrix (platform-major, the same order
+/// as `predicted_matrix` / `exp_attack_matrix`).
+pub fn check_matrix(scheme: UidScheme, opts: &ExploreOpts) -> Vec<CellReport> {
+    let mut reports = Vec::new();
+    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+        for attack in AttackId::ALL {
+            for attacker in [AttackerModel::ArbitraryCode, AttackerModel::Root] {
+                let model = ScenarioModel::new(platform, attacker, attack, scheme);
+                reports.push(check_cell(&model, opts));
+            }
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_core::semantics::replay_trace;
+
+    fn quick_opts() -> ExploreOpts {
+        ExploreOpts {
+            use_por: true,
+            state_budget: 2_000_000,
+        }
+    }
+
+    #[test]
+    fn minix_kill_is_proved_stopped() {
+        let m = ScenarioModel::new(
+            Platform::Minix,
+            AttackerModel::ArbitraryCode,
+            AttackId::KillCritical,
+            UidScheme::SharedAccount,
+        );
+        let r = check_cell(&m, &quick_opts());
+        assert!(!r.stats.truncated, "must be exhaustive to prove");
+        assert_eq!(r.mc, Expectation::Stopped);
+        assert!(r.agrees());
+        assert!(!r.invariant_violated());
+        assert!(r.counterexample.is_none());
+    }
+
+    #[test]
+    fn linux_shared_kill_yields_a_replayable_counterexample() {
+        let m = ScenarioModel::new(
+            Platform::Linux,
+            AttackerModel::ArbitraryCode,
+            AttackId::KillCritical,
+            UidScheme::SharedAccount,
+        );
+        let r = check_cell(&m, &quick_opts());
+        assert_eq!(r.mc, Expectation::Compromised);
+        assert!(r.agrees());
+        let cx = r.counterexample.expect("compromise ⇒ witness");
+        assert_eq!(cx.property, McProperty::CriticalKilled);
+        let states = replay_trace(&m, &cx.trace).expect("minimized trace stays feasible");
+        let bounds = m.bounds;
+        assert!(states
+            .iter()
+            .any(|s| classify(&bounds, s) & cx.property.bit() != 0));
+    }
+
+    #[test]
+    fn sel4_spoof_is_stopped_despite_kernel_admission() {
+        let m = ScenarioModel::new(
+            Platform::Sel4,
+            AttackerModel::Root,
+            AttackId::SpoofSensorData,
+            UidScheme::SharedAccount,
+        );
+        let r = check_cell(&m, &quick_opts());
+        assert!(!r.stats.truncated);
+        assert_eq!(r.mc, Expectation::Stopped);
+        assert!(r.agrees());
+    }
+
+    #[test]
+    fn por_preserves_verdicts_while_reducing_states() {
+        let cell = |use_por: bool| {
+            let m = ScenarioModel::new(
+                Platform::Minix,
+                AttackerModel::ArbitraryCode,
+                AttackId::FloodLegitChannel,
+                UidScheme::SharedAccount,
+            );
+            check_cell(
+                &m,
+                &ExploreOpts {
+                    use_por,
+                    state_budget: 2_000_000,
+                },
+            )
+        };
+        let reduced = cell(true);
+        let full = cell(false);
+        assert!(!reduced.stats.truncated && !full.stats.truncated);
+        assert_eq!(reduced.mc, full.mc);
+        assert_eq!(reduced.reached, full.reached);
+        assert!(
+            reduced.stats.states < full.stats.states,
+            "POR ineffective: {} !< {}",
+            reduced.stats.states,
+            full.stats.states
+        );
+    }
+}

@@ -4,15 +4,17 @@
 //! final verdict; the data behind "the critical processes that impact the
 //! physical world are not affected".
 //!
-//! Run: `cargo run --release -p bas-bench --bin exp_physical_impact`
+//! Run: `cargo run --release -p bas-bench --bin exp_physical_impact [-- --json]`
 
 use bas_attack::harness::{run_attack, AttackRunConfig};
 use bas_attack::model::{AttackId, AttackerModel};
 use bas_bench::{rule, section, Harness};
+use bas_fleet::Json;
 
 fn main() {
     let h = Harness::new("physical_impact");
     let config = AttackRunConfig::default();
+    let mut cells = Vec::new();
 
     section("physical impact under attack (attacker model A1, heat burst mid-window)");
     println!(
@@ -37,6 +39,19 @@ fn main() {
                     "ok"
                 },
             );
+            cells.push(Json::obj(vec![
+                ("platform", Json::Str(platform.to_string())),
+                ("attack", Json::Str(attack.to_string())),
+                (
+                    "attacker",
+                    Json::Str(AttackerModel::ArbitraryCode.to_string()),
+                ),
+                ("max_deviation_c", Json::Num(o.physical.max_deviation_c)),
+                ("final_temp_c", Json::Num(o.physical.final_temp_c)),
+                ("alarm_on", Json::Bool(o.physical.alarm_on)),
+                ("fan_switches", Json::UInt(o.physical.fan_switches as u64)),
+                ("safety_violated", Json::Bool(o.physical.safety_violated)),
+            ]));
         }
         rule();
     }
@@ -46,4 +61,9 @@ fn main() {
          the deadline is the correct response. 'VIOLATED' means the alarm was suppressed or \
          nobody was left to raise it."
     );
+
+    h.emit_json(&Json::obj(vec![
+        ("schema", Json::Str("bas-physical-impact/v1".into())),
+        ("cells", Json::Arr(cells)),
+    ]));
 }

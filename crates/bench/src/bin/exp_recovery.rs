@@ -5,14 +5,15 @@
 //! with a reincarnation-style supervisor, printing the fan/temperature
 //! timeline around the fault.
 //!
-//! Run: `cargo run --release -p bas-bench --bin exp_recovery`
+//! Run: `cargo run --release -p bas-bench --bin exp_recovery [-- --json]`
 
 use bas_bench::{rule, section, Harness};
 use bas_core::platform::minix::{MinixOverrides, MinixStack};
 use bas_core::scenario::{critical_alive, Scenario, ScenarioConfig};
+use bas_fleet::Json;
 use bas_sim::time::SimDuration;
 
-fn run(h: &Harness, label: &str, supervise: bool) {
+fn run(h: &Harness, label: &str, supervise: bool) -> Json {
     section(&format!("{label} (heater driver crashes after ~3 minutes)"));
     let overrides = MinixOverrides {
         heater_crash_after: Some(50),
@@ -29,6 +30,8 @@ fn run(h: &Harness, label: &str, supervise: bool) {
     let mut s = h.build_stack::<MinixStack>(&cfg, overrides);
     s.run_for(SimDuration::from_mins(40));
 
+    let alive = critical_alive(&s);
+    let processes_created = s.metrics().processes_created;
     let plant = s.plant();
     let plant = plant.borrow();
     println!(
@@ -44,21 +47,33 @@ fn run(h: &Harness, label: &str, supervise: bool) {
             if sample.alarm_on { "ON" } else { "off" },
         );
     }
+    let safe = plant.safety_report().is_safe();
     rule();
     println!(
         "fan switches: {} | final temp: {:.2}°C | critical alive: {} | procs created: {} | safety: {}",
         plant.fan().switch_count(),
         plant.temperature_c(),
-        critical_alive(&s),
-        s.metrics().processes_created,
-        if plant.safety_report().is_safe() { "OK" } else { "VIOLATED" },
+        alive,
+        processes_created,
+        if safe { "OK" } else { "VIOLATED" },
     );
+    Json::obj(vec![
+        ("supervised", Json::Bool(supervise)),
+        (
+            "fan_switches",
+            Json::UInt(plant.fan().switch_count() as u64),
+        ),
+        ("final_temp_c", Json::Num(plant.temperature_c())),
+        ("critical_alive", Json::Bool(alive)),
+        ("processes_created", Json::UInt(processes_created)),
+        ("safe", Json::Bool(safe)),
+    ])
 }
 
 fn main() {
     let h = Harness::new("recovery");
-    run(&h, "configuration 1: no supervisor", false);
-    run(
+    let unsupervised = run(&h, "configuration 1: no supervisor", false);
+    let supervised = run(
         &h,
         "configuration 2: reincarnation-style supervisor (2 s health checks)",
         true,
@@ -73,4 +88,9 @@ fn main() {
          paper's platform choice is predicated on, implemented purely as an unprivileged\n\
          process under the same ACM."
     );
+
+    h.emit_json(&Json::obj(vec![
+        ("schema", Json::Str("bas-recovery/v1".into())),
+        ("configs", Json::Arr(vec![unsupervised, supervised])),
+    ]));
 }

@@ -18,6 +18,7 @@
 //! | `exp_recovery` | A3 — MINIX self-repair under driver crash |
 //! | `exp_policy_audit` | E12 — static policy audit: predicted matrix + lint |
 //! | `exp_fleet_scale` | E13 — fleet scaling: N buildings × worker threads |
+//! | `exp_model_check` | E14 — bounded model checking + counterexample replay |
 //!
 //! Every binary drives a [`Harness`], which owns the shared experiment
 //! plumbing: flag parsing (`--quick`, `--json`, `--platform`), platform

@@ -16,7 +16,9 @@
 //!   implements and the generic [`engine::ScenarioEngine`] lockstep
 //!   runner (one implementation of setup/step/aggregate for all three),
 //! - [`scenario`] — configuration and the cross-platform [`Scenario`]
-//!   interface used by experiments and the attack harness.
+//!   interface used by experiments and the attack harness,
+//! - [`semantics`] — the [`semantics::StepSemantics`] transition-relation
+//!   abstraction the `bas-analysis` model checker explores.
 //!
 //! ```no_run
 //! use bas_core::platform::minix::{build_minix, MinixOverrides};
@@ -35,9 +37,11 @@ pub mod platform;
 pub mod policy;
 pub mod proto;
 pub mod scenario;
+pub mod semantics;
 
 pub use engine::{boot_platform, PlatformKernel, ScenarioEngine};
 pub use proto::BasMsg;
 pub use scenario::{
     critical_alive, plant_snapshot, PlantSnapshot, Platform, Scenario, ScenarioConfig,
 };
+pub use semantics::StepSemantics;
