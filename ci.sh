@@ -8,7 +8,8 @@ echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings; covers the bas-analysis mc module) =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings \
+  -W clippy::redundant_clone -W clippy::needless_collect
 
 echo "== cargo test =="
 cargo test -q --workspace
@@ -23,7 +24,20 @@ done
 
 echo "== model check (E14: exhaustive bounded verification, capped state budget) =="
 # Exits nonzero on any cell disagreement, truncated exploration, reachable
-# internal invariant, POR verdict divergence, or failed counterexample replay.
-./target/release/exp_model_check --quick --state-budget 500000 > /dev/null
+# internal invariant, POR verdict divergence, parallel/sequential divergence,
+# or failed counterexample replay. --json writes BENCH_mc.json.
+./target/release/exp_model_check --quick --json --state-budget 500000 > /dev/null
+
+echo "== model-check perf gate (states/sec vs committed baseline, 30% floor) =="
+# Guards the explorer's hot path: the --quick sweep's states/sec must stay
+# within 30% of the committed BENCH_mc_baseline.json (refresh the baseline
+# deliberately when the machine or the explorer changes for good reason).
+current=$(grep -m1 -o '"states_per_second": *[0-9.eE+-]*' BENCH_mc.json | sed 's/.*: *//')
+baseline=$(grep -m1 -o '"states_per_second": *[0-9.eE+-]*' BENCH_mc_baseline.json | sed 's/.*: *//')
+awk -v cur="$current" -v base="$baseline" 'BEGIN {
+  floor = base * 0.7;
+  printf "states/sec: current %.0f, baseline %.0f, floor %.0f\n", cur, base, floor;
+  if (cur < floor) { print "** model-check throughput regressed >30% **"; exit 1 }
+}'
 
 echo "CI OK"

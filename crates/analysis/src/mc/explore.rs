@@ -1,10 +1,39 @@
 //! Bounded explicit-state exploration with ample-set reduction.
 //!
 //! The explorer is generic over [`StepSemantics`]: breadth-first search
-//! with hashed-state deduplication, so the first trace reaching any fact
-//! is a shortest one. A `classify` callback maps each discovered state
-//! to a bitmask of facts; the explorer records the first hit of every
-//! bit together with its action trace.
+//! with fingerprint-interned state deduplication, so the first trace
+//! reaching any fact is a shortest one. A `classify` callback maps each
+//! discovered state to a bitmask of facts; the explorer records the
+//! first hit of every bit together with its action trace.
+//!
+//! # State store
+//!
+//! Storage per discovered state is O(1), independent of depth: one
+//! arena node `(parent_idx, action)` — traces are reconstructed on
+//! demand by walking parent pointers — plus one 64-bit fingerprint in a
+//! pre-sized hash set. Full state values live only in the current BFS
+//! frontier; the layer behind it is dropped wholesale. Deduplicating on
+//! fingerprints rather than full states is the classic hash-compaction
+//! trade: two distinct states colliding on all 64 bits would alias, with
+//! probability ~n²/2⁶⁵ (< 10⁻⁹ at the 82k-state cells explored here) —
+//! and the dynamic counterexample replay would catch a miscarried
+//! verdict downstream.
+//!
+//! # Parallel exploration
+//!
+//! With [`ExploreOpts::workers`] > 1, each BFS layer is expanded by
+//! scoped worker threads claiming frontier chunks from an atomic ticket.
+//! Successor fingerprints are raced into a sharded seen-set (one mutex
+//! per shard, sharded by fingerprint high bits) keyed by a *deterministic
+//! order key* — the successor's (frontier position, action index) in
+//! sequential exploration order. Racing inserts resolve by min-key, so
+//! whichever thread wins the lock, the surviving parent/action for every
+//! state is the one sequential exploration would have picked. A commit
+//! pass at the layer barrier then admits candidates in ascending key
+//! order, making node numbering, first-hit traces, counters, and
+//! truncation byte-identical to the sequential explorer at any worker
+//! count. (See DESIGN §5 for why the layer barrier also preserves the
+//! ample-set conditions C1–C3 and the shortest-trace guarantee.)
 //!
 //! # Partial-order reduction
 //!
@@ -28,7 +57,10 @@
 //! runs reduced and unreduced explorations at equal depth and asserts
 //! identical verdicts (see `exp_model_check` and the crate tests).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use bas_core::semantics::{replay_trace, StepSemantics};
 
@@ -40,6 +72,10 @@ pub struct ExploreOpts {
     /// Hard cap on stored states; hitting it sets
     /// [`ExploreStats::truncated`] (the run is then *not* exhaustive).
     pub state_budget: usize,
+    /// Worker threads expanding each BFS layer; `0` and `1` both mean
+    /// sequential in-thread exploration. Results are byte-identical at
+    /// every worker count.
+    pub workers: usize,
 }
 
 impl Default for ExploreOpts {
@@ -47,12 +83,13 @@ impl Default for ExploreOpts {
         ExploreOpts {
             use_por: true,
             state_budget: 2_000_000,
+            workers: 1,
         }
     }
 }
 
 /// Counters for one exploration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExploreStats {
     /// Distinct states stored.
     pub states: usize,
@@ -64,6 +101,15 @@ pub struct ExploreStats {
     pub ample_states: usize,
     /// The state budget was exhausted; coverage is incomplete.
     pub truncated: bool,
+}
+
+impl ExploreStats {
+    /// Bytes of long-lived store per state: one arena node plus one
+    /// interned fingerprint. Depth-independent by construction (traces
+    /// are parent-pointer walks, not per-state vectors).
+    pub fn bytes_per_state<A>() -> usize {
+        std::mem::size_of::<Node<A>>() + std::mem::size_of::<u64>()
+    }
 }
 
 /// The result of one exploration.
@@ -91,20 +137,38 @@ impl<A> Exploration<A> {
     }
 }
 
-struct Node<A> {
-    parent: usize,
+/// One arena entry: the parent index and the action that produced the
+/// state. Depth is implicit in the BFS layer, so the node carries no
+/// per-state trace and no depth field.
+pub struct Node<A> {
+    parent: u32,
     action: Option<A>,
-    depth: usize,
 }
 
 fn trace_of<A: Clone>(nodes: &[Node<A>], mut idx: usize) -> Vec<A> {
-    let mut trace = Vec::with_capacity(nodes[idx].depth);
+    let mut trace = Vec::new();
     while let Some(a) = &nodes[idx].action {
         trace.push(a.clone());
-        idx = nodes[idx].parent;
+        idx = nodes[idx].parent as usize;
     }
     trace.reverse();
     trace
+}
+
+/// 64-bit state fingerprint for interned deduplication. Built on the
+/// std SipHash with zeroed keys, so it is stable across runs and
+/// threads.
+fn fingerprint<T: Hash>(value: &T) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Initial capacity for the seen-set and arena: enough for every cell
+/// of the scenario matrix without rehashing, without committing the
+/// full `state_budget` upfront.
+fn presize(budget: usize) -> usize {
+    budget.min(1 << 17)
 }
 
 /// Picks a singleton ample action, if any process qualifies.
@@ -132,101 +196,336 @@ fn ample_action<S: StepSemantics>(
     None
 }
 
+/// The POR-or-full successor action set for one state.
+fn expansion<S: StepSemantics>(
+    sem: &S,
+    state: &S::State,
+    use_por: bool,
+    ample_states: &mut usize,
+) -> Vec<S::Action> {
+    let enabled = sem.enabled_actions(state);
+    if enabled.is_empty() {
+        return enabled;
+    }
+    if use_por {
+        if let Some(a) = ample_action(sem, state, &enabled) {
+            *ample_states += 1;
+            return vec![a];
+        }
+    }
+    enabled
+}
+
 /// Explores the reachable state space of `sem` breadth-first, calling
 /// `classify` on every discovered state. Fact bit 0..32 first-hits are
-/// recorded with shortest witness traces.
+/// recorded with shortest witness traces. Dispatches to the layer-
+/// parallel explorer when `opts.workers > 1`.
 pub fn explore<S, F>(sem: &S, opts: &ExploreOpts, classify: F) -> Exploration<S::Action>
+where
+    S: StepSemantics + Sync,
+    S::State: Send + Sync,
+    S::Action: Send,
+    F: Fn(&S::State) -> u32 + Sync,
+{
+    if opts.workers > 1 {
+        explore_parallel(sem, opts, classify)
+    } else {
+        explore_sequential(sem, opts, classify)
+    }
+}
+
+/// Shared root handling: seeds the arena, frontier, and first-hit table
+/// with the initial state.
+struct Base<S: StepSemantics> {
+    stats: ExploreStats,
+    first_hits: Vec<Option<Vec<S::Action>>>,
+    hit_mask: u32,
+    nodes: Vec<Node<S::Action>>,
+    frontier: Vec<(u32, S::State)>,
+}
+
+fn seed_root<S, F>(sem: &S, opts: &ExploreOpts, classify: &F) -> (Base<S>, u64)
 where
     S: StepSemantics,
     F: Fn(&S::State) -> u32,
 {
-    let mut stats = ExploreStats::default();
-    let mut first_hits: Vec<Option<Vec<S::Action>>> = (0..32).map(|_| None).collect();
-    let mut hit_mask: u32 = 0;
-
-    let mut nodes: Vec<Node<S::Action>> = Vec::new();
-    let mut seen: HashMap<S::State, usize> = HashMap::new();
-    let mut frontier: Vec<usize> = Vec::new();
-    let mut states: Vec<S::State> = Vec::new();
-
+    let mut base = Base {
+        stats: ExploreStats {
+            states: 1,
+            ..ExploreStats::default()
+        },
+        first_hits: (0..32).map(|_| None).collect(),
+        hit_mask: 0,
+        nodes: Vec::with_capacity(presize(opts.state_budget)),
+        frontier: Vec::new(),
+    };
     let initial = sem.initial_state();
     let facts = classify(&initial);
-    nodes.push(Node {
+    base.nodes.push(Node {
         parent: 0,
         action: None,
-        depth: 0,
     });
-    for (bit, hit) in first_hits.iter_mut().enumerate() {
+    for (bit, hit) in base.first_hits.iter_mut().enumerate() {
         if facts & (1 << bit) != 0 {
             *hit = Some(Vec::new());
-            hit_mask |= 1 << bit;
+            base.hit_mask |= 1 << bit;
         }
     }
-    seen.insert(initial.clone(), 0);
-    states.push(initial);
-    frontier.push(0);
-    stats.states = 1;
+    let fp = fingerprint(&initial);
+    base.frontier.push((0, initial));
+    (base, fp)
+}
 
-    while !frontier.is_empty() && !stats.truncated {
-        let mut next = Vec::new();
-        for &idx in &frontier {
-            let state = states[idx].clone();
-            let enabled = sem.enabled_actions(&state);
-            if enabled.is_empty() {
-                continue;
-            }
-            let expand: Vec<S::Action> = if opts.use_por {
-                match ample_action(sem, &state, &enabled) {
-                    Some(a) => {
-                        stats.ample_states += 1;
-                        vec![a]
-                    }
-                    None => enabled,
-                }
-            } else {
-                enabled
-            };
-            for action in expand {
-                let succ = sem.apply(&state, &action);
-                stats.transitions += 1;
-                if seen.contains_key(&succ) {
+/// Records a freshly committed state's facts against the first-hit
+/// table (the node must already be in the arena).
+fn record_hits<A: Clone>(
+    first_hits: &mut [Option<Vec<A>>],
+    hit_mask: &mut u32,
+    nodes: &[Node<A>],
+    node: usize,
+    facts: u32,
+) {
+    let fresh = facts & !*hit_mask;
+    if fresh == 0 {
+        return;
+    }
+    for (bit, hit) in first_hits.iter_mut().enumerate() {
+        if fresh & (1 << bit) != 0 {
+            *hit = Some(trace_of(nodes, node));
+        }
+    }
+    *hit_mask |= fresh;
+}
+
+fn explore_sequential<S, F>(sem: &S, opts: &ExploreOpts, classify: F) -> Exploration<S::Action>
+where
+    S: StepSemantics,
+    F: Fn(&S::State) -> u32,
+{
+    let (mut base, root_fp) = seed_root(sem, opts, &classify);
+    let mut seen: HashSet<u64> =
+        HashSet::with_capacity(presize(opts.state_budget).saturating_add(1));
+    seen.insert(root_fp);
+    let mut depth = 0usize;
+
+    while !base.frontier.is_empty() && !base.stats.truncated {
+        depth += 1;
+        let mut next: Vec<(u32, S::State)> = Vec::new();
+        'frontier: for (idx, state) in &base.frontier {
+            for action in expansion(sem, state, opts.use_por, &mut base.stats.ample_states) {
+                let succ = sem.apply(state, &action);
+                base.stats.transitions += 1;
+                if !seen.insert(fingerprint(&succ)) {
                     continue;
                 }
-                if stats.states >= opts.state_budget {
-                    stats.truncated = true;
-                    break;
+                if base.stats.states >= opts.state_budget {
+                    base.stats.truncated = true;
+                    break 'frontier;
                 }
-                let depth = nodes[idx].depth + 1;
-                let node = nodes.len();
-                nodes.push(Node {
-                    parent: idx,
+                let node = base.nodes.len();
+                base.nodes.push(Node {
+                    parent: *idx,
                     action: Some(action),
-                    depth,
                 });
-                stats.max_depth = stats.max_depth.max(depth);
+                base.stats.max_depth = base.stats.max_depth.max(depth);
                 let facts = classify(&succ);
-                let fresh = facts & !hit_mask;
-                if fresh != 0 {
-                    for (bit, hit) in first_hits.iter_mut().enumerate() {
-                        if fresh & (1 << bit) != 0 {
-                            *hit = Some(trace_of(&nodes, node));
-                        }
-                    }
-                    hit_mask |= fresh;
-                }
-                seen.insert(succ.clone(), node);
-                states.push(succ);
-                next.push(node);
-                stats.states += 1;
-            }
-            if stats.truncated {
-                break;
+                record_hits(
+                    &mut base.first_hits,
+                    &mut base.hit_mask,
+                    &base.nodes,
+                    node,
+                    facts,
+                );
+                next.push((node as u32, succ));
+                base.stats.states += 1;
             }
         }
-        frontier = next;
+        base.frontier = next;
     }
 
-    Exploration { stats, first_hits }
+    Exploration {
+        stats: base.stats,
+        first_hits: base.first_hits,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layer-parallel exploration.
+// ---------------------------------------------------------------------
+
+/// Shard count for the parallel seen-set (power of two).
+const SHARDS: usize = 64;
+
+/// A shard entry: the deterministic order key of the best candidate so
+/// far this layer, or [`COMMITTED`] once the state is admitted.
+const COMMITTED: u64 = 0;
+
+/// A successor produced during parallel layer expansion, not yet
+/// admitted to the store.
+struct Candidate<S: StepSemantics> {
+    /// `(frontier position << 16 | action index) + 1` — the order the
+    /// sequential explorer would have tried this insertion (`+1` keeps
+    /// [`COMMITTED`] = 0 distinct).
+    key: u64,
+    fp: u64,
+    parent: u32,
+    action: S::Action,
+    state: S::State,
+    facts: u32,
+}
+
+fn order_key(frontier_pos: usize, action_idx: usize) -> u64 {
+    ((frontier_pos as u64) << 16 | action_idx as u64) + 1
+}
+
+fn shard_of(fp: u64) -> usize {
+    // High bits: the low bits feed the intra-shard hash map.
+    (fp >> (64 - SHARDS.trailing_zeros())) as usize
+}
+
+/// Frontier chunk size: big enough to amortize the ticket fetch, small
+/// enough to balance uneven expansion costs across workers.
+fn chunk_size(frontier: usize, workers: usize) -> usize {
+    (frontier / (workers * 8)).clamp(1, 1024)
+}
+
+fn explore_parallel<S, F>(sem: &S, opts: &ExploreOpts, classify: F) -> Exploration<S::Action>
+where
+    S: StepSemantics + Sync,
+    S::State: Send + Sync,
+    S::Action: Send,
+    F: Fn(&S::State) -> u32 + Sync,
+{
+    let workers = opts.workers;
+    let (mut base, root_fp) = seed_root(sem, opts, &classify);
+    let shard_cap = presize(opts.state_budget) / SHARDS + 1;
+    let seen: Vec<Mutex<HashMap<u64, u64>>> = (0..SHARDS)
+        .map(|_| Mutex::new(HashMap::with_capacity(shard_cap)))
+        .collect();
+    seen[shard_of(root_fp)]
+        .lock()
+        .unwrap()
+        .insert(root_fp, COMMITTED);
+    let mut depth = 0usize;
+
+    while !base.frontier.is_empty() && !base.stats.truncated {
+        depth += 1;
+        let frontier = &base.frontier;
+        let ticket = AtomicUsize::new(0);
+        let chunk = chunk_size(frontier.len(), workers);
+        let use_por = opts.use_por;
+
+        // Expansion phase: workers claim frontier chunks, apply every
+        // expansion action, and race fingerprints into the sharded
+        // seen-set under min-order-key semantics. Each worker returns
+        // its surviving candidates plus local counters.
+        let mut worker_out: Vec<(Vec<Candidate<S>>, usize, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<Candidate<S>> = Vec::new();
+                        let mut transitions = 0usize;
+                        let mut ample = 0usize;
+                        loop {
+                            let start = ticket.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= frontier.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(frontier.len());
+                            for (pos, (parent, state)) in frontier[start..end]
+                                .iter()
+                                .enumerate()
+                                .map(|(o, f)| (start + o, f))
+                            {
+                                let expand = expansion(sem, state, use_por, &mut ample);
+                                for (aidx, action) in expand.into_iter().enumerate() {
+                                    let succ = sem.apply(state, &action);
+                                    transitions += 1;
+                                    let fp = fingerprint(&succ);
+                                    let key = order_key(pos, aidx);
+                                    let mut shard = seen[shard_of(fp)].lock().unwrap();
+                                    match shard.entry(fp) {
+                                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                                            // Committed (0) or an earlier-in-
+                                            // order candidate wins; otherwise
+                                            // we displace the later one (its
+                                            // buffered candidate dies at
+                                            // commit time).
+                                            if *e.get() <= key {
+                                                continue;
+                                            }
+                                            e.insert(key);
+                                        }
+                                        std::collections::hash_map::Entry::Vacant(v) => {
+                                            v.insert(key);
+                                        }
+                                    }
+                                    drop(shard);
+                                    let facts = classify(&succ);
+                                    out.push(Candidate {
+                                        key,
+                                        fp,
+                                        parent: *parent,
+                                        action,
+                                        state: succ,
+                                        facts,
+                                    });
+                                }
+                            }
+                        }
+                        (out, transitions, ample)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Commit phase (single-threaded): admit candidates in sequential
+        // exploration order; a candidate whose shard entry no longer
+        // bears its key lost the dedup race to an earlier-ordered one.
+        let mut candidates: Vec<Candidate<S>> = Vec::new();
+        for (out, transitions, ample) in worker_out.drain(..) {
+            candidates.extend(out);
+            base.stats.transitions += transitions;
+            base.stats.ample_states += ample;
+        }
+        candidates.sort_unstable_by_key(|c| c.key);
+        let mut next: Vec<(u32, S::State)> = Vec::new();
+        for cand in candidates {
+            let mut shard = seen[shard_of(cand.fp)].lock().unwrap();
+            let entry = shard.get_mut(&cand.fp).expect("candidate was inserted");
+            if *entry != cand.key {
+                continue; // displaced by an earlier-ordered candidate
+            }
+            if base.stats.states >= opts.state_budget {
+                base.stats.truncated = true;
+                break;
+            }
+            *entry = COMMITTED;
+            drop(shard);
+            let node = base.nodes.len();
+            base.nodes.push(Node {
+                parent: cand.parent,
+                action: Some(cand.action),
+            });
+            base.stats.max_depth = base.stats.max_depth.max(depth);
+            record_hits(
+                &mut base.first_hits,
+                &mut base.hit_mask,
+                &base.nodes,
+                node,
+                cand.facts,
+            );
+            next.push((node as u32, cand.state));
+            base.stats.states += 1;
+        }
+        base.frontier = next;
+    }
+
+    Exploration {
+        stats: base.stats,
+        first_hits: base.first_hits,
+    }
 }
 
 /// Greedily shrinks a witness trace: repeatedly drops any single action
@@ -310,6 +609,7 @@ mod tests {
         let opts = ExploreOpts {
             use_por: false,
             state_budget: 10_000,
+            workers: 1,
         };
         let ex = explore(&Counters, &opts, classify);
         assert_eq!(ex.stats.states, 27, "full product space");
@@ -324,6 +624,7 @@ mod tests {
             &ExploreOpts {
                 use_por: false,
                 state_budget: 10_000,
+                workers: 1,
             },
             classify,
         );
@@ -332,6 +633,7 @@ mod tests {
             &ExploreOpts {
                 use_por: true,
                 state_budget: 10_000,
+                workers: 1,
             },
             classify,
         );
@@ -352,11 +654,64 @@ mod tests {
             &ExploreOpts {
                 use_por: false,
                 state_budget: 5,
+                workers: 1,
             },
             classify,
         );
         assert!(ex.stats.truncated);
         assert!(ex.stats.states <= 5);
+    }
+
+    #[test]
+    fn parallel_exploration_is_byte_identical() {
+        for use_por in [false, true] {
+            let seq = explore(
+                &Counters,
+                &ExploreOpts {
+                    use_por,
+                    state_budget: 10_000,
+                    workers: 1,
+                },
+                classify,
+            );
+            for workers in [2, 4] {
+                let par = explore(
+                    &Counters,
+                    &ExploreOpts {
+                        use_por,
+                        state_budget: 10_000,
+                        workers,
+                    },
+                    classify,
+                );
+                assert_eq!(par.stats, seq.stats, "por={use_por} workers={workers}");
+                assert_eq!(
+                    par.first_hits, seq.first_hits,
+                    "por={use_por} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_truncation_respects_the_budget() {
+        let ex = explore(
+            &Counters,
+            &ExploreOpts {
+                use_por: false,
+                state_budget: 5,
+                workers: 4,
+            },
+            classify,
+        );
+        assert!(ex.stats.truncated);
+        assert!(ex.stats.states <= 5);
+    }
+
+    #[test]
+    fn node_storage_is_depth_independent() {
+        // One node + one fingerprint, no embedded trace vector.
+        assert!(ExploreStats::bytes_per_state::<usize>() <= 32);
     }
 
     #[test]

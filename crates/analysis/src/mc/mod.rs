@@ -39,4 +39,7 @@ pub use gate::KernelGate;
 pub use model::{attack_ops, McBounds, ScenarioModel};
 pub use replay::{property_manifested, replay_counterexample, ReplayResult};
 pub use state::{flags, AttackOp, McAction, McState, Proc};
-pub use verdict::{check_cell, check_matrix, classify, CellReport, Counterexample, McProperty};
+pub use verdict::{
+    check_cell, check_cells, check_matrix, classify, matrix_cells, CellReport, Counterexample,
+    McProperty,
+};

@@ -209,19 +209,81 @@ pub fn check_cell(model: &ScenarioModel, opts: &ExploreOpts) -> CellReport {
     }
 }
 
-/// Model-checks the full 54-cell matrix (platform-major, the same order
-/// as `predicted_matrix` / `exp_attack_matrix`).
-pub fn check_matrix(scheme: UidScheme, opts: &ExploreOpts) -> Vec<CellReport> {
-    let mut reports = Vec::new();
-    for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+/// The `(platform, attacker, attack)` tuples of the full matrix for
+/// `platforms`, platform-major — the same order as `predicted_matrix` /
+/// `exp_attack_matrix`.
+pub fn matrix_cells(platforms: &[Platform]) -> Vec<(Platform, AttackerModel, AttackId)> {
+    let mut cells = Vec::new();
+    for &platform in platforms {
         for attack in AttackId::ALL {
             for attacker in [AttackerModel::ArbitraryCode, AttackerModel::Root] {
-                let model = ScenarioModel::new(platform, attacker, attack, scheme);
-                reports.push(check_cell(&model, opts));
+                cells.push((platform, attacker, attack));
             }
         }
     }
-    reports
+    cells
+}
+
+/// Model-checks the full 54-cell matrix (platform-major, the same order
+/// as `predicted_matrix` / `exp_attack_matrix`).
+pub fn check_matrix(scheme: UidScheme, opts: &ExploreOpts) -> Vec<CellReport> {
+    check_cells(
+        &matrix_cells(&[Platform::Linux, Platform::Minix, Platform::Sel4]),
+        scheme,
+        opts,
+        1,
+    )
+}
+
+/// Model-checks `cells` across `sweep_workers` threads, preserving input
+/// order in the result. Cells are independent explorations, so this
+/// parallelizes at the cell boundary; per-cell layer parallelism
+/// (`opts.workers`) composes with it, but a sweep normally wants
+/// `opts.workers == 1` — cell-level parallelism already saturates the
+/// cores without oversubscription. Reports are identical at any
+/// `sweep_workers` (each cell is a pure function of its inputs).
+pub fn check_cells(
+    cells: &[(Platform, AttackerModel, AttackId)],
+    scheme: UidScheme,
+    opts: &ExploreOpts,
+    sweep_workers: usize,
+) -> Vec<CellReport> {
+    let workers = sweep_workers.clamp(1, cells.len().max(1));
+    if workers <= 1 {
+        return cells
+            .iter()
+            .map(|&(platform, attacker, attack)| {
+                let model = ScenarioModel::new(platform, attacker, attack, scheme);
+                check_cell(&model, opts)
+            })
+            .collect();
+    }
+    let ticket = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, CellReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = ticket.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(platform, attacker, attack)) = cells.get(idx) else {
+                            break;
+                        };
+                        let model = ScenarioModel::new(platform, attacker, attack, scheme);
+                        out.push((idx, check_cell(&model, opts)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    // Completion order depends on scheduling; report order must not.
+    indexed.sort_by_key(|(idx, _)| *idx);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -233,6 +295,7 @@ mod tests {
         ExploreOpts {
             use_por: true,
             state_budget: 2_000_000,
+            workers: 1,
         }
     }
 
@@ -300,6 +363,7 @@ mod tests {
                 &ExploreOpts {
                     use_por,
                     state_budget: 2_000_000,
+                    workers: 1,
                 },
             )
         };

@@ -17,6 +17,7 @@ fn opts() -> ExploreOpts {
     ExploreOpts {
         use_por: true,
         state_budget: 2_000_000,
+        workers: 1,
     }
 }
 

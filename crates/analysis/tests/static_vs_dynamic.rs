@@ -281,12 +281,12 @@ fn run_sel4_ablation(extra_caps: Vec<ExtraCap>) -> (bool, bool) {
                         loop_body,
                         max_loops: None,
                     },
-                    ev.clone(),
+                    ev,
                 ))
             } else {
                 Box::new(Sel4Attacker::new(
                     library::sel4_script(AttackId::SpoofActuatorCommands, WARMUP, glue),
-                    ev.clone(),
+                    ev,
                 ))
             }
         })),
@@ -347,13 +347,13 @@ fn lint_flags_stray_capabilities() {
     // ci.sh fail the build on.
     let ablated = sel4_model(AttackerModel::ArbitraryCode, &stray_caps());
     let findings = lint(&ablated, &justification);
-    let stray: Vec<_> = findings
+    let stray = findings
         .iter()
         .filter(|f| {
             f.severity == Severity::Error
                 && f.code == "over-granted-capability"
                 && f.subject == instances::WEB
         })
-        .collect();
-    assert_eq!(stray.len(), 2, "both stray caps flagged: {findings:#?}");
+        .count();
+    assert_eq!(stray, 2, "both stray caps flagged: {findings:#?}");
 }

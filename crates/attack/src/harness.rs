@@ -106,7 +106,7 @@ pub fn run_attack(
                     web_factory: Some(Box::new(move |glue| {
                         Box::new(Sel4Attacker::new(
                             library::sel4_script(attack, warmup, glue),
-                            ev.clone(),
+                            ev,
                         ))
                     })),
                     extra_caps: Vec::new(),

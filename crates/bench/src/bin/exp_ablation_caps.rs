@@ -40,7 +40,7 @@ fn main() {
             web_factory: Some(Box::new(move |glue| {
                 Box::new(Sel4Attacker::new(
                     library::sel4_script(AttackId::SpoofActuatorCommands, WARMUP, glue),
-                    ev.clone(),
+                    ev,
                 ))
             })),
             extra_caps: Vec::new(),
@@ -88,7 +88,7 @@ fn main() {
                         loop_body,
                         max_loops: None,
                     },
-                    ev.clone(),
+                    ev,
                 ))
             })),
             extra_caps: vec![

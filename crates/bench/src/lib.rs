@@ -47,11 +47,14 @@ use bas_fleet::Json;
 /// - `--json` — additionally write `BENCH_<name>.json` via
 ///   [`Harness::emit_json`].
 /// - `--platform linux|minix|sel4` — restrict [`Harness::platforms`].
+/// - `--workers N` — worker threads for parallel experiments
+///   ([`Harness::workers`]; defaults to the available cores).
 pub struct Harness {
     name: &'static str,
     quick: bool,
     json: bool,
     platform_filter: Option<Platform>,
+    workers: usize,
 }
 
 impl Harness {
@@ -69,11 +72,17 @@ impl Harness {
                 }
             }
         });
+        let workers = args
+            .iter()
+            .position(|a| a == "--workers")
+            .and_then(|idx| args.get(idx + 1)?.parse().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Harness {
             name,
             quick: args.iter().any(|a| a == "--quick"),
             json: args.iter().any(|a| a == "--json"),
             platform_filter,
+            workers: workers.max(1),
         }
     }
 
@@ -99,6 +108,12 @@ impl Harness {
     /// The platform filter, if `--platform` was passed.
     pub fn platform_filter(&self) -> Option<Platform> {
         self.platform_filter
+    }
+
+    /// Worker threads for parallel experiments: `--workers N`, else the
+    /// available cores (at least 1).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The platforms this run covers, in canonical matrix order.

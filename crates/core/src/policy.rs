@@ -218,7 +218,7 @@ pub fn scenario_assembly() -> Assembly {
         .provides("cmd", actuator_api.clone())
         .hardware("fan", DeviceId::FAN, CapRights::WRITE);
     let alarm = Component::new("AlarmActuatorProcess")
-        .provides("cmd", actuator_api.clone())
+        .provides("cmd", actuator_api)
         .hardware("alarm", DeviceId::ALARM, CapRights::WRITE);
     let web = Component::new("WebInterfaceProcess").uses("ctrl", ctrl_api);
 

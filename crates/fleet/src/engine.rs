@@ -10,7 +10,6 @@
 //! [`FleetReport`] deterministic under any worker count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use bas_attack::harness::{run_attack, AttackRunConfig};
@@ -109,29 +108,52 @@ pub struct FleetRun {
     pub wall: WallStats,
 }
 
+/// Tickets claimed per fetch: large enough to keep workers off the
+/// shared counter's cache line most of the time, small enough that a
+/// straggler chunk cannot idle the other workers at the tail.
+fn claim_chunk(instances: usize, workers: usize) -> usize {
+    (instances / (workers * 8)).clamp(1, 64)
+}
+
 /// Runs the fleet and aggregates the report.
+///
+/// Work distribution is contention-free in the steady state: workers
+/// claim *chunks* of instance indices from one atomic ticket counter
+/// and buffer their `InstanceReport`s locally; the buffers are merged
+/// (and index-sorted) only after every worker has joined, so no lock is
+/// taken per instance.
 pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     assert!(config.instances > 0, "fleet needs at least one instance");
     let workers = config.workers.clamp(1, config.instances);
     let start = Instant::now();
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<InstanceReport>> = Mutex::new(Vec::with_capacity(config.instances));
+    let chunk = claim_chunk(config.instances, workers);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= config.instances {
-                    break;
-                }
-                let report = run_instance(config, index);
-                results.lock().expect("worker panicked").push(report);
-            });
-        }
+    let mut per_instance: Vec<InstanceReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::with_capacity(config.instances / workers + chunk);
+                    loop {
+                        let begin = next.fetch_add(chunk, Ordering::Relaxed);
+                        if begin >= config.instances {
+                            break;
+                        }
+                        for index in begin..(begin + chunk).min(config.instances) {
+                            local.push(run_instance(config, index));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let wall_seconds = start.elapsed().as_secs_f64();
-    let mut per_instance = results.into_inner().expect("worker panicked");
     // Completion order depends on scheduling; report order must not.
     per_instance.sort_by_key(|r| r.index);
 
@@ -213,6 +235,22 @@ mod tests {
         }
         assert!(run.wall.workers == 2);
         assert!(run.wall.sim_seconds_per_wall_second > 0.0);
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_instance_exactly_once() {
+        // Awkward instance/worker ratios must still produce dense,
+        // ordered indices (chunk arithmetic cannot drop or double-run).
+        for (instances, workers) in [(1, 1), (5, 2), (16, 3), (17, 4), (33, 8)] {
+            let mut config = FleetConfig::benign(Platform::Minix, instances, workers);
+            config.horizon = SimDuration::from_mins(1);
+            let run = run_fleet(&config);
+            assert_eq!(run.report.per_instance.len(), instances);
+            for (i, r) in run.report.per_instance.iter().enumerate() {
+                assert_eq!(r.index, i, "{instances}x{workers}");
+                assert_eq!(r.seed, instance_seed(config.root_seed, i));
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ proptest! {
             q.push(MqMessage { priority: *prio, data: vec![*byte] });
         }
         // Reference: stable sort by priority descending.
-        let mut expected: Vec<(u32, u8)> = msgs.clone();
+        let mut expected: Vec<(u32, u8)> = msgs;
         expected.sort_by_key(|(p, _)| std::cmp::Reverse(*p));
         let drained: Vec<(u32, u8)> =
             std::iter::from_fn(|| q.pop()).map(|m| (m.priority, m.data[0])).collect();
@@ -31,7 +31,7 @@ proptest! {
         }
         prop_assert_eq!(q.len(), msgs.len());
         let mut drained: Vec<u8> = std::iter::from_fn(|| q.pop()).map(|m| m.data[0]).collect();
-        let mut original = msgs.clone();
+        let mut original = msgs;
         drained.sort_unstable();
         original.sort_unstable();
         prop_assert_eq!(drained, original);

@@ -212,9 +212,8 @@ fn main() {
         plants.push(plant);
     }
 
-    let glue_ref = glue.clone();
     let mut loader = |name: &str| -> Option<Sel4Thread> {
-        let g = &glue_ref;
+        let g = &glue;
         let parts: Vec<&str> = name.splitn(2, '_').collect();
         let role = *parts.get(1)?;
         match role {
