@@ -22,6 +22,20 @@ for bin in crates/bench/src/bin/exp_*.rs; do
   "./target/release/$name" --quick > /dev/null
 done
 
+echo "== fault campaign (E16) + multi-platform recovery (A3) =="
+# The campaign report must be byte-stable across worker counts; this
+# regenerates the committed BENCH_faults.json and checks the determinism
+# contract cheaply on top of the smoke run above.
+./target/release/exp_fault_campaign --quick --json --workers 1 > /dev/null
+mv BENCH_faults.json /tmp/BENCH_faults.w1.json
+./target/release/exp_fault_campaign --quick --json --workers 4 > /dev/null
+cmp /tmp/BENCH_faults.w1.json BENCH_faults.json \
+  || { echo "** BENCH_faults.json differs across worker counts **"; exit 1; }
+for platform in linux minix sel4; do
+  echo "-- exp_recovery --quick --platform $platform"
+  ./target/release/exp_recovery --quick --platform "$platform" > /dev/null
+done
+
 echo "== model check (E14: exhaustive bounded verification, capped state budget) =="
 # Exits nonzero on any cell disagreement, truncated exploration, reachable
 # internal invariant, POR verdict divergence, parallel/sequential divergence,

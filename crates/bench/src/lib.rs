@@ -15,10 +15,11 @@
 //! | `exp_ablation_caps` | A2 — capability over-grant ablation |
 //! | `exp_alarm_latency` | E11 — alarm-latency distribution |
 //! | `exp_cost_sensitivity` | E8b — context-switch cost sweep |
-//! | `exp_recovery` | A3 — MINIX self-repair under driver crash |
+//! | `exp_recovery` | A3 — driver-crash recovery on all three platforms |
 //! | `exp_policy_audit` | E12 — static policy audit: predicted matrix + lint |
 //! | `exp_fleet_scale` | E13 — fleet scaling: N buildings × worker threads |
 //! | `exp_model_check` | E14 — bounded model checking + counterexample replay |
+//! | `exp_fault_campaign` | E16 — fault campaign: plans × platforms scorecard |
 //!
 //! Every binary drives a [`Harness`], which owns the shared experiment
 //! plumbing: flag parsing (`--quick`, `--json`, `--platform`), platform

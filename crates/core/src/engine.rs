@@ -15,6 +15,8 @@
 //! [`platform::linux::LinuxStack`]: crate::platform::linux::LinuxStack
 
 use bas_plant::SharedPlant;
+use bas_sim::device::DeviceBus;
+use bas_sim::fault::IpcFault;
 use bas_sim::metrics::KernelMetrics;
 use bas_sim::time::{SimDuration, SimTime};
 
@@ -60,7 +62,33 @@ pub trait PlatformKernel {
 
     /// Responses observed by the (benign) web interface.
     fn web_responses(&self) -> Vec<BasMsg>;
+
+    // ----- fault-injection hooks (`bas-faults`) -----------------------------
+
+    /// Mutable access to the kernel's device bus, so fault interposers
+    /// can wrap plant devices (`DeviceBus::interpose`).
+    fn devices_mut(&mut self) -> &mut DeviceBus;
+
+    /// Kills the named process/thread outright — a simulated crash, not a
+    /// policy-gated kill. Restart semantics are the platform's own: a
+    /// supervised MINIX stack re-forks the victim, Linux and seL4 do not.
+    /// Returns false if no live process bears the name.
+    fn inject_crash(&mut self, name: &str) -> bool;
+
+    /// Arms `count` one-shot IPC faults, consumed in order by subsequent
+    /// application sends (after each platform's access-control gate).
+    fn arm_ipc_fault(&mut self, fault: IpcFault, count: u32);
+
+    /// Number of armed IPC faults consumed so far.
+    fn ipc_faults_applied(&self) -> u64;
+
+    /// Jumps the kernel clock forward by `d` — a tick-skew fault.
+    fn skew_clock(&mut self, d: SimDuration);
 }
+
+/// Hook called with the platform stack at every lockstep chunk boundary
+/// (see [`ScenarioEngine::set_tick_hook`]).
+pub type TickHook<K> = Box<dyn FnMut(&mut K)>;
 
 /// A booted scenario on some [`PlatformKernel`]: the single generic
 /// runner that replaced the three hand-rolled per-platform adapters.
@@ -83,6 +111,7 @@ pub struct ScenarioEngine<K: PlatformKernel> {
     chunk: SimDuration,
     reference_changes: Vec<(SimTime, i32)>,
     next_reference: usize,
+    tick_hook: Option<TickHook<K>>,
 }
 
 impl<K: PlatformKernel> ScenarioEngine<K> {
@@ -96,7 +125,17 @@ impl<K: PlatformKernel> ScenarioEngine<K> {
             chunk: config.lockstep_chunk,
             reference_changes: config.reference_changes(),
             next_reference: 0,
+            tick_hook: None,
         }
+    }
+
+    /// Installs a hook called with the stack at the start of every
+    /// lockstep chunk in [`Scenario::run_for`] (so roughly every
+    /// `config.lockstep_chunk` of virtual time). `bas-faults` uses this
+    /// to fire scheduled fault events: anything due at or before the
+    /// current virtual time fires on the next chunk boundary.
+    pub fn set_tick_hook(&mut self, hook: impl FnMut(&mut K) + 'static) {
+        self.tick_hook = Some(Box::new(hook));
     }
 }
 
@@ -108,6 +147,9 @@ impl<K: PlatformKernel> Scenario for ScenarioEngine<K> {
     fn run_for(&mut self, d: SimDuration) {
         let end = self.stack.now() + d;
         while self.stack.now() < end {
+            if let Some(hook) = self.tick_hook.as_mut() {
+                hook(&mut self.stack);
+            }
             let target = {
                 let t = self.stack.now() + self.chunk;
                 if t > end {

@@ -838,4 +838,24 @@ impl PlatformKernel for LinuxStack {
     fn web_responses(&self) -> Vec<BasMsg> {
         self.web_log.borrow().clone()
     }
+
+    fn devices_mut(&mut self) -> &mut bas_sim::device::DeviceBus {
+        self.kernel.devices_mut()
+    }
+
+    fn inject_crash(&mut self, name: &str) -> bool {
+        self.kernel.kill_named(name)
+    }
+
+    fn arm_ipc_fault(&mut self, fault: bas_sim::fault::IpcFault, count: u32) {
+        self.kernel.ipc_faults_mut().arm(fault, count);
+    }
+
+    fn ipc_faults_applied(&self) -> u64 {
+        self.kernel.ipc_faults().applied()
+    }
+
+    fn skew_clock(&mut self, d: bas_sim::time::SimDuration) {
+        self.kernel.skew_clock(d);
+    }
 }

@@ -820,12 +820,10 @@ pub struct MinixOverrides {
     /// Replaces the compiled-in ACM (ablation experiments).
     pub acm: Option<AccessControlMatrix>,
     /// Runs a [`MinixSupervisor`] watching the four critical processes
-    /// (MINIX's self-repair behavior).
+    /// (MINIX's self-repair behavior). Crash *injection* is no longer an
+    /// override: `bas-faults` kills processes through
+    /// [`PlatformKernel::inject_crash`] at scheduled times instead.
     pub supervise: bool,
-    /// Fault injection: crash the heater driver after this many resumes.
-    pub heater_crash_after: Option<u64>,
-    /// Fault injection: crash the controller after this many resumes.
-    pub control_crash_after: Option<u64>,
 }
 
 impl Default for MinixOverrides {
@@ -835,8 +833,6 @@ impl Default for MinixOverrides {
             web_uid: 1000,
             acm: None,
             supervise: false,
-            heater_crash_after: None,
-            control_crash_after: None,
         }
     }
 }
@@ -881,30 +877,13 @@ fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack 
         Box::new(move || Box::new(MinixSensor::new(period))),
     );
     let control_config = config.control;
-    // Fault injection applies only to the *first* instance of a program;
-    // a reincarnated instance runs clean (the transient-fault model of
-    // MINIX's self-repair story).
-    let control_crash = std::cell::Cell::new(overrides.control_crash_after);
     let control_prog = kernel.register_program(
         names::CONTROL,
-        Box::new(move || {
-            let inner = MinixControl::new(ControlCore::new(control_config));
-            match control_crash.take() {
-                Some(n) => Box::new(bas_sim::process::CrashAfter::new(inner, n)),
-                None => Box::new(inner),
-            }
-        }),
+        Box::new(move || Box::new(MinixControl::new(ControlCore::new(control_config)))),
     );
-    let heater_crash = std::cell::Cell::new(overrides.heater_crash_after);
     let heater_prog = kernel.register_program(
         names::HEATER,
-        Box::new(move || {
-            let inner = MinixActuator::heater();
-            match heater_crash.take() {
-                Some(n) => Box::new(bas_sim::process::CrashAfter::new(inner, n)),
-                None => Box::new(inner),
-            }
-        }),
+        Box::new(|| Box::new(MinixActuator::heater())),
     );
     let alarm_prog =
         kernel.register_program(names::ALARM, Box::new(|| Box::new(MinixActuator::alarm())));
@@ -1002,5 +981,25 @@ impl PlatformKernel for MinixStack {
 
     fn web_responses(&self) -> Vec<BasMsg> {
         self.web_log.borrow().clone()
+    }
+
+    fn devices_mut(&mut self) -> &mut bas_sim::device::DeviceBus {
+        self.kernel.devices_mut()
+    }
+
+    fn inject_crash(&mut self, name: &str) -> bool {
+        self.kernel.kill_named(name)
+    }
+
+    fn arm_ipc_fault(&mut self, fault: bas_sim::fault::IpcFault, count: u32) {
+        self.kernel.ipc_faults_mut().arm(fault, count);
+    }
+
+    fn ipc_faults_applied(&self) -> u64 {
+        self.kernel.ipc_faults().applied()
+    }
+
+    fn skew_clock(&mut self, d: SimDuration) {
+        self.kernel.skew_clock(d);
     }
 }

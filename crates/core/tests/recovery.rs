@@ -2,7 +2,13 @@
 //! supervisor. The paper's reference [7] ("MINIX 3: A highly reliable,
 //! self-repairing operating system") motivates choosing MINIX for
 //! resilience; these tests exercise that story inside the scenario.
+//!
+//! Crashes are injected through [`PlatformKernel::inject_crash`] — the
+//! same hook `bas-faults` campaigns use — instead of the removed
+//! `heater_crash_after`-style build overrides, so the victim dies at a
+//! scheduled virtual time rather than after a resume count.
 
+use bas_core::engine::PlatformKernel;
 use bas_core::platform::minix::{build_minix, MinixOverrides};
 use bas_core::proto::names;
 use bas_core::scenario::{critical_alive, Scenario, ScenarioConfig};
@@ -12,14 +18,11 @@ use bas_sim::time::SimDuration;
 /// the controller can only escalate to the alarm.
 #[test]
 fn heater_crash_without_supervision_degrades_but_alarms() {
-    let overrides = MinixOverrides {
-        // The heater crashes after 50 resumes (a few minutes in — the
-        // driver is passive and only runs when commanded).
-        heater_crash_after: Some(50),
-        ..MinixOverrides::default()
-    };
-    let mut s = build_minix(&ScenarioConfig::quiet(), overrides);
-    s.run_for(SimDuration::from_mins(15));
+    let mut s = build_minix(&ScenarioConfig::quiet(), MinixOverrides::default());
+    // Let the loop close, then crash the heater a few minutes in.
+    s.run_for(SimDuration::from_mins(3));
+    assert!(s.stack.inject_crash(names::HEATER), "heater was alive");
+    s.run_for(SimDuration::from_mins(12));
     assert!(
         !critical_alive(&s),
         "heater stays dead without a supervisor"
@@ -54,12 +57,13 @@ fn heater_crash_without_supervision_degrades_but_alarms() {
 #[test]
 fn heater_crash_with_supervision_recovers_control() {
     let overrides = MinixOverrides {
-        heater_crash_after: Some(50),
         supervise: true,
         ..MinixOverrides::default()
     };
     let mut s = build_minix(&ScenarioConfig::quiet(), overrides);
-    s.run_for(SimDuration::from_mins(30));
+    s.run_for(SimDuration::from_mins(3));
+    assert!(s.stack.inject_crash(names::HEATER), "heater was alive");
+    s.run_for(SimDuration::from_mins(27));
 
     assert!(
         critical_alive(&s),
@@ -83,12 +87,13 @@ fn heater_crash_with_supervision_recovers_control() {
 #[test]
 fn controller_crash_with_supervision_recovers() {
     let overrides = MinixOverrides {
-        control_crash_after: Some(300),
         supervise: true,
         ..MinixOverrides::default()
     };
     let mut s = build_minix(&ScenarioConfig::quiet(), overrides);
-    s.run_for(SimDuration::from_mins(30));
+    s.run_for(SimDuration::from_mins(2));
+    assert!(s.stack.inject_crash(names::CONTROL), "controller was alive");
+    s.run_for(SimDuration::from_mins(28));
 
     assert!(
         critical_alive(&s),
@@ -145,12 +150,13 @@ fn supervisor_survives_and_keeps_watching_under_repeated_faults() {
     // runs clean (transient-fault model), so one reincarnation suffices —
     // but the supervisor keeps polling without churning processes.
     let overrides = MinixOverrides {
-        heater_crash_after: Some(50),
         supervise: true,
         ..MinixOverrides::default()
     };
     let mut s = build_minix(&ScenarioConfig::quiet(), overrides);
-    s.run_for(SimDuration::from_mins(60));
+    s.run_for(SimDuration::from_mins(3));
+    assert!(s.stack.inject_crash(names::HEATER), "heater was alive");
+    s.run_for(SimDuration::from_mins(57));
 
     assert!(critical_alive(&s));
     assert!(s.alive_names().contains(&"supervisor".to_string()));
@@ -159,4 +165,15 @@ fn supervisor_survives_and_keeps_watching_under_repeated_faults() {
     assert_eq!(s.metrics().processes_created, 8, "no restart loops");
     let plant = s.plant();
     assert!(plant.borrow().safety_report().is_safe());
+}
+
+/// A crash injected against a name that is not alive reports failure
+/// instead of silently succeeding.
+#[test]
+fn inject_crash_unknown_name_is_reported() {
+    let mut s = build_minix(&ScenarioConfig::quiet(), MinixOverrides::default());
+    s.run_for(SimDuration::from_mins(1));
+    assert!(!s.stack.inject_crash("no_such_process"));
+    // PM is not a user process and cannot be crashed through the hook.
+    assert!(!s.stack.inject_crash("pm"));
 }

@@ -1,0 +1,45 @@
+//! Regression tests for the multi-platform recovery experiment: the
+//! platform argument must be honored (the old `exp_recovery` silently
+//! ran MINIX whatever `--platform` said).
+
+use bas_core::scenario::Platform;
+use bas_faults::run_recovery;
+
+#[test]
+fn linux_run_reports_linux_and_differs_from_supervised_minix() {
+    let linux = run_recovery(Platform::Linux, false, true);
+    assert_eq!(linux.platform, Platform::Linux);
+    assert!(!linux.supervised);
+    // No supervisor: the crashed heater driver stays dead.
+    assert!(!linux.critical_alive);
+
+    let minix = run_recovery(Platform::Minix, true, true);
+    assert_eq!(minix.platform, Platform::Minix);
+    assert!(minix.supervised);
+    // The supervisor re-forked the driver and the system recovered.
+    assert!(minix.critical_alive);
+    assert!(
+        minix.processes_created > linux.processes_created,
+        "re-fork must show up in process accounting"
+    );
+    assert_ne!(
+        linux.timeline, minix.timeline,
+        "a dead driver and a re-forked one cannot trace identically"
+    );
+}
+
+#[test]
+fn sel4_run_reports_sel4() {
+    let sel4 = run_recovery(Platform::Sel4, false, true);
+    assert_eq!(sel4.platform, Platform::Sel4);
+    assert!(
+        !sel4.critical_alive,
+        "static system: nothing restarts the driver"
+    );
+}
+
+#[test]
+#[should_panic(expected = "supervised recovery only exists on MINIX")]
+fn supervision_outside_minix_fails_fast() {
+    let _ = run_recovery(Platform::Linux, true, true);
+}

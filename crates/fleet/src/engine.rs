@@ -115,32 +115,38 @@ fn claim_chunk(instances: usize, workers: usize) -> usize {
     (instances / (workers * 8)).clamp(1, 64)
 }
 
-/// Runs the fleet and aggregates the report.
-///
-/// Work distribution is contention-free in the steady state: workers
-/// claim *chunks* of instance indices from one atomic ticket counter
-/// and buffer their `InstanceReport`s locally; the buffers are merged
-/// (and index-sorted) only after every worker has joined, so no lock is
-/// taken per instance.
-pub fn run_fleet(config: &FleetConfig) -> FleetRun {
-    assert!(config.instances > 0, "fleet needs at least one instance");
-    let workers = config.workers.clamp(1, config.instances);
-    let start = Instant::now();
+/// Runs `count` independent work items across `workers` threads and
+/// returns their results in index order — the fleet's ticket-claiming
+/// worker pool, factored out so other sweeps (`bas-faults` campaigns)
+/// inherit the same determinism argument: workers claim *chunks* of
+/// indices from one atomic ticket counter and buffer results locally;
+/// buffers are merged and index-sorted only after every worker joins, so
+/// thread scheduling decides who computes an item, never what the item
+/// computes.
+pub fn run_cells<T, F>(count: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, count);
     let next = AtomicUsize::new(0);
-    let chunk = claim_chunk(config.instances, workers);
+    let chunk = claim_chunk(count, workers);
 
-    let mut per_instance: Vec<InstanceReport> = std::thread::scope(|scope| {
+    let mut results: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local = Vec::with_capacity(config.instances / workers + chunk);
+                    let mut local = Vec::with_capacity(count / workers + chunk);
                     loop {
                         let begin = next.fetch_add(chunk, Ordering::Relaxed);
-                        if begin >= config.instances {
+                        if begin >= count {
                             break;
                         }
-                        for index in begin..(begin + chunk).min(config.instances) {
-                            local.push(run_instance(config, index));
+                        for index in begin..(begin + chunk).min(count) {
+                            local.push((index, run(index)));
                         }
                     }
                     local
@@ -153,9 +159,25 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
             .collect()
     });
 
+    // Completion order depends on scheduling; result order must not.
+    results.sort_by_key(|(index, _)| *index);
+    results.into_iter().map(|(_, item)| item).collect()
+}
+
+/// Runs the fleet and aggregates the report.
+///
+/// Distribution goes through [`run_cells`], so the report is a pure
+/// function of the configuration regardless of worker count.
+pub fn run_fleet(config: &FleetConfig) -> FleetRun {
+    assert!(config.instances > 0, "fleet needs at least one instance");
+    let workers = config.workers.clamp(1, config.instances);
+    let start = Instant::now();
+
+    let per_instance: Vec<InstanceReport> = run_cells(config.instances, workers, |index| {
+        run_instance(config, index)
+    });
+
     let wall_seconds = start.elapsed().as_secs_f64();
-    // Completion order depends on scheduling; report order must not.
-    per_instance.sort_by_key(|r| r.index);
 
     let report = FleetReport::aggregate(
         config.platform,

@@ -35,7 +35,7 @@ pub mod json;
 pub mod report;
 pub mod seed;
 
-pub use engine::{run_fleet, Campaign, FleetConfig, FleetRun, WallStats};
+pub use engine::{run_cells, run_fleet, Campaign, FleetConfig, FleetRun, WallStats};
 pub use json::Json;
 pub use report::{FleetReport, FleetTotals, InstanceReport, LatencyHistogram};
 pub use seed::instance_seed;

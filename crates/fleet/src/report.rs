@@ -222,6 +222,12 @@ pub struct FleetReport {
 impl FleetReport {
     /// Aggregates per-instance reports (must be sorted by index) into the
     /// fleet report.
+    ///
+    /// The merge is addition-only over end-of-run counter snapshots, so
+    /// it cannot underflow. The invariant callers must keep: instance
+    /// metrics are sampled once, at the end of the run, from a kernel
+    /// that is never `reset()` mid-run (intra-run phase deltas go through
+    /// `KernelMetrics::delta_since`, which saturates instead).
     pub fn aggregate(
         platform: Platform,
         root_seed: u64,

@@ -10,10 +10,11 @@ use std::collections::BTreeMap;
 
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::{DeviceBus, DeviceId};
+use bas_sim::fault::{IpcFault, IpcFaultState};
 use bas_sim::metrics::KernelMetrics;
 use bas_sim::process::{Action, Pid, ProcState, ProgramFactory};
 use bas_sim::sched::RunQueue;
-use bas_sim::time::SimTime;
+use bas_sim::time::{SimDuration, SimTime};
 use bas_sim::timer::TimerQueue;
 use bas_sim::trace::TraceLog;
 
@@ -101,6 +102,7 @@ pub struct LinuxKernel {
     device_nodes: BTreeMap<DeviceId, (Uid, Mode)>,
     max_procs: usize,
     last_run: Option<Pid>,
+    ipc_faults: IpcFaultState,
 }
 
 impl std::fmt::Debug for LinuxKernel {
@@ -131,6 +133,7 @@ impl LinuxKernel {
             device_nodes: config.device_nodes,
             max_procs: config.max_procs,
             last_run: None,
+            ipc_faults: IpcFaultState::default(),
         }
     }
 
@@ -193,6 +196,48 @@ impl LinuxKernel {
     /// Mutable access to the device bus, for installing plant devices.
     pub fn devices_mut(&mut self) -> &mut DeviceBus {
         &mut self.devices
+    }
+
+    // ----- fault injection ---------------------------------------------------
+
+    /// Armed one-shot IPC faults, consumed by `mq_send` calls *after* the
+    /// descriptor and DAC checks pass.
+    pub fn ipc_faults_mut(&mut self) -> &mut IpcFaultState {
+        &mut self.ipc_faults
+    }
+
+    /// Read access to the IPC fault queue (applied/pending counters).
+    pub fn ipc_faults(&self) -> &IpcFaultState {
+        &self.ipc_faults
+    }
+
+    /// Kills the named process outright (a simulated crash — distinct
+    /// from `kill(2)`, which is subject to DAC). Returns false if no live
+    /// process bears the name. There is no supervisor: nothing restarts it.
+    pub fn kill_named(&mut self, name: &str) -> bool {
+        let Some(pid) = self.pid_of(name) else {
+            return false;
+        };
+        self.trace.record(
+            self.clock.now(),
+            Some(pid),
+            "fault.crash",
+            format!("killed {name}"),
+        );
+        self.terminate(pid);
+        true
+    }
+
+    /// Jumps the kernel clock forward by `d` without running anyone — a
+    /// tick-skew fault.
+    pub fn skew_clock(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+        self.trace.record(
+            self.clock.now(),
+            None,
+            "fault.clock",
+            format!("skewed +{}ms", d.as_millis()),
+        );
     }
 
     /// Pre-creates a message queue owned by `owner` (scenario-loader
@@ -516,9 +561,40 @@ impl LinuxKernel {
         if data.len() > MQ_MSG_MAX {
             return self.ready_with(pid, Reply::Err(LinuxError::MessageTooLong));
         }
-        let Some(q) = self.queues.get_mut(&oq.qname) else {
+        if !self.queues.contains_key(&oq.qname) {
             return self.ready_with(pid, Reply::Err(LinuxError::NoEntry));
-        };
+        }
+
+        // Scheduled IPC fault (`bas-faults` campaigns). Consumed only
+        // after the descriptor checks pass, so an injected fault disturbs
+        // authorized traffic but cannot widen authority.
+        let fault = self.ipc_faults.pop();
+        match fault {
+            Some(IpcFault::Drop) => {
+                self.trace.record(
+                    self.clock.now(),
+                    Some(pid),
+                    "fault.ipc",
+                    format!("drop {pid} -> {}", oq.qname),
+                );
+                // mq_send reports success; the message never lands.
+                return self.ready_with(pid, Reply::Ok);
+            }
+            Some(IpcFault::Delay(d)) => {
+                // The message sits in transit: the kernel pays the
+                // latency, then enqueues normally.
+                self.clock.advance(d);
+                self.trace.record(
+                    self.clock.now(),
+                    Some(pid),
+                    "fault.ipc",
+                    format!("delay {pid} -> {} +{}ms", oq.qname, d.as_millis()),
+                );
+            }
+            Some(IpcFault::Duplicate) | None => {}
+        }
+
+        let q = self.queues.get_mut(&oq.qname).expect("checked above");
         if q.is_full() {
             if nonblocking {
                 return self.ready_with(pid, Reply::Err(LinuxError::WouldBlock));
@@ -532,8 +608,24 @@ impl LinuxKernel {
             }
             return;
         }
+        let duplicate = matches!(fault, Some(IpcFault::Duplicate)).then(|| data.clone());
         q.push(MqMessage { priority, data });
         self.note_ipc(&oq.qname, pid);
+        if let Some(data) = duplicate {
+            // The queue absorbs a duplicate only while it has room; a
+            // full buffer loses the transport's re-presented copy.
+            let q = self.queues.get_mut(&oq.qname).expect("checked above");
+            if !q.is_full() {
+                q.push(MqMessage { priority, data });
+                self.trace.record(
+                    self.clock.now(),
+                    Some(pid),
+                    "fault.ipc",
+                    format!("duplicate {pid} -> {}", oq.qname),
+                );
+                self.note_ipc(&oq.qname, pid);
+            }
+        }
         self.ready_with(pid, Reply::Ok);
         self.pump_queue(&oq.qname);
     }

@@ -12,14 +12,16 @@
 //! 4. **PM operations are messages** — `fork2`/`kill`/`exit` reach the PM
 //!    server only through `do_send`, so the ACM gates them too.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use bas_acm::{AcId, AccessControlMatrix, MsgType, QuotaTable, SyscallClass};
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::{DeviceBus, DeviceId};
+use bas_sim::fault::{IpcFault, IpcFaultState};
 use bas_sim::metrics::KernelMetrics;
 use bas_sim::process::{Action, Pid, ProcState, ProgramFactory};
 use bas_sim::sched::RunQueue;
+use bas_sim::time::SimDuration;
 use bas_sim::time::SimTime;
 use bas_sim::timer::TimerQueue;
 use bas_sim::trace::TraceLog;
@@ -93,6 +95,12 @@ pub struct MinixKernel {
     quotas: QuotaTable,
     device_owners: BTreeMap<DeviceId, AcId>,
     last_run: Option<Pid>,
+    ipc_faults: IpcFaultState,
+    /// Duplicated messages awaiting redelivery: `(source, dest, mtype,
+    /// payload)`. Rendezvous IPC has no queue to double-enqueue into, so a
+    /// `Duplicate` fault stashes the copy here and `do_receive` replays it
+    /// on the destination's next receive.
+    dup_stash: VecDeque<(Endpoint, Endpoint, u32, Payload)>,
 }
 
 impl std::fmt::Debug for MinixKernel {
@@ -132,6 +140,8 @@ impl MinixKernel {
             quotas: config.quotas,
             device_owners: config.device_owners,
             last_run: None,
+            ipc_faults: IpcFaultState::default(),
+            dup_stash: VecDeque::new(),
         }
     }
 
@@ -194,6 +204,49 @@ impl MinixKernel {
     /// Mutable access to the device bus, for installing plant devices.
     pub fn devices_mut(&mut self) -> &mut DeviceBus {
         &mut self.devices
+    }
+
+    // ----- fault injection -------------------------------------------------------
+
+    /// Armed one-shot IPC faults, consumed by application sends *after*
+    /// the ACM and quota gates (PM traffic is exempt).
+    pub fn ipc_faults_mut(&mut self) -> &mut IpcFaultState {
+        &mut self.ipc_faults
+    }
+
+    /// Read access to the IPC fault queue (applied/pending counters).
+    pub fn ipc_faults(&self) -> &IpcFaultState {
+        &self.ipc_faults
+    }
+
+    /// Kills the named process outright (a simulated hardware/software
+    /// crash — distinct from a PM kill, which is subject to DAC). Returns
+    /// false if no live process bears the name. PM itself cannot crash.
+    pub fn kill_named(&mut self, name: &str) -> bool {
+        let Some(pid) = self.endpoint_of(name).and_then(|ep| self.lookup_live(ep)) else {
+            return false;
+        };
+        self.trace.record(
+            self.clock.now(),
+            Some(pid),
+            "fault.crash",
+            format!("killed {name}"),
+        );
+        self.terminate(pid);
+        true
+    }
+
+    /// Jumps the kernel clock forward by `d` without running anyone — a
+    /// tick-skew fault. The plant integrates the gap with whatever the
+    /// actuators last held.
+    pub fn skew_clock(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+        self.trace.record(
+            self.clock.now(),
+            None,
+            "fault.clock",
+            format!("skewed +{}ms", d.as_millis()),
+        );
     }
 
     // ----- introspection --------------------------------------------------------
@@ -657,6 +710,54 @@ impl MinixKernel {
             return;
         }
 
+        // 3b. Scheduled IPC fault (`bas-faults` campaigns). Consumed only
+        // *after* the ACM and quota gates and never on PM traffic, so an
+        // injected fault can disturb authorized application IPC but can
+        // neither widen authority nor corrupt platform management.
+        if dest != pm::PM_ENDPOINT {
+            if let Some(fault) = self.ipc_faults.pop() {
+                match fault {
+                    IpcFault::Drop => {
+                        self.trace.record(
+                            self.clock.now(),
+                            Some(caller),
+                            "fault.ipc",
+                            format!("drop {caller_ep} -> {dest} m{mtype}"),
+                        );
+                        // A plain send looks delivered; a sendrec fails so
+                        // the caller cannot hang on a reply that will
+                        // never arrive.
+                        if sendrec {
+                            self.ready_with(caller, Reply::Err(MinixError::NotReady));
+                        } else {
+                            self.ready_with(caller, Reply::Ok);
+                        }
+                        return;
+                    }
+                    IpcFault::Delay(d) => {
+                        // The message sits in transit: the kernel pays the
+                        // latency, then delivery proceeds normally.
+                        self.clock.advance(d);
+                        self.trace.record(
+                            self.clock.now(),
+                            Some(caller),
+                            "fault.ipc",
+                            format!("delay {caller_ep} -> {dest} m{mtype} +{}ms", d.as_millis()),
+                        );
+                    }
+                    IpcFault::Duplicate => {
+                        self.trace.record(
+                            self.clock.now(),
+                            Some(caller),
+                            "fault.ipc",
+                            format!("duplicate {caller_ep} -> {dest} m{mtype}"),
+                        );
+                        self.dup_stash.push_back((caller_ep, dest, mtype, payload));
+                    }
+                }
+            }
+        }
+
         // 4. PM is handled synchronously inside the kernel model, but the
         // *cost* is the real system's: PM is a user-space server, so every
         // PM operation pays the round trip — two context switches (to PM
@@ -726,6 +827,18 @@ impl MinixKernel {
                 caller,
                 Reply::Msg(Message::new(source, pm::NOTIFY_MTYPE, Payload::zeroed())),
             );
+            return;
+        }
+
+        // Stashed duplicates (Duplicate IPC fault) replay ahead of new
+        // rendezvous partners, mimicking a transport that re-presented an
+        // already-consumed message.
+        let dup_idx = self.dup_stash.iter().position(|(src, dest, _, _)| {
+            *dest == caller_ep && (from.is_none() || from == Some(*src))
+        });
+        if let Some(idx) = dup_idx {
+            let (src, _, mtype, payload) = self.dup_stash.remove(idx).expect("index valid");
+            self.deliver(src, caller, mtype, payload);
             return;
         }
 
@@ -949,6 +1062,8 @@ impl MinixKernel {
         self.run_queue.remove(pid);
         self.timers.cancel(pid);
         self.names.retain(|_, ep| *ep != dead_ep);
+        self.dup_stash
+            .retain(|(src, dest, _, _)| *src != dead_ep && *dest != dead_ep);
         self.metrics.processes_reaped += 1;
         if self.last_run == Some(pid) {
             self.last_run = None;

@@ -10,10 +10,11 @@
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::DeviceBus;
 use bas_sim::device::DeviceId;
+use bas_sim::fault::{IpcFault, IpcFaultState};
 use bas_sim::metrics::KernelMetrics;
 use bas_sim::process::{Action, Pid, ProcState};
 use bas_sim::sched::RunQueue;
-use bas_sim::time::SimTime;
+use bas_sim::time::{SimDuration, SimTime};
 use bas_sim::timer::TimerQueue;
 use bas_sim::trace::TraceLog;
 
@@ -93,6 +94,7 @@ pub struct Sel4Kernel {
     trace: TraceLog,
     devices: DeviceBus,
     last_run: Option<Pid>,
+    ipc_faults: IpcFaultState,
 }
 
 impl std::fmt::Debug for Sel4Kernel {
@@ -119,6 +121,7 @@ impl Sel4Kernel {
             trace: TraceLog::with_capacity(config.trace_capacity),
             devices: DeviceBus::new(),
             last_run: None,
+            ipc_faults: IpcFaultState::default(),
             config,
         }
     }
@@ -232,6 +235,50 @@ impl Sel4Kernel {
     /// Mutable access to the device bus, for installing plant devices.
     pub fn devices_mut(&mut self) -> &mut DeviceBus {
         &mut self.devices
+    }
+
+    // ----- fault injection ----------------------------------------------------
+
+    /// Armed one-shot IPC faults, consumed by endpoint sends *after* the
+    /// capability rights checks pass.
+    pub fn ipc_faults_mut(&mut self) -> &mut IpcFaultState {
+        &mut self.ipc_faults
+    }
+
+    /// Read access to the IPC fault queue (applied/pending counters).
+    pub fn ipc_faults(&self) -> &IpcFaultState {
+        &self.ipc_faults
+    }
+
+    /// Kills the named thread outright (a simulated crash). Returns false
+    /// if no live thread bears the name. seL4 systems here are static:
+    /// nothing restarts the thread, and callers blocked on its endpoints
+    /// stay blocked — exactly the degradation the recovery experiment
+    /// measures.
+    pub fn kill_named(&mut self, name: &str) -> bool {
+        let Some(pid) = self.thread_named(name) else {
+            return false;
+        };
+        self.trace.record(
+            self.clock.now(),
+            Some(pid),
+            "fault.crash",
+            format!("killed {name}"),
+        );
+        self.terminate(pid);
+        true
+    }
+
+    /// Jumps the kernel clock forward by `d` without running anyone — a
+    /// tick-skew fault.
+    pub fn skew_clock(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+        self.trace.record(
+            self.clock.now(),
+            None,
+            "fault.clock",
+            format!("skewed +{}ms", d.as_millis()),
+        );
     }
 
     // ----- introspection ------------------------------------------------------
@@ -577,6 +624,53 @@ impl Sel4Kernel {
             {
                 Ok(c) => caps.push(c),
                 Err(e) => return self.deny(caller, e, "transfer source missing"),
+            }
+        }
+
+        // Scheduled IPC fault (`bas-faults` campaigns). Consumed only
+        // *after* every capability rights check passed, so an injected
+        // fault can disturb authorized IPC but cannot bypass the
+        // capability gate.
+        if let Some(fault) = self.ipc_faults.pop() {
+            match fault {
+                IpcFault::Drop => {
+                    self.trace.record(
+                        self.clock.now(),
+                        Some(caller),
+                        "fault.ipc",
+                        format!("drop {caller} ep={ep:?} label={}", msg.label),
+                    );
+                    // A Call aborts (the reply can never come); a one-way
+                    // send looks delivered.
+                    if is_call {
+                        self.ready_with(caller, Reply::Err(Sel4Error::NotReady));
+                    } else {
+                        self.ready_with(caller, Reply::Ok);
+                    }
+                    return;
+                }
+                IpcFault::Delay(d) => {
+                    // The transfer stalls in the kernel: pay the latency,
+                    // then rendezvous normally.
+                    self.clock.advance(d);
+                    self.trace.record(
+                        self.clock.now(),
+                        Some(caller),
+                        "fault.ipc",
+                        format!("delay {caller} ep={ep:?} +{}ms", d.as_millis()),
+                    );
+                }
+                IpcFault::Duplicate => {
+                    // Rendezvous IPC has no queue to double-enqueue into
+                    // and the one-shot reply capability absorbs a replayed
+                    // Call, so the duplicate is absorbed (and recorded).
+                    self.trace.record(
+                        self.clock.now(),
+                        Some(caller),
+                        "fault.ipc",
+                        format!("duplicate absorbed {caller} ep={ep:?}"),
+                    );
+                }
             }
         }
 

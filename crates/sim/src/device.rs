@@ -92,9 +92,33 @@ impl DeviceBus {
         }
     }
 
-    /// Registers (or replaces) the device behind `id`.
+    /// Registers the device behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already registered: a second registration would
+    /// silently shadow a live device (a fault interposer, for instance,
+    /// must go through [`DeviceBus::interpose`] instead).
     pub fn register(&mut self, id: DeviceId, device: Box<dyn Device>) {
-        self.devices.insert(id, device);
+        let prev = self.devices.insert(id, device);
+        assert!(prev.is_none(), "device {id} registered twice");
+    }
+
+    /// Replaces the device behind `id` with a wrapper built around it —
+    /// the sanctioned path for fault interposers (`bas-sim::fault`),
+    /// which must wrap the real device rather than shadow it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoSuchDeviceError`] if no device is registered under `id`.
+    pub fn interpose(
+        &mut self,
+        id: DeviceId,
+        wrap: impl FnOnce(Box<dyn Device>) -> Box<dyn Device>,
+    ) -> Result<(), NoSuchDeviceError> {
+        let inner = self.devices.remove(&id).ok_or(NoSuchDeviceError(id))?;
+        self.devices.insert(id, wrap(inner));
+        Ok(())
     }
 
     /// Reads from the device.
@@ -160,6 +184,40 @@ mod tests {
         bus.write(DeviceId::FAN, 1).unwrap();
         assert_eq!(*cell.borrow(), 1);
         assert_eq!(bus.read(DeviceId::FAN).unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut bus = DeviceBus::new();
+        bus.register(DeviceId::FAN, Box::new(Register(Rc::new(RefCell::new(0)))));
+        bus.register(DeviceId::FAN, Box::new(Register(Rc::new(RefCell::new(0)))));
+    }
+
+    /// A wrapper installed through `interpose` sees the original device.
+    #[test]
+    fn interpose_wraps_the_registered_device() {
+        struct PlusOne(Box<dyn Device>);
+        impl Device for PlusOne {
+            fn read(&mut self) -> i64 {
+                self.0.read() + 1
+            }
+            fn write(&mut self, value: i64) {
+                self.0.write(value);
+            }
+        }
+
+        let cell = Rc::new(RefCell::new(41));
+        let mut bus = DeviceBus::new();
+        bus.register(DeviceId::TEMP_SENSOR, Box::new(Register(cell.clone())));
+        bus.interpose(DeviceId::TEMP_SENSOR, |inner| Box::new(PlusOne(inner)))
+            .unwrap();
+        assert_eq!(bus.read(DeviceId::TEMP_SENSOR).unwrap(), 42);
+        bus.write(DeviceId::TEMP_SENSOR, 10).unwrap();
+        assert_eq!(*cell.borrow(), 10);
+        // Interposing an unknown id reports the error instead of creating
+        // a device from nothing.
+        assert!(bus.interpose(DeviceId::new(99), |inner| inner).is_err());
     }
 
     #[test]

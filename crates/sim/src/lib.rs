@@ -45,6 +45,7 @@
 
 pub mod clock;
 pub mod device;
+pub mod fault;
 pub mod metrics;
 pub mod process;
 pub mod rng;
@@ -56,6 +57,7 @@ pub mod trace;
 
 pub use clock::{CostModel, VirtualClock};
 pub use device::{Device, DeviceBus, DeviceId};
+pub use fault::{FaultyDevice, IpcFault, IpcFaultState, SensorFaultHandle, SensorFaultMode};
 pub use metrics::KernelMetrics;
 pub use process::{Action, Pid, ProcState, Process};
 pub use rng::SimRng;

@@ -45,19 +45,26 @@ impl KernelMetrics {
 
     /// Field-wise difference `self - earlier`, for measuring one phase.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s.
+    /// Saturating: if [`KernelMetrics::reset`] ran between the two
+    /// snapshots, a counter of `earlier` can exceed `self`'s; the delta
+    /// then clamps that field to zero instead of underflowing. Callers
+    /// that need exact phase deltas must not reset between snapshots.
     pub fn delta_since(&self, earlier: &KernelMetrics) -> KernelMetrics {
         KernelMetrics {
-            context_switches: self.context_switches - earlier.context_switches,
-            kernel_entries: self.kernel_entries - earlier.kernel_entries,
-            ipc_messages: self.ipc_messages - earlier.ipc_messages,
-            ipc_bytes: self.ipc_bytes - earlier.ipc_bytes,
-            access_denied: self.access_denied - earlier.access_denied,
-            syscall_errors: self.syscall_errors - earlier.syscall_errors,
-            processes_created: self.processes_created - earlier.processes_created,
-            processes_reaped: self.processes_reaped - earlier.processes_reaped,
+            context_switches: self
+                .context_switches
+                .saturating_sub(earlier.context_switches),
+            kernel_entries: self.kernel_entries.saturating_sub(earlier.kernel_entries),
+            ipc_messages: self.ipc_messages.saturating_sub(earlier.ipc_messages),
+            ipc_bytes: self.ipc_bytes.saturating_sub(earlier.ipc_bytes),
+            access_denied: self.access_denied.saturating_sub(earlier.access_denied),
+            syscall_errors: self.syscall_errors.saturating_sub(earlier.syscall_errors),
+            processes_created: self
+                .processes_created
+                .saturating_sub(earlier.processes_created),
+            processes_reaped: self
+                .processes_reaped
+                .saturating_sub(earlier.processes_reaped),
         }
     }
 }
@@ -99,6 +106,25 @@ mod tests {
         assert_eq!(d.context_switches, 15);
         assert_eq!(d.ipc_messages, 2);
         assert_eq!(d.access_denied, 3);
+    }
+
+    /// `reset()` between snapshots must clamp to zero, not underflow.
+    #[test]
+    fn delta_after_reset_saturates() {
+        let mut m = KernelMetrics {
+            context_switches: 100,
+            ipc_messages: 50,
+            ..Default::default()
+        };
+        let snapshot = m;
+        m.reset();
+        m.ipc_messages = 10;
+        let d = m.delta_since(&snapshot);
+        assert_eq!(d.context_switches, 0);
+        assert_eq!(d.ipc_messages, 0);
+        // Forward progress after the reset still shows up normally.
+        let d2 = m.delta_since(&KernelMetrics::default());
+        assert_eq!(d2.ipc_messages, 10);
     }
 
     #[test]

@@ -134,6 +134,11 @@ impl SimDuration {
         self.0 / 1_000_000
     }
 
+    /// Length in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
     /// Length in seconds as a float.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9

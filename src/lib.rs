@@ -16,6 +16,7 @@
 //! - [`aadl`] — AADL-subset architecture language and policy backends
 //! - [`core`] — the temperature-control scenario on all three platforms
 //! - [`attack`] — attacker models, attack library and outcome harness
+//! - [`faults`] — fault-schedule DSL, injection and degradation campaigns
 //! - [`analysis`] — static policy IR, attack prediction and policy linter
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
@@ -27,6 +28,7 @@ pub use bas_attack as attack;
 pub use bas_camkes as camkes;
 pub use bas_capdl as capdl;
 pub use bas_core as core;
+pub use bas_faults as faults;
 pub use bas_linux as linux;
 pub use bas_minix as minix;
 pub use bas_plant as plant;
