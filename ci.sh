@@ -11,6 +11,12 @@ echo "== cargo clippy (deny warnings; covers the bas-analysis mc module) =="
 cargo clippy --workspace --all-targets -- -D warnings \
   -W clippy::redundant_clone -W clippy::needless_collect
 
+echo "== cargo clippy (bas-analysis: no unwrap in the analyzer) =="
+# The static analyzer is the crate whose own soundness claims the repo
+# leans on; panicking escape hatches are held to a stricter bar there.
+cargo clippy -p bas-analysis --all-targets -- -D warnings \
+  -W clippy::unwrap_used
+
 echo "== cargo test =="
 cargo test -q --workspace
 
@@ -35,6 +41,12 @@ for platform in linux minix sel4; do
   echo "-- exp_recovery --quick --platform $platform"
   ./target/release/exp_recovery --quick --platform "$platform" > /dev/null
 done
+
+echo "== capability-flow differential (E17: static analyzer vs model checker) =="
+# Exits nonzero if any of the 54 matrix cells or the seeded derivation
+# scenarios disagree between the static witness analysis and the bounded
+# checker, in either direction. --json writes BENCH_cap_flow.json.
+./target/release/exp_cap_flow --quick --json --state-budget 500000 > /dev/null
 
 echo "== model check (E14: exhaustive bounded verification, capped state budget) =="
 # Exits nonzero on any cell disagreement, truncated exploration, reachable

@@ -17,6 +17,9 @@
 //!   types (Fig. 3's `1101`-style entries),
 //! - [`matrix::AccessControlMatrix`] — the sparse matrix itself with its
 //!   kernel-side [`check`](matrix::AccessControlMatrix::check),
+//! - [`delegation::DelegationLog`] — the audit trail of row delegations,
+//!   consumed by the static capability-flow analyzer to rebuild and check
+//!   the derivation forest behind the matrix,
 //! - [`quota::QuotaTable`] — the paper's future-work extension ("This issue
 //!   could be solved by using the ACM to give each system call a quota"),
 //!   used by the fork-bomb ablation,
@@ -35,12 +38,14 @@
 //! ```
 
 pub mod decision;
+pub mod delegation;
 pub mod fig3;
 pub mod id;
 pub mod matrix;
 pub mod quota;
 
 pub use decision::{Decision, DenyReason};
+pub use delegation::{Delegation, DelegationLog};
 pub use id::{AcId, MsgType};
 pub use matrix::{AccessControlMatrix, AcmBuilder, MsgTypeSet};
 pub use quota::{QuotaExceeded, QuotaTable, SyscallClass};

@@ -1,0 +1,348 @@
+//! The derivation-closure fixpoint and its invariant checks.
+//!
+//! A worklist pass propagates two facts down every derivation chain:
+//!
+//! - the *effective* rights of a capability — the meet (greatest lower
+//!   bound) of the stored rights along its chain, i.e. the authority
+//!   the chain actually justifies, and
+//! - the *sound liveness* of a capability — usable only if no ancestor
+//!   (or the node itself) has been revoked and no chain expiry has
+//!   passed the graph clock.
+//!
+//! Comparing these against the node-local *stored* view (what a kernel
+//! consulting only the slot would honor) yields the three derivation
+//! invariants plus the type-confusion check:
+//!
+//! - **attenuation-violation** — stored rights ⋢ the source's effective
+//!   rights: somewhere a mint amplified authority;
+//! - **revocation-leak** — an ancestor was revoked but this descendant
+//!   is still locally usable: revocation was not transitively complete;
+//! - **expired-cap-live** — an inherited expiry has passed but the slot
+//!   still reads usable;
+//! - **object-masquerade** — the handle's asserted object type
+//!   disagrees with the kernel's declared type (the ThreadX
+//!   kernel-object-masquerading shape, arXiv:2504.19486).
+
+use std::fmt;
+
+use super::graph::{CapGraph, CapId};
+use super::lattice::Perms;
+use super::reach::reach;
+use crate::ir::ObjectId;
+
+/// The invariant a flow finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlowKind {
+    /// Derived rights exceed the source's effective rights.
+    AttenuationViolation,
+    /// A locally-usable capability survives an ancestor's revoke.
+    RevocationLeak,
+    /// A locally-usable capability survives an inherited expiry.
+    ExpiredCapLive,
+    /// Handle type and declared object type disagree.
+    ObjectMasquerade,
+}
+
+impl FlowKind {
+    /// The stable lint code for this invariant.
+    pub fn code(self) -> &'static str {
+        match self {
+            FlowKind::AttenuationViolation => "attenuation-violation",
+            FlowKind::RevocationLeak => "revocation-leak",
+            FlowKind::ExpiredCapLive => "expired-cap-live",
+            FlowKind::ObjectMasquerade => "object-masquerade",
+        }
+    }
+}
+
+impl fmt::Display for FlowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One violated invariant, with the derivation chain as evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowFinding {
+    /// Which invariant.
+    pub kind: FlowKind,
+    /// The offending capability.
+    pub cap: CapId,
+    /// Its holder.
+    pub holder: String,
+    /// The object it reaches.
+    pub object: ObjectId,
+    /// The derivation chain root → … → cap.
+    pub chain: Vec<CapId>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The computed closure: per-capability effective rights, sound
+/// liveness, and every invariant violation.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// Chain-meet rights, indexed by `CapId`.
+    pub effective: Vec<Perms>,
+    /// Sound liveness (chain-aware), indexed by `CapId`.
+    pub live: Vec<bool>,
+    /// Derivation depth (roots = 0), indexed by `CapId`.
+    pub depth: Vec<u32>,
+    /// All invariant violations, in `CapId` order.
+    pub findings: Vec<FlowFinding>,
+}
+
+impl Closure {
+    /// Capabilities violating a derivation invariant (attenuation,
+    /// revocation or expiry) — the ones the kernel would wrongly honor.
+    pub fn breach_caps(&self) -> Vec<CapId> {
+        let mut v: Vec<CapId> = self
+            .findings
+            .iter()
+            .filter(|f| f.kind != FlowKind::ObjectMasquerade)
+            .map(|f| f.cap)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Capabilities whose handle type masquerades as another object
+    /// type.
+    pub fn masquerade_caps(&self) -> Vec<CapId> {
+        self.findings
+            .iter()
+            .filter(|f| f.kind == FlowKind::ObjectMasquerade)
+            .map(|f| f.cap)
+            .collect()
+    }
+}
+
+/// Per-node facts propagated down the chains by the worklist.
+#[derive(Clone, Copy)]
+struct ChainFacts {
+    /// Meet of stored rights along the chain (including self).
+    effective: Perms,
+    /// Nearest revoked ancestor-or-self.
+    revoked_at: Option<CapId>,
+    /// Earliest expiry along the chain (including self), with source.
+    expires: Option<(u32, CapId)>,
+    /// Depth below the root.
+    depth: u32,
+}
+
+/// Runs the worklist fixpoint over a derivation graph.
+pub fn closure(g: &CapGraph) -> Closure {
+    let n = g.len();
+    let mut facts: Vec<Option<ChainFacts>> = vec![None; n];
+    let kids = g.children();
+
+    // Worklist over the forest: roots seed the frontier; every node's
+    // facts are the meet/merge of its own slot with its parent's facts.
+    // The shared `reach` engine drives the traversal (each node visited
+    // once; malformed parent cycles simply stay unvisited and dead).
+    let roots: Vec<CapId> = (0..n)
+        .filter(|&i| g.nodes[i].parent.is_none())
+        .map(|i| CapId(i as u32))
+        .collect();
+    reach(roots, |&id| {
+        let node = g.node(id);
+        let inherited = node.parent.and_then(|p| facts[p.0 as usize]);
+        let fact = match inherited {
+            None => ChainFacts {
+                effective: node.rights,
+                revoked_at: node.revoked.then_some(id),
+                expires: node.expires_at.map(|e| (e, id)),
+                depth: 0,
+            },
+            Some(pf) => ChainFacts {
+                effective: node.rights.meet(pf.effective),
+                revoked_at: pf.revoked_at.or(node.revoked.then_some(id)),
+                expires: match (pf.expires, node.expires_at.map(|e| (e, id))) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                },
+                depth: pf.depth + 1,
+            },
+        };
+        facts[id.0 as usize] = Some(fact);
+        kids[id.0 as usize].clone()
+    });
+
+    let mut effective = vec![Perms::NONE; n];
+    let mut live = vec![false; n];
+    let mut depth = vec![0u32; n];
+    let mut findings = Vec::new();
+
+    for i in 0..n {
+        let id = CapId(i as u32);
+        let node = g.node(id);
+        let Some(fact) = facts[i] else {
+            // Unreached under a malformed parent pointer: dead, bottom.
+            continue;
+        };
+        effective[i] = fact.effective;
+        depth[i] = fact.depth;
+        live[i] = fact.revoked_at.is_none() && fact.expires.is_none_or(|(e, _)| e > g.clock);
+
+        let finding = |kind: FlowKind, detail: String| FlowFinding {
+            kind,
+            cap: id,
+            holder: node.holder.clone(),
+            object: node.object.clone(),
+            chain: g.chain(id),
+            detail,
+        };
+
+        if let Some(p) = node.parent {
+            let source = facts[p.0 as usize].map_or(Perms::NONE, |f| f.effective);
+            if !node.rights.le(source) {
+                findings.push(finding(
+                    FlowKind::AttenuationViolation,
+                    format!(
+                        "stored rights {} exceed effective source rights {} ({} from {})",
+                        node.rights, source, node.via, p
+                    ),
+                ));
+            }
+            if g.stored_usable(id) {
+                let pf = facts[p.0 as usize];
+                if let Some(r) = pf.and_then(|f| f.revoked_at) {
+                    findings.push(finding(
+                        FlowKind::RevocationLeak,
+                        format!("{r} was revoked but this descendant slot still reads usable"),
+                    ));
+                }
+                if let Some((e, src)) = pf.and_then(|f| f.expires) {
+                    if e <= g.clock {
+                        findings.push(finding(
+                            FlowKind::ExpiredCapLive,
+                            format!(
+                                "inherited expiry t={e} (from {src}) passed at clock {} \
+                                 but this slot still reads usable",
+                                g.clock
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if node.declared != node.handle {
+            findings.push(finding(
+                FlowKind::ObjectMasquerade,
+                format!(
+                    "handle presents as {} but the kernel object is {}",
+                    node.handle, node.declared
+                ),
+            ));
+        }
+    }
+
+    Closure {
+        effective,
+        live,
+        depth,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::graph::{DerivationKind, ObjType};
+    use crate::flow::lattice::{op, Perms};
+    use bas_sim::device::DeviceId;
+
+    fn dev(d: DeviceId) -> ObjectId {
+        ObjectId::Device(d)
+    }
+
+    #[test]
+    fn clean_chain_has_no_findings() {
+        let mut g = CapGraph::default();
+        let r = g.root(
+            "ctrl",
+            dev(DeviceId::FAN),
+            Perms::of(op::DEV_WRITE | op::DEV_READ),
+        );
+        let c = g.derive(
+            r,
+            "heater",
+            DerivationKind::Attenuate,
+            Perms::of(op::DEV_WRITE),
+        );
+        let cl = closure(&g);
+        assert!(cl.findings.is_empty());
+        assert!(cl.live[r.0 as usize] && cl.live[c.0 as usize]);
+        assert_eq!(cl.effective[c.0 as usize], Perms::of(op::DEV_WRITE));
+        assert_eq!(cl.depth[c.0 as usize], 1);
+    }
+
+    #[test]
+    fn amplified_mint_is_flagged() {
+        let mut g = CapGraph::default();
+        let r = g.root("ctrl", dev(DeviceId::FAN), Perms::of(op::DEV_READ));
+        let c = g.derive_raw(r, "web", DerivationKind::Grant, Perms::of(op::DEV_WRITE));
+        let cl = closure(&g);
+        assert_eq!(cl.findings.len(), 1);
+        assert_eq!(cl.findings[0].kind, FlowKind::AttenuationViolation);
+        assert_eq!(cl.findings[0].cap, c);
+        assert_eq!(cl.findings[0].chain, vec![r, c]);
+        // The closure itself stays monotone regardless of the breach.
+        assert!(cl.effective[c.0 as usize].le(cl.effective[r.0 as usize]));
+    }
+
+    #[test]
+    fn incomplete_revocation_leaks() {
+        let mut g = CapGraph::default();
+        let r = g.root("ctrl", dev(DeviceId::ALARM), Perms::of(op::DEV_WRITE));
+        let mid = g.derive(r, "heater", DerivationKind::Grant, Perms::of(op::DEV_WRITE));
+        let leaf = g.derive(mid, "web", DerivationKind::Grant, Perms::of(op::DEV_WRITE));
+        g.revoke(r);
+        let cl = closure(&g);
+        let leaks: Vec<CapId> = cl
+            .findings
+            .iter()
+            .filter(|f| f.kind == FlowKind::RevocationLeak)
+            .map(|f| f.cap)
+            .collect();
+        assert_eq!(leaks, vec![mid, leaf]);
+        assert!(!cl.live[leaf.0 as usize], "sound view: the chain is dead");
+        // Transitive revoke fixes it.
+        g.revoke_recursive(r);
+        assert!(closure(&g).findings.is_empty());
+    }
+
+    #[test]
+    fn inherited_expiry_is_enforced() {
+        let mut g = CapGraph::default();
+        let r = g.root("ctrl", dev(DeviceId::FAN), Perms::of(op::DEV_WRITE));
+        g.expire_at(r, 3);
+        let leaf = g.derive(r, "web", DerivationKind::Grant, Perms::of(op::DEV_WRITE));
+        g.clock = 2;
+        assert!(closure(&g).findings.is_empty(), "not yet expired");
+        g.clock = 5;
+        let cl = closure(&g);
+        assert_eq!(cl.findings.len(), 1);
+        assert_eq!(cl.findings[0].kind, FlowKind::ExpiredCapLive);
+        assert_eq!(cl.findings[0].cap, leaf);
+        assert!(!cl.live[leaf.0 as usize]);
+    }
+
+    #[test]
+    fn masquerade_detected_on_type_disagreement() {
+        let mut g = CapGraph::default();
+        let c = g.root_typed(
+            "web",
+            dev(DeviceId::ALARM),
+            ObjType::DeviceFrame,
+            ObjType::Queue,
+            Perms::of(op::DEV_WRITE),
+        );
+        let cl = closure(&g);
+        assert_eq!(cl.findings.len(), 1);
+        assert_eq!(cl.findings[0].kind, FlowKind::ObjectMasquerade);
+        assert_eq!(cl.masquerade_caps(), vec![c]);
+        assert!(cl.breach_caps().is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! Escalation-path witnesses.
+//!
+//! A *witness* is the shortest chain by which an untrusted subject
+//! reaches a safety-relevant asset: `subject → (capability hops) →
+//! asset`. Channel edges (the sound, direct authority the backends
+//! grant) and *anomalous* capability edges (derivation breaches the
+//! kernel would wrongly honor, and exploitable masquerading handles)
+//! both feed the same breadth-first [`super::reach`] search, so every
+//! witness path is shortest-hop and byte-stable.
+//!
+//! The rendered chains are the linter's evidence lines, and the assets
+//! map one-to-one onto the model checker's compromise properties — the
+//! differential experiment (`exp_cap_flow`, E17) holds the two accountable
+//! to each other in both directions.
+
+use std::fmt;
+
+use bas_attack::AttackId;
+use bas_core::proto::{MT_ALARM_CMD, MT_FAN_CMD, MT_SETPOINT};
+use bas_sim::device::DeviceId;
+
+use super::closure::{closure, Closure};
+use super::graph::CapId;
+use super::lattice::op;
+use super::reach::reach;
+use crate::ir::{ObjectId, PolicyModel};
+use crate::mc::verdict::props;
+
+/// A safety-relevant sink an escalation chain can end at.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Asset {
+    /// A critical process can be terminated.
+    CriticalKill(String),
+    /// An actuator device register can be written.
+    DeviceWrite(DeviceId),
+    /// A well-formed command can be delivered into an actuator driver.
+    ActuatorCommand(String),
+    /// An accepted actuation input taints the control loop.
+    TaintedActuation {
+        /// The accepting receiver.
+        receiver: String,
+        /// The accepted message type.
+        mtype: u32,
+    },
+    /// An out-of-range setpoint is accepted (tamper).
+    TamperAccept(String),
+    /// A replayed in-range setpoint is accepted.
+    ReplayAccept(String),
+    /// A kernel object is reachable through a type-confused handle.
+    Masquerade(ObjectId),
+}
+
+impl Asset {
+    /// The model-checker property bits this asset's exploitation can
+    /// set — the forward half of the static/mc differential.
+    pub fn property_bits(&self) -> u32 {
+        match self {
+            Asset::CriticalKill(_) => props::CRITICAL_KILLED,
+            // Forcing an actuator register off both is the unauthorized
+            // write and (for the alarm) defeats bounded response.
+            Asset::DeviceWrite(_) => props::UNAUTH_DEV_WRITE | props::BOUNDED_RESPONSE,
+            Asset::ActuatorCommand(_) | Asset::TaintedActuation { .. } => props::BOUNDED_RESPONSE,
+            Asset::TamperAccept(_) | Asset::ReplayAccept(_) => props::REF_DIVERGENCE,
+            Asset::Masquerade(_) => props::OBJECT_MASQUERADE,
+        }
+    }
+}
+
+impl fmt::Display for Asset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Asset::CriticalKill(p) => write!(f, "proc:{p} (kill)"),
+            Asset::DeviceWrite(d) => write!(f, "dev:{d} (direct register write)"),
+            Asset::ActuatorCommand(p) => write!(f, "proc:{p} (unmediated actuator command)"),
+            Asset::TaintedActuation { receiver, mtype } => write!(
+                f,
+                "proc:{receiver} (type {mtype}) -> actuators (tainted control input)"
+            ),
+            Asset::TamperAccept(p) => write!(f, "proc:{p} (out-of-range setpoint accepted)"),
+            Asset::ReplayAccept(p) => write!(f, "proc:{p} (replayed setpoint accepted)"),
+            Asset::Masquerade(o) => write!(f, "{o} (kernel-object masquerade)"),
+        }
+    }
+}
+
+/// BFS node: subject position, capability in hand, or reached asset.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Hop {
+    Subject(String),
+    Cap(CapId),
+    Goal(Asset),
+}
+
+/// One escalation chain from an untrusted subject to an asset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The untrusted starting subject.
+    pub subject: String,
+    /// The asset reached.
+    pub asset: Asset,
+    /// Rendered hops, subject first (join with `" -> "` to print).
+    pub hops: Vec<String>,
+    /// True when the chain crosses an anomalous capability edge
+    /// (derivation breach or masquerading handle) rather than a direct
+    /// channel.
+    pub via_caps: bool,
+}
+
+impl Witness {
+    /// The chain as one line: `subject -> … -> asset`.
+    pub fn render(&self) -> String {
+        self.hops.join(" -> ")
+    }
+}
+
+/// Whether a masquerading handle is exploitable on this platform: with
+/// unguessable handles (seL4 caps, MINIX endpoint generations) the
+/// kernel re-validates the object type at translation and the confused
+/// handle is rejected; raw enumerable handles (Linux) are honored.
+pub fn masquerade_exploitable(model: &PolicyModel) -> bool {
+    !model.traits.unguessable_handles
+}
+
+/// Computes every escalation witness, for every untrusted subject, in
+/// deterministic order (subject, then asset).
+pub fn escalation_witnesses(model: &PolicyModel) -> Vec<Witness> {
+    let cl = closure(&model.caps);
+    let breach = cl.breach_caps();
+    let masq = cl.masquerade_caps();
+    let mut out = Vec::new();
+    let untrusted: Vec<String> = model.untrusted_subjects().map(String::from).collect();
+    for u in untrusted {
+        witnesses_from(model, &cl, &breach, &masq, &u, &mut out);
+    }
+    out
+}
+
+/// Channel-level asset edges available directly from `s`.
+fn direct_assets(model: &PolicyModel, s: &str) -> Vec<Asset> {
+    let ctrl = model.roles.controller.as_str();
+    let mut goals = Vec::new();
+    for dev in [DeviceId::FAN, DeviceId::ALARM] {
+        if model.device_channel(s, dev, true).is_some() {
+            goals.push(Asset::DeviceWrite(dev));
+        }
+    }
+    for (driver, mtype) in [
+        (model.roles.heater.clone(), MT_FAN_CMD),
+        (model.roles.alarm.clone(), MT_ALARM_CMD),
+    ] {
+        if model.delivery_channel(s, &driver, mtype).is_some() {
+            goals.push(Asset::ActuatorCommand(driver));
+        }
+    }
+    for (recv, mtype) in model.contracts.actuation_inputs.clone() {
+        if model.delivery_channel(s, &recv, mtype).is_some()
+            && model.app_accepts(s, &recv, mtype, true)
+        {
+            goals.push(Asset::TaintedActuation {
+                receiver: recv,
+                mtype,
+            });
+        }
+    }
+    for victim in [model.roles.controller.clone(), model.roles.alarm.clone()] {
+        if model.can_kill(s, &victim) {
+            goals.push(Asset::CriticalKill(victim));
+        }
+    }
+    if model.delivery_channel(s, ctrl, MT_SETPOINT).is_some() {
+        if model.app_accepts(s, ctrl, MT_SETPOINT, false) {
+            goals.push(Asset::TamperAccept(ctrl.to_string()));
+        }
+        if model.app_accepts(s, ctrl, MT_SETPOINT, true) {
+            goals.push(Asset::ReplayAccept(ctrl.to_string()));
+        }
+    }
+    goals
+}
+
+/// Asset edges a (breached) capability's *stored* rights would grant if
+/// the kernel honors the slot.
+fn cap_assets(model: &PolicyModel, id: CapId) -> Vec<Asset> {
+    let node = model.caps.node(id);
+    let mut goals = Vec::new();
+    let rights = node.rights;
+    // Resolve queue objects to their reader for message authority.
+    let recv_of = |obj: &ObjectId| -> Option<String> {
+        match obj {
+            ObjectId::Process(p) => Some(p.clone()),
+            ObjectId::Queue(q) => model.queue_readers.get(q).cloned(),
+            _ => None,
+        }
+    };
+    if rights.allows(op::DEV_WRITE) {
+        if let ObjectId::Device(d) = &node.object {
+            goals.push(Asset::DeviceWrite(*d));
+        }
+    }
+    if rights.allows(op::KILL) {
+        match &node.object {
+            ObjectId::ProcessManager => {
+                goals.push(Asset::CriticalKill(model.roles.controller.clone()));
+                goals.push(Asset::CriticalKill(model.roles.alarm.clone()));
+            }
+            ObjectId::Process(p) if *p == model.roles.controller || *p == model.roles.alarm => {
+                goals.push(Asset::CriticalKill(p.clone()));
+            }
+            _ => {}
+        }
+    }
+    if rights.allows(op::SEND) {
+        if let Some(recv) = recv_of(&node.object) {
+            if recv == model.roles.heater || recv == model.roles.alarm {
+                goals.push(Asset::ActuatorCommand(recv));
+            } else {
+                for (r, mtype) in model.contracts.actuation_inputs.clone() {
+                    if r == recv && rights.types & (1u64 << mtype) != 0 {
+                        goals.push(Asset::TaintedActuation { receiver: r, mtype });
+                    }
+                }
+            }
+        }
+    }
+    goals
+}
+
+fn witnesses_from(
+    model: &PolicyModel,
+    cl: &Closure,
+    breach: &[CapId],
+    masq: &[CapId],
+    subject: &str,
+    out: &mut Vec<Witness>,
+) {
+    let _ = cl;
+    let masq_live = masquerade_exploitable(model);
+    let usable_anomalous = |id: CapId| -> bool {
+        model.caps.stored_usable(id) && (breach.contains(&id) || (masq_live && masq.contains(&id)))
+    };
+    let reached = reach([Hop::Subject(subject.to_string())], |hop| match hop {
+        Hop::Subject(s) => {
+            let mut next: Vec<Hop> = direct_assets(model, s).into_iter().map(Hop::Goal).collect();
+            for (id, _) in model.caps.held_by(s) {
+                if usable_anomalous(id) {
+                    next.push(Hop::Cap(id));
+                }
+            }
+            next
+        }
+        Hop::Cap(id) => {
+            let mut next = Vec::new();
+            if masq_live && masq.contains(id) {
+                next.push(Hop::Goal(Asset::Masquerade(
+                    model.caps.node(*id).object.clone(),
+                )));
+            }
+            if breach.contains(id) {
+                next.extend(cap_assets(model, *id).into_iter().map(Hop::Goal));
+            }
+            next
+        }
+        Hop::Goal(_) => Vec::new(),
+    });
+    // Collect every reached asset with its shortest-hop path.
+    let goals: Vec<Asset> = reached
+        .nodes()
+        .filter_map(|h| match h {
+            Hop::Goal(a) => Some(a.clone()),
+            _ => None,
+        })
+        .collect();
+    for asset in goals {
+        let Some(path) = reached.path(&Hop::Goal(asset.clone())) else {
+            continue;
+        };
+        let mut hops = Vec::new();
+        let mut via_caps = false;
+        for h in &path {
+            match h {
+                Hop::Subject(s) => hops.push(s.clone()),
+                Hop::Cap(id) => {
+                    via_caps = true;
+                    let n = model.caps.node(*id);
+                    hops.push(format!("{id}({} {} via {})", n.object, n.rights, n.via));
+                }
+                Hop::Goal(a) => hops.push(a.to_string()),
+            }
+        }
+        out.push(Witness {
+            subject: subject.to_string(),
+            asset,
+            hops,
+            via_caps,
+        });
+    }
+}
+
+/// The witnesses relevant to one attack of the §IV-D matrix — presence
+/// of any is the static compromise verdict for that cell.
+pub fn witnesses_for_attack<'a>(
+    witnesses: &'a [Witness],
+    attack: AttackId,
+    model: &PolicyModel,
+) -> Vec<&'a Witness> {
+    let ctrl = model.roles.controller.as_str();
+    witnesses
+        .iter()
+        .filter(|w| match attack {
+            AttackId::SpoofSensorData => {
+                matches!(&w.asset, Asset::TaintedActuation { receiver, .. } if receiver == ctrl)
+            }
+            AttackId::SpoofActuatorCommands => matches!(&w.asset, Asset::ActuatorCommand(_)),
+            AttackId::KillCritical => matches!(&w.asset, Asset::CriticalKill(_)),
+            AttackId::DirectDeviceWrite => matches!(
+                &w.asset,
+                Asset::DeviceWrite(d) if *d == DeviceId::FAN || *d == DeviceId::ALARM
+            ),
+            AttackId::SetpointTamper => matches!(&w.asset, Asset::TamperAccept(_)),
+            AttackId::ReplaySetpoint => matches!(&w.asset, Asset::ReplayAccept(_)),
+            // Resource attacks never have a compromise witness: they
+            // exhaust, they do not escalate.
+            AttackId::ForkBomb | AttackId::BruteForceHandles | AttackId::FloodLegitChannel => false,
+        })
+        // Cells are mounted from the scenario's web position only.
+        .filter(|w| w.subject == model.roles.web)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::graph::{DerivationKind, ObjType};
+    use crate::flow::lattice::Perms;
+    use crate::scenario::model_for;
+    use bas_attack::AttackerModel;
+    use bas_core::platform::linux::UidScheme;
+    use bas_core::scenario::Platform;
+
+    fn shared_linux() -> PolicyModel {
+        model_for(
+            Platform::Linux,
+            AttackerModel::ArbitraryCode,
+            UidScheme::SharedAccount,
+        )
+    }
+
+    #[test]
+    fn channel_witness_renders_the_legacy_taint_path() {
+        let ws = escalation_witnesses(&shared_linux());
+        let tainted: Vec<&Witness> = ws
+            .iter()
+            .filter(|w| matches!(w.asset, Asset::TaintedActuation { .. }))
+            .collect();
+        assert!(!tainted.is_empty());
+        for w in tainted {
+            assert!(!w.via_caps);
+            assert!(w.render().contains("-> actuators (tainted control input)"));
+        }
+    }
+
+    #[test]
+    fn clean_lowered_graph_yields_no_cap_witnesses() {
+        for (platform, scheme) in [
+            (Platform::Linux, UidScheme::PerProcessHardened),
+            (Platform::Minix, UidScheme::SharedAccount),
+            (Platform::Sel4, UidScheme::SharedAccount),
+        ] {
+            let m = model_for(platform, AttackerModel::ArbitraryCode, scheme);
+            assert!(
+                escalation_witnesses(&m).iter().all(|w| !w.via_caps),
+                "{platform}: lowered derivation trees must be sound"
+            );
+        }
+    }
+
+    #[test]
+    fn breach_cap_produces_cap_witness() {
+        let mut m = model_for(
+            Platform::Linux,
+            AttackerModel::ArbitraryCode,
+            UidScheme::PerProcessHardened,
+        );
+        let web = m.roles.web.clone();
+        let r = m.caps.root(
+            &m.roles.controller.clone(),
+            ObjectId::Device(DeviceId::FAN),
+            Perms::of(op::DEV_READ),
+        );
+        m.caps
+            .derive_raw(r, &web, DerivationKind::Grant, Perms::of(op::DEV_WRITE));
+        let ws = escalation_witnesses(&m);
+        let w = ws
+            .iter()
+            .find(|w| w.via_caps && matches!(w.asset, Asset::DeviceWrite(DeviceId::FAN)))
+            .expect("escalation witness through the amplified cap");
+        assert_eq!(w.subject, web);
+        assert_eq!(w.hops.len(), 3, "subject -> cap -> asset: {:?}", w.hops);
+    }
+
+    #[test]
+    fn masquerade_witness_requires_guessable_handles() {
+        for (platform, scheme, expect) in [
+            (Platform::Linux, UidScheme::PerProcessHardened, true),
+            (Platform::Sel4, UidScheme::SharedAccount, false),
+        ] {
+            let mut m = model_for(platform, AttackerModel::ArbitraryCode, scheme);
+            let web = m.roles.web.clone();
+            m.caps.root_typed(
+                &web,
+                ObjectId::Device(DeviceId::ALARM),
+                ObjType::DeviceFrame,
+                ObjType::Queue,
+                Perms::of(op::DEV_WRITE),
+            );
+            let ws = escalation_witnesses(&m);
+            let has = ws.iter().any(|w| matches!(w.asset, Asset::Masquerade(_)));
+            assert_eq!(has, expect, "{platform}");
+        }
+    }
+}

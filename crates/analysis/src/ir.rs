@@ -241,6 +241,9 @@ pub struct PolicyModel {
     pub legitimate_handles: BTreeMap<String, usize>,
     /// Queue metadata: queue name → intended reader.
     pub queue_readers: BTreeMap<String, String>,
+    /// The capability derivation forest behind the channel edges (see
+    /// [`crate::flow`]).
+    pub caps: crate::flow::CapGraph,
 }
 
 impl PolicyModel {
@@ -257,6 +260,7 @@ impl PolicyModel {
             enumerable_handles: BTreeMap::new(),
             legitimate_handles: BTreeMap::new(),
             queue_readers: BTreeMap::new(),
+            caps: crate::flow::CapGraph::default(),
         }
     }
 

@@ -27,7 +27,13 @@
 //!   the attacker, dual-adjudicated by the Policy IR *and* the kernel
 //!   artifacts, with partial-order reduction and counterexample replay
 //!   into the dynamic engine.
+//! * [`flow`] — capability-flow analysis over the IR's derivation
+//!   forest: a worklist fixpoint under a permission lattice checking
+//!   attenuation monotonicity, transitive revocation and expiry, a
+//!   kernel-object-masquerading detector, and shortest escalation-path
+//!   witnesses cross-validated against [`mc`] in both directions.
 
+pub mod flow;
 pub mod ir;
 pub mod lint;
 pub mod lower;
@@ -35,6 +41,7 @@ pub mod mc;
 pub mod scenario;
 pub mod taint;
 
+pub use flow::{closure, escalation_witnesses, CapGraph, Perms, Witness};
 pub use ir::{Channel, ChannelKind, ObjectId, Operation, PolicyModel, Trust};
-pub use lint::{findings_to_json, lint, Finding, Justification, Severity};
+pub use lint::{findings_report_json, findings_to_json, lint, Finding, Justification, Severity};
 pub use taint::{expectation, predict, untrusted_actuator_paths, StaticVerdict};

@@ -14,6 +14,7 @@ use bas_acm::MsgType;
 use bas_core::proto::MT_ACK;
 use bas_sim::device::DeviceId;
 
+use crate::flow::{self, FlowKind};
 use crate::ir::{ChannelKind, ObjectId, Operation, PolicyModel, Trust};
 use crate::taint::untrusted_actuator_paths;
 
@@ -122,6 +123,8 @@ pub fn lint(model: &PolicyModel, justification: &Justification) -> Vec<Finding> 
     check_queue_membership(model, justification, &mut findings);
     check_dangling_identities(model, &mut findings);
     check_actuator_paths(model, &mut findings);
+    check_derivations(model, &mut findings);
+    check_escalation_witnesses(model, &mut findings);
     least_privilege_diff(model, justification, &mut findings);
 
     findings.sort_by(|a, b| {
@@ -349,6 +352,69 @@ fn check_actuator_paths(model: &PolicyModel, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rules: attenuation-violation / revocation-leak / expired-cap-live /
+/// object-masquerade — the capability-flow closure's derivation
+/// invariants, each finding carrying its derivation chain as evidence.
+fn check_derivations(model: &PolicyModel, findings: &mut Vec<Finding>) {
+    if model.caps.is_empty() {
+        return;
+    }
+    let cl = flow::closure(&model.caps);
+    for f in &cl.findings {
+        let severity = match f.kind {
+            // A slot the kernel would wrongly honor: breaks the security
+            // argument outright, worse in untrusted hands.
+            FlowKind::AttenuationViolation
+            | FlowKind::RevocationLeak
+            | FlowKind::ExpiredCapLive => escalate(model, &f.holder, Severity::High),
+            // Type confusion is exploitable only where handles are
+            // guessable; elsewhere it is a (serious) hygiene defect.
+            FlowKind::ObjectMasquerade => {
+                if flow::masquerade_exploitable(model) {
+                    escalate(model, &f.holder, Severity::High)
+                } else {
+                    Severity::Medium
+                }
+            }
+        };
+        let chain = f
+            .chain
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        findings.push(Finding {
+            severity,
+            code: f.kind.code(),
+            subject: f.holder.clone(),
+            object: f.object.to_string(),
+            detail: format!("{} [chain: {chain}]", f.detail),
+        });
+    }
+}
+
+/// Rule: derived-cap-escalation — an untrusted subject reaches a
+/// safety-relevant asset *through* an anomalous capability edge. The
+/// shortest chain is the finding's evidence.
+fn check_escalation_witnesses(model: &PolicyModel, findings: &mut Vec<Finding>) {
+    if model.caps.is_empty() {
+        return;
+    }
+    for w in flow::escalation_witnesses(model) {
+        if !w.via_caps {
+            continue; // channel-direct routes are covered by other rules
+        }
+        findings.push(Finding {
+            // The subject is untrusted by construction of the search.
+            severity: Severity::Error,
+            code: "derived-cap-escalation",
+            subject: w.subject.clone(),
+            object: w.hops.last().cloned().unwrap_or_default(),
+            detail: w.render(),
+        });
+    }
+}
+
 /// Rule: least-privilege-diff — one summary finding comparing deliverable
 /// message edges against the AADL-minimal policy.
 fn least_privilege_diff(
@@ -426,6 +492,38 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
     }
     out.push(']');
     out
+}
+
+/// The attack classes the analyzer covers: the nine matrix attacks plus
+/// the two capability-flow classes.
+pub const ATTACK_CLASSES: [&str; 11] = [
+    "spoof-sensor-data",
+    "spoof-actuator-cmds",
+    "kill-critical",
+    "fork-bomb",
+    "brute-force-handles",
+    "flood-legit-channel",
+    "direct-device-write",
+    "setpoint-tamper",
+    "replay-setpoint",
+    "kernel-object-masquerade",
+    "derived-capability-escalation",
+];
+
+/// Renders findings as a JSON report object: the covered attack classes
+/// plus the findings array of [`findings_to_json`]. Ordering is
+/// deterministic ([`lint`] sorts by severity, then subject/object ids).
+pub fn findings_report_json(findings: &[Finding]) -> String {
+    let classes = ATTACK_CLASSES
+        .iter()
+        .map(|c| format!("\"{c}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let body = findings_to_json(findings)
+        .lines()
+        .collect::<Vec<_>>()
+        .join("\n  ");
+    format!("{{\n  \"attack_classes\": [{classes}],\n  \"findings\": {body}\n}}")
 }
 
 #[cfg(test)]

@@ -9,12 +9,15 @@
 
 use std::collections::BTreeMap;
 
-use bas_acm::{AcId, AccessControlMatrix, MsgType, QuotaTable, SyscallClass};
+use bas_acm::{AcId, AccessControlMatrix, DelegationLog, MsgType, QuotaTable, SyscallClass};
 use bas_core::scenario::Platform;
 use bas_minix::pm;
 use bas_sim::device::DeviceId;
 
-use crate::ir::{Channel, ChannelKind, ObjectId, Operation, PlatformTraits, PolicyModel, Trust};
+use crate::flow::{op, DerivationKind, Perms};
+use crate::ir::{
+    type_bits, Channel, ChannelKind, ObjectId, Operation, PlatformTraits, PolicyModel, Trust,
+};
 
 /// Binding from ACM identities to subject names and platform facts the
 /// matrix itself does not carry.
@@ -48,14 +51,30 @@ fn pm_op(msg_type: u32) -> Option<Operation> {
     }
 }
 
-/// Lowers an access-control matrix (plus its binding and quota table)
-/// into the Policy IR.
-pub fn lower(acm: &AccessControlMatrix, binding: &AcmBinding, quotas: &QuotaTable) -> PolicyModel {
+/// Lowers an access-control matrix (plus its binding, quota table, and
+/// delegation log) into the Policy IR.
+pub fn lower(
+    acm: &AccessControlMatrix,
+    binding: &AcmBinding,
+    quotas: &QuotaTable,
+    delegations: &DelegationLog,
+) -> PolicyModel {
     let mut model = PolicyModel::new(Platform::Minix, minix_traits());
 
     for name in binding.subjects.values() {
         model.add_subject(name, Trust::Trusted, None);
     }
+
+    // Root caps of the derivation forest, keyed by the matrix cell they
+    // came from so delegation records can find their source.
+    let mut row_caps: BTreeMap<(AcId, AcId), crate::flow::CapId> = BTreeMap::new();
+    let subject_name = |ac: AcId| -> String {
+        binding
+            .subjects
+            .get(&ac)
+            .cloned()
+            .unwrap_or_else(|| ac.to_string())
+    };
 
     for (sender, receiver, types) in acm.entries() {
         // Rows *from* the PM identity are reply plumbing (PM_OK/PM_ERR
@@ -74,15 +93,23 @@ pub fn lower(acm: &AccessControlMatrix, binding: &AcmBinding, quotas: &QuotaTabl
                 if !types.contains(MsgType::new(t)) {
                     continue;
                 }
-                let Some(op) = pm_op(t) else { continue };
+                let Some(pm_operation) = pm_op(t) else {
+                    continue;
+                };
                 model.channels.push(Channel {
                     subject: subject.clone(),
                     object: ObjectId::ProcessManager,
-                    op,
+                    op: pm_operation,
                     msg_types: bas_acm::matrix::MsgTypeSet::of([MsgType::new(t)]),
                     kind: ChannelKind::SysOp,
                     badge: None,
                 });
+                let bit = Perms::op_bit(pm_operation);
+                if bit != 0 {
+                    model
+                        .caps
+                        .root(&subject, ObjectId::ProcessManager, Perms::of(bit));
+                }
             }
             continue;
         }
@@ -90,6 +117,12 @@ pub fn lower(acm: &AccessControlMatrix, binding: &AcmBinding, quotas: &QuotaTabl
             Some(name) => ObjectId::Process(name.clone()),
             None => ObjectId::Process(receiver.to_string()),
         };
+        let row_cap = model.caps.root(
+            &subject,
+            object.clone(),
+            Perms::sending(op::SEND, type_bits(types)),
+        );
+        row_caps.insert((sender, receiver), row_cap);
         model.channels.push(Channel {
             subject,
             object,
@@ -104,17 +137,54 @@ pub fn lower(acm: &AccessControlMatrix, binding: &AcmBinding, quotas: &QuotaTabl
         let Some(name) = binding.subjects.get(owner) else {
             continue;
         };
-        for op in [Operation::DevRead, Operation::DevWrite] {
+        for operation in [Operation::DevRead, Operation::DevWrite] {
             model.channels.push(Channel {
                 subject: name.clone(),
                 object: ObjectId::Device(dev),
-                op,
+                op: operation,
                 msg_types: bas_acm::matrix::MsgTypeSet::EMPTY,
                 kind: ChannelKind::DeviceAccess,
                 badge: None,
             });
         }
+        model.caps.root(
+            name,
+            ObjectId::Device(dev),
+            Perms::of(op::DEV_READ | op::DEV_WRITE),
+        );
     }
+
+    // The delegation log replays as derivation edges. A well-founded
+    // record hangs off the grantor's matrix row; a record whose grantor
+    // holds no such row hangs off a rights-less synthetic root, so the
+    // flow analysis flags the delegated rights as non-monotone. Stored
+    // rights are taken verbatim (`derive_raw`): the analyzer, not the
+    // lowering, adjudicates amplification.
+    for rec in &delegations.records {
+        let grantee = subject_name(rec.grantee);
+        let parent = *row_caps
+            .entry((rec.grantor, rec.receiver))
+            .or_insert_with(|| {
+                model.caps.root(
+                    &subject_name(rec.grantor),
+                    ObjectId::Process(subject_name(rec.receiver)),
+                    Perms::NONE,
+                )
+            });
+        let child = model.caps.derive_raw(
+            parent,
+            &grantee,
+            DerivationKind::Grant,
+            Perms::sending(op::SEND, type_bits(rec.types)),
+        );
+        if rec.revoked {
+            model.caps.revoke(child);
+        }
+        if let Some(at) = rec.expires_at {
+            model.caps.expire_at(child, at);
+        }
+    }
+    model.caps.clock = delegations.clock;
 
     for (ac, name) in &binding.subjects {
         if let Some(limit) = quotas.limit(*ac, SyscallClass::Fork) {
@@ -153,7 +223,12 @@ mod tests {
 
     #[test]
     fn scenario_acm_lowers_to_expected_edges() {
-        let m = lower(&scenario_acm(), &scenario_binding(), &scenario_quotas(None));
+        let m = lower(
+            &scenario_acm(),
+            &scenario_binding(),
+            &scenario_quotas(None),
+            &DelegationLog::default(),
+        );
         // Web can deliver a setpoint to the controller...
         assert!(m
             .delivery_channel(names::WEB, names::CONTROL, MT_SETPOINT)
@@ -177,7 +252,12 @@ mod tests {
 
     #[test]
     fn device_ownership_becomes_device_channels() {
-        let m = lower(&scenario_acm(), &scenario_binding(), &scenario_quotas(None));
+        let m = lower(
+            &scenario_acm(),
+            &scenario_binding(),
+            &scenario_quotas(None),
+            &DelegationLog::default(),
+        );
         assert!(m
             .device_channel(names::HEATER, DeviceId::FAN, true)
             .is_some());
@@ -190,13 +270,69 @@ mod tests {
             &scenario_acm(),
             &scenario_binding(),
             &scenario_quotas(Some(2)),
+            &DelegationLog::default(),
         );
         assert_eq!(m.fork_quota.get(names::WEB), Some(&2));
     }
 
     #[test]
+    fn delegations_replay_into_the_derivation_forest() {
+        use bas_acm::MsgTypeSet;
+        use bas_core::proto::MT_SENSOR_READING;
+
+        // Well-founded attenuation: web re-delegates a subset of its
+        // setpoint row — clean.
+        let mut log = DelegationLog::new();
+        log.delegate(
+            AC_WEB,
+            AC_SCENARIO,
+            AC_CONTROL,
+            MsgTypeSet::of([MsgType::new(MT_SETPOINT)]),
+        );
+        let m = lower(
+            &scenario_acm(),
+            &scenario_binding(),
+            &scenario_quotas(None),
+            &log,
+        );
+        assert!(!m.caps.is_empty());
+        let c = crate::flow::closure(&m.caps);
+        assert!(
+            c.findings.is_empty(),
+            "subset delegation is monotone: {:?}",
+            c.findings
+        );
+
+        // Amplified delegation: web hands out a message type its own row
+        // never carried — the flow analysis must flag it.
+        let mut log = DelegationLog::new();
+        log.delegate(
+            AC_WEB,
+            AC_SCENARIO,
+            AC_CONTROL,
+            MsgTypeSet::of([MsgType::new(MT_SENSOR_READING)]),
+        );
+        let m = lower(
+            &scenario_acm(),
+            &scenario_binding(),
+            &scenario_quotas(None),
+            &log,
+        );
+        let c = crate::flow::closure(&m.caps);
+        assert!(c
+            .findings
+            .iter()
+            .any(|f| f.kind == crate::flow::FlowKind::AttenuationViolation));
+    }
+
+    #[test]
     fn pm_reply_rows_are_not_subject_authority() {
-        let m = lower(&scenario_acm(), &scenario_binding(), &scenario_quotas(None));
+        let m = lower(
+            &scenario_acm(),
+            &scenario_binding(),
+            &scenario_quotas(None),
+            &DelegationLog::default(),
+        );
         assert!(
             !m.channels
                 .iter()

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use bas_capdl::spec::{CapDlSpec, CapTargetSpec, SpecObjKind};
 use bas_core::scenario::Platform;
 
+use crate::flow::{op, DerivationKind, ObjType, Perms};
 use crate::ir::{Channel, ChannelKind, ObjectId, Operation, PlatformTraits, PolicyModel, Trust};
 
 /// Facts the spec does not carry: which message types each endpoint's
@@ -138,6 +139,90 @@ pub fn lower(spec: &CapDlSpec, binding: &CapdlBinding) -> PolicyModel {
         }
     }
 
+    // The derivation forest. A cap with a `derive` record descends from
+    // the original capability to its object (synthesized lazily, holding
+    // the full send/recv/grant rights the rootserver minted at retype
+    // time); everything else is a bootstrap root of its own.
+    let derived: BTreeMap<(&str, u32), &str> = spec
+        .derivations
+        .iter()
+        .map(|d| ((d.child.0.as_str(), d.child.1), d.origin.as_str()))
+        .collect();
+    let bits_of = |name: &str| -> Option<u64> {
+        binding
+            .endpoint_types
+            .get(name)
+            .map(|ts| ts.iter().fold(0u64, |b, &t| b | (1u64 << t)))
+    };
+    let mut origin_caps: BTreeMap<String, crate::flow::CapId> = BTreeMap::new();
+    for c in &spec.caps {
+        match &c.target {
+            CapTargetSpec::Tcb(thread) => {
+                model.caps.root_typed(
+                    &c.holder,
+                    ObjectId::Process(thread.clone()),
+                    ObjType::Tcb,
+                    ObjType::Tcb,
+                    Perms::of(op::KILL),
+                );
+            }
+            CapTargetSpec::Object(name) => {
+                let (object, rights) = match spec.object(name).map(|o| o.kind) {
+                    Some(SpecObjKind::Endpoint | SpecObjKind::Notification) => {
+                        let server = server_of.get(name.as_str()).copied().unwrap_or(name);
+                        (
+                            ObjectId::Process(server.to_string()),
+                            Perms::from_cap_rights(c.rights, bits_of(name).unwrap_or(0)),
+                        )
+                    }
+                    Some(SpecObjKind::Device(dev)) => {
+                        let mut ops = 0u8;
+                        if c.rights.read {
+                            ops |= op::DEV_READ;
+                        }
+                        if c.rights.write {
+                            ops |= op::DEV_WRITE;
+                        }
+                        (ObjectId::Device(dev), Perms::of(ops))
+                    }
+                    Some(SpecObjKind::Untyped(_)) => {
+                        model.caps.root_typed(
+                            &c.holder,
+                            ObjectId::ProcessManager,
+                            ObjType::Untyped,
+                            ObjType::Untyped,
+                            Perms::of(op::FORK),
+                        );
+                        continue;
+                    }
+                    None => continue,
+                };
+                match derived.get(&(c.holder.as_str(), c.slot)) {
+                    Some(&origin) => {
+                        let parent = *origin_caps.entry(origin.to_string()).or_insert_with(|| {
+                            let original_holder =
+                                server_of.get(origin).copied().unwrap_or(origin).to_string();
+                            model.caps.root(
+                                &original_holder,
+                                ObjectId::Process(original_holder.clone()),
+                                Perms::sending(
+                                    op::SEND | op::RECV | op::GRANT,
+                                    bits_of(origin).unwrap_or(u64::MAX),
+                                ),
+                            )
+                        });
+                        model
+                            .caps
+                            .derive(parent, &c.holder, DerivationKind::Attenuate, rights);
+                    }
+                    None => {
+                        model.caps.root(&c.holder, object, rights);
+                    }
+                }
+            }
+        }
+    }
+
     // Brute-force surface: every cap in a thread's CSpace is reachable
     // by slot enumeration (`Identify`), and nothing else is.
     for t in &spec.threads {
@@ -196,6 +281,16 @@ mod tests {
                     badge: 0,
                 },
             ],
+            derivations: vec![
+                bas_capdl::spec::DerivationDecl {
+                    child: ("srv".into(), 0),
+                    origin: "ep_srv_api".into(),
+                },
+                bas_capdl::spec::DerivationDecl {
+                    child: ("cli".into(), 0),
+                    origin: "ep_srv_api".into(),
+                },
+            ],
         }
     }
 
@@ -245,5 +340,20 @@ mod tests {
         assert!(m.can_kill("cli", "srv"));
         assert!(m.can_fork("cli"));
         assert!(!m.can_fork("srv"));
+    }
+
+    #[test]
+    fn derivation_records_become_cdt_edges_and_stay_clean() {
+        let mut binding = CapdlBinding::default();
+        binding.endpoint_types.insert("ep_srv_api".into(), vec![2]);
+        let m = lower(&spec(), &binding);
+        assert!(!m.caps.is_empty());
+        // Both endpoint caps hang off one synthesized original cap.
+        let derived = m.caps.nodes.iter().filter(|n| n.parent.is_some()).count();
+        assert_eq!(derived, 2);
+        // Attenuated client rights stay within the original's, so the
+        // fixpoint reports nothing.
+        let c = crate::flow::closure(&m.caps);
+        assert!(c.findings.is_empty(), "clean CDT: {:?}", c.findings);
     }
 }

@@ -14,6 +14,7 @@ use bas_core::scenario::Platform;
 use bas_linux::cred::{Mode, Uid};
 use bas_sim::device::DeviceId;
 
+use crate::flow::{op, DerivationKind, Perms};
 use crate::ir::{Channel, ChannelKind, ObjectId, Operation, PlatformTraits, PolicyModel, Trust};
 
 /// One queue as the loader creates it.
@@ -166,6 +167,105 @@ pub fn lower(dep: &LinuxDeployment) -> PolicyModel {
         model.queue_readers.insert(q.name.clone(), q.reader.clone());
     }
 
+    // The derivation forest behind the edges above. The planned reader
+    // holds each queue's original descriptor; everyone else who passes
+    // DAC holds a descriptor derived from it — an *attenuation* when the
+    // plan lists them as a writer, an ambient DAC *grant* otherwise.
+    for q in &dep.queues {
+        let bits: u64 = q.msg_types.iter().fold(0, |b, &t| b | (1u64 << t));
+        let root = model.caps.root(
+            &q.reader,
+            ObjectId::Queue(q.name.clone()),
+            Perms::sending(op::SEND | op::RECV, bits),
+        );
+        for (subject, &uid) in &dep.subject_uids {
+            if *subject == q.reader {
+                continue;
+            }
+            let who = Uid::new(uid);
+            let owner = Uid::new(q.owner);
+            let group = q.group.map(Uid::new);
+            let mut ops = 0u8;
+            if q.mode.allows_with_group(who, owner, group, false, true) {
+                ops |= op::SEND;
+            }
+            if q.mode.allows_with_group(who, owner, group, true, false) {
+                ops |= op::RECV;
+            }
+            if ops == 0 {
+                continue;
+            }
+            let via = if q.writers.contains(subject) {
+                DerivationKind::Attenuate
+            } else {
+                DerivationKind::Grant
+            };
+            model
+                .caps
+                .derive(root, subject, via, Perms::sending(ops, bits));
+        }
+    }
+    // Device nodes: the owning uid's subject holds the original handle;
+    // any other subject DAC admits holds a derived one.
+    for (&dev, &(owner_uid, mode)) in &dep.devices {
+        let owner_subject = dep
+            .subject_uids
+            .iter()
+            .find(|(_, &u)| u == owner_uid)
+            .map(|(s, _)| s.clone());
+        let root = owner_subject.as_ref().map(|s| {
+            model.caps.root(
+                s,
+                ObjectId::Device(dev),
+                Perms::of(op::DEV_READ | op::DEV_WRITE),
+            )
+        });
+        for (subject, &uid) in &dep.subject_uids {
+            if Some(subject) == owner_subject.as_ref() {
+                continue;
+            }
+            let who = Uid::new(uid);
+            let owner = Uid::new(owner_uid);
+            let mut ops = 0u8;
+            if mode.allows(who, owner, false, true) {
+                ops |= op::DEV_WRITE;
+            }
+            if mode.allows(who, owner, true, false) {
+                ops |= op::DEV_READ;
+            }
+            if ops == 0 {
+                continue;
+            }
+            match root {
+                Some(r) => {
+                    model
+                        .caps
+                        .derive(r, subject, DerivationKind::Grant, Perms::of(ops));
+                }
+                None => {
+                    model
+                        .caps
+                        .root(subject, ObjectId::Device(dev), Perms::of(ops));
+                }
+            }
+        }
+    }
+    // Signals and fork(2) are ambient kernel authority, not derived.
+    for (subject, &uid) in &dep.subject_uids {
+        for (victim, &victim_uid) in &dep.subject_uids {
+            if victim != subject && (uid == 0 || uid == victim_uid) {
+                model.caps.root(
+                    subject,
+                    ObjectId::Process(victim.clone()),
+                    Perms::of(op::KILL),
+                );
+            }
+        }
+        model
+            .caps
+            .root(subject, ObjectId::ProcessManager, Perms::of(op::FORK));
+    }
+
     model.normalize();
     model
 }
@@ -233,6 +333,22 @@ mod tests {
         let m = lower(&deployment(false, 1005));
         assert!(m.can_fork("web"));
         assert!(m.can_fork("ctrl"));
+    }
+
+    #[test]
+    fn derivation_forest_tracks_dac_and_stays_clean() {
+        let m = lower(&deployment(true, 1000));
+        assert!(!m.caps.is_empty());
+        // web shares uid 1000 with the queue owner, so it holds a
+        // descriptor derived (ambient DAC grant) from ctrl's original.
+        assert!(m
+            .caps
+            .held_by("web")
+            .any(|(_, n)| matches!(n.object, ObjectId::Queue(_))
+                && n.parent.is_some()
+                && n.via == DerivationKind::Grant));
+        let c = crate::flow::closure(&m.caps);
+        assert!(c.findings.is_empty(), "DAC grants clamp: {:?}", c.findings);
     }
 
     #[test]

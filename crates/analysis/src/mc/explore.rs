@@ -404,7 +404,7 @@ where
         .collect();
     seen[shard_of(root_fp)]
         .lock()
-        .unwrap()
+        .expect("seen shard poisoned")
         .insert(root_fp, COMMITTED);
     let mut depth = 0usize;
 
@@ -443,7 +443,8 @@ where
                                     transitions += 1;
                                     let fp = fingerprint(&succ);
                                     let key = order_key(pos, aidx);
-                                    let mut shard = seen[shard_of(fp)].lock().unwrap();
+                                    let mut shard =
+                                        seen[shard_of(fp)].lock().expect("seen shard poisoned");
                                     match shard.entry(fp) {
                                         std::collections::hash_map::Entry::Occupied(mut e) => {
                                             // Committed (0) or an earlier-in-
@@ -477,7 +478,10 @@ where
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("layer worker panicked"))
+                .collect()
         });
 
         // Commit phase (single-threaded): admit candidates in sequential
@@ -492,7 +496,7 @@ where
         candidates.sort_unstable_by_key(|c| c.key);
         let mut next: Vec<(u32, S::State)> = Vec::new();
         for cand in candidates {
-            let mut shard = seen[shard_of(cand.fp)].lock().unwrap();
+            let mut shard = seen[shard_of(cand.fp)].lock().expect("seen shard poisoned");
             let entry = shard.get_mut(&cand.fp).expect("candidate was inserted");
             if *entry != cand.key {
                 continue; // displaced by an earlier-ordered candidate
@@ -614,7 +618,11 @@ mod tests {
         let ex = explore(&Counters, &opts, classify);
         assert_eq!(ex.stats.states, 27, "full product space");
         assert!(ex.reached(GOAL));
-        assert_eq!(ex.witness(GOAL).unwrap(), &[0, 0], "two steps, no noise");
+        assert_eq!(
+            ex.witness(GOAL).expect("goal was reached"),
+            &[0, 0],
+            "two steps, no noise"
+        );
     }
 
     #[test]

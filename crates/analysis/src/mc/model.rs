@@ -31,7 +31,8 @@ use bas_sim::device::DeviceId;
 
 use super::gate::KernelGate;
 use super::state::{flags, AttackOp, McAction, McState, Proc, ReadingOrigin, WebMsg};
-use crate::ir::{ChannelKind, PolicyModel};
+use crate::flow::{self, CapId};
+use crate::ir::{ChannelKind, ObjectId, PolicyModel};
 use crate::scenario::model_for;
 
 /// Exploration bounds for one cell.
@@ -83,6 +84,30 @@ pub fn attack_ops(attack: AttackId) -> &'static [AttackOp] {
     }
 }
 
+/// What exercising a seeded (breached or masquerading) capability does
+/// to the plant, determined by the object it reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapEffect {
+    /// Force the fan device register off.
+    ForceFan,
+    /// Force the alarm device register off.
+    ForceAlarm,
+    /// Corrupt controller state (the reference diverges).
+    Corrupt,
+}
+
+/// A capability the derivation graph hands the attacker: the flow
+/// analysis found it anomalous, and the checker offers one attacker
+/// primitive that exercises it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeededCap {
+    /// Whether the kernel would actually honor the handle (masquerading
+    /// is stopped where handles are unguessable).
+    pub exploitable: bool,
+    /// The plant effect if honored.
+    pub effect: CapEffect,
+}
+
 /// One matrix cell as an explicit transition relation.
 pub struct ScenarioModel {
     /// The platform under analysis.
@@ -97,6 +122,10 @@ pub struct ScenarioModel {
     pub bounds: McBounds,
     ir: PolicyModel,
     gate: KernelGate,
+    /// A type-confused handle in the attacker's possession, if any.
+    masq: Option<SeededCap>,
+    /// A derivation-breached capability in the attacker's possession.
+    derived: Option<SeededCap>,
 }
 
 impl ScenarioModel {
@@ -107,14 +136,36 @@ impl ScenarioModel {
         attack: AttackId,
         scheme: UidScheme,
     ) -> ScenarioModel {
+        Self::with_ir(
+            platform,
+            attacker,
+            attack,
+            scheme,
+            model_for(platform, attacker, scheme),
+        )
+    }
+
+    /// Builds the cell model over an explicit Policy IR — the derivation
+    /// scenarios seed `ir.caps` with anomalous capabilities, and the
+    /// flow closure decides here which attacker primitives they unlock.
+    pub fn with_ir(
+        platform: Platform,
+        attacker: AttackerModel,
+        attack: AttackId,
+        scheme: UidScheme,
+        ir: PolicyModel,
+    ) -> ScenarioModel {
+        let (masq, derived) = seeded_caps(&ir);
         ScenarioModel {
             platform,
             attacker,
             attack,
             scheme,
             bounds: McBounds::default(),
-            ir: model_for(platform, attacker, scheme),
+            ir,
             gate: KernelGate::for_cell(platform, attacker, scheme),
+            masq,
+            derived,
         }
     }
 
@@ -361,8 +412,73 @@ impl ScenarioModel {
                     t.flags |= flags::DELIVERED | flags::UNAUTH_DEV_WRITE;
                 }
             }
+            AttackOp::Masquerade => {
+                // A kernel honoring the asserted handle type acts on the
+                // confused object; one re-validating at translation
+                // rejects the invocation outright (no flags at all).
+                if let Some(cap) = self.masq.filter(|c| c.exploitable) {
+                    t.flags |= flags::DELIVERED | flags::MASQUERADE;
+                    self.apply_cap_effect(t, cap.effect);
+                }
+            }
+            AttackOp::UseDerived => {
+                // The slot reads usable to the kernel by construction —
+                // that is exactly the derivation breach.
+                if let Some(cap) = self.derived {
+                    t.flags |= flags::DELIVERED | flags::DERIVATION_BREACH;
+                    self.apply_cap_effect(t, cap.effect);
+                }
+            }
         }
     }
+
+    fn apply_cap_effect(&self, t: &mut McState, effect: CapEffect) {
+        match effect {
+            CapEffect::ForceFan => t.fan_dev = false,
+            CapEffect::ForceAlarm => t.alarm_dev = false,
+            CapEffect::Corrupt => t.diverged = true,
+        }
+    }
+}
+
+/// Scans the IR's derivation graph for anomalous capabilities in the
+/// attacker's (web) possession: the lowest-id masquerading handle and
+/// the lowest-id derivation-breach cap whose slot still reads usable.
+/// Cleanly lowered graphs yield neither, so the 54-cell matrix is
+/// unaffected.
+fn seeded_caps(ir: &PolicyModel) -> (Option<SeededCap>, Option<SeededCap>) {
+    if ir.caps.is_empty() {
+        return (None, None);
+    }
+    let cl = flow::closure(&ir.caps);
+    let effect_of = |id: CapId| match &ir.caps.node(id).object {
+        ObjectId::Device(d) if *d == DeviceId::FAN => CapEffect::ForceFan,
+        ObjectId::Device(d) if *d == DeviceId::ALARM => CapEffect::ForceAlarm,
+        _ => CapEffect::Corrupt,
+    };
+    let held_usable = |id: &CapId| -> bool {
+        ir.caps.node(*id).holder == ir.roles.web && ir.caps.stored_usable(*id)
+    };
+    let masq = cl
+        .masquerade_caps()
+        .into_iter()
+        .find(held_usable)
+        .map(|id| SeededCap {
+            // Unguessable handles are re-validated at translation; raw
+            // enumerable handles are honored as asserted.
+            exploitable: !ir.traits.unguessable_handles,
+            effect: effect_of(id),
+        });
+    let derived = cl
+        .breach_caps()
+        .into_iter()
+        .find(held_usable)
+        .map(|id| SeededCap {
+            // A slot the kernel's own bookkeeping says is usable.
+            exploitable: true,
+            effect: effect_of(id),
+        });
+    (masq, derived)
 }
 
 // ---------------------------------------------------------------------
@@ -444,6 +560,11 @@ fn footprint(action: &McAction) -> (u32, u32) {
                 AttackOp::Flood | AttackOp::Tamper | AttackOp::Replay => field::WEB_MSG,
                 AttackOp::DevForceFan => field::FAN_DEV,
                 AttackOp::DevForceAlarm => field::ALARM_DEV,
+                // Seeded-cap invocations may touch either device register
+                // or corrupt controller state; over-approximate.
+                AttackOp::Masquerade | AttackOp::UseDerived => {
+                    field::FAN_DEV | field::ALARM_DEV | field::DIVERGED
+                }
             };
             (r | extra, w | extra)
         }
@@ -482,6 +603,14 @@ impl StepSemantics for ScenarioModel {
                 if available {
                     acts.push(McAction::Attack(op));
                 }
+            }
+            // Seeded anomalous capabilities extend the attacker's menu
+            // regardless of the background attack.
+            if self.masq.is_some() {
+                acts.push(McAction::Attack(AttackOp::Masquerade));
+            }
+            if self.derived.is_some() {
+                acts.push(McAction::Attack(AttackOp::UseDerived));
             }
         }
         // The attacker does not gate the round: the tick competing with
@@ -652,7 +781,7 @@ mod tests {
         assert!(!acts.contains(&McAction::EnvTick), "round incomplete");
         let trace: Vec<McAction> = Proc::CRITICAL.iter().map(|p| McAction::Step(*p)).collect();
         let states = replay_trace(&m, &trace).expect("schedule order is feasible");
-        let last = states.last().unwrap();
+        let last = states.last().expect("replay yields at least one state");
         assert!(m.enabled_actions(last).contains(&McAction::EnvTick));
     }
 }

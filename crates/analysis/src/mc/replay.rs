@@ -39,8 +39,13 @@ pub fn property_manifested(property: McProperty, outcome: &AttackOutcome) -> boo
         McProperty::BoundedResponse
         | McProperty::ReferenceDivergence
         | McProperty::UnauthorizedDeviceWrite => outcome.physical.safety_violated,
-        // Internal invariants have no dynamic analogue to confirm.
-        McProperty::GateMismatch | McProperty::QuotaBreach => false,
+        // Internal invariants have no dynamic analogue to confirm, and
+        // the seeded-capability properties exist only in the abstract
+        // derivation graph (the dynamic stacks never mint bad caps).
+        McProperty::GateMismatch
+        | McProperty::QuotaBreach
+        | McProperty::ObjectMasquerade
+        | McProperty::DerivationBreach => false,
     }
 }
 

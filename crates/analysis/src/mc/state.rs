@@ -98,6 +98,11 @@ pub enum AttackOp {
     DevForceFan,
     /// Write the alarm device register directly (force off).
     DevForceAlarm,
+    /// Invoke a type-confused handle (kernel-object masquerading).
+    Masquerade,
+    /// Invoke a derivation-breached capability (amplified, leaked past
+    /// a revoke, or expired-but-live).
+    UseDerived,
 }
 
 /// One atomic transition of the abstract scenario.
@@ -137,6 +142,8 @@ impl std::fmt::Display for AttackOp {
             AttackOp::Replay => f.write_str("replay"),
             AttackOp::DevForceFan => f.write_str("dev-force-fan"),
             AttackOp::DevForceAlarm => f.write_str("dev-force-alarm"),
+            AttackOp::Masquerade => f.write_str("masquerade"),
+            AttackOp::UseDerived => f.write_str("use-derived"),
         }
     }
 }
@@ -162,6 +169,11 @@ pub mod flags {
     pub const QUOTA_BREACH: u8 = 1 << 2;
     /// A device register was written by a subject that is not its driver.
     pub const UNAUTH_DEV_WRITE: u8 = 1 << 3;
+    /// A kernel object was reached through a type-confused handle.
+    pub const MASQUERADE: u8 = 1 << 4;
+    /// A derivation-breached capability (amplified / revocation-leaked /
+    /// expired-but-live) was honored.
+    pub const DERIVATION_BREACH: u8 = 1 << 5;
 }
 
 /// The explored state. Field order matters only for derived `Hash`.

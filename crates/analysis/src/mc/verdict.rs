@@ -19,7 +19,7 @@ use super::model::{McBounds, ScenarioModel};
 use super::state::{McAction, McState};
 use crate::taint;
 
-/// Fact bits produced by [`classify`]. Bits 0–3 coincide with the
+/// Fact bits produced by [`classify`]. Bits 0–5 coincide with the
 /// monotone state flags; the rest are derived from state shape.
 pub mod props {
     use super::super::state::flags;
@@ -32,16 +32,24 @@ pub mod props {
     pub const QUOTA_BREACH: u32 = flags::QUOTA_BREACH as u32;
     /// Device register written by a non-driver.
     pub const UNAUTH_DEV_WRITE: u32 = flags::UNAUTH_DEV_WRITE as u32;
+    /// A kernel object was reached through a type-confused handle.
+    pub const OBJECT_MASQUERADE: u32 = flags::MASQUERADE as u32;
+    /// A derivation-breached capability was honored.
+    pub const DERIVATION_BREACH: u32 = flags::DERIVATION_BREACH as u32;
     /// `hot_unalarmed` exceeded the bounded-response bound `k`.
-    pub const BOUNDED_RESPONSE: u32 = 1 << 4;
+    pub const BOUNDED_RESPONSE: u32 = 1 << 6;
     /// A critical process is dead.
-    pub const CRITICAL_KILLED: u32 = 1 << 5;
+    pub const CRITICAL_KILLED: u32 = 1 << 7;
     /// The plant reference diverged from the authorized setpoint.
-    pub const REF_DIVERGENCE: u32 = 1 << 6;
+    pub const REF_DIVERGENCE: u32 = 1 << 8;
 
     /// Facts that constitute a compromise.
-    pub const COMPROMISE: u32 =
-        UNAUTH_DEV_WRITE | BOUNDED_RESPONSE | CRITICAL_KILLED | REF_DIVERGENCE;
+    pub const COMPROMISE: u32 = UNAUTH_DEV_WRITE
+        | OBJECT_MASQUERADE
+        | DERIVATION_BREACH
+        | BOUNDED_RESPONSE
+        | CRITICAL_KILLED
+        | REF_DIVERGENCE;
     /// Internal invariants expected unreachable in every healthy config.
     pub const INVARIANT: u32 = GATE_MISMATCH | QUOTA_BREACH;
 }
@@ -61,6 +69,10 @@ pub enum McProperty {
     GateMismatch,
     /// A fork was admitted beyond its quota.
     QuotaBreach,
+    /// A kernel object was reached through a type-confused handle.
+    ObjectMasquerade,
+    /// A derivation-breached capability was honored by the kernel.
+    DerivationBreach,
 }
 
 impl McProperty {
@@ -73,16 +85,20 @@ impl McProperty {
             McProperty::UnauthorizedDeviceWrite => props::UNAUTH_DEV_WRITE,
             McProperty::GateMismatch => props::GATE_MISMATCH,
             McProperty::QuotaBreach => props::QUOTA_BREACH,
+            McProperty::ObjectMasquerade => props::OBJECT_MASQUERADE,
+            McProperty::DerivationBreach => props::DERIVATION_BREACH,
         }
     }
 
     /// All properties, counterexample-priority first (process loss and
     /// divergence replay most directly; invariants last).
-    pub const ALL: [McProperty; 6] = [
+    pub const ALL: [McProperty; 8] = [
         McProperty::CriticalKilled,
         McProperty::ReferenceDivergence,
         McProperty::UnauthorizedDeviceWrite,
         McProperty::BoundedResponse,
+        McProperty::ObjectMasquerade,
+        McProperty::DerivationBreach,
         McProperty::GateMismatch,
         McProperty::QuotaBreach,
     ];
@@ -97,6 +113,8 @@ impl std::fmt::Display for McProperty {
             McProperty::UnauthorizedDeviceWrite => "unauthorized-device-write",
             McProperty::GateMismatch => "gate-mismatch",
             McProperty::QuotaBreach => "quota-breach",
+            McProperty::ObjectMasquerade => "object-masquerade",
+            McProperty::DerivationBreach => "derivation-breach",
         };
         f.write_str(s)
     }
@@ -104,7 +122,7 @@ impl std::fmt::Display for McProperty {
 
 /// Maps a state to its fact bitmask.
 pub fn classify(bounds: &McBounds, s: &McState) -> u32 {
-    let mut f = u32::from(s.flags); // flags bits 0..3 are the low bits
+    let mut f = u32::from(s.flags); // flags bits 0..5 are the low bits
     if s.hot_unalarmed > bounds.response_bound {
         f |= props::BOUNDED_RESPONSE;
     }

@@ -116,7 +116,12 @@ pub fn minix_model(
             &default_acm
         }
     };
-    let model = crate::lower::acm::lower(acm, &binding, &scenario_quotas(web_fork_limit));
+    let model = crate::lower::acm::lower(
+        acm,
+        &binding,
+        &scenario_quotas(web_fork_limit),
+        &bas_acm::DelegationLog::default(),
+    );
     // A2's root uid exists but buys nothing: the ACM has no uid bypass.
     finish(model, attacker, None)
 }

@@ -226,40 +226,24 @@ pub fn predict(model: &PolicyModel, attack: AttackId) -> StaticVerdict {
 }
 
 /// Paths by which untrusted subjects influence actuation, one line per
-/// path (sorted). Used by the linter's `untrusted-to-actuator-path` rule.
+/// path (sorted). Used by the linter's `untrusted-to-actuator-path`
+/// rule. This is a projection of the escalation-witness search
+/// ([`crate::flow::escalation_witnesses`]) onto the actuator assets:
+/// direct device access, unmediated commands into a driver, tainted
+/// control input — plus any capability-borne route a breached
+/// derivation opens.
 pub fn untrusted_actuator_paths(model: &PolicyModel) -> Vec<String> {
-    let mut paths = Vec::new();
-    let actuators = [
-        (model.roles.heater.clone(), DeviceId::FAN),
-        (model.roles.alarm.clone(), DeviceId::ALARM),
-    ];
-    for u in model.untrusted_subjects() {
-        // Direct device access.
-        for (_, dev) in &actuators {
-            if model.device_channel(u, *dev, true).is_some() {
-                paths.push(format!("{u} -> dev:{dev} (direct register write)"));
-            }
-        }
-        // Direct command delivery into an actuator driver.
-        for ((target, _), mtype) in actuators.iter().zip([MT_FAN_CMD, MT_ALARM_CMD]) {
-            if model.delivery_channel(u, target, mtype).is_some() {
-                paths.push(format!(
-                    "{u} -> proc:{target} (unmediated actuator command)"
-                ));
-            }
-        }
-        // Unauthenticated influence over the controller's actuation
-        // inputs: taint flows through the control loop to the actuators.
-        for (recv, mtype) in model.contracts.actuation_inputs.clone() {
-            if model.delivery_channel(u, &recv, mtype).is_some()
-                && model.app_accepts(u, &recv, mtype, true)
-            {
-                paths.push(format!(
-                    "{u} -> proc:{recv} (type {mtype}) -> actuators (tainted control input)"
-                ));
-            }
-        }
-    }
+    use crate::flow::Asset;
+    let mut paths: Vec<String> = crate::flow::escalation_witnesses(model)
+        .iter()
+        .filter(|w| {
+            matches!(
+                w.asset,
+                Asset::DeviceWrite(_) | Asset::ActuatorCommand(_) | Asset::TaintedActuation { .. }
+            )
+        })
+        .map(|w| w.render())
+        .collect();
     paths.sort();
     paths.dedup();
     paths

@@ -1,0 +1,137 @@
+//! Property-based tests for the capability-flow fixpoint.
+//!
+//! Random derivation forests exercise the lattice laws the hand-written
+//! unit tests can only spot-check: kernel-clamped derivation (`derive`)
+//! is attenuation-monotone by construction; unclamped minting
+//! (`derive_raw`) is flagged *exactly* when the stored rights exceed the
+//! source's effective rights; and recursively revoking the root kills
+//! the entire derived closure with nothing left usable or leaking.
+
+use bas_analysis::flow::{closure, op, CapGraph, CapId, DerivationKind, FlowKind, Perms};
+use bas_analysis::ObjectId;
+use bas_sim::device::DeviceId;
+use proptest::prelude::*;
+
+/// Raw tree material: one `(parent pick, ops, types)` tuple per node.
+/// The pick is reduced modulo the node index so the parent always
+/// precedes the child; node 0 is the root.
+fn arb_tree() -> impl Strategy<Value = Vec<(usize, u8, u64)>> {
+    prop::collection::vec((0usize..64, 0u8..128, any::<u64>()), 2..14)
+}
+
+fn perms(ops: u8, types: u64) -> Perms {
+    Perms::sending(ops | op::SEND, types)
+}
+
+/// Builds a forest from the raw material using `build` for every
+/// non-root edge; returns the graph and each node's parent.
+fn build(
+    raw: &[(usize, u8, u64)],
+    mut edge: impl FnMut(&mut CapGraph, CapId, &str, Perms) -> CapId,
+) -> (CapGraph, Vec<Option<CapId>>) {
+    let mut g = CapGraph::default();
+    let mut parents = Vec::with_capacity(raw.len());
+    let mut ids = Vec::with_capacity(raw.len());
+    for (i, &(pick, ops, types)) in raw.iter().enumerate() {
+        let holder = format!("s{}", i % 5);
+        if i == 0 {
+            ids.push(g.root(&holder, ObjectId::Device(DeviceId::FAN), perms(ops, types)));
+            parents.push(None);
+        } else {
+            let parent = ids[pick % i];
+            ids.push(edge(&mut g, parent, &holder, perms(ops, types)));
+            parents.push(Some(parent));
+        }
+    }
+    (g, parents)
+}
+
+proptest! {
+    /// Kernel-clamped derivation can never amplify: the closure finds
+    /// no attenuation violation, and every child's effective rights are
+    /// below its parent's.
+    #[test]
+    fn clamped_derivation_is_attenuation_monotone(raw in arb_tree()) {
+        let (g, parents) = build(&raw, |g, p, h, r| {
+            g.derive(p, h, DerivationKind::Attenuate, r)
+        });
+        let cl = closure(&g);
+        prop_assert!(
+            cl.findings.iter().all(|f| f.kind != FlowKind::AttenuationViolation),
+            "derive() clamps, so no mint can amplify"
+        );
+        for (i, parent) in parents.iter().enumerate() {
+            if let Some(p) = parent {
+                prop_assert!(
+                    cl.effective[i].le(cl.effective[p.0 as usize]),
+                    "cap#{i} effective rights exceed its parent's"
+                );
+            }
+        }
+    }
+
+    /// Unclamped minting is flagged exactly when the stored rights are
+    /// not below the source's effective rights — no false positives, no
+    /// false negatives.
+    #[test]
+    fn raw_minting_is_flagged_iff_amplified(raw in arb_tree()) {
+        let (g, parents) = build(&raw, |g, p, h, r| {
+            g.derive_raw(p, h, DerivationKind::Grant, r)
+        });
+        let cl = closure(&g);
+        let flagged: Vec<usize> = cl
+            .findings
+            .iter()
+            .filter(|f| f.kind == FlowKind::AttenuationViolation)
+            .map(|f| f.cap.0 as usize)
+            .collect();
+        let expected: Vec<usize> = parents
+            .iter()
+            .enumerate()
+            .filter_map(|(i, parent)| {
+                let p = (*parent)?;
+                let amplified = !g.node(CapId(i as u32))
+                    .rights
+                    .le(cl.effective[p.0 as usize]);
+                amplified.then_some(i)
+            })
+            .collect();
+        prop_assert_eq!(flagged, expected);
+    }
+
+    /// Recursively revoking the root empties the whole derived closure:
+    /// nothing stays live, nothing reads locally usable, and the
+    /// fixpoint reports no leak.
+    #[test]
+    fn revoking_the_root_empties_the_closure(raw in arb_tree()) {
+        let (mut g, _) = build(&raw, |g, p, h, r| {
+            g.derive(p, h, DerivationKind::Grant, r)
+        });
+        g.revoke_recursive(CapId(0));
+        let cl = closure(&g);
+        prop_assert!(cl.live.iter().all(|&l| !l), "no capability survives");
+        prop_assert!(
+            (0..g.len()).all(|i| !g.stored_usable(CapId(i as u32))),
+            "every slot was swept"
+        );
+        prop_assert!(cl.findings.is_empty(), "transitive revocation leaks nothing");
+    }
+
+    /// Node-local root revocation leaks every still-usable descendant —
+    /// one revocation-leak finding per derived node.
+    #[test]
+    fn local_root_revocation_leaks_every_descendant(raw in arb_tree()) {
+        let (mut g, _) = build(&raw, |g, p, h, r| {
+            g.derive(p, h, DerivationKind::Grant, r)
+        });
+        g.revoke(CapId(0));
+        let cl = closure(&g);
+        let leaks = cl
+            .findings
+            .iter()
+            .filter(|f| f.kind == FlowKind::RevocationLeak)
+            .count();
+        prop_assert_eq!(leaks, g.len() - 1, "every derived slot still reads usable");
+        prop_assert!(cl.live.iter().all(|&l| !l), "the sound view is dead");
+    }
+}

@@ -258,7 +258,7 @@ fn bounded_response_witness_wins_an_intra_round_race() {
         .trace
         .iter()
         .position(|a| matches!(a, McAction::Attack(_)))
-        .unwrap();
+        .expect("compromise trace contains an attack action");
     assert!(
         cx.trace[..first_attack]
             .iter()

@@ -147,7 +147,7 @@ proptest! {
         prop_assert!(model.validate().is_ok(), "generated model must validate");
 
         let acm = bas_aadl::backends::acm::compile(&model).expect("acm backend");
-        let via_acm = lower_acm(&acm, &model_binding(n), &QuotaTable::new());
+        let via_acm = lower_acm(&acm, &model_binding(n), &QuotaTable::new(), &bas_acm::DelegationLog::default());
 
         let assembly = bas_aadl::backends::camkes::compile(&model).expect("camkes backend");
         let (spec, _glue) = bas_camkes::codegen::compile(&assembly).expect("capdl codegen");
@@ -175,7 +175,7 @@ proptest! {
     ) {
         let model = build_model(n, &conns);
         let acm = bas_aadl::backends::acm::compile(&model).expect("acm backend");
-        let via_acm = lower_acm(&acm, &model_binding(n), &QuotaTable::new());
+        let via_acm = lower_acm(&acm, &model_binding(n), &QuotaTable::new(), &bas_acm::DelegationLog::default());
         let assembly = bas_aadl::backends::camkes::compile(&model).expect("camkes backend");
         let (spec, _glue) = bas_camkes::codegen::compile(&assembly).expect("capdl codegen");
         let via_capdl = lower_capdl(
@@ -183,13 +183,13 @@ proptest! {
             &CapdlBinding { endpoint_types: model_endpoint_types(&model) },
         );
 
-        let sys = model.system.as_ref().unwrap();
+        let sys = model.system.as_ref().expect("generated model has a system");
         for conn in &sys.connections {
             let mtype = model
                 .process_of_instance(&conn.from.0)
                 .and_then(|p| p.port(&conn.from.1))
                 .and_then(|p| p.msg_type)
-                .unwrap();
+                .expect("generated ports carry message types");
             prop_assert!(
                 via_acm.delivery_channel(&conn.from.0, &conn.to.0, mtype).is_some(),
                 "{} -> {} type {} missing from ACM lowering", conn.from.0, conn.to.0, mtype
@@ -223,7 +223,7 @@ proptest! {
             pm_ac: None,
             device_owners: BTreeMap::new(),
         };
-        let lowered = lower_acm(&acm, &binding, &QuotaTable::new());
+        let lowered = lower_acm(&acm, &binding, &QuotaTable::new(), &bas_acm::DelegationLog::default());
         for s in 100u32..105 {
             for r in 100u32..105 {
                 for t in 0u32..8 {
@@ -258,7 +258,12 @@ fn fig3_static_matches_dynamic_check() {
         pm_ac: None,
         device_owners: BTreeMap::new(),
     };
-    let lowered = lower_acm(&acm, &binding, &QuotaTable::new());
+    let lowered = lower_acm(
+        &acm,
+        &binding,
+        &QuotaTable::new(),
+        &bas_acm::DelegationLog::default(),
+    );
     for &s in &[APP1, APP2, APP3] {
         for &r in &[APP1, APP2, APP3] {
             if s == r {
@@ -301,7 +306,12 @@ fn scenario_acm_static_matches_dynamic_check() {
         pm_ac: Some(bas_minix::pm::PM_AC_ID),
         device_owners: BTreeMap::new(),
     };
-    let lowered = lower_acm(&acm, &binding, &QuotaTable::new());
+    let lowered = lower_acm(
+        &acm,
+        &binding,
+        &QuotaTable::new(),
+        &bas_acm::DelegationLog::default(),
+    );
     for (s, s_name) in ids {
         for (r, r_name) in ids {
             if s == r {

@@ -15,7 +15,7 @@ use bas_analysis::scenario::{
     minix_model, model_for, predicted_matrix, scenario_justification, sel4_model,
 };
 use bas_analysis::taint::{expectation, predict};
-use bas_analysis::{findings_to_json, lint, Severity};
+use bas_analysis::{findings_report_json, lint, Severity};
 use bas_attack::expectations::{paper_expectation, Expectation};
 use bas_attack::model::{AttackId, AttackerModel};
 use bas_bench::{rule, section, verdict, Harness};
@@ -254,12 +254,21 @@ fn main() {
     );
 
     // -----------------------------------------------------------------
-    // 6. Machine-readable lint output (serialized findings). Kept as the
-    //    last section before the conclusion: consumers slice the JSON
-    //    between the header below and `=== conclusion`.
+    // 6. Machine-readable lint output: the findings report wraps the
+    //    serialized findings (already severity/subject/object-ordered by
+    //    the linter) with the closed attack-class vocabulary, including
+    //    the capability-flow classes. Kept as the last section before
+    //    the conclusion: consumers slice the JSON between the header
+    //    below and `=== conclusion`.
     // -----------------------------------------------------------------
     section("lint findings as JSON (linux shared-account)");
-    println!("{}", findings_to_json(&lint(&shared, &justification)));
+    let report = findings_report_json(&lint(&shared, &justification));
+    assert!(
+        report.contains("kernel-object-masquerade")
+            && report.contains("derived-capability-escalation"),
+        "the report schema must enumerate the capability-flow attack classes"
+    );
+    println!("{report}");
 
     section("conclusion");
     println!(

@@ -20,6 +20,7 @@
 //! | `exp_fleet_scale` | E13 — fleet scaling: N buildings × worker threads |
 //! | `exp_model_check` | E14 — bounded model checking + counterexample replay |
 //! | `exp_fault_campaign` | E16 — fault campaign: plans × platforms scorecard |
+//! | `exp_cap_flow` | E17 — capability-flow analyzer vs model checker differential |
 //!
 //! Every binary drives a [`Harness`], which owns the shared experiment
 //! plumbing: flag parsing (`--quick`, `--json`, `--platform`), platform

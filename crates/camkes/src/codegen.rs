@@ -12,7 +12,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use bas_capdl::spec::{CapDecl, CapDlSpec, CapTargetSpec, ObjDecl, SpecObjKind, ThreadDecl};
+use bas_capdl::spec::{
+    CapDecl, CapDlSpec, CapTargetSpec, DerivationDecl, ObjDecl, SpecObjKind, ThreadDecl,
+};
 use bas_sel4::cap::CPtr;
 use bas_sel4::rights::CapRights;
 
@@ -187,6 +189,20 @@ pub fn compile(assembly: &Assembly) -> Result<(CapDlSpec, GlueMap), CompileError
         }
     }
 
+    // Provenance: every endpoint cap is a CDT child of the endpoint's
+    // original capability (the root cap retyped out of the rootserver's
+    // untyped during bootstrap).
+    for cap in &spec.caps {
+        if let CapTargetSpec::Object(name) = &cap.target {
+            if declared_eps.contains(name) {
+                spec.derivations.push(DerivationDecl {
+                    child: (cap.holder.clone(), cap.slot),
+                    origin: name.clone(),
+                });
+            }
+        }
+    }
+
     debug_assert!(spec.validate().is_ok(), "compiler must emit valid capdl");
     Ok((spec, glue))
 }
@@ -284,5 +300,19 @@ mod tests {
         assert!(spec.validate().is_ok());
         let reparsed = CapDlSpec::parse(&spec.to_text()).unwrap();
         assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn endpoint_caps_carry_provenance() {
+        let (spec, _) = compile(&two_clients()).unwrap();
+        // One derivation per endpoint cap: srv read + two client caps.
+        assert_eq!(spec.derivations.len(), 3);
+        assert!(spec.derivations.iter().all(|d| d.origin == "ep_srv_api"));
+        let holders: Vec<&str> = spec
+            .derivations
+            .iter()
+            .map(|d| d.child.0.as_str())
+            .collect();
+        assert!(holders.contains(&"srv") && holders.contains(&"c1") && holders.contains(&"c2"));
     }
 }

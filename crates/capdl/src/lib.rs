@@ -40,6 +40,8 @@ pub mod text;
 pub mod verify;
 
 pub use realize::{realize, RealizeError, RealizedSystem};
-pub use spec::{CapDecl, CapDlSpec, CapTargetSpec, ObjDecl, SpecObjKind, ThreadDecl};
+pub use spec::{
+    CapDecl, CapDlSpec, CapTargetSpec, DerivationDecl, ObjDecl, SpecObjKind, ThreadDecl,
+};
 pub use text::CapDlParseError;
 pub use verify::{verify, VerifyIssue};

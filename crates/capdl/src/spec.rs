@@ -60,6 +60,21 @@ pub struct CapDecl {
     pub badge: u64,
 }
 
+/// A recorded capability derivation: the cap in `child`'s slot was
+/// derived (minted/attenuated) from the original capability to `origin`.
+///
+/// CapDL proper tracks the CDT implicitly through `maybe_original`
+/// markers; this spec dialect records the provenance edge explicitly so
+/// the static analyzer can rebuild the derivation forest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DerivationDecl {
+    /// The derived capability, as `(holder, slot)`.
+    pub child: (String, u32),
+    /// The declared object whose original capability the child descends
+    /// from.
+    pub origin: String,
+}
+
 /// A complete capability-distribution specification.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CapDlSpec {
@@ -69,6 +84,8 @@ pub struct CapDlSpec {
     pub threads: Vec<ThreadDecl>,
     /// The full post-bootstrap capability layout.
     pub caps: Vec<CapDecl>,
+    /// Recorded capability derivations (provenance edges for the CDT).
+    pub derivations: Vec<DerivationDecl>,
 }
 
 impl CapDlSpec {
@@ -144,6 +161,32 @@ impl CapDlSpec {
                 }
             }
         }
+        for d in &self.derivations {
+            let (holder, slot) = &d.child;
+            let Some(cap) = self
+                .caps
+                .iter()
+                .find(|c| &c.holder == holder && c.slot == *slot)
+            else {
+                problems.push(format!(
+                    "derivation child {holder}[{slot}] is not a declared cap"
+                ));
+                continue;
+            };
+            if self.object(&d.origin).is_none() {
+                problems.push(format!(
+                    "derivation origin object '{}' not declared",
+                    d.origin
+                ));
+                continue;
+            }
+            if cap.target != CapTargetSpec::Object(d.origin.clone()) {
+                problems.push(format!(
+                    "derivation {holder}[{slot}] <- {}: cap does not target that object",
+                    d.origin
+                ));
+            }
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -182,6 +225,10 @@ mod tests {
                     badge: 5,
                 },
             ],
+            derivations: vec![DerivationDecl {
+                child: ("b".into(), 0),
+                origin: "ep".into(),
+            }],
         }
     }
 
@@ -225,6 +272,39 @@ mod tests {
         s.caps[0].holder = "nobody".into();
         let problems = s.validate().unwrap_err();
         assert!(problems.iter().any(|p| p.contains("nobody")));
+    }
+
+    #[test]
+    fn derivation_child_must_exist_and_match_origin() {
+        let mut s = sample();
+        s.derivations.push(DerivationDecl {
+            child: ("a".into(), 9),
+            origin: "ep".into(),
+        });
+        let problems = s.validate().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("a[9]")));
+
+        let mut s = sample();
+        s.derivations[0].origin = "ghost".into();
+        let problems = s.validate().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("ghost")));
+
+        let mut s = sample();
+        s.caps.push(CapDecl {
+            holder: "a".into(),
+            slot: 1,
+            target: CapTargetSpec::Tcb("b".into()),
+            rights: CapRights::READ,
+            badge: 0,
+        });
+        s.derivations.push(DerivationDecl {
+            child: ("a".into(), 1),
+            origin: "ep".into(),
+        });
+        let problems = s.validate().unwrap_err();
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("does not target that object")));
     }
 
     #[test]

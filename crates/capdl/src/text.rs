@@ -1,23 +1,28 @@
 //! Concrete syntax for CapDL specs.
 //!
-//! Line-oriented; `#` starts a comment. Three statement forms:
+//! Line-oriented; `#` starts a comment. Four statement forms:
 //!
 //! ```text
 //! object <name> endpoint|notification|device <dev>|untyped <bytes>
 //! thread <name>
 //! cap <holder>[<slot>] = <target> <rights> badge=<n>
+//! derive <holder>[<slot>] <- <object>
 //! ```
 //!
 //! `<target>` is an object name or `tcb:<thread>`; `<rights>` is a
 //! three-character `RWG` triple with `-` for absent rights (e.g. `-WG`);
 //! `<dev>` is `temp-sensor`, `fan`, `alarm`, or a raw device number.
+//! `derive` records that the cap in `<holder>[<slot>]` was derived from
+//! the original capability to `<object>`.
 
 use std::fmt;
 
 use bas_sel4::rights::CapRights;
 use bas_sim::device::DeviceId;
 
-use crate::spec::{CapDecl, CapDlSpec, CapTargetSpec, ObjDecl, SpecObjKind, ThreadDecl};
+use crate::spec::{
+    CapDecl, CapDlSpec, CapTargetSpec, DerivationDecl, ObjDecl, SpecObjKind, ThreadDecl,
+};
 
 /// A parse failure with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +71,20 @@ fn device_name(dev: DeviceId) -> String {
         DeviceId::ALARM => "alarm".into(),
         other => other.as_u32().to_string(),
     }
+}
+
+fn parse_holder_slot(s: &str, line: usize) -> Result<(String, u32), CapDlParseError> {
+    let open = s
+        .find('[')
+        .ok_or_else(|| err(line, "missing '[' in holder[slot]"))?;
+    if !s.ends_with(']') {
+        return Err(err(line, "missing ']' in holder[slot]"));
+    }
+    let holder = s[..open].to_string();
+    let slot: u32 = s[open + 1..s.len() - 1]
+        .parse()
+        .map_err(|_| err(line, "slot must be a number"))?;
+    Ok((holder, slot))
 }
 
 fn parse_rights(s: &str, line: usize) -> Result<CapRights, CapDlParseError> {
@@ -154,17 +173,7 @@ pub fn parse(input: &str) -> Result<CapDlSpec, CapDlParseError> {
                         "cap needs: cap <holder>[<slot>] = <target> <rights> badge=<n>",
                     ));
                 }
-                let holder_slot = tokens[1];
-                let open = holder_slot
-                    .find('[')
-                    .ok_or_else(|| err(lineno, "missing '[' in holder[slot]"))?;
-                if !holder_slot.ends_with(']') {
-                    return Err(err(lineno, "missing ']' in holder[slot]"));
-                }
-                let holder = holder_slot[..open].to_string();
-                let slot: u32 = holder_slot[open + 1..holder_slot.len() - 1]
-                    .parse()
-                    .map_err(|_| err(lineno, "slot must be a number"))?;
+                let (holder, slot) = parse_holder_slot(tokens[1], lineno)?;
                 let target = match tokens[3].strip_prefix("tcb:") {
                     Some(thread) => CapTargetSpec::Tcb(thread.to_string()),
                     None => CapTargetSpec::Object(tokens[3].to_string()),
@@ -181,6 +190,20 @@ pub fn parse(input: &str) -> Result<CapDlSpec, CapDlParseError> {
                     target,
                     rights,
                     badge,
+                });
+            }
+            "derive" => {
+                // derive holder[slot] <- object
+                if tokens.len() != 4 || tokens[2] != "<-" {
+                    return Err(err(
+                        lineno,
+                        "derive needs: derive <holder>[<slot>] <- <object>",
+                    ));
+                }
+                let child = parse_holder_slot(tokens[1], lineno)?;
+                spec.derivations.push(DerivationDecl {
+                    child,
+                    origin: tokens[3].to_string(),
                 });
             }
             other => return Err(err(lineno, format!("unknown statement '{other}'"))),
@@ -217,6 +240,12 @@ pub fn print(spec: &CapDlSpec) -> String {
             c.holder, c.slot, target, c.rights, c.badge
         ));
     }
+    for d in &spec.derivations {
+        out.push_str(&format!(
+            "derive {}[{}] <- {}\n",
+            d.child.0, d.child.1, d.origin
+        ));
+    }
     out
 }
 
@@ -237,6 +266,7 @@ mod tests {
         cap web[0] = ep_ctrl -WG badge=9
         cap ctrl[1] = dev_fan -W- badge=0
         cap ctrl[2] = tcb:web RW- badge=0
+        derive web[0] <- ep_ctrl
     ";
 
     #[test]
@@ -246,6 +276,13 @@ mod tests {
         assert!(matches!(spec.objects[4].kind, SpecObjKind::Untyped(4096)));
         assert_eq!(spec.threads.len(), 2);
         assert_eq!(spec.caps.len(), 4);
+        assert_eq!(
+            spec.derivations,
+            vec![DerivationDecl {
+                child: ("web".into(), 0),
+                origin: "ep_ctrl".into(),
+            }]
+        );
         assert_eq!(spec.caps[1].rights, CapRights::WRITE_GRANT);
         assert_eq!(spec.caps[1].badge, 9);
         assert!(matches!(spec.caps[3].target, CapTargetSpec::Tcb(ref t) if t == "web"));
@@ -288,6 +325,14 @@ mod tests {
     fn unknown_device_rejected() {
         let e = parse("object d device warpdrive").unwrap_err();
         assert!(e.message.contains("warpdrive"));
+    }
+
+    #[test]
+    fn malformed_derive_rejected() {
+        let e = parse("object e endpoint\nthread t\ncap t[0] = e R-- badge=0\nderive t[0] e")
+            .unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("derive"));
     }
 
     #[test]
