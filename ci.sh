@@ -9,7 +9,8 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings; covers the bas-analysis mc module) =="
 cargo clippy --workspace --all-targets -- -D warnings \
-  -W clippy::redundant_clone -W clippy::needless_collect
+  -W clippy::redundant_clone -W clippy::needless_collect \
+  -W clippy::large_enum_variant
 
 echo "== cargo clippy (bas-analysis: no unwrap in the analyzer) =="
 # The static analyzer is the crate whose own soundness claims the repo
@@ -65,5 +66,36 @@ awk -v cur="$current" -v base="$baseline" 'BEGIN {
   printf "states/sec: current %.0f, baseline %.0f, floor %.0f\n", cur, base, floor;
   if (cur < floor) { print "** model-check throughput regressed >30% **"; exit 1 }
 }'
+
+echo "== fleet perf gate (IPC hot path + throughput vs committed baseline, 30% floor) =="
+# Guards the arena IPC hot path and the persistent-pool fleet executor:
+# the --quick sweep's rates must stay within 30% of the committed
+# BENCH_fleet_baseline.json (refresh the baseline deliberately when the
+# machine or the executor changes for good reason).
+./target/release/exp_fleet_scale --quick > /dev/null
+for metric in '"messages_per_second"' '"fleet_ipc_messages_per_wall_second"'; do
+  current=$(grep -m1 -o "$metric: *[0-9.eE+-]*" BENCH_fleet.json | sed 's/.*: *//')
+  baseline=$(grep -m1 -o "$metric: *[0-9.eE+-]*" BENCH_fleet_baseline.json | sed 's/.*: *//')
+  awk -v cur="$current" -v base="$baseline" -v name="$metric" 'BEGIN {
+    floor = base * 0.7;
+    printf "%s: current %.0f, baseline %.0f, floor %.0f\n", name, cur, base, floor;
+    if (cur < floor) { print "** fleet throughput regressed >30% **"; exit 1 }
+  }'
+done
+# The 2-worker speedup floor needs real cores; on a single-CPU host the
+# determinism and throughput gates above still ran.
+cores=$(grep -m1 -o '"cores": *[0-9]*' BENCH_fleet.json | sed 's/.*: *//')
+if [ "$cores" -ge 2 ]; then
+  speedup=$(grep -m1 -o '"speedup_2_workers": *[0-9.eE+-]*' BENCH_fleet.json | sed 's/.*: *//')
+  awk -v s="$speedup" 'BEGIN {
+    printf "2-worker speedup: %.2fx (>1.2x required)\n", s;
+    if (s < 1.2) { print "** 2-worker fleet speedup below floor **"; exit 1 }
+  }'
+else
+  echo "2-worker speedup floor skipped ($cores core(s))"
+fi
+# Leave the committed full-mode BENCH_fleet.json (256-instance sweep) in
+# place rather than the quick file the gate just measured.
+./target/release/exp_fleet_scale > /dev/null
 
 echo "CI OK"

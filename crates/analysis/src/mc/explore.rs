@@ -383,10 +383,14 @@ fn shard_of(fp: u64) -> usize {
     (fp >> (64 - SHARDS.trailing_zeros())) as usize
 }
 
-/// Frontier chunk size: big enough to amortize the ticket fetch, small
-/// enough to balance uneven expansion costs across workers.
+/// Frontier chunk size: two claims per worker per layer. Coarse chunks
+/// keep each worker on one contiguous frontier slice (one ticket fetch,
+/// sequential parent reads) — profiling showed the old fine-grained
+/// chunks (frontier/8·workers, capped at 1024) spent the layer in
+/// ticket and shard-lock ping-pong once expansion per state got cheap.
+/// The floor of 64 stops tiny early layers from being split at all.
 fn chunk_size(frontier: usize, workers: usize) -> usize {
-    (frontier / (workers * 8)).clamp(1, 1024)
+    (frontier / (workers * 2)).clamp(64, 16384)
 }
 
 fn explore_parallel<S, F>(sem: &S, opts: &ExploreOpts, classify: F) -> Exploration<S::Action>
@@ -494,19 +498,41 @@ where
             base.stats.ample_states += ample;
         }
         candidates.sort_unstable_by_key(|c| c.key);
+
+        // Resolve dedup survivors one shard lock at a time instead of
+        // one lock per candidate: survival (`entry == key`) is fixed
+        // once the expansion barrier passes, so the survivor set is
+        // independent of visit order, and marking a past-budget
+        // survivor COMMITTED is moot — truncation ends the exploration.
+        let mut survivor = vec![false; candidates.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
+        for (i, cand) in candidates.iter().enumerate() {
+            by_shard[shard_of(cand.fp)].push(i);
+        }
+        for (s, members) in by_shard.into_iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let mut shard = seen[s].lock().expect("seen shard poisoned");
+            for i in members {
+                let cand = &candidates[i];
+                let entry = shard.get_mut(&cand.fp).expect("candidate was inserted");
+                if *entry == cand.key {
+                    survivor[i] = true;
+                    *entry = COMMITTED;
+                }
+            }
+        }
+
         let mut next: Vec<(u32, S::State)> = Vec::new();
-        for cand in candidates {
-            let mut shard = seen[shard_of(cand.fp)].lock().expect("seen shard poisoned");
-            let entry = shard.get_mut(&cand.fp).expect("candidate was inserted");
-            if *entry != cand.key {
+        for (cand, live) in candidates.into_iter().zip(survivor) {
+            if !live {
                 continue; // displaced by an earlier-ordered candidate
             }
             if base.stats.states >= opts.state_budget {
                 base.stats.truncated = true;
                 break;
             }
-            *entry = COMMITTED;
-            drop(shard);
             let node = base.nodes.len();
             base.nodes.push(Node {
                 parent: cand.parent,

@@ -36,14 +36,16 @@ fn bench_cspace_lookup(c: &mut Criterion) {
 fn bench_mq_ops(c: &mut Criterion) {
     use bas_linux::cred::{Mode, Uid};
     use bas_linux::mq::{MessageQueue, MqMessage};
+    use bas_sim::arena::MsgArena;
     c.bench_function("mq_push_pop", |b| {
+        let mut arena = MsgArena::with_capacity(8);
         let mut q = MessageQueue::new("/bench", Uid::new(1), Mode::new(0o600), 64);
         b.iter(|| {
-            q.push(MqMessage {
-                priority: 0,
-                data: vec![1, 2, 3, 4],
-            });
-            black_box(q.pop())
+            let msg = arena.alloc(&[1, 2, 3, 4]);
+            q.push(MqMessage { priority: 0, msg });
+            let m = q.pop().unwrap();
+            arena.free(m.msg);
+            black_box(m.priority)
         })
     });
 }

@@ -86,10 +86,17 @@ fn cell_json(r: &CellReport, scheme: UidScheme) -> Json {
 fn main() {
     let h = Harness::new("mc");
     let scheme = UidScheme::SharedAccount;
+    // Per-cell layer parallelism stays off by default: the matrix
+    // parallelizes at the cell boundary (54 independent explorations),
+    // which scales without barriers, while intra-cell layer-BFS is
+    // bounded by per-layer width and loses outright when workers
+    // oversubscribe the machine. E15b below measures it honestly at
+    // each worker count; the JSON carries the default so downstream
+    // dashboards don't assume layer parallelism contributed.
     let opts = ExploreOpts {
         use_por: true,
         state_budget: state_budget_arg().unwrap_or(2_000_000),
-        workers: 1, // the sweep parallelizes at the cell boundary
+        workers: 1,
     };
     let sweep_workers = h.workers();
     let mut failures = 0usize;
@@ -445,6 +452,10 @@ fn main() {
             Json::UInt((total_states * bytes_per_state) as u64),
         ),
         ("sweep_scaling", sweep_speedup),
+        (
+            "layer_parallel_default_workers",
+            Json::UInt(opts.workers as u64),
+        ),
         ("layer_parallel", Json::Arr(bfs_json)),
         ("cells", Json::Arr(cells_json)),
         ("por", Json::Arr(por_json)),

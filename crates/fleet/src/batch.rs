@@ -1,0 +1,153 @@
+//! A resident batch of scenario engines in struct-of-arrays layout.
+//!
+//! One [`EngineBatch`] lives on one worker thread for an entire fleet
+//! run (the boxed scenario stacks hold `Rc<RefCell<…>>` plant state and
+//! never migrate). The boxed engines are the *cold* array-of-structs
+//! side; the per-tick state a worker actually sweeps every epoch —
+//! virtual time, delivered-message counters — lives in dense parallel
+//! columns, so the epoch sweep walks contiguous memory instead of
+//! chasing one boxed kernel stack per field read.
+//!
+//! Invariants: all columns have the same length as `engines`, lane `i`
+//! always describes `engines[i]` (fleet instance `base_index + i`), and
+//! columns are refreshed at every [`EngineBatch::advance`] epoch
+//! boundary, so [`EngineBatch::finish`] can assemble reports from the
+//! columns without touching the engines again (except for the final
+//! plant snapshot, taken once).
+
+use std::ops::Range;
+
+use bas_core::scenario::{critical_alive, plant_snapshot, Scenario};
+use bas_sim::time::SimDuration;
+
+use crate::engine::FleetConfig;
+use crate::report::InstanceReport;
+use crate::seed::instance_seed;
+
+/// A worker's resident instances: cold boxed engines plus hot
+/// struct-of-arrays per-tick state.
+pub struct EngineBatch {
+    base_index: usize,
+    engines: Vec<Box<dyn Scenario>>,
+    // Hot columns, one lane per resident instance.
+    seeds: Vec<u64>,
+    now_s: Vec<f64>,
+    ipc_messages: Vec<u64>,
+}
+
+impl EngineBatch {
+    /// Boots every instance in `range` on the calling thread.
+    pub fn boot(config: &FleetConfig, range: Range<usize>) -> EngineBatch {
+        let base_index = range.start;
+        let len = range.len();
+        let mut engines = Vec::with_capacity(len);
+        let mut seeds = Vec::with_capacity(len);
+        for index in range {
+            let seed = instance_seed(config.root_seed, index);
+            let mut scenario_cfg = config.template.clone();
+            scenario_cfg.seed = seed;
+            engines.push(bas_core::boot_platform(config.platform, &scenario_cfg));
+            seeds.push(seed);
+        }
+        EngineBatch {
+            base_index,
+            engines,
+            seeds,
+            now_s: vec![0.0; len],
+            ipc_messages: vec![0; len],
+        }
+    }
+
+    /// Number of resident instances.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True if the batch holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// IPC messages delivered so far across the batch (column sum).
+    pub fn ipc_messages(&self) -> u64 {
+        self.ipc_messages.iter().sum()
+    }
+
+    /// Advances every resident instance by `d` of virtual time, then
+    /// refreshes the hot columns in one contiguous sweep.
+    pub fn advance(&mut self, d: SimDuration) {
+        for engine in &mut self.engines {
+            engine.run_for(d);
+        }
+        for (i, engine) in self.engines.iter().enumerate() {
+            self.now_s[i] = engine.now().as_secs_f64();
+            self.ipc_messages[i] = engine.metrics().ipc_messages;
+        }
+    }
+
+    /// Snapshots every instance into index-ordered reports, consuming
+    /// the batch.
+    pub fn finish(self) -> Vec<InstanceReport> {
+        let EngineBatch {
+            base_index,
+            engines,
+            seeds,
+            now_s,
+            ..
+        } = self;
+        engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine)| InstanceReport {
+                index: base_index + i,
+                seed: seeds[i],
+                sim_seconds: now_s[i],
+                critical_alive: critical_alive(engine.as_ref()),
+                metrics: engine.metrics(),
+                plant: plant_snapshot(engine.as_ref()),
+                attack: None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bas_core::scenario::Platform;
+
+    use super::*;
+
+    #[test]
+    fn columns_track_engines_lane_by_lane() {
+        let config = FleetConfig::benign(Platform::Minix, 4, 1);
+        let mut batch = EngineBatch::boot(&config, 1..4);
+        assert_eq!(batch.len(), 3);
+        batch.advance(SimDuration::from_mins(2));
+        batch.advance(SimDuration::from_mins(2));
+        assert!(batch.ipc_messages() > 0);
+        let reports = batch.finish();
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index, 1 + i);
+            assert_eq!(r.seed, instance_seed(config.root_seed, 1 + i));
+            assert!((r.sim_seconds - 240.0).abs() < 1e-9);
+            assert!(r.critical_alive);
+        }
+    }
+
+    #[test]
+    fn chunked_advance_equals_one_shot_advance() {
+        // Epoch stepping must not change what an instance computes: the
+        // lockstep chunk sequence is identical either way.
+        let config = FleetConfig::benign(Platform::Minix, 2, 1);
+        let mut chunked = EngineBatch::boot(&config, 0..2);
+        for _ in 0..5 {
+            chunked.advance(SimDuration::from_mins(2));
+        }
+        let mut oneshot = EngineBatch::boot(&config, 0..2);
+        oneshot.advance(SimDuration::from_mins(10));
+        let a = chunked.finish();
+        let b = oneshot.finish();
+        assert_eq!(a, b);
+    }
+}

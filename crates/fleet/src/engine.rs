@@ -1,14 +1,23 @@
 //! The fleet runner: N independent buildings across worker threads.
 //!
 //! Each instance is a complete scenario — kernel stack plus plant —
-//! booted and driven entirely on whichever worker thread claims it
-//! (scenarios hold `Rc<RefCell<…>>` plant state and never cross
-//! threads). Work is distributed by an atomic ticket counter, so thread
-//! scheduling decides only *who* computes an instance, never *what* that
-//! instance computes: every per-instance RNG seed derives from the root
-//! seed and instance index alone, which is what makes the
+//! booted and driven entirely on one worker thread (scenarios hold
+//! `Rc<RefCell<…>>` plant state and never cross threads). The fleet is
+//! split into *contiguous per-worker batches*: each persistent
+//! [`WorkerPool`] thread boots its batch once, keeps the engines
+//! resident in an [`EngineBatch`] (struct-of-arrays hot state), and
+//! sweeps them epoch by epoch to the horizon; only the final report
+//! merge synchronizes. Thread scheduling decides only *when* a batch
+//! computes, never *what* it computes: every per-instance RNG seed
+//! derives from the root seed and instance index alone, and the epoch
+//! schedule is worker-independent, which is what makes the
 //! [`FleetReport`] deterministic under any worker count.
+//!
+//! The older ticket-claiming executor survives as [`run_cells`] for
+//! sweeps whose cells are one-shot (fault campaigns, the model
+//! checker's cross-validation), where batch residency buys nothing.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -17,6 +26,8 @@ use bas_attack::model::{AttackId, AttackerModel};
 use bas_core::scenario::{critical_alive, plant_snapshot, Platform, ScenarioConfig};
 use bas_sim::time::SimDuration;
 
+use crate::batch::EngineBatch;
+use crate::pool::WorkerPool;
 use crate::report::{AttackCell, FleetReport, InstanceReport};
 use crate::seed::instance_seed;
 
@@ -86,16 +97,21 @@ impl FleetConfig {
 /// Wall-clock throughput of a fleet run. Deliberately *outside*
 /// [`FleetReport`]: timing and worker count vary run to run, the report
 /// must not.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WallStats {
     /// Worker threads actually used.
     pub workers: usize,
+    /// Instances resident per worker batch (last batch may be smaller).
+    pub batch_size: usize,
     /// Elapsed wall-clock seconds.
     pub wall_seconds: f64,
     /// Simulated seconds advanced per wall-clock second.
     pub sim_seconds_per_wall_second: f64,
     /// IPC messages delivered per wall-clock second.
     pub ipc_messages_per_wall_second: f64,
+    /// Per-worker busy fraction (batch compute time / run wall time),
+    /// one entry per worker; tail imbalance shows up here.
+    pub worker_utilization: Vec<f64>,
 }
 
 /// A completed fleet run: the deterministic report plus wall-clock
@@ -164,20 +180,52 @@ where
     results.into_iter().map(|(_, item)| item).collect()
 }
 
-/// Runs the fleet and aggregates the report.
-///
-/// Distribution goes through [`run_cells`], so the report is a pure
-/// function of the configuration regardless of worker count.
+/// Runs the fleet on a freshly spawned [`WorkerPool`] and aggregates
+/// the report. Harnesses that sweep many configurations should create
+/// one pool and call [`run_fleet_with`] to reuse its threads.
 pub fn run_fleet(config: &FleetConfig) -> FleetRun {
+    let pool = WorkerPool::new(config.workers.clamp(1, config.instances.max(1)));
+    run_fleet_with(&pool, config)
+}
+
+/// Virtual time each worker advances its resident batch per sweep: a
+/// fixed multiple of the scenario's lockstep chunk, so epoch boundaries
+/// land exactly on chunk boundaries and the chunked advance computes
+/// the same instance trajectory as a single `run_for(horizon)` — and
+/// the schedule never depends on the worker count.
+fn epoch_duration(config: &FleetConfig) -> SimDuration {
+    const CHUNKS_PER_EPOCH: u64 = 600;
+    SimDuration::from_nanos(config.template.lockstep_chunk.as_nanos() * CHUNKS_PER_EPOCH)
+}
+
+/// Runs the fleet on an existing pool and aggregates the report.
+///
+/// Instances are split into contiguous batches — one per worker, each
+/// resident on its thread for the whole run — so the report is a pure
+/// function of the configuration regardless of worker count or pool
+/// size.
+pub fn run_fleet_with(pool: &WorkerPool, config: &FleetConfig) -> FleetRun {
     assert!(config.instances > 0, "fleet needs at least one instance");
-    let workers = config.workers.clamp(1, config.instances);
+    let workers = config.workers.clamp(1, config.instances).min(pool.size());
+    let batch_size = config.instances.div_ceil(workers);
     let start = Instant::now();
 
-    let per_instance: Vec<InstanceReport> = run_cells(config.instances, workers, |index| {
-        run_instance(config, index)
-    });
+    let jobs: Vec<_> = (0..workers)
+        .map(|w| {
+            let config = config.clone();
+            let range = (w * batch_size)..((w + 1) * batch_size).min(config.instances);
+            move || run_batch(&config, range)
+        })
+        .collect();
+    let batches = pool.run(jobs);
 
     let wall_seconds = start.elapsed().as_secs_f64();
+    let mut per_instance = Vec::with_capacity(config.instances);
+    let mut worker_utilization = Vec::with_capacity(workers);
+    for (reports, busy_seconds) in batches {
+        per_instance.extend(reports);
+        worker_utilization.push((busy_seconds / wall_seconds.max(1e-9)).min(1.0));
+    }
 
     let report = FleetReport::aggregate(
         config.platform,
@@ -188,11 +236,39 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     let denom = wall_seconds.max(1e-9);
     let wall = WallStats {
         workers,
+        batch_size,
         wall_seconds,
         sim_seconds_per_wall_second: report.totals.sim_seconds / denom,
         ipc_messages_per_wall_second: report.totals.ipc_messages as f64 / denom,
+        worker_utilization,
     };
     FleetRun { report, wall }
+}
+
+/// One worker's whole run: boot the batch, sweep it to the horizon in
+/// epochs, snapshot. Returns the index-ordered reports plus the busy
+/// seconds spent (for [`WallStats::worker_utilization`]).
+fn run_batch(config: &FleetConfig, range: Range<usize>) -> (Vec<InstanceReport>, f64) {
+    let t0 = Instant::now();
+    let reports = match &config.campaign {
+        None => {
+            let mut batch = EngineBatch::boot(config, range);
+            let epoch_ns = epoch_duration(config).as_nanos().max(1);
+            let total_ns = config.horizon.as_nanos();
+            let mut done_ns = 0;
+            while done_ns < total_ns {
+                let step = (total_ns - done_ns).min(epoch_ns);
+                batch.advance(SimDuration::from_nanos(step));
+                done_ns += step;
+            }
+            batch.finish()
+        }
+        // Attack campaigns drive each instance through the attack
+        // harness's own warmup/window/cooldown phases; they cannot be
+        // epoch-stepped externally, so the batch runs them one-shot.
+        Some(_) => range.map(|index| run_instance(config, index)).collect(),
+    };
+    (reports, t0.elapsed().as_secs_f64())
 }
 
 /// Boots, runs, and snapshots one instance, entirely on the calling

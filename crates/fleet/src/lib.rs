@@ -14,8 +14,11 @@
 //!
 //! - [`seed`] — per-instance seed derivation (SplitMix64 over
 //!   root + index·γ),
-//! - [`engine`] — [`engine::FleetConfig`], worker pool, and
-//!   [`engine::run_fleet`],
+//! - [`pool`] — the persistent [`pool::WorkerPool`] threads,
+//! - [`batch`] — [`batch::EngineBatch`], a worker's resident instances
+//!   in struct-of-arrays layout,
+//! - [`engine`] — [`engine::FleetConfig`], [`engine::run_fleet`], and
+//!   the one-shot [`engine::run_cells`] executor,
 //! - [`report`] — [`FleetReport`] and friends, with hand-rolled
 //!   deterministic JSON,
 //! - [`json`] — the tiny ordered JSON writer the reports (and
@@ -30,12 +33,18 @@
 //! println!("{}", run.report.to_json());
 //! ```
 
+pub mod batch;
 pub mod engine;
 pub mod json;
+pub mod pool;
 pub mod report;
 pub mod seed;
 
-pub use engine::{run_cells, run_fleet, Campaign, FleetConfig, FleetRun, WallStats};
+pub use batch::EngineBatch;
+pub use engine::{
+    run_cells, run_fleet, run_fleet_with, Campaign, FleetConfig, FleetRun, WallStats,
+};
 pub use json::Json;
+pub use pool::WorkerPool;
 pub use report::{FleetReport, FleetTotals, InstanceReport, LatencyHistogram};
 pub use seed::instance_seed;

@@ -1,0 +1,130 @@
+//! A persistent worker pool.
+//!
+//! Unlike the per-sweep scoped threads the fleet used before, a
+//! [`WorkerPool`] spawns its threads once and keeps them parked on a
+//! channel between dispatches, so a harness sweeping many fleet
+//! configurations (`exp_fleet_scale`, the BENCH gate) reuses the same
+//! OS threads across runs instead of paying spawn/join per sweep point.
+//!
+//! Jobs are dispatched round-robin in submission order and results are
+//! returned in submission order — the pool decides *when* a job runs,
+//! never *what* it computes, which is what lets the fleet keep its
+//! byte-identical-report guarantee while owning resident instance
+//! batches inside each job.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (at least one) persistent threads.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut threads = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fleet-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn fleet worker"),
+            );
+        }
+        WorkerPool { senders, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Dispatches `jobs` round-robin (job `j` to worker `j % size`) and
+    /// blocks until all complete, returning results in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread died mid-job (a job panicked).
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let expected = jobs.len();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, T)>();
+        for (j, job) in jobs.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            self.senders[j % self.senders.len()]
+                .send(Box::new(move || {
+                    let out = job();
+                    let _ = tx.send((j, out));
+                }))
+                .expect("worker thread alive");
+        }
+        drop(result_tx);
+        // The iterator ends when every job's sender clone is gone —
+        // normally after `expected` results, early if a worker panicked.
+        let mut out: Vec<(usize, T)> = result_rx.iter().collect();
+        assert_eq!(out.len(), expected, "a fleet worker panicked");
+        out.sort_by_key(|&(j, _)| j);
+        out.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels lets each worker's `recv` fail and the
+        // thread exit; then reap them.
+        self.senders.clear();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<_> = (0..10u64).map(|i| move || i * i).collect();
+        assert_eq!(
+            pool.run(jobs),
+            (0..10u64).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pool_survives_repeated_dispatches() {
+        let pool = WorkerPool::new(2);
+        for round in 0..5u64 {
+            let jobs: Vec<_> = (0..4u64).map(|i| move || round * 10 + i).collect();
+            let got = pool.run(jobs);
+            assert_eq!(
+                got,
+                vec![round * 10, round * 10 + 1, round * 10 + 2, round * 10 + 3]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dispatch_is_fine() {
+        let pool = WorkerPool::new(1);
+        let got: Vec<u8> = pool.run(Vec::<fn() -> u8>::new());
+        assert!(got.is_empty());
+    }
+}

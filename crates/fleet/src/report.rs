@@ -158,6 +158,9 @@ pub struct FleetTotals {
     pub access_denied: u64,
     /// Total processes created.
     pub processes_created: u64,
+    /// Total IPC hot-path heap events (arena growth + spills); a warm
+    /// fleet holds this at the boot-time baseline.
+    pub hot_path_allocs: u64,
     /// Instances whose safety property was violated.
     pub safety_violations: usize,
     /// Instances that lost a critical process.
@@ -174,6 +177,7 @@ impl FleetTotals {
             ("context_switches", Json::UInt(self.context_switches)),
             ("access_denied", Json::UInt(self.access_denied)),
             ("processes_created", Json::UInt(self.processes_created)),
+            ("hot_path_allocs", Json::UInt(self.hot_path_allocs)),
             (
                 "safety_violations",
                 Json::UInt(self.safety_violations as u64),
@@ -249,6 +253,7 @@ impl FleetReport {
             totals.context_switches += r.metrics.context_switches;
             totals.access_denied += r.metrics.access_denied;
             totals.processes_created += r.metrics.processes_created;
+            totals.hot_path_allocs += r.metrics.hot_path_allocs;
             if r.plant.safety_violated {
                 totals.safety_violations += 1;
             }
@@ -332,6 +337,7 @@ pub fn metrics_to_json(m: &KernelMetrics) -> Json {
         ("syscall_errors", Json::UInt(m.syscall_errors)),
         ("processes_created", Json::UInt(m.processes_created)),
         ("processes_reaped", Json::UInt(m.processes_reaped)),
+        ("hot_path_allocs", Json::UInt(m.hot_path_allocs)),
     ])
 }
 

@@ -30,6 +30,32 @@ fn same_seed_same_json_across_worker_counts() {
 }
 
 #[test]
+fn large_fleet_is_byte_identical_at_every_worker_count() {
+    // The BENCH-quoted configuration: a 256-instance fleet under the
+    // persistent-pool executor. Batch boundaries move with the worker
+    // count (256, 128, 64, ... instances per batch); the report bytes
+    // must not.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&cores) {
+        counts.push(cores);
+    }
+    let mut reference: Option<String> = None;
+    for workers in counts {
+        let mut config = FleetConfig::benign(Platform::Minix, 256, workers);
+        config.horizon = SimDuration::from_mins(2);
+        let json = run_fleet(&config).report.to_json();
+        match &reference {
+            None => reference = Some(json),
+            Some(expected) => assert_eq!(
+                expected, &json,
+                "256-instance report diverged at workers={workers}"
+            ),
+        }
+    }
+}
+
+#[test]
 fn different_root_seed_changes_the_report() {
     let mut a = small_fleet(Platform::Minix, 2);
     let mut b = small_fleet(Platform::Minix, 2);

@@ -5,9 +5,17 @@
 //! messages carry no kernel identity; `kill` is a direct syscall gated by
 //! uid comparison with a root bypass. Every attack in §IV-D.1 flows
 //! through one of those three facts.
+//!
+//! Hot-path layout: queue names are interned at `mq_open` time, so a
+//! descriptor carries a dense `u32` queue id and `mq_send`/`mq_receive`
+//! never touch a `String`. Payload bytes are staged once into the kernel
+//! [`MsgArena`] at the user→kernel boundary; queues and blocked-sender
+//! PCBs move the 8-byte [`MsgRef`] handle, and the bytes are copied out
+//! exactly once at delivery.
 
 use std::collections::BTreeMap;
 
+use bas_sim::arena::{MsgArena, MsgRef};
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::{DeviceBus, DeviceId};
 use bas_sim::fault::{IpcFault, IpcFaultState};
@@ -60,22 +68,26 @@ impl Default for LinuxConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+/// An open descriptor: the interned queue id plus the access intents
+/// granted at open time. `Copy`, so `mq_send`/`mq_receive` never clone a
+/// queue name on the hot path.
+#[derive(Debug, Clone, Copy)]
 struct OpenQueue {
-    qname: String,
+    qid: u32,
     access: MqAccess,
 }
 
 #[derive(Debug)]
 enum Block {
+    /// Blocked in `mq_send` on a full queue. The payload is already
+    /// staged in the arena; the PCB parks only the handle.
     MqSendWait {
-        qname: String,
-        data: Vec<u8>,
+        qid: u32,
+        msg: MsgRef,
         priority: u32,
     },
-    MqRecvWait {
-        qname: String,
-    },
+    /// Blocked in `mq_receive` on an empty queue.
+    MqRecvWait { qid: u32 },
 }
 
 struct ProcEntry {
@@ -90,7 +102,13 @@ struct ProcEntry {
 /// The simulated Linux kernel.
 pub struct LinuxKernel {
     procs: Vec<Option<ProcEntry>>,
-    queues: BTreeMap<String, MessageQueue>,
+    /// Queues addressed by interned id; `None` marks an unlinked slot
+    /// (stale descriptors observe `ENOENT`, as before interning).
+    queues: Vec<Option<MessageQueue>>,
+    /// VFS name → interned queue id, consulted only at open/unlink.
+    queue_ids: BTreeMap<String, u32>,
+    /// Kernel message arena: payload bytes for queued and parked sends.
+    arena: MsgArena,
     programs: Vec<(String, ProgramFactory<Syscall, Reply>)>,
     names: BTreeMap<String, Pid>,
     run_queue: RunQueue,
@@ -105,12 +123,20 @@ pub struct LinuxKernel {
     ipc_faults: IpcFaultState,
 }
 
+/// Trace-only name lookup (runs inside lazy trace closures).
+fn qname_of(queues: &[Option<MessageQueue>], qid: u32) -> &str {
+    queues
+        .get(qid as usize)
+        .and_then(Option::as_ref)
+        .map_or("?", |q| q.name.as_str())
+}
+
 impl std::fmt::Debug for LinuxKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LinuxKernel")
             .field("now", &self.clock.now())
             .field("processes", &self.process_count())
-            .field("queues", &self.queues.len())
+            .field("queues", &self.queue_ids.len())
             .field("metrics", &self.metrics)
             .finish()
     }
@@ -121,7 +147,9 @@ impl LinuxKernel {
     pub fn new(config: LinuxConfig) -> Self {
         LinuxKernel {
             procs: Vec::new(),
-            queues: BTreeMap::new(),
+            queues: Vec::new(),
+            queue_ids: BTreeMap::new(),
+            arena: MsgArena::with_capacity(config.max_procs),
             programs: Vec::new(),
             names: BTreeMap::new(),
             run_queue: RunQueue::new(),
@@ -184,12 +212,9 @@ impl LinuxKernel {
         self.names.insert(name.clone(), pid);
         self.run_queue.enqueue(pid);
         self.metrics.processes_created += 1;
-        self.trace.record(
-            self.clock.now(),
-            Some(pid),
-            "proc.spawn",
-            format!("{name} uid={uid}"),
-        );
+        let now = self.clock.now();
+        self.trace
+            .record_with(now, Some(pid), "proc.spawn", || format!("{name} uid={uid}"));
         Ok(pid)
     }
 
@@ -218,12 +243,9 @@ impl LinuxKernel {
         let Some(pid) = self.pid_of(name) else {
             return false;
         };
-        self.trace.record(
-            self.clock.now(),
-            Some(pid),
-            "fault.crash",
-            format!("killed {name}"),
-        );
+        let now = self.clock.now();
+        self.trace
+            .record_with(now, Some(pid), "fault.crash", || format!("killed {name}"));
         self.terminate(pid);
         true
     }
@@ -232,12 +254,10 @@ impl LinuxKernel {
     /// tick-skew fault.
     pub fn skew_clock(&mut self, d: SimDuration) {
         self.clock.advance(d);
-        self.trace.record(
-            self.clock.now(),
-            None,
-            "fault.clock",
-            format!("skewed +{}ms", d.as_millis()),
-        );
+        let now = self.clock.now();
+        self.trace.record_with(now, None, "fault.clock", || {
+            format!("skewed +{}ms", d.as_millis())
+        });
     }
 
     /// Pre-creates a message queue owned by `owner` (scenario-loader
@@ -251,8 +271,7 @@ impl LinuxKernel {
         capacity: usize,
     ) {
         let name = name.into();
-        self.queues
-            .insert(name.clone(), MessageQueue::new(name, owner, mode, capacity));
+        self.install_queue(MessageQueue::new(name, owner, mode, capacity));
     }
 
     /// Pre-creates a message queue whose mode's group triple applies to
@@ -267,10 +286,42 @@ impl LinuxKernel {
         capacity: usize,
     ) {
         let name = name.into();
-        self.queues.insert(
-            name.clone(),
-            MessageQueue::new(name, owner, mode, capacity).with_group(group),
-        );
+        self.install_queue(MessageQueue::new(name, owner, mode, capacity).with_group(group));
+    }
+
+    /// Interns (or replaces) a queue under its VFS name; returns the id.
+    fn install_queue(&mut self, q: MessageQueue) -> u32 {
+        if let Some(&qid) = self.queue_ids.get(&q.name) {
+            // Same name re-created: release any payload the old queue
+            // still holds before swapping the new one in.
+            if let Some(old) = self.queues[qid as usize].take() {
+                self.free_queue_slots(old);
+            }
+            self.queues[qid as usize] = Some(q);
+            return qid;
+        }
+        let slot = self
+            .queues
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.queues.push(None);
+                self.queues.len() - 1
+            });
+        self.queue_ids.insert(q.name.clone(), slot as u32);
+        self.queues[slot] = Some(q);
+        slot as u32
+    }
+
+    /// Returns every queued payload slot of a detached queue to the arena.
+    fn free_queue_slots(&mut self, mut q: MessageQueue) {
+        while let Some(m) = q.pop() {
+            self.arena.free(m.msg);
+        }
+    }
+
+    fn queue_ref(&self, qid: u32) -> Option<&MessageQueue> {
+        self.queues.get(qid as usize).and_then(Option::as_ref)
     }
 
     // ----- introspection -------------------------------------------------------
@@ -323,12 +374,15 @@ impl LinuxKernel {
 
     /// Live queue names, for diagnostics.
     pub fn queue_names(&self) -> Vec<String> {
-        self.queues.keys().cloned().collect()
+        self.queue_ids.keys().cloned().collect()
     }
 
     /// Depth of a queue, if it exists.
     pub fn queue_len(&self, name: &str) -> Option<usize> {
-        self.queues.get(name).map(MessageQueue::len)
+        self.queue_ids
+            .get(name)
+            .and_then(|&qid| self.queue_ref(qid))
+            .map(MessageQueue::len)
     }
 
     // ----- execution -------------------------------------------------------------
@@ -417,12 +471,9 @@ impl LinuxKernel {
             }
             Action::Yield => self.run_queue.enqueue(pid),
             Action::Exit(code) => {
-                self.trace.record(
-                    self.clock.now(),
-                    Some(pid),
-                    "proc.exit",
-                    format!("code={code}"),
-                );
+                let now = self.clock.now();
+                self.trace
+                    .record_with(now, Some(pid), "proc.exit", || format!("code={code}"));
                 self.terminate(pid);
             }
         }
@@ -490,43 +541,43 @@ impl LinuxKernel {
 
     fn do_mq_open(&mut self, pid: Pid, name: String, access: MqAccess, create: Option<MqCreate>) {
         let uid = self.entry_ref(pid).expect("caller").uid;
-        let exists = self.queues.contains_key(&name);
-        if !exists {
-            match create {
+        let qid = match self.queue_ids.get(&name).copied() {
+            None => match create {
                 Some(attr) => {
-                    self.queues.insert(
+                    let qid = self.install_queue(MessageQueue::new(
                         name.clone(),
-                        MessageQueue::new(name.clone(), uid, Mode::new(attr.mode), attr.capacity),
-                    );
-                    self.trace.record(
-                        self.clock.now(),
-                        Some(pid),
-                        "mq.create",
-                        format!("{name} mode={:04o}", attr.mode),
-                    );
+                        uid,
+                        Mode::new(attr.mode),
+                        attr.capacity,
+                    ));
+                    let now = self.clock.now();
+                    self.trace.record_with(now, Some(pid), "mq.create", || {
+                        format!("{name} mode={:04o}", attr.mode)
+                    });
+                    qid
                 }
                 None => {
                     self.ready_with(pid, Reply::Err(LinuxError::NoEntry));
                     return;
                 }
+            },
+            Some(qid) => {
+                let q = self.queue_ref(qid).expect("interned name maps to queue");
+                if !q
+                    .mode
+                    .allows_with_group(uid, q.owner, q.group, access.read, access.write)
+                {
+                    self.metrics.access_denied += 1;
+                    let now = self.clock.now();
+                    self.trace.record_with(now, Some(pid), "dac.deny", || {
+                        format!("{uid} denied {name}")
+                    });
+                    self.ready_with(pid, Reply::Err(LinuxError::AccessDenied));
+                    return;
+                }
+                qid
             }
-        } else {
-            let q = &self.queues[&name];
-            if !q
-                .mode
-                .allows_with_group(uid, q.owner, q.group, access.read, access.write)
-            {
-                self.metrics.access_denied += 1;
-                self.trace.record(
-                    self.clock.now(),
-                    Some(pid),
-                    "dac.deny",
-                    format!("{uid} denied {name}"),
-                );
-                self.ready_with(pid, Reply::Err(LinuxError::AccessDenied));
-                return;
-            }
-        }
+        };
         let entry = self.entry_mut(pid).expect("caller");
         let fd = entry
             .fds
@@ -536,17 +587,15 @@ impl LinuxKernel {
                 entry.fds.push(None);
                 entry.fds.len() - 1
             });
-        entry.fds[fd] = Some(OpenQueue {
-            qname: name,
-            access,
-        });
+        entry.fds[fd] = Some(OpenQueue { qid, access });
         self.ready_with(pid, Reply::Qd(fd as u32));
     }
 
     fn open_queue(&self, pid: Pid, qd: u32) -> Result<OpenQueue, LinuxError> {
         self.entry_ref(pid)
             .and_then(|e| e.fds.get(qd as usize))
-            .and_then(|f| f.clone())
+            .copied()
+            .flatten()
             .ok_or(LinuxError::BadDescriptor)
     }
 
@@ -561,7 +610,7 @@ impl LinuxKernel {
         if data.len() > MQ_MSG_MAX {
             return self.ready_with(pid, Reply::Err(LinuxError::MessageTooLong));
         }
-        if !self.queues.contains_key(&oq.qname) {
+        if self.queue_ref(oq.qid).is_none() {
             return self.ready_with(pid, Reply::Err(LinuxError::NoEntry));
         }
 
@@ -571,12 +620,11 @@ impl LinuxKernel {
         let fault = self.ipc_faults.pop();
         match fault {
             Some(IpcFault::Drop) => {
-                self.trace.record(
-                    self.clock.now(),
-                    Some(pid),
-                    "fault.ipc",
-                    format!("drop {pid} -> {}", oq.qname),
-                );
+                let now = self.clock.now();
+                let queues = &self.queues;
+                self.trace.record_with(now, Some(pid), "fault.ipc", || {
+                    format!("drop {pid} -> {}", qname_of(queues, oq.qid))
+                });
                 // mq_send reports success; the message never lands.
                 return self.ready_with(pid, Reply::Ok);
             }
@@ -584,50 +632,64 @@ impl LinuxKernel {
                 // The message sits in transit: the kernel pays the
                 // latency, then enqueues normally.
                 self.clock.advance(d);
-                self.trace.record(
-                    self.clock.now(),
-                    Some(pid),
-                    "fault.ipc",
-                    format!("delay {pid} -> {} +{}ms", oq.qname, d.as_millis()),
-                );
+                let now = self.clock.now();
+                let queues = &self.queues;
+                self.trace.record_with(now, Some(pid), "fault.ipc", || {
+                    format!(
+                        "delay {pid} -> {} +{}ms",
+                        qname_of(queues, oq.qid),
+                        d.as_millis()
+                    )
+                });
             }
             Some(IpcFault::Duplicate) | None => {}
         }
 
-        let q = self.queues.get_mut(&oq.qname).expect("checked above");
+        // Stage the payload into the arena once (the user→kernel copy);
+        // from here on only the handle moves.
+        let msg = self.arena.alloc(&data);
+        let q = self.queues[oq.qid as usize]
+            .as_mut()
+            .expect("checked above");
         if q.is_full() {
             if nonblocking {
+                self.arena.free(msg);
                 return self.ready_with(pid, Reply::Err(LinuxError::WouldBlock));
             }
             if let Some(entry) = self.entry_mut(pid) {
                 entry.state = ProcState::Blocked(Block::MqSendWait {
-                    qname: oq.qname.clone(),
-                    data,
+                    qid: oq.qid,
+                    msg,
                     priority,
                 });
             }
             return;
         }
-        let duplicate = matches!(fault, Some(IpcFault::Duplicate)).then(|| data.clone());
-        q.push(MqMessage { priority, data });
-        self.note_ipc(&oq.qname, pid);
-        if let Some(data) = duplicate {
+        // A duplicated send is a second reference to the same slot, not a
+        // second copy of the bytes.
+        let duplicate = matches!(fault, Some(IpcFault::Duplicate)).then(|| self.arena.dup(msg));
+        q.push(MqMessage { priority, msg });
+        self.note_ipc(oq.qid, pid);
+        if let Some(dup) = duplicate {
             // The queue absorbs a duplicate only while it has room; a
             // full buffer loses the transport's re-presented copy.
-            let q = self.queues.get_mut(&oq.qname).expect("checked above");
-            if !q.is_full() {
-                q.push(MqMessage { priority, data });
-                self.trace.record(
-                    self.clock.now(),
-                    Some(pid),
-                    "fault.ipc",
-                    format!("duplicate {pid} -> {}", oq.qname),
-                );
-                self.note_ipc(&oq.qname, pid);
+            let q = self.queues[oq.qid as usize]
+                .as_mut()
+                .expect("checked above");
+            if q.is_full() {
+                self.arena.free(dup);
+            } else {
+                q.push(MqMessage { priority, msg: dup });
+                let now = self.clock.now();
+                let queues = &self.queues;
+                self.trace.record_with(now, Some(pid), "fault.ipc", || {
+                    format!("duplicate {pid} -> {}", qname_of(queues, oq.qid))
+                });
+                self.note_ipc(oq.qid, pid);
             }
         }
         self.ready_with(pid, Reply::Ok);
-        self.pump_queue(&oq.qname);
+        self.pump_queue(oq.qid);
     }
 
     fn do_mq_receive(&mut self, pid: Pid, qd: u32, nonblocking: bool) {
@@ -638,26 +700,32 @@ impl LinuxKernel {
         if !oq.access.read {
             return self.ready_with(pid, Reply::Err(LinuxError::BadDescriptor));
         }
-        let Some(q) = self.queues.get_mut(&oq.qname) else {
+        let Some(q) = self
+            .queues
+            .get_mut(oq.qid as usize)
+            .and_then(Option::as_mut)
+        else {
             return self.ready_with(pid, Reply::Err(LinuxError::NoEntry));
         };
         match q.pop() {
-            Some(msg) => {
+            Some(m) => {
+                // The kernel→user copy: bytes leave the arena exactly
+                // once, and the slot recycles immediately.
+                let data = self.arena.get(m.msg).to_vec();
+                self.arena.free(m.msg);
                 self.ready_with(
                     pid,
                     Reply::Data {
-                        data: msg.data,
-                        priority: msg.priority,
+                        data,
+                        priority: m.priority,
                     },
                 );
-                self.pump_queue(&oq.qname);
+                self.pump_queue(oq.qid);
             }
             None if nonblocking => self.ready_with(pid, Reply::Err(LinuxError::WouldBlock)),
             None => {
                 if let Some(entry) = self.entry_mut(pid) {
-                    entry.state = ProcState::Blocked(Block::MqRecvWait {
-                        qname: oq.qname.clone(),
-                    });
+                    entry.state = ProcState::Blocked(Block::MqRecvWait { qid: oq.qid });
                 }
             }
         }
@@ -665,14 +733,27 @@ impl LinuxKernel {
 
     fn do_mq_unlink(&mut self, pid: Pid, name: String) {
         let uid = self.entry_ref(pid).expect("caller").uid;
-        match self.queues.get(&name) {
+        match self.queue_ids.get(&name).copied() {
             None => self.ready_with(pid, Reply::Err(LinuxError::NoEntry)),
-            Some(q) => {
-                if uid.is_root() || uid == q.owner {
-                    self.queues.remove(&name);
-                    // Processes blocked on the queue get ENOENT.
-                    let blocked: Vec<Pid> = self.blocked_on_queue(&name);
-                    for p in blocked {
+            Some(qid) => {
+                let owner = self
+                    .queue_ref(qid)
+                    .expect("interned name maps to queue")
+                    .owner;
+                if uid.is_root() || uid == owner {
+                    self.queue_ids.remove(&name);
+                    if let Some(q) = self.queues[qid as usize].take() {
+                        self.free_queue_slots(q);
+                    }
+                    // Processes blocked on the queue get ENOENT; parked
+                    // send payloads return to the arena.
+                    for p in self.blocked_on_queue(qid) {
+                        let parked = self
+                            .entry_mut(p)
+                            .map(|e| std::mem::replace(&mut e.state, ProcState::Runnable));
+                        if let Some(ProcState::Blocked(Block::MqSendWait { msg, .. })) = parked {
+                            self.arena.free(msg);
+                        }
                         self.ready_with(p, Reply::Err(LinuxError::NoEntry));
                     }
                     self.ready_with(pid, Reply::Ok);
@@ -693,20 +774,18 @@ impl LinuxKernel {
         // The entire permission model: same uid or root.
         if !caller_uid.is_root() && caller_uid != target_uid {
             self.metrics.access_denied += 1;
-            self.trace.record(
-                self.clock.now(),
-                Some(caller),
-                "signal.deny",
-                format!("{caller_uid} may not signal {target_uid}"),
-            );
+            let now = self.clock.now();
+            self.trace
+                .record_with(now, Some(caller), "signal.deny", || {
+                    format!("{caller_uid} may not signal {target_uid}")
+                });
             return self.ready_with(caller, Reply::Err(LinuxError::NotPermitted));
         }
-        self.trace.record(
-            self.clock.now(),
-            Some(caller),
-            "signal.kill",
-            format!("{caller} sent {signal:?} to {target} ({target_name})"),
-        );
+        let now = self.clock.now();
+        self.trace
+            .record_with(now, Some(caller), "signal.kill", || {
+                format!("{caller} sent {signal:?} to {target} ({target_name})")
+            });
         self.terminate(target);
         if target != caller {
             self.ready_with(caller, Reply::Ok);
@@ -734,23 +813,17 @@ impl LinuxKernel {
         let (want_read, want_write) = (write.is_none(), write.is_some());
         if !mode.allows(uid, owner, want_read, want_write) {
             self.metrics.access_denied += 1;
-            self.trace.record(
-                self.clock.now(),
-                Some(pid),
-                "dac.deny",
-                format!("{uid} denied {dev}"),
-            );
+            let now = self.clock.now();
+            self.trace
+                .record_with(now, Some(pid), "dac.deny", || format!("{uid} denied {dev}"));
             return self.ready_with(pid, Reply::Err(LinuxError::AccessDenied));
         }
         match write {
             Some(value) => match self.devices.write(dev, value) {
                 Ok(()) => {
-                    self.trace.record(
-                        self.clock.now(),
-                        Some(pid),
-                        "dev.write",
-                        format!("{dev} <- {value}"),
-                    );
+                    let now = self.clock.now();
+                    self.trace
+                        .record_with(now, Some(pid), "dev.write", || format!("{dev} <- {value}"));
                     self.ready_with(pid, Reply::Ok);
                 }
                 Err(_) => self.ready_with(pid, Reply::Err(LinuxError::NoEntry)),
@@ -764,15 +837,15 @@ impl LinuxKernel {
 
     // ----- queue wake-ups -----------------------------------------------------------
 
-    fn blocked_on_queue(&self, qname: &str) -> Vec<Pid> {
+    fn blocked_on_queue(&self, qid: u32) -> Vec<Pid> {
         self.procs
             .iter()
             .enumerate()
             .filter_map(|(i, p)| {
                 let e = p.as_ref()?;
                 let hit = match &e.state {
-                    ProcState::Blocked(Block::MqSendWait { qname: q, .. })
-                    | ProcState::Blocked(Block::MqRecvWait { qname: q }) => q == qname,
+                    ProcState::Blocked(Block::MqSendWait { qid: q, .. })
+                    | ProcState::Blocked(Block::MqRecvWait { qid: q }) => *q == qid,
                     _ => false,
                 };
                 hit.then(|| Pid::new(i as u32))
@@ -783,63 +856,65 @@ impl LinuxKernel {
     /// Drains wake-up opportunities on a queue until no progress: deliver
     /// to waiting receivers while messages exist; admit waiting senders
     /// while space exists.
-    fn pump_queue(&mut self, qname: &str) {
+    fn pump_queue(&mut self, qid: u32) {
         loop {
             let mut progressed = false;
 
             // Wake one receiver if a message is available.
-            if self.queues.get(qname).is_some_and(|q| !q.is_empty()) {
+            if self.queue_ref(qid).is_some_and(|q| !q.is_empty()) {
                 let receiver = self.procs.iter().enumerate().find_map(|(i, p)| {
                     let e = p.as_ref()?;
                     matches!(
                         &e.state,
-                        ProcState::Blocked(Block::MqRecvWait { qname: q }) if q == qname
+                        ProcState::Blocked(Block::MqRecvWait { qid: q }) if *q == qid
                     )
                     .then(|| Pid::new(i as u32))
                 });
                 if let Some(r) = receiver {
-                    let msg = self
-                        .queues
-                        .get_mut(qname)
+                    let m = self.queues[qid as usize]
+                        .as_mut()
                         .expect("exists")
                         .pop()
                         .expect("nonempty");
+                    let data = self.arena.get(m.msg).to_vec();
+                    self.arena.free(m.msg);
                     self.ready_with(
                         r,
                         Reply::Data {
-                            data: msg.data,
-                            priority: msg.priority,
+                            data,
+                            priority: m.priority,
                         },
                     );
                     progressed = true;
                 }
             }
 
-            // Admit one sender if space is available.
-            if self.queues.get(qname).is_some_and(|q| !q.is_full()) {
+            // Admit one sender if space is available. The parked handle
+            // moves PCB→queue without touching the payload bytes.
+            if self.queue_ref(qid).is_some_and(|q| !q.is_full()) {
                 let sender = self.procs.iter().enumerate().find_map(|(i, p)| {
                     let e = p.as_ref()?;
                     matches!(
                         &e.state,
-                        ProcState::Blocked(Block::MqSendWait { qname: q, .. }) if q == qname
+                        ProcState::Blocked(Block::MqSendWait { qid: q, .. }) if *q == qid
                     )
                     .then(|| Pid::new(i as u32))
                 });
                 if let Some(s) = sender {
-                    let (data, priority) = {
+                    let (msg, priority) = {
                         let entry = self.entry_mut(s).expect("sender alive");
                         match std::mem::replace(&mut entry.state, ProcState::Runnable) {
-                            ProcState::Blocked(Block::MqSendWait { data, priority, .. }) => {
-                                (data, priority)
+                            ProcState::Blocked(Block::MqSendWait { msg, priority, .. }) => {
+                                (msg, priority)
                             }
                             _ => unreachable!("sender was send-waiting"),
                         }
                     };
-                    self.queues
-                        .get_mut(qname)
+                    self.queues[qid as usize]
+                        .as_mut()
                         .expect("exists")
-                        .push(MqMessage { priority, data });
-                    self.note_ipc(qname, s);
+                        .push(MqMessage { priority, msg });
+                    self.note_ipc(qid, s);
                     self.ready_with(s, Reply::Ok);
                     progressed = true;
                 }
@@ -851,16 +926,16 @@ impl LinuxKernel {
         }
     }
 
-    fn note_ipc(&mut self, qname: &str, sender: Pid) {
+    fn note_ipc(&mut self, qid: u32, sender: Pid) {
         self.metrics.ipc_messages += 1;
         self.clock.charge_ipc_copy(64);
         self.metrics.ipc_bytes += 64;
-        self.trace.record(
-            self.clock.now(),
-            Some(sender),
-            "mq.send",
-            format!("{sender} -> {qname}"),
-        );
+        self.metrics.hot_path_allocs = self.arena.heap_events();
+        let now = self.clock.now();
+        let queues = &self.queues;
+        self.trace.record_with(now, Some(sender), "mq.send", || {
+            format!("{sender} -> {}", qname_of(queues, qid))
+        });
     }
 
     // ----- termination ----------------------------------------------------------------
@@ -869,6 +944,10 @@ impl LinuxKernel {
         let Some(entry) = self.procs.get_mut(pid.as_usize()).and_then(Option::take) else {
             return;
         };
+        // A send parked on a full queue still owns its arena slot.
+        if let ProcState::Blocked(Block::MqSendWait { msg, .. }) = &entry.state {
+            self.arena.free(*msg);
+        }
         self.run_queue.remove(pid);
         self.timers.cancel(pid);
         self.names.retain(|_, p| *p != pid);

@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use bas_sim::arena::MsgRef;
 use serde::{Deserialize, Serialize};
 
 use crate::cred::{Mode, Uid};
@@ -17,12 +18,18 @@ pub const MQ_MSG_MAX: usize = 256;
 
 /// One queued message. Note what is *absent*: any kernel-verified sender
 /// identity. The receiver sees only bytes and a priority.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The payload itself lives in the kernel's [`bas_sim::arena::MsgArena`];
+/// the queue holds only the 8-byte slot handle, so messages move through
+/// full/blocked/unblocked transitions without copying bytes. Whoever pops
+/// the message (or tears the queue down) owns the slot reference and must
+/// free it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MqMessage {
     /// Sender-chosen priority (higher delivered first).
     pub priority: u32,
-    /// The payload.
-    pub data: Vec<u8>,
+    /// Arena handle to the payload bytes.
+    pub msg: MsgRef,
 }
 
 /// A named message queue.
@@ -102,6 +109,7 @@ impl MessageQueue {
     }
 
     /// Dequeues the highest-priority (oldest within priority) message.
+    /// The caller takes over the popped message's arena slot reference.
     pub fn pop(&mut self) -> Option<MqMessage> {
         self.order.pop_front();
         self.queue.pop_front()
@@ -110,48 +118,59 @@ impl MessageQueue {
 
 #[cfg(test)]
 mod tests {
+    use bas_sim::arena::MsgArena;
+
     use super::*;
 
     fn q() -> MessageQueue {
         MessageQueue::new("/q", Uid::new(1), Mode::new(0o600), 4)
     }
 
-    fn msg(p: u32, b: u8) -> MqMessage {
+    fn msg(arena: &mut MsgArena, p: u32, b: u8) -> MqMessage {
         MqMessage {
             priority: p,
-            data: vec![b],
+            msg: arena.alloc(&[b]),
         }
+    }
+
+    fn byte(arena: &MsgArena, m: &MqMessage) -> u8 {
+        arena.get(m.msg)[0]
     }
 
     #[test]
     fn fifo_within_priority() {
+        let mut arena = MsgArena::default();
         let mut q = q();
-        q.push(msg(0, 1));
-        q.push(msg(0, 2));
-        q.push(msg(0, 3));
-        assert_eq!(q.pop().unwrap().data, vec![1]);
-        assert_eq!(q.pop().unwrap().data, vec![2]);
-        assert_eq!(q.pop().unwrap().data, vec![3]);
+        q.push(msg(&mut arena, 0, 1));
+        q.push(msg(&mut arena, 0, 2));
+        q.push(msg(&mut arena, 0, 3));
+        assert_eq!(byte(&arena, &q.pop().unwrap()), 1);
+        assert_eq!(byte(&arena, &q.pop().unwrap()), 2);
+        assert_eq!(byte(&arena, &q.pop().unwrap()), 3);
         assert!(q.pop().is_none());
     }
 
     #[test]
     fn higher_priority_jumps_queue() {
+        let mut arena = MsgArena::default();
         let mut q = q();
-        q.push(msg(0, 1));
-        q.push(msg(5, 2));
-        q.push(msg(0, 3));
-        q.push(msg(5, 4));
-        let order: Vec<u8> = std::iter::from_fn(|| q.pop()).map(|m| m.data[0]).collect();
+        q.push(msg(&mut arena, 0, 1));
+        q.push(msg(&mut arena, 5, 2));
+        q.push(msg(&mut arena, 0, 3));
+        q.push(msg(&mut arena, 5, 4));
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|m| byte(&arena, &m))
+            .collect();
         assert_eq!(order, vec![2, 4, 1, 3]);
     }
 
     #[test]
     fn capacity_tracked() {
+        let mut arena = MsgArena::default();
         let mut q = q();
         for i in 0..4 {
             assert!(!q.is_full());
-            q.push(msg(0, i));
+            q.push(msg(&mut arena, 0, i));
         }
         assert!(q.is_full());
         assert_eq!(q.len(), 4);
@@ -162,9 +181,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "push on full queue")]
     fn push_on_full_panics() {
+        let mut arena = MsgArena::default();
         let mut q = q();
         for i in 0..5 {
-            q.push(msg(0, i));
+            q.push(msg(&mut arena, 0, i));
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use bas_linux::cred::{Mode, Uid};
 use bas_linux::mq::{MessageQueue, MqMessage};
+use bas_sim::arena::MsgArena;
 use proptest::prelude::*;
 
 proptest! {
@@ -10,27 +11,30 @@ proptest! {
     /// (priority desc, arrival asc) — the `mq_send(3)` contract.
     #[test]
     fn mq_order_matches_reference(msgs in prop::collection::vec((0u32..4, any::<u8>()), 0..32)) {
+        let mut arena = MsgArena::default();
         let mut q = MessageQueue::new("/p", Uid::new(1), Mode::new(0o600), 64);
         for (prio, byte) in &msgs {
-            q.push(MqMessage { priority: *prio, data: vec![*byte] });
+            q.push(MqMessage { priority: *prio, msg: arena.alloc(&[*byte]) });
         }
         // Reference: stable sort by priority descending.
         let mut expected: Vec<(u32, u8)> = msgs;
         expected.sort_by_key(|(p, _)| std::cmp::Reverse(*p));
         let drained: Vec<(u32, u8)> =
-            std::iter::from_fn(|| q.pop()).map(|m| (m.priority, m.data[0])).collect();
+            std::iter::from_fn(|| q.pop()).map(|m| (m.priority, arena.get(m.msg)[0])).collect();
         prop_assert_eq!(drained, expected);
     }
 
     /// Push/pop conserves messages: nothing duplicated, nothing lost.
     #[test]
     fn mq_conserves_messages(msgs in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut arena = MsgArena::default();
         let mut q = MessageQueue::new("/c", Uid::new(1), Mode::new(0o600), 64);
         for b in &msgs {
-            q.push(MqMessage { priority: 0, data: vec![*b] });
+            q.push(MqMessage { priority: 0, msg: arena.alloc(&[*b]) });
         }
         prop_assert_eq!(q.len(), msgs.len());
-        let mut drained: Vec<u8> = std::iter::from_fn(|| q.pop()).map(|m| m.data[0]).collect();
+        let mut drained: Vec<u8> =
+            std::iter::from_fn(|| q.pop()).map(|m| arena.get(m.msg)[0]).collect();
         let mut original = msgs;
         drained.sort_unstable();
         original.sort_unstable();

@@ -15,6 +15,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bas_acm::{AcId, AccessControlMatrix, MsgType, QuotaTable, SyscallClass};
+use bas_sim::arena::{MsgArena, MsgRef};
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::{DeviceBus, DeviceId};
 use bas_sim::fault::{IpcFault, IpcFaultState};
@@ -96,11 +97,15 @@ pub struct MinixKernel {
     device_owners: BTreeMap<DeviceId, AcId>,
     last_run: Option<Pid>,
     ipc_faults: IpcFaultState,
+    /// Fixed-slot message arena: every in-flight payload lives here and
+    /// moves as an 8-byte [`MsgRef`] (blocked-sender PCBs, the dup stash).
+    /// Bytes are copied once in at `do_send` and once out at delivery.
+    arena: MsgArena,
     /// Duplicated messages awaiting redelivery: `(source, dest, mtype,
-    /// payload)`. Rendezvous IPC has no queue to double-enqueue into, so a
-    /// `Duplicate` fault stashes the copy here and `do_receive` replays it
-    /// on the destination's next receive.
-    dup_stash: VecDeque<(Endpoint, Endpoint, u32, Payload)>,
+    /// slot)`. Rendezvous IPC has no queue to double-enqueue into, so a
+    /// `Duplicate` fault refcounts the slot here (no byte copy) and
+    /// `do_receive` replays it on the destination's next receive.
+    dup_stash: VecDeque<(Endpoint, Endpoint, u32, MsgRef)>,
 }
 
 impl std::fmt::Debug for MinixKernel {
@@ -141,6 +146,10 @@ impl MinixKernel {
             device_owners: config.device_owners,
             last_run: None,
             ipc_faults: IpcFaultState::default(),
+            // One parked message per process slot is the structural bound
+            // for rendezvous IPC; pre-warming keeps the hot path free of
+            // slot-table growth.
+            arena: MsgArena::with_capacity(config.max_procs),
             dup_stash: VecDeque::new(),
         }
     }
@@ -192,12 +201,10 @@ impl MinixKernel {
         self.names.insert(name.clone(), endpoint);
         self.run_queue.enqueue(pid);
         self.metrics.processes_created += 1;
-        self.trace.record(
-            self.clock.now(),
-            Some(pid),
-            "proc.spawn",
-            format!("{name} ac={ac_id} uid={uid} ep={endpoint}"),
-        );
+        self.trace
+            .record_with(self.clock.now(), Some(pid), "proc.spawn", || {
+                format!("{name} ac={ac_id} uid={uid} ep={endpoint}")
+            });
         Ok(endpoint)
     }
 
@@ -226,12 +233,10 @@ impl MinixKernel {
         let Some(pid) = self.endpoint_of(name).and_then(|ep| self.lookup_live(ep)) else {
             return false;
         };
-        self.trace.record(
-            self.clock.now(),
-            Some(pid),
-            "fault.crash",
-            format!("killed {name}"),
-        );
+        self.trace
+            .record_with(self.clock.now(), Some(pid), "fault.crash", || {
+                format!("killed {name}")
+            });
         self.terminate(pid);
         true
     }
@@ -241,12 +246,10 @@ impl MinixKernel {
     /// actuators last held.
     pub fn skew_clock(&mut self, d: SimDuration) {
         self.clock.advance(d);
-        self.trace.record(
-            self.clock.now(),
-            None,
-            "fault.clock",
-            format!("skewed +{}ms", d.as_millis()),
-        );
+        self.trace
+            .record_with(self.clock.now(), None, "fault.clock", || {
+                format!("skewed +{}ms", d.as_millis())
+            });
     }
 
     // ----- introspection --------------------------------------------------------
@@ -423,12 +426,10 @@ impl MinixKernel {
                 self.run_queue.enqueue(pid);
             }
             Action::Exit(code) => {
-                self.trace.record(
-                    self.clock.now(),
-                    Some(pid),
-                    "proc.exit",
-                    format!("code={code}"),
-                );
+                self.trace
+                    .record_with(self.clock.now(), Some(pid), "proc.exit", || {
+                        format!("code={code}")
+                    });
                 self.terminate(pid);
             }
         }
@@ -601,12 +602,10 @@ impl MinixKernel {
             Err(err) => {
                 if matches!(err, GrantError::NotGrantee | GrantError::PermissionDenied) {
                     self.metrics.access_denied += 1;
-                    self.trace.record(
-                        self.clock.now(),
-                        Some(caller),
-                        "grant.deny",
-                        format!("{caller_ep} on grant {grant:?} of {granter}: {err}"),
-                    );
+                    self.trace
+                        .record_with(self.clock.now(), Some(caller), "grant.deny", || {
+                            format!("{caller_ep} on grant {grant:?} of {granter}: {err}")
+                        });
                 }
                 self.ready_with(caller, Reply::Err(grant_errno(err)));
             }
@@ -619,12 +618,10 @@ impl MinixKernel {
         };
         if self.device_owners.get(&dev) != Some(&ac) {
             self.metrics.access_denied += 1;
-            self.trace.record(
-                self.clock.now(),
-                Some(pid),
-                "dev.deny",
-                format!("{dev} not owned by {ac}"),
-            );
+            self.trace
+                .record_with(self.clock.now(), Some(pid), "dev.deny", || {
+                    format!("{dev} not owned by {ac}")
+                });
             self.ready_with(pid, Reply::Err(MinixError::DeviceAccessDenied));
             return;
         }
@@ -635,12 +632,10 @@ impl MinixKernel {
             }
             match self.devices.write(dev, value) {
                 Ok(()) => {
-                    self.trace.record(
-                        self.clock.now(),
-                        Some(pid),
-                        "dev.write",
-                        format!("{dev} <- {value}"),
-                    );
+                    self.trace
+                        .record_with(self.clock.now(), Some(pid), "dev.write", || {
+                            format!("{dev} <- {value}")
+                        });
                     self.ready_with(pid, Reply::Ok);
                 }
                 Err(_) => self.ready_with(pid, Reply::Err(MinixError::InvalidArgument)),
@@ -687,12 +682,10 @@ impl MinixKernel {
         let decision = self.acm.check(caller_ac, dest_ac, MsgType::new(mtype));
         if !decision.is_allowed() {
             self.metrics.access_denied += 1;
-            self.trace.record(
-                self.clock.now(),
-                Some(caller),
-                "acm.deny",
-                format!("{caller_ac} -> {dest_ac} m{mtype}: {decision}"),
-            );
+            self.trace
+                .record_with(self.clock.now(), Some(caller), "acm.deny", || {
+                    format!("{caller_ac} -> {dest_ac} m{mtype}: {decision}")
+                });
             self.ready_with(caller, Reply::Err(MinixError::CallDenied));
             return;
         }
@@ -700,68 +693,19 @@ impl MinixKernel {
         // 3. Optional send quota (flooding bound).
         if self.quotas.charge(caller_ac, SyscallClass::Send).is_err() {
             self.metrics.access_denied += 1;
-            self.trace.record(
-                self.clock.now(),
-                Some(caller),
-                "quota.deny",
-                format!("{caller_ac} send quota exhausted"),
-            );
+            self.trace
+                .record_with(self.clock.now(), Some(caller), "quota.deny", || {
+                    format!("{caller_ac} send quota exhausted")
+                });
             self.ready_with(caller, Reply::Err(MinixError::QuotaExceeded));
             return;
-        }
-
-        // 3b. Scheduled IPC fault (`bas-faults` campaigns). Consumed only
-        // *after* the ACM and quota gates and never on PM traffic, so an
-        // injected fault can disturb authorized application IPC but can
-        // neither widen authority nor corrupt platform management.
-        if dest != pm::PM_ENDPOINT {
-            if let Some(fault) = self.ipc_faults.pop() {
-                match fault {
-                    IpcFault::Drop => {
-                        self.trace.record(
-                            self.clock.now(),
-                            Some(caller),
-                            "fault.ipc",
-                            format!("drop {caller_ep} -> {dest} m{mtype}"),
-                        );
-                        // A plain send looks delivered; a sendrec fails so
-                        // the caller cannot hang on a reply that will
-                        // never arrive.
-                        if sendrec {
-                            self.ready_with(caller, Reply::Err(MinixError::NotReady));
-                        } else {
-                            self.ready_with(caller, Reply::Ok);
-                        }
-                        return;
-                    }
-                    IpcFault::Delay(d) => {
-                        // The message sits in transit: the kernel pays the
-                        // latency, then delivery proceeds normally.
-                        self.clock.advance(d);
-                        self.trace.record(
-                            self.clock.now(),
-                            Some(caller),
-                            "fault.ipc",
-                            format!("delay {caller_ep} -> {dest} m{mtype} +{}ms", d.as_millis()),
-                        );
-                    }
-                    IpcFault::Duplicate => {
-                        self.trace.record(
-                            self.clock.now(),
-                            Some(caller),
-                            "fault.ipc",
-                            format!("duplicate {caller_ep} -> {dest} m{mtype}"),
-                        );
-                        self.dup_stash.push_back((caller_ep, dest, mtype, payload));
-                    }
-                }
-            }
         }
 
         // 4. PM is handled synchronously inside the kernel model, but the
         // *cost* is the real system's: PM is a user-space server, so every
         // PM operation pays the round trip — two context switches (to PM
-        // and back) and PM's own kernel entry for its receive.
+        // and back) and PM's own kernel entry for its receive. PM traffic
+        // never parks, so it bypasses the arena entirely.
         if dest == pm::PM_ENDPOINT {
             self.metrics.ipc_messages += 1;
             self.metrics.ipc_bytes += Message::WIRE_SIZE as u64;
@@ -784,6 +728,54 @@ impl MinixKernel {
             return;
         }
 
+        // Stage the payload into the arena: the one user→kernel copy.
+        // Everything downstream (fault stash, blocked-sender PCB, delivery)
+        // moves the 8-byte handle.
+        let msg = self.arena.alloc(payload.as_bytes());
+
+        // 3b. Scheduled IPC fault (`bas-faults` campaigns). Consumed only
+        // *after* the ACM and quota gates and never on PM traffic, so an
+        // injected fault can disturb authorized application IPC but can
+        // neither widen authority nor corrupt platform management.
+        if let Some(fault) = self.ipc_faults.pop() {
+            match fault {
+                IpcFault::Drop => {
+                    self.trace
+                        .record_with(self.clock.now(), Some(caller), "fault.ipc", || {
+                            format!("drop {caller_ep} -> {dest} m{mtype}")
+                        });
+                    self.arena.free(msg);
+                    // A plain send looks delivered; a sendrec fails so
+                    // the caller cannot hang on a reply that will
+                    // never arrive.
+                    if sendrec {
+                        self.ready_with(caller, Reply::Err(MinixError::NotReady));
+                    } else {
+                        self.ready_with(caller, Reply::Ok);
+                    }
+                    return;
+                }
+                IpcFault::Delay(d) => {
+                    // The message sits in transit: the kernel pays the
+                    // latency, then delivery proceeds normally.
+                    self.clock.advance(d);
+                    self.trace
+                        .record_with(self.clock.now(), Some(caller), "fault.ipc", || {
+                            format!("delay {caller_ep} -> {dest} m{mtype} +{}ms", d.as_millis())
+                        });
+                }
+                IpcFault::Duplicate => {
+                    self.trace
+                        .record_with(self.clock.now(), Some(caller), "fault.ipc", || {
+                            format!("duplicate {caller_ep} -> {dest} m{mtype}")
+                        });
+                    // Refcount the slot instead of copying the payload.
+                    let dup = self.arena.dup(msg);
+                    self.dup_stash.push_back((caller_ep, dest, mtype, dup));
+                }
+            }
+        }
+
         // 5. Rendezvous.
         let dest_pid = self.lookup_live(dest).expect("validated above");
         let dest_ready = matches!(
@@ -793,7 +785,7 @@ impl MinixKernel {
         );
 
         if dest_ready {
-            self.deliver(caller_ep, dest_pid, mtype, payload);
+            self.deliver(caller_ep, dest_pid, mtype, msg);
             if sendrec {
                 if let Some(entry) = self.entry_mut(caller) {
                     entry.state = ProcState::Blocked(BlockReason::Receiving { from: Some(dest) });
@@ -806,11 +798,12 @@ impl MinixKernel {
                 entry.state = ProcState::Blocked(BlockReason::Sending {
                     dest,
                     mtype,
-                    payload,
+                    msg,
                     sendrec,
                 });
             }
         } else {
+            self.arena.free(msg);
             self.ready_with(caller, Reply::Err(MinixError::NotReady));
         }
     }
@@ -837,8 +830,8 @@ impl MinixKernel {
             *dest == caller_ep && (from.is_none() || from == Some(*src))
         });
         if let Some(idx) = dup_idx {
-            let (src, _, mtype, payload) = self.dup_stash.remove(idx).expect("index valid");
-            self.deliver(src, caller, mtype, payload);
+            let (src, _, mtype, msg) = self.dup_stash.remove(idx).expect("index valid");
+            self.deliver(src, caller, mtype, msg);
             return;
         }
 
@@ -858,19 +851,19 @@ impl MinixKernel {
 
         match candidate {
             Some(sender_pid) => {
-                let (sender_ep, mtype, payload, sendrec) = {
+                let (sender_ep, mtype, msg, sendrec) = {
                     let entry = self.entry_ref(sender_pid).expect("candidate live");
                     match &entry.state {
                         ProcState::Blocked(BlockReason::Sending {
                             mtype,
-                            payload,
+                            msg,
                             sendrec,
                             ..
-                        }) => (entry.pcb.endpoint, *mtype, *payload, *sendrec),
+                        }) => (entry.pcb.endpoint, *mtype, *msg, *sendrec),
                         _ => unreachable!("candidate was sending"),
                     }
                 };
-                self.deliver(sender_ep, caller, mtype, payload);
+                self.deliver(sender_ep, caller, mtype, msg);
                 if sendrec {
                     if let Some(entry) = self.entry_mut(sender_pid) {
                         entry.state = ProcState::Blocked(BlockReason::Receiving {
@@ -907,12 +900,10 @@ impl MinixKernel {
             .is_allowed()
         {
             self.metrics.access_denied += 1;
-            self.trace.record(
-                self.clock.now(),
-                Some(caller),
-                "acm.deny",
-                format!("{caller_ac} -> {dest_ac} notify"),
-            );
+            self.trace
+                .record_with(self.clock.now(), Some(caller), "acm.deny", || {
+                    format!("{caller_ac} -> {dest_ac} notify")
+                });
             self.ready_with(caller, Reply::Err(MinixError::CallDenied));
             return;
         }
@@ -935,17 +926,19 @@ impl MinixKernel {
         self.ready_with(caller, Reply::Ok);
     }
 
-    /// Copies a message into `dest`'s reply slot and makes it runnable.
-    fn deliver(&mut self, source: Endpoint, dest: Pid, mtype: u32, payload: Payload) {
+    /// Copies the staged message out of the arena (the one kernel→user
+    /// copy), recycles its slot, and makes `dest` runnable with it.
+    fn deliver(&mut self, source: Endpoint, dest: Pid, mtype: u32, msg: MsgRef) {
         self.metrics.ipc_messages += 1;
         self.metrics.ipc_bytes += Message::WIRE_SIZE as u64;
         self.clock.charge_ipc_copy(Message::WIRE_SIZE);
-        self.trace.record(
-            self.clock.now(),
-            Some(dest),
-            "ipc.deliver",
-            format!("{source} -> {} m{mtype}", dest),
-        );
+        self.trace
+            .record_with(self.clock.now(), Some(dest), "ipc.deliver", || {
+                format!("{source} -> {dest} m{mtype}")
+            });
+        let payload = Payload::from_bytes(self.arena.get(msg));
+        self.arena.free(msg);
+        self.metrics.hot_path_allocs = self.arena.heap_events();
         self.ready_with(dest, Reply::Msg(Message::new(source, mtype, payload)));
     }
 
@@ -969,12 +962,10 @@ impl MinixKernel {
         match mtype {
             pm::PM_FORK2 | pm::PM_SRV_FORK2 => {
                 if self.quotas.charge(caller_ac, SyscallClass::Fork).is_err() {
-                    self.trace.record(
-                        self.clock.now(),
-                        Some(caller),
-                        "quota.deny",
-                        format!("{caller_ac} fork quota exhausted"),
-                    );
+                    self.trace
+                        .record_with(self.clock.now(), Some(caller), "quota.deny", || {
+                            format!("{caller_ac} fork quota exhausted")
+                        });
                     return Some((pm::PM_ERR, pm::encode_err(MinixError::QuotaExceeded)));
                 }
                 let (program_id, child_ac, child_uid) = pm::decode_fork2(&payload);
@@ -1014,12 +1005,10 @@ impl MinixKernel {
                 if caller_uid != 0 && caller_uid != target_uid {
                     return Some((pm::PM_ERR, pm::encode_err(MinixError::PermissionDenied)));
                 }
-                self.trace.record(
-                    self.clock.now(),
-                    Some(caller),
-                    "pm.kill",
-                    format!("{caller_ep} killed {target}"),
-                );
+                self.trace
+                    .record_with(self.clock.now(), Some(caller), "pm.kill", || {
+                        format!("{caller_ep} killed {target}")
+                    });
                 self.terminate(target_pid);
                 if target_pid == caller {
                     return None;
@@ -1057,13 +1046,23 @@ impl MinixKernel {
             return;
         };
         let dead_ep = entry.pcb.endpoint;
+        // The dead process may hold a staged send; recycle its slot.
+        if let ProcState::Blocked(BlockReason::Sending { msg, .. }) = entry.state {
+            self.arena.free(msg);
+        }
         self.slots[pid.as_usize()].generation =
             self.slots[pid.as_usize()].generation.wrapping_add(1);
         self.run_queue.remove(pid);
         self.timers.cancel(pid);
         self.names.retain(|_, ep| *ep != dead_ep);
-        self.dup_stash
-            .retain(|(src, dest, _, _)| *src != dead_ep && *dest != dead_ep);
+        let arena = &mut self.arena;
+        self.dup_stash.retain(|(src, dest, _, msg)| {
+            let keep = *src != dead_ep && *dest != dead_ep;
+            if !keep {
+                arena.free(*msg);
+            }
+            keep
+        });
         self.metrics.processes_reaped += 1;
         if self.last_run == Some(pid) {
             self.last_run = None;
@@ -1085,6 +1084,15 @@ impl MinixKernel {
             })
             .collect();
         for w in waiters {
+            // A waiter parked in a send to the dead process still owns a
+            // staged slot; recycle it before unblocking with an error.
+            let parked = match self.entry_ref(w).map(|e| &e.state) {
+                Some(ProcState::Blocked(BlockReason::Sending { msg, .. })) => Some(*msg),
+                _ => None,
+            };
+            if let Some(m) = parked {
+                self.arena.free(m);
+            }
             self.ready_with(w, Reply::Err(MinixError::DeadSourceOrDestination));
         }
     }

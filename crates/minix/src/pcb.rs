@@ -6,24 +6,26 @@
 //! process and enforce the control policy."
 
 use bas_acm::AcId;
+use bas_sim::arena::MsgRef;
 use bas_sim::process::Pid;
 
 use crate::endpoint::Endpoint;
 use crate::grant::MemoryTable;
-use crate::message::Payload;
 
 /// Why a process is blocked.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockReason {
     /// Blocked in `ipc_send` waiting for `dest` to receive. The outgoing
-    /// message type/payload is parked in the PCB.
+    /// payload is parked in the kernel message arena; only its 8-byte
+    /// handle sits in the PCB.
     Sending {
         /// Rendezvous partner.
         dest: Endpoint,
         /// Pending message type.
         mtype: u32,
-        /// Pending payload.
-        payload: Payload,
+        /// Arena handle to the staged payload (owns one slot reference;
+        /// the kernel frees it at delivery or abort).
+        msg: MsgRef,
         /// True if this send is the first half of a `sendrec` and the
         /// process must transition to receiving the reply afterwards.
         sendrec: bool,

@@ -7,6 +7,7 @@
 //! over all capabilities to the bootstrap process" — the bootstrap path
 //! here is the `create_*`/`grant_*` API used by `bas-capdl`'s realizer.
 
+use bas_sim::arena::{MsgArena, MsgRef};
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::DeviceBus;
 use bas_sim::device::DeviceId;
@@ -42,7 +43,9 @@ enum Block {
 struct QueuedSend {
     badge: u64,
     label: u64,
-    words: Vec<u64>,
+    /// Arena handle to the staged message registers (owns one slot
+    /// reference; freed when the transfer completes or aborts).
+    words: MsgRef,
     caps: Vec<Capability>,
     is_call: bool,
 }
@@ -95,6 +98,9 @@ pub struct Sel4Kernel {
     devices: DeviceBus,
     last_run: Option<Pid>,
     ipc_faults: IpcFaultState,
+    /// Fixed-slot message arena: staged message registers live here while
+    /// a send is parked; queues and PCB states move 8-byte handles.
+    arena: MsgArena,
 }
 
 impl std::fmt::Debug for Sel4Kernel {
@@ -122,6 +128,8 @@ impl Sel4Kernel {
             devices: DeviceBus::new(),
             last_run: None,
             ipc_faults: IpcFaultState::default(),
+            // One parked send per thread bounds the slot working set.
+            arena: MsgArena::with_capacity(config.max_threads),
             config,
         }
     }
@@ -259,12 +267,10 @@ impl Sel4Kernel {
         let Some(pid) = self.thread_named(name) else {
             return false;
         };
-        self.trace.record(
-            self.clock.now(),
-            Some(pid),
-            "fault.crash",
-            format!("killed {name}"),
-        );
+        self.trace
+            .record_with(self.clock.now(), Some(pid), "fault.crash", || {
+                format!("killed {name}")
+            });
         self.terminate(pid);
         true
     }
@@ -273,12 +279,10 @@ impl Sel4Kernel {
     /// tick-skew fault.
     pub fn skew_clock(&mut self, d: SimDuration) {
         self.clock.advance(d);
-        self.trace.record(
-            self.clock.now(),
-            None,
-            "fault.clock",
-            format!("skewed +{}ms", d.as_millis()),
-        );
+        self.trace
+            .record_with(self.clock.now(), None, "fault.clock", || {
+                format!("skewed +{}ms", d.as_millis())
+            });
     }
 
     // ----- introspection ------------------------------------------------------
@@ -429,12 +433,10 @@ impl Sel4Kernel {
             }
             Action::Yield => self.run_queue.enqueue(pid),
             Action::Exit(code) => {
-                self.trace.record(
-                    self.clock.now(),
-                    Some(pid),
-                    "thread.exit",
-                    format!("code={code}"),
-                );
+                self.trace
+                    .record_with(self.clock.now(), Some(pid), "thread.exit", || {
+                        format!("code={code}")
+                    });
                 self.terminate(pid);
             }
         }
@@ -550,12 +552,10 @@ impl Sel4Kernel {
             Ok(slot) => Reply::Slot(slot),
             Err(e) => Reply::Err(e),
         };
-        self.trace.record(
-            self.clock.now(),
-            Some(caller),
-            "untyped.retype",
-            format!("{kind:?} from {obj}"),
-        );
+        self.trace
+            .record_with(self.clock.now(), Some(caller), "untyped.retype", || {
+                format!("{kind:?} from {obj}")
+            });
         self.ready_with(caller, r);
     }
 
@@ -576,12 +576,10 @@ impl Sel4Kernel {
 
     fn deny(&mut self, pid: Pid, err: Sel4Error, what: &str) {
         self.metrics.access_denied += 1;
-        self.trace.record(
-            self.clock.now(),
-            Some(pid),
-            "cap.deny",
-            format!("{what}: {err}"),
-        );
+        self.trace
+            .record_with(self.clock.now(), Some(pid), "cap.deny", || {
+                format!("{what}: {err}")
+            });
         self.ready_with(pid, Reply::Err(err));
     }
 
@@ -634,12 +632,10 @@ impl Sel4Kernel {
         if let Some(fault) = self.ipc_faults.pop() {
             match fault {
                 IpcFault::Drop => {
-                    self.trace.record(
-                        self.clock.now(),
-                        Some(caller),
-                        "fault.ipc",
-                        format!("drop {caller} ep={ep:?} label={}", msg.label),
-                    );
+                    self.trace
+                        .record_with(self.clock.now(), Some(caller), "fault.ipc", || {
+                            format!("drop {caller} ep={ep:?} label={}", msg.label)
+                        });
                     // A Call aborts (the reply can never come); a one-way
                     // send looks delivered.
                     if is_call {
@@ -653,31 +649,29 @@ impl Sel4Kernel {
                     // The transfer stalls in the kernel: pay the latency,
                     // then rendezvous normally.
                     self.clock.advance(d);
-                    self.trace.record(
-                        self.clock.now(),
-                        Some(caller),
-                        "fault.ipc",
-                        format!("delay {caller} ep={ep:?} +{}ms", d.as_millis()),
-                    );
+                    self.trace
+                        .record_with(self.clock.now(), Some(caller), "fault.ipc", || {
+                            format!("delay {caller} ep={ep:?} +{}ms", d.as_millis())
+                        });
                 }
                 IpcFault::Duplicate => {
                     // Rendezvous IPC has no queue to double-enqueue into
                     // and the one-shot reply capability absorbs a replayed
                     // Call, so the duplicate is absorbed (and recorded).
-                    self.trace.record(
-                        self.clock.now(),
-                        Some(caller),
-                        "fault.ipc",
-                        format!("duplicate absorbed {caller} ep={ep:?}"),
-                    );
+                    self.trace
+                        .record_with(self.clock.now(), Some(caller), "fault.ipc", || {
+                            format!("duplicate absorbed {caller} ep={ep:?}")
+                        });
                 }
             }
         }
 
+        // Stage the message registers into the arena: the one user→kernel
+        // copy. The parked send and the endpoint queue move the handle.
         let queued = QueuedSend {
             badge: cap.badge,
             label: msg.label,
-            words: msg.words,
+            words: self.arena.alloc_words(&msg.words),
             caps,
             is_call,
         };
@@ -752,10 +746,15 @@ impl Sel4Kernel {
         let QueuedSend {
             badge,
             label,
-            words,
+            words: words_ref,
             caps,
             is_call,
         } = queued;
+        // The one kernel→user copy: unpack the registers and recycle the
+        // slot before handing the message to the receiver.
+        let words = self.arena.get_words(words_ref);
+        self.arena.free(words_ref);
+        self.metrics.hot_path_allocs = self.arena.heap_events();
 
         // Install transferred caps into the receiver's CSpace; drops on
         // overflow (with a trace record), as real seL4 truncates.
@@ -781,12 +780,10 @@ impl Sel4Kernel {
         self.metrics.ipc_messages += 1;
         self.metrics.ipc_bytes += bytes as u64;
         self.clock.charge_ipc_copy(bytes);
-        self.trace.record(
-            self.clock.now(),
-            Some(receiver),
-            "ipc.deliver",
-            format!("{sender} -> {receiver} label={label} badge={badge}"),
-        );
+        self.trace
+            .record_with(self.clock.now(), Some(receiver), "ipc.deliver", || {
+                format!("{sender} -> {receiver} label={label} badge={badge}")
+            });
 
         if is_call {
             if let Some(entry) = self.entry_mut(receiver) {
@@ -841,12 +838,10 @@ impl Sel4Kernel {
         if !target_waiting {
             // Reply caps are one-shot: if the caller died or was restarted
             // the reply is silently dropped (seL4 semantics).
-            self.trace.record(
-                self.clock.now(),
-                Some(caller),
-                "ipc.reply_dropped",
-                format!("target {target} not awaiting reply"),
-            );
+            self.trace
+                .record_with(self.clock.now(), Some(caller), "ipc.reply_dropped", || {
+                    format!("target {target} not awaiting reply")
+                });
             self.ready_with(caller, Reply::Ok);
             return;
         }
@@ -1031,12 +1026,10 @@ impl Sel4Kernel {
                 "suspend without write",
             );
         }
-        self.trace.record(
-            self.clock.now(),
-            Some(caller),
-            "tcb.suspend",
-            format!("{caller} suspended {target}"),
-        );
+        self.trace
+            .record_with(self.clock.now(), Some(caller), "tcb.suspend", || {
+                format!("{caller} suspended {target}")
+            });
         self.terminate(target);
         if target != caller {
             self.ready_with(caller, Reply::Ok);
@@ -1067,12 +1060,10 @@ impl Sel4Kernel {
                 }
                 match self.devices.write(dev, value) {
                     Ok(()) => {
-                        self.trace.record(
-                            self.clock.now(),
-                            Some(caller),
-                            "dev.write",
-                            format!("{dev} <- {value}"),
-                        );
+                        self.trace
+                            .record_with(self.clock.now(), Some(caller), "dev.write", || {
+                                format!("{dev} <- {value}")
+                            });
                         self.ready_with(caller, Reply::Ok);
                     }
                     Err(_) => self.ready_with(caller, Reply::Err(Sel4Error::WrongObjectType)),
@@ -1114,6 +1105,10 @@ impl Sel4Kernel {
         let Some(entry) = self.threads.get_mut(pid.as_usize()).and_then(Option::take) else {
             return;
         };
+        // A thread parked in a send owns a staged arena slot; recycle it.
+        if let ProcState::Blocked(Block::SendingOn { ref queued, .. }) = entry.state {
+            self.arena.free(queued.words);
+        }
         self.run_queue.remove(pid);
         self.timers.cancel(pid);
         self.metrics.processes_reaped += 1;

@@ -43,6 +43,7 @@
 //! assert!(matches!(p.resume(None), Action::Exit(0)));
 //! ```
 
+pub mod arena;
 pub mod clock;
 pub mod device;
 pub mod fault;
@@ -55,6 +56,7 @@ pub mod time;
 pub mod timer;
 pub mod trace;
 
+pub use arena::{MsgArena, MsgRef};
 pub use clock::{CostModel, VirtualClock};
 pub use device::{Device, DeviceBus, DeviceId};
 pub use fault::{FaultyDevice, IpcFault, IpcFaultState, SensorFaultHandle, SensorFaultMode};

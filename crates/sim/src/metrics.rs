@@ -35,6 +35,11 @@ pub struct KernelMetrics {
     pub processes_created: u64,
     /// Processes that exited or were killed.
     pub processes_reaped: u64,
+    /// Heap allocations attributable to the per-tick IPC path (message
+    /// arena slot-table growth and oversized-payload spills). A warm
+    /// kernel holds this constant across ticks; the zero-alloc test gates
+    /// on it.
+    pub hot_path_allocs: u64,
 }
 
 impl KernelMetrics {
@@ -65,6 +70,7 @@ impl KernelMetrics {
             processes_reaped: self
                 .processes_reaped
                 .saturating_sub(earlier.processes_reaped),
+            hot_path_allocs: self.hot_path_allocs.saturating_sub(earlier.hot_path_allocs),
         }
     }
 }
@@ -74,7 +80,8 @@ impl fmt::Display for KernelMetrics {
         write!(
             f,
             "ctx_switches={} kernel_entries={} ipc_messages={} ipc_bytes={} \
-             access_denied={} syscall_errors={} procs_created={} procs_reaped={}",
+             access_denied={} syscall_errors={} procs_created={} procs_reaped={} \
+             hot_path_allocs={}",
             self.context_switches,
             self.kernel_entries,
             self.ipc_messages,
@@ -83,6 +90,7 @@ impl fmt::Display for KernelMetrics {
             self.syscall_errors,
             self.processes_created,
             self.processes_reaped,
+            self.hot_path_allocs,
         )
     }
 }
@@ -149,6 +157,7 @@ mod tests {
             "syscall_errors",
             "procs_created",
             "procs_reaped",
+            "hot_path_allocs",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }

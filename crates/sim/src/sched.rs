@@ -26,37 +26,58 @@ use crate::process::Pid;
 #[derive(Debug, Clone, Default)]
 pub struct RunQueue {
     queue: VecDeque<Pid>,
+    // Membership bitmap indexed by pid: makes the hot enqueue/dequeue/
+    // contains operations O(1) instead of scanning the deque. `remove`
+    // (kill/unblock-from-under-the-scheduler) stays a linear sweep but is
+    // off the per-message path.
+    queued: Vec<bool>,
 }
 
 impl RunQueue {
     /// Creates an empty run queue.
     pub fn new() -> Self {
-        RunQueue {
-            queue: VecDeque::new(),
+        RunQueue::default()
+    }
+
+    fn bit(&mut self, pid: Pid) -> &mut bool {
+        let i = pid.as_u32() as usize;
+        if i >= self.queued.len() {
+            self.queued.resize(i + 1, false);
         }
+        &mut self.queued[i]
     }
 
     /// Adds `pid` to the back of the queue if not already queued.
     pub fn enqueue(&mut self, pid: Pid) {
-        if !self.queue.contains(&pid) {
+        let bit = self.bit(pid);
+        if !*bit {
+            *bit = true;
             self.queue.push_back(pid);
         }
     }
 
     /// Pops the next runnable pid, if any.
     pub fn dequeue(&mut self) -> Option<Pid> {
-        self.queue.pop_front()
+        let pid = self.queue.pop_front()?;
+        self.queued[pid.as_u32() as usize] = false;
+        Some(pid)
     }
 
     /// Removes `pid` wherever it sits in the queue (used when a process is
     /// killed or blocks from under the scheduler).
     pub fn remove(&mut self, pid: Pid) {
-        self.queue.retain(|p| *p != pid);
+        if self.contains(pid) {
+            self.queue.retain(|p| *p != pid);
+            self.queued[pid.as_u32() as usize] = false;
+        }
     }
 
     /// True if `pid` is currently queued.
     pub fn contains(&self, pid: Pid) -> bool {
-        self.queue.contains(&pid)
+        self.queued
+            .get(pid.as_u32() as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Number of queued processes.
@@ -102,6 +123,19 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.dequeue(), Some(Pid::new(1)));
         assert_eq!(q.dequeue(), Some(Pid::new(3)));
+    }
+
+    #[test]
+    fn membership_tracks_dequeue_and_reenqueue() {
+        let mut q = RunQueue::new();
+        q.enqueue(Pid::new(7));
+        assert!(q.contains(Pid::new(7)));
+        assert_eq!(q.dequeue(), Some(Pid::new(7)));
+        assert!(!q.contains(Pid::new(7)));
+        q.enqueue(Pid::new(7));
+        q.enqueue(Pid::new(7));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![Pid::new(7)]);
     }
 
     #[test]

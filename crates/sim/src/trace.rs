@@ -107,6 +107,19 @@ impl TraceLog {
         category: &'static str,
         detail: String,
     ) {
+        self.record_with(time, pid, category, || detail);
+    }
+
+    /// Appends an event, building the detail string lazily: the closure
+    /// runs only if the event will actually be retained. Kernel hot paths
+    /// use this so a disabled (or full) log costs no `format!` allocation.
+    pub fn record_with(
+        &mut self,
+        time: SimTime,
+        pid: Option<Pid>,
+        category: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
         if !self.enabled {
             return;
         }
@@ -118,7 +131,7 @@ impl TraceLog {
             time,
             pid,
             category,
-            detail,
+            detail: detail(),
         });
     }
 
@@ -180,6 +193,23 @@ mod tests {
         ev(&mut log, "x", "2");
         ev(&mut log, "x", "3");
         assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn record_with_is_lazy_when_disabled_or_full() {
+        let mut log = TraceLog::with_capacity(1);
+        log.disable();
+        log.record_with(SimTime::ZERO, None, "x", || {
+            panic!("closure must not run while disabled")
+        });
+        log.enable();
+        log.record_with(SimTime::ZERO, None, "x", || "kept".to_string());
+        log.record_with(SimTime::ZERO, None, "x", || {
+            panic!("closure must not run once the log is full")
+        });
+        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.events()[0].detail, "kept");
         assert_eq!(log.dropped(), 1);
     }
 
