@@ -12,10 +12,11 @@ cargo clippy --workspace --all-targets -- -D warnings \
   -W clippy::redundant_clone -W clippy::needless_collect \
   -W clippy::large_enum_variant
 
-echo "== cargo clippy (bas-analysis: no unwrap in the analyzer) =="
+echo "== cargo clippy (bas-analysis + bas-faults: no unwrap in the analyzers) =="
 # The static analyzer is the crate whose own soundness claims the repo
-# leans on; panicking escape hatches are held to a stricter bar there.
-cargo clippy -p bas-analysis --all-targets -- -D warnings \
+# leans on, and bas-faults drives the churn schedules the race detector
+# trusts; panicking escape hatches are held to a stricter bar in both.
+cargo clippy -p bas-analysis -p bas-faults --all-targets -- -D warnings \
   -W clippy::unwrap_used
 
 echo "== cargo test =="
@@ -48,6 +49,30 @@ echo "== capability-flow differential (E17: static analyzer vs model checker) ==
 # scenarios disagree between the static witness analysis and the bounded
 # checker, in either direction. --json writes BENCH_cap_flow.json.
 ./target/release/exp_cap_flow --quick --json --state-budget 500000 > /dev/null
+
+echo "== capability-churn races (E19: detector vs model checker vs static leaks) =="
+# Exits nonzero on any missed race, false positive in a churn-free trace,
+# CAPABILITY_RACE bit in a plain matrix cell, unmapped revocation leak, or
+# unconfirmed witness. The report itself carries no wall-clock values, so
+# it must be byte-identical across worker counts.
+./target/release/exp_cap_races --quick --json --workers 1 > /dev/null
+mv BENCH_races.json /tmp/BENCH_races.w1.json
+./target/release/exp_cap_races --quick --json --workers 4 > /dev/null
+cmp /tmp/BENCH_races.w1.json BENCH_races.json \
+  || { echo "** BENCH_races.json differs across worker counts **"; exit 1; }
+
+echo "== race-detector perf gate (trace events/sec vs committed baseline, 30% floor) =="
+# Guards the engine-driven churn sweep: replaying the full 21-scenario
+# catalog must keep its trace-events/sec within 30% of the committed
+# BENCH_races_baseline.json (refresh the baseline deliberately when the
+# machine or the engine changes for good reason).
+current=$(grep -m1 -o '"events_per_second": *[0-9.eE+-]*' BENCH_races_perf.json | sed 's/.*: *//')
+baseline=$(grep -m1 -o '"events_per_second": *[0-9.eE+-]*' BENCH_races_baseline.json | sed 's/.*: *//')
+awk -v cur="$current" -v base="$baseline" 'BEGIN {
+  floor = base * 0.7;
+  printf "events/sec: current %.0f, baseline %.0f, floor %.0f\n", cur, base, floor;
+  if (cur < floor) { print "** race-detector throughput regressed >30% **"; exit 1 }
+}'
 
 echo "== model check (E14: exhaustive bounded verification, capped state budget) =="
 # Exits nonzero on any cell disagreement, truncated exploration, reachable

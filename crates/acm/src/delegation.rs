@@ -61,6 +61,35 @@ impl DelegationLog {
             expires_at: None,
         });
     }
+
+    /// Marks every live delegation of `grantee → receiver` revoked
+    /// (runtime churn bookkeeping). Returns how many records flipped.
+    pub fn revoke(&mut self, grantee: AcId, receiver: AcId) -> usize {
+        let mut n = 0;
+        for r in &mut self.records {
+            if !r.revoked && r.grantee == grantee && r.receiver == receiver {
+                r.revoked = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Narrows every live delegation of `grantee → receiver` to the
+    /// intersection with `keep`. Returns how many records changed.
+    pub fn attenuate(&mut self, grantee: AcId, receiver: AcId, keep: MsgTypeSet) -> usize {
+        let mut n = 0;
+        for r in &mut self.records {
+            if !r.revoked && r.grantee == grantee && r.receiver == receiver {
+                let narrowed = r.types.intersect(keep);
+                if narrowed != r.types {
+                    r.types = narrowed;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +108,30 @@ mod tests {
         assert_eq!(log.records[1].grantee, AcId::new(103));
         assert!(!log.records[0].revoked);
         assert_eq!(log.clock, 0);
+    }
+
+    #[test]
+    fn revoke_flips_matching_live_records_only() {
+        let mut log = DelegationLog::new();
+        let set = MsgTypeSet::of([MsgType::ACK]);
+        log.delegate(AcId::new(100), AcId::new(101), AcId::new(102), set);
+        log.delegate(AcId::new(100), AcId::new(103), AcId::new(102), set);
+        assert_eq!(log.revoke(AcId::new(101), AcId::new(102)), 1);
+        assert!(log.records[0].revoked);
+        assert!(!log.records[1].revoked);
+        // Already revoked: nothing left to flip.
+        assert_eq!(log.revoke(AcId::new(101), AcId::new(102)), 0);
+    }
+
+    #[test]
+    fn attenuate_narrows_live_records() {
+        let mut log = DelegationLog::new();
+        let set = MsgTypeSet::of([MsgType::ACK, MsgType::new(4)]);
+        log.delegate(AcId::new(100), AcId::new(101), AcId::new(102), set);
+        let keep = MsgTypeSet::of([MsgType::ACK]);
+        assert_eq!(log.attenuate(AcId::new(101), AcId::new(102), keep), 1);
+        assert_eq!(log.records[0].types, keep);
+        // Idempotent: already at the narrowed set.
+        assert_eq!(log.attenuate(AcId::new(101), AcId::new(102), keep), 0);
     }
 }

@@ -67,6 +67,14 @@ impl MsgTypeSet {
         }
     }
 
+    /// Intersection of two sets (attenuation keeps only common types).
+    pub fn intersect(self, other: MsgTypeSet) -> MsgTypeSet {
+        match (self, other) {
+            (MsgTypeSet::All, x) | (x, MsgTypeSet::All) => x,
+            (MsgTypeSet::Bitmap(a), MsgTypeSet::Bitmap(b)) => MsgTypeSet::Bitmap(a & b),
+        }
+    }
+
     /// True if no type is allowed.
     pub fn is_empty(self) -> bool {
         self == MsgTypeSet::Bitmap(0)
@@ -104,9 +112,16 @@ impl fmt::Display for MsgTypeSet {
 /// `(sender, receiver)` pair, which keeps iteration deterministic for the
 /// experiments' printed tables.
 ///
-/// The matrix is *immutable after build*, mirroring the paper's design
-/// where the ACM is compiled together with the kernel binary and "cannot be
-/// easily modified without recompiling the kernel source code."
+/// The matrix is built once at boot, mirroring the paper's design where
+/// the ACM is compiled together with the kernel binary and "cannot be
+/// easily modified without recompiling the kernel source code." The
+/// *runtime churn* extension ([`AccessControlMatrix::grant_types`],
+/// [`AccessControlMatrix::attenuate_types`],
+/// [`AccessControlMatrix::revoke_channel`]) deliberately relaxes that:
+/// delegation/revocation RPCs through PM mutate rows mid-run so the race
+/// detector can observe the window between an admission check and the
+/// delivery that relied on it. Every mutation is expected to be paired
+/// with a [`crate::delegation::DelegationLog`] record for provenance.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct AccessControlMatrix {
     cells: BTreeMap<(AcId, AcId), MsgTypeSet>,
@@ -158,6 +173,34 @@ impl AccessControlMatrix {
         ids.sort_unstable();
         ids.dedup();
         ids
+    }
+
+    /// Runtime churn: merges `types` into the `sender → receiver` row,
+    /// creating it if absent (a delegation/regrant).
+    pub fn grant_types(&mut self, sender: AcId, receiver: AcId, types: MsgTypeSet) {
+        let entry = self
+            .cells
+            .entry((sender, receiver))
+            .or_insert(MsgTypeSet::EMPTY);
+        *entry = entry.union(types);
+    }
+
+    /// Runtime churn: narrows the `sender → receiver` row to the
+    /// intersection with `keep`. Returns false if no row exists.
+    pub fn attenuate_types(&mut self, sender: AcId, receiver: AcId, keep: MsgTypeSet) -> bool {
+        match self.cells.get_mut(&(sender, receiver)) {
+            Some(set) => {
+                *set = set.intersect(keep);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runtime churn: removes the `sender → receiver` row entirely.
+    /// Returns false if no row existed.
+    pub fn revoke_channel(&mut self, sender: AcId, receiver: AcId) -> bool {
+        self.cells.remove(&(sender, receiver)).is_some()
     }
 
     /// Renders the matrix as a Fig. 3-style table of bitmap cells over the
@@ -354,6 +397,47 @@ mod tests {
         assert!(table.contains("ac1"));
         assert!(table.contains("ac2"));
         assert!(table.contains("0001"));
+    }
+
+    #[test]
+    fn intersect_narrows_and_all_is_identity() {
+        assert_eq!(
+            MsgTypeSet::of([m(1), m(2)]).intersect(MsgTypeSet::of([m(2), m(3)])),
+            MsgTypeSet::of([m(2)])
+        );
+        assert_eq!(
+            MsgTypeSet::All.intersect(MsgTypeSet::of([m(5)])),
+            MsgTypeSet::of([m(5)])
+        );
+        assert_eq!(MsgTypeSet::All.intersect(MsgTypeSet::All), MsgTypeSet::All);
+    }
+
+    #[test]
+    fn runtime_churn_grant_attenuate_revoke() {
+        let mut acm = AccessControlMatrix::builder()
+            .allow(ac(1), ac(2), [m(0), m(4)])
+            .build();
+        // Attenuate to ACK-only: type 4 now denied, type 0 still allowed.
+        assert!(acm.attenuate_types(ac(1), ac(2), MsgTypeSet::of([m(0)])));
+        assert!(acm.check(ac(1), ac(2), m(0)).is_allowed());
+        assert_eq!(
+            acm.check(ac(1), ac(2), m(4)),
+            Decision::Deny(DenyReason::TypeNotAllowed)
+        );
+        // Regrant restores the type.
+        acm.grant_types(ac(1), ac(2), MsgTypeSet::of([m(4)]));
+        assert!(acm.check(ac(1), ac(2), m(4)).is_allowed());
+        // Revoke removes the whole row.
+        assert!(acm.revoke_channel(ac(1), ac(2)));
+        assert_eq!(
+            acm.check(ac(1), ac(2), m(0)),
+            Decision::Deny(DenyReason::NoChannel)
+        );
+        assert!(!acm.revoke_channel(ac(1), ac(2)));
+        assert!(!acm.attenuate_types(ac(1), ac(2), MsgTypeSet::EMPTY));
+        // Grant on a missing row creates it (delegation).
+        acm.grant_types(ac(3), ac(2), MsgTypeSet::of([m(1)]));
+        assert!(acm.check(ac(3), ac(2), m(1)).is_allowed());
     }
 
     #[test]

@@ -32,16 +32,23 @@
 //!   attenuation monotonicity, transitive revocation and expiry, a
 //!   kernel-object-masquerading detector, and shortest escalation-path
 //!   witnesses cross-validated against [`mc`] in both directions.
+//! * [`races`] — the dynamic complement of [`flow`]: vector-clock
+//!   happens-before analysis of capability-churn event streams from
+//!   the live kernels, detecting TOCTOU windows, use-after-revoke and
+//!   write-write conflicts with 1-minimal replayed schedule witnesses,
+//!   cross-validated against both the static fixpoint and [`mc`].
 
 pub mod flow;
 pub mod ir;
 pub mod lint;
 pub mod lower;
 pub mod mc;
+pub mod races;
 pub mod scenario;
 pub mod taint;
 
 pub use flow::{closure, escalation_witnesses, CapGraph, Perms, Witness};
 pub use ir::{Channel, ChannelKind, ObjectId, Operation, PolicyModel, Trust};
 pub use lint::{findings_report_json, findings_to_json, lint, Finding, Justification, Severity};
+pub use races::{churn_scenarios, detect as detect_races, Race, RaceKind};
 pub use taint::{expectation, predict, untrusted_actuator_paths, StaticVerdict};

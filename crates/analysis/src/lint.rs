@@ -360,13 +360,26 @@ fn check_derivations(model: &PolicyModel, findings: &mut Vec<Finding>) {
         return;
     }
     let cl = flow::closure(&model.caps);
+    let kids = model.caps.children();
     for f in &cl.findings {
         let severity = match f.kind {
             // A slot the kernel would wrongly honor: breaks the security
             // argument outright, worse in untrusted hands.
-            FlowKind::AttenuationViolation
-            | FlowKind::RevocationLeak
-            | FlowKind::ExpiredCapLive => escalate(model, &f.holder, Severity::High),
+            FlowKind::AttenuationViolation | FlowKind::ExpiredCapLive => {
+                escalate(model, &f.holder, Severity::High)
+            }
+            // A leak errors as soon as the revoked-but-live right *or
+            // anything derived from it* sits in untrusted hands: the
+            // whole subtree survived the revoke, so every descendant is
+            // the same TOCTOU window the race detector demonstrates
+            // dynamically.
+            FlowKind::RevocationLeak => {
+                if leak_reaches_untrusted(model, &kids, f.cap) {
+                    Severity::Error
+                } else {
+                    escalate(model, &f.holder, Severity::High)
+                }
+            }
             // Type confusion is exploitable only where handles are
             // guessable; elsewhere it is a (serious) hygiene defect.
             FlowKind::ObjectMasquerade => {
@@ -391,6 +404,28 @@ fn check_derivations(model: &PolicyModel, findings: &mut Vec<Finding>) {
             detail: format!("{} [chain: {chain}]", f.detail),
         });
     }
+}
+
+/// Whether the derivation subtree rooted at `cap` (the leaked slot and
+/// everything derived from it) contains a capability held by an
+/// untrusted subject. `kids` is the graph's child adjacency.
+fn leak_reaches_untrusted(
+    model: &PolicyModel,
+    kids: &[Vec<crate::flow::CapId>],
+    cap: crate::flow::CapId,
+) -> bool {
+    let mut queue = vec![cap];
+    let mut seen = BTreeSet::new();
+    while let Some(id) = queue.pop() {
+        if !seen.insert(id) {
+            continue; // defensive: malformed parent pointers
+        }
+        if is_untrusted(model, &model.caps.node(id).holder) {
+            return true;
+        }
+        queue.extend(kids[id.0 as usize].iter().copied());
+    }
+    false
 }
 
 /// Rule: derived-cap-escalation — an untrusted subject reaches a
@@ -494,9 +529,9 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
     out
 }
 
-/// The attack classes the analyzer covers: the nine matrix attacks plus
-/// the two capability-flow classes.
-pub const ATTACK_CLASSES: [&str; 11] = [
+/// The attack classes the analyzer covers: the nine matrix attacks, the
+/// two capability-flow classes, and the two churn-race classes.
+pub const ATTACK_CLASSES: [&str; 13] = [
     "spoof-sensor-data",
     "spoof-actuator-cmds",
     "kill-critical",
@@ -508,6 +543,8 @@ pub const ATTACK_CLASSES: [&str; 11] = [
     "replay-setpoint",
     "kernel-object-masquerade",
     "derived-capability-escalation",
+    "capability-race",
+    "use-after-revoke",
 ];
 
 /// Renders findings as a JSON report object: the covered attack classes
@@ -684,6 +721,63 @@ mod tests {
             .iter()
             .any(|x| x.code == "over-granted-capability" && x.severity == Severity::Error));
         assert_eq!(f[0].severity, Severity::Error, "errors sort first");
+    }
+
+    #[test]
+    fn revocation_leak_escalates_when_the_subtree_reaches_untrusted_hands() {
+        use crate::flow::{op, DerivationKind, Perms};
+        // root(a) -> mid(b) -> leaf(w, untrusted); node-local root revoke
+        // leaks mid and leaf. b is trusted, but the leak flows onward to
+        // w — both findings must error.
+        let mut m = PolicyModel::new(Platform::Minix, traits());
+        m.add_subject("a", Trust::Trusted, None);
+        m.add_subject("b", Trust::Trusted, None);
+        m.add_subject("w", Trust::Untrusted, None);
+        let r = m.caps.root(
+            "a",
+            ObjectId::Device(DeviceId::ALARM),
+            Perms::of(op::DEV_WRITE),
+        );
+        let mid = m
+            .caps
+            .derive(r, "b", DerivationKind::Grant, Perms::of(op::DEV_WRITE));
+        m.caps
+            .derive(mid, "w", DerivationKind::Grant, Perms::of(op::DEV_WRITE));
+        m.caps.revoke(r);
+        m.normalize();
+        let leaks: Vec<_> = lint(&m, &justification())
+            .into_iter()
+            .filter(|x| x.code == "revocation-leak")
+            .collect();
+        assert_eq!(leaks.len(), 2, "one finding per leaked descendant");
+        for leak in &leaks {
+            assert_eq!(
+                leak.severity,
+                Severity::Error,
+                "{}: leak reaches untrusted hands",
+                leak.subject
+            );
+        }
+
+        // Control: the same chain ending in trusted hands stays High.
+        let mut m = PolicyModel::new(Platform::Minix, traits());
+        m.add_subject("a", Trust::Trusted, None);
+        m.add_subject("b", Trust::Trusted, None);
+        let r = m.caps.root(
+            "a",
+            ObjectId::Device(DeviceId::ALARM),
+            Perms::of(op::DEV_WRITE),
+        );
+        m.caps
+            .derive(r, "b", DerivationKind::Grant, Perms::of(op::DEV_WRITE));
+        m.caps.revoke(r);
+        m.normalize();
+        let leaks: Vec<_> = lint(&m, &justification())
+            .into_iter()
+            .filter(|x| x.code == "revocation-leak")
+            .collect();
+        assert_eq!(leaks.len(), 1);
+        assert_eq!(leaks[0].severity, Severity::High, "trusted subtree");
     }
 
     #[test]

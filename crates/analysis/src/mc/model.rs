@@ -126,6 +126,10 @@ pub struct ScenarioModel {
     masq: Option<SeededCap>,
     /// A derivation-breached capability in the attacker's possession.
     derived: Option<SeededCap>,
+    /// Whether the attacker may churn the sensor→controller right
+    /// ([`AttackOp::Revoke`] / [`AttackOp::Regrant`]). Off in the
+    /// 54-cell matrix, so its verdicts are unchanged.
+    churn: bool,
 }
 
 impl ScenarioModel {
@@ -166,7 +170,18 @@ impl ScenarioModel {
             gate: KernelGate::for_cell(platform, attacker, scheme),
             masq,
             derived,
+            churn: false,
         }
+    }
+
+    /// Adds the capability-churn primitives to the attacker's menu: the
+    /// checker then interleaves revoke/regrant against the control loop
+    /// and searches for a stale delivery ([`flags::CAP_RACE`]) — the
+    /// exhaustive-interleaving cross-validation of the dynamic race
+    /// detector.
+    pub fn with_churn(mut self) -> ScenarioModel {
+        self.churn = true;
+        self
     }
 
     /// The Policy IR this cell is adjudicated against.
@@ -230,6 +245,11 @@ impl ScenarioModel {
                 // reading always enters the mailbox slot.
                 if self.device(t, Proc::Sensor, DeviceId::TEMP_SENSOR, false)
                     && self.send(t, Proc::Sensor, Proc::Ctrl, MT_SENSOR_READING)
+                    // The admission-time recheck: a revoked send right
+                    // denies *new* messages. Anything already sitting in
+                    // the slot is past the check — that window is the
+                    // race the churn cells search for.
+                    && t.cap_ok
                 {
                     t.reading = Some((t.temp_hot, ReadingOrigin::Sensor));
                 }
@@ -238,7 +258,13 @@ impl ScenarioModel {
                 // Drain the mailbox: the reading slot holds only messages
                 // that pass authentication (enforced at insertion), so
                 // consumption is unconditional belief update.
-                if let Some((hot, _origin)) = t.reading.take() {
+                if let Some((hot, origin)) = t.reading.take() {
+                    // A sensor message admitted before a revoke but
+                    // consumed after it: the kernel honored a delivery
+                    // current policy no longer authorizes.
+                    if origin == ReadingOrigin::Sensor && !t.cap_ok {
+                        t.flags |= flags::CAP_RACE;
+                    }
                     t.believes_hot = hot;
                 }
                 if let Some(msg) = t.web_msg.take() {
@@ -429,6 +455,12 @@ impl ScenarioModel {
                     self.apply_cap_effect(t, cap.effect);
                 }
             }
+            // Churn is administrative policy motion, not a delivery
+            // mechanism: neither op sets DELIVERED. The violation, if
+            // any, is raised where the controller consumes a stale
+            // message.
+            AttackOp::Revoke => t.cap_ok = false,
+            AttackOp::Regrant => t.cap_ok = true,
         }
     }
 
@@ -499,6 +531,7 @@ mod field {
     pub const BUDGET: u32 = 1 << 10;
     pub const ROUND: u32 = 1 << 11;
     pub const COUNTER: u32 = 1 << 12;
+    pub const CAP_OK: u32 = 1 << 13;
     /// Per-process liveness bits, `ALIVE << index`.
     pub const ALIVE: u32 = 1 << 16;
     /// Per-process moved bits, `MOVED << index`.
@@ -525,9 +558,12 @@ fn footprint(action: &McAction) -> (u32, u32) {
         McAction::Step(p) => {
             let base_r = alive(*p) | moved(*p) | field::ROUND;
             match p {
-                Proc::Sensor => (base_r | field::TEMP, field::READING | moved(*p)),
+                Proc::Sensor => (
+                    base_r | field::TEMP | field::CAP_OK,
+                    field::READING | moved(*p),
+                ),
                 Proc::Ctrl => (
-                    base_r | field::READING | field::WEB_MSG | field::BELIEF,
+                    base_r | field::READING | field::WEB_MSG | field::BELIEF | field::CAP_OK,
                     field::READING
                         | field::WEB_MSG
                         | field::BELIEF
@@ -565,6 +601,7 @@ fn footprint(action: &McAction) -> (u32, u32) {
                 AttackOp::Masquerade | AttackOp::UseDerived => {
                     field::FAN_DEV | field::ALARM_DEV | field::DIVERGED
                 }
+                AttackOp::Revoke | AttackOp::Regrant => field::CAP_OK,
             };
             (r | extra, w | extra)
         }
@@ -611,6 +648,15 @@ impl StepSemantics for ScenarioModel {
             }
             if self.derived.is_some() {
                 acts.push(McAction::Attack(AttackOp::UseDerived));
+            }
+            // Churn ops flip a single bit, so only the state-changing
+            // direction is ever offered.
+            if self.churn {
+                acts.push(McAction::Attack(if s.cap_ok {
+                    AttackOp::Revoke
+                } else {
+                    AttackOp::Regrant
+                }));
             }
         }
         // The attacker does not gate the round: the tick competing with

@@ -46,6 +46,10 @@ pub fn property_manifested(property: McProperty, outcome: &AttackOutcome) -> boo
         | McProperty::QuotaBreach
         | McProperty::ObjectMasquerade
         | McProperty::DerivationBreach => false,
+        // The capability race has a dynamic analogue, but it lives in
+        // the churn harness (`crate::races`), not the attack harness
+        // this replay drives — `exp_cap_races` closes that loop.
+        McProperty::CapabilityRace => false,
     }
 }
 

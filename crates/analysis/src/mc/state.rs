@@ -103,6 +103,11 @@ pub enum AttackOp {
     /// Invoke a derivation-breached capability (amplified, leaked past
     /// a revoke, or expired-but-live).
     UseDerived,
+    /// Revoke the sensor→controller send right mid-run (capability
+    /// churn, the race-detector cross-validation).
+    Revoke,
+    /// Re-grant the previously revoked sensor→controller right.
+    Regrant,
 }
 
 /// One atomic transition of the abstract scenario.
@@ -144,6 +149,8 @@ impl std::fmt::Display for AttackOp {
             AttackOp::DevForceAlarm => f.write_str("dev-force-alarm"),
             AttackOp::Masquerade => f.write_str("masquerade"),
             AttackOp::UseDerived => f.write_str("use-derived"),
+            AttackOp::Revoke => f.write_str("revoke"),
+            AttackOp::Regrant => f.write_str("regrant"),
         }
     }
 }
@@ -174,6 +181,9 @@ pub mod flags {
     /// A derivation-breached capability (amplified / revocation-leaked /
     /// expired-but-live) was honored.
     pub const DERIVATION_BREACH: u8 = 1 << 5;
+    /// A message admitted before a revoke was consumed after it — the
+    /// kernel honored a stale delivery (capability TOCTOU race).
+    pub const CAP_RACE: u8 = 1 << 6;
 }
 
 /// The explored state. Field order matters only for derived `Hash`.
@@ -208,6 +218,10 @@ pub struct McState {
     /// An unauthorized setpoint was accepted: the plant reference has
     /// diverged from the authorized one (the replay compromise).
     pub diverged: bool,
+    /// Whether the sensor→controller send right currently stands (the
+    /// churn attacker flips this with [`AttackOp::Revoke`] /
+    /// [`AttackOp::Regrant`]).
+    pub cap_ok: bool,
     /// Children forked by the attacker (saturating).
     pub forks: u8,
     /// Remaining attacker actions.
@@ -233,6 +247,7 @@ impl McState {
             alarm_cmd: None,
             believes_hot: false,
             diverged: false,
+            cap_ok: true,
             forks: 0,
             budget,
             flags: 0,

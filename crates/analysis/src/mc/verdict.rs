@@ -42,8 +42,18 @@ pub mod props {
     pub const CRITICAL_KILLED: u32 = 1 << 7;
     /// The plant reference diverged from the authorized setpoint.
     pub const REF_DIVERGENCE: u32 = 1 << 8;
+    /// A stale (revoked-then-consumed) delivery was honored. The state
+    /// flag lives at bit 6 of the `u8`, which this mask space already
+    /// spends on `BOUNDED_RESPONSE` — [`classify`](super::classify)
+    /// relocates it here.
+    pub const CAPABILITY_RACE: u32 = 1 << 9;
 
-    /// Facts that constitute a compromise.
+    /// Facts that constitute a compromise. `CAPABILITY_RACE` is
+    /// deliberately excluded: a stale delivery is an enforcement
+    /// *window*, not by itself a plant compromise. (A churn-enabled
+    /// cell can still be `Compromised` — sustained revocation starves
+    /// the alarm path into a `BOUNDED_RESPONSE` violation — but that
+    /// verdict comes from the starvation, never from the race bit.)
     pub const COMPROMISE: u32 = UNAUTH_DEV_WRITE
         | OBJECT_MASQUERADE
         | DERIVATION_BREACH
@@ -73,6 +83,8 @@ pub enum McProperty {
     ObjectMasquerade,
     /// A derivation-breached capability was honored by the kernel.
     DerivationBreach,
+    /// A message admitted before a revoke was consumed after it.
+    CapabilityRace,
 }
 
 impl McProperty {
@@ -87,15 +99,22 @@ impl McProperty {
             McProperty::QuotaBreach => props::QUOTA_BREACH,
             McProperty::ObjectMasquerade => props::OBJECT_MASQUERADE,
             McProperty::DerivationBreach => props::DERIVATION_BREACH,
+            McProperty::CapabilityRace => props::CAPABILITY_RACE,
         }
     }
 
     /// All properties, counterexample-priority first (process loss and
     /// divergence replay most directly; invariants last).
-    pub const ALL: [McProperty; 8] = [
+    pub const ALL: [McProperty; 9] = [
         McProperty::CriticalKilled,
         McProperty::ReferenceDivergence,
         McProperty::UnauthorizedDeviceWrite,
+        // Before BoundedResponse: in churn-enabled cells a sustained
+        // revoke also starves the alarm path (a bounded-response
+        // compromise), but the race is the property those cells exist
+        // to witness. Unreachable in plain cells, so their priority
+        // order is unchanged.
+        McProperty::CapabilityRace,
         McProperty::BoundedResponse,
         McProperty::ObjectMasquerade,
         McProperty::DerivationBreach,
@@ -115,6 +134,7 @@ impl std::fmt::Display for McProperty {
             McProperty::QuotaBreach => "quota-breach",
             McProperty::ObjectMasquerade => "object-masquerade",
             McProperty::DerivationBreach => "derivation-breach",
+            McProperty::CapabilityRace => "capability-race",
         };
         f.write_str(s)
     }
@@ -122,7 +142,12 @@ impl std::fmt::Display for McProperty {
 
 /// Maps a state to its fact bitmask.
 pub fn classify(bounds: &McBounds, s: &McState) -> u32 {
-    let mut f = u32::from(s.flags); // flags bits 0..5 are the low bits
+    // Flag bits 0..5 map through unchanged; CAP_RACE (bit 6 of the u8)
+    // is relocated past the derived-fact bits.
+    let mut f = u32::from(s.flags) & 0x3f;
+    if s.flags & super::state::flags::CAP_RACE != 0 {
+        f |= props::CAPABILITY_RACE;
+    }
     if s.hot_unalarmed > bounds.response_bound {
         f |= props::BOUNDED_RESPONSE;
     }
@@ -365,6 +390,60 @@ mod tests {
         assert!(!r.stats.truncated);
         assert_eq!(r.mc, Expectation::Stopped);
         assert!(r.agrees());
+    }
+
+    #[test]
+    fn churn_cell_reaches_the_capability_race_by_interleaving() {
+        // MINIX + kill is proved Stopped without churn; adding the
+        // revoke/regrant primitives must surface the race — an admitted
+        // reading consumed after the revoke. The cell also turns
+        // Compromised, but through BOUNDED_RESPONSE (sustained
+        // revocation starves the alarm path), never through the race
+        // bit itself.
+        let m = ScenarioModel::new(
+            Platform::Minix,
+            AttackerModel::ArbitraryCode,
+            AttackId::KillCritical,
+            UidScheme::SharedAccount,
+        )
+        .with_churn();
+        let r = check_cell(&m, &quick_opts());
+        assert!(!r.stats.truncated, "churn cell stays exhaustive");
+        assert_ne!(r.reached & props::CAPABILITY_RACE, 0, "race reachable");
+        assert_ne!(
+            r.reached & props::BOUNDED_RESPONSE,
+            0,
+            "revocation starvation is a DoS vector"
+        );
+        assert_eq!(r.mc, Expectation::Compromised, "starvation compromises");
+        assert!(!r.invariant_violated());
+        let cx = r.counterexample.expect("reached property ⇒ witness");
+        assert_eq!(cx.property, McProperty::CapabilityRace);
+        let states = replay_trace(&m, &cx.trace).expect("witness stays feasible");
+        let bounds = m.bounds;
+        assert!(states
+            .iter()
+            .any(|s| classify(&bounds, s) & props::CAPABILITY_RACE != 0));
+    }
+
+    #[test]
+    fn plain_cells_never_reach_the_capability_race() {
+        // Without the churn primitives the cap_ok bit never flips, so
+        // the matrix verdicts are untouched by the new property.
+        for platform in [Platform::Linux, Platform::Minix, Platform::Sel4] {
+            let m = ScenarioModel::new(
+                platform,
+                AttackerModel::Root,
+                AttackId::SpoofSensorData,
+                UidScheme::PerProcessHardened,
+            );
+            let r = check_cell(&m, &quick_opts());
+            assert_eq!(
+                r.reached & props::CAPABILITY_RACE,
+                0,
+                "{platform}: no churn, no race"
+            );
+        }
     }
 
     #[test]

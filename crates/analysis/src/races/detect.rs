@@ -1,0 +1,363 @@
+//! The capability-churn race detector.
+//!
+//! Consumes a kernel's [`CapTrace`] and reports three race shapes, all
+//! defined purely over the happens-before closure (never over wall
+//! order, so the report is invariant under trace-equivalent
+//! reorderings):
+//!
+//! * **TOCTOU** — a stale use (`Use` with `ok = false`: the kernel
+//!   honored a handle the current policy no longer authorizes) whose
+//!   invalidating write is *concurrent* with it. The admission check the
+//!   kernel did perform (`Check`, `ok = true`, same subject and
+//!   capability, program-order prior) is attached as the opening edge of
+//!   the window when one exists.
+//! * **Use-after-revoke** — a stale use the invalidating write
+//!   *happens-before*: the revocation was fully ordered before the use
+//!   and the kernel still honored the handle (stale descriptor, parked
+//!   send, cached translation).
+//! * **Write-write** — two effective policy writes on the same
+//!   capability by different actors, unordered by happens-before:
+//!   last-writer-wins administration with no synchronization.
+//!
+//! Only *effective* writes (`ok = true` — the policy actually changed)
+//! invalidate or conflict; a no-op revoke cannot race anything. With no
+//! churn there are no write events and the detector is structurally
+//! silent — the zero-false-positive claim `exp_cap_races` checks across
+//! the whole attack matrix.
+
+use std::collections::BTreeMap;
+
+use bas_sim::caps::{CapOp, CapTrace};
+
+use super::clock::ClockedTrace;
+
+/// The shape of a detected race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RaceKind {
+    /// Check passed, right revoked concurrently, stale use observed.
+    Toctou,
+    /// Right revoked strictly before a use the kernel still honored.
+    UseAfterRevoke,
+    /// Two unordered effective writes by different actors.
+    WriteWrite,
+}
+
+impl RaceKind {
+    /// Stable report code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RaceKind::Toctou => "toctou",
+            RaceKind::UseAfterRevoke => "use-after-revoke",
+            RaceKind::WriteWrite => "write-write",
+        }
+    }
+}
+
+impl std::fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One detected race, anchored to trace event sequence numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The race shape.
+    pub kind: RaceKind,
+    /// The capability both sides touch.
+    pub cap: String,
+    /// The object the capability governs.
+    pub object: String,
+    /// The victim subject (the stale user), or the first writer for
+    /// write-write conflicts.
+    pub subject: String,
+    /// The actor whose write races (the second writer for write-write).
+    pub write_actor: String,
+    /// The racing write's operation.
+    pub write_op: CapOp,
+    /// The racing write's event seq.
+    pub write_seq: u64,
+    /// The representative stale use — minimal by (subject, program
+    /// order) so the choice is reorder-invariant (None for write-write).
+    pub use_seq: Option<u64>,
+    /// The admission check that opened the window, when recorded.
+    pub check_seq: Option<u64>,
+    /// The first writer's event seq (write-write only).
+    pub other_write_seq: Option<u64>,
+}
+
+impl Race {
+    /// Reorder-invariant identity: what the race *is*, independent of
+    /// the seq numbers a particular linearization assigned.
+    pub fn key(&self) -> (RaceKind, String, String, String) {
+        (
+            self.kind,
+            self.cap.clone(),
+            self.subject.clone(),
+            self.write_actor.clone(),
+        )
+    }
+}
+
+/// Runs the detector over one trace. Deterministic, and — because every
+/// dedup key and representative choice is made on *linearization-
+/// invariant* event identity (subject name + per-subject occurrence
+/// index, never raw seq) — the multiset of [`Race::key`]s is identical
+/// for every trace-equivalent reordering. The output is sorted by
+/// `(cap, kind, write identity)`.
+pub fn detect(trace: &CapTrace) -> Vec<Race> {
+    let ct = ClockedTrace::assign(trace);
+    let ev = &trace.events;
+
+    // Per-subject occurrence index: stable across reorderings because
+    // every valid linearization preserves each subject's program order.
+    let mut next: BTreeMap<&str, u64> = BTreeMap::new();
+    let psi: Vec<u64> = ev
+        .iter()
+        .map(|e| {
+            let n = next.entry(e.subject.as_str()).or_insert(0);
+            *n += 1;
+            *n - 1
+        })
+        .collect();
+    // The invariant identity of event `i`.
+    let ident = |i: usize| (ev[i].subject.clone(), psi[i]);
+
+    let mut by_cap: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, e) in ev.iter().enumerate() {
+        by_cap.entry(e.cap.as_str()).or_default().push(i);
+    }
+
+    // Keyed dedup: stale races by (cap, kind, invalidating write); write-
+    // write conflicts by (cap, both writes, canonically ordered).
+    type Key = (String, RaceKind, (String, u64), (String, u64));
+    let mut races: BTreeMap<Key, Race> = BTreeMap::new();
+
+    for idxs in by_cap.values() {
+        let writes: Vec<usize> = idxs
+            .iter()
+            .copied()
+            .filter(|&i| ev[i].op.is_write() && ev[i].ok)
+            .collect();
+        if writes.is_empty() {
+            continue;
+        }
+        let invalidating: Vec<usize> = writes
+            .iter()
+            .copied()
+            .filter(|&i| matches!(ev[i].op, CapOp::Revoke | CapOp::Attenuate))
+            .collect();
+
+        // Stale uses against each invalidating write: one race per
+        // (write, kind), represented by the identity-minimal stale use.
+        for &w in &invalidating {
+            let mut per_kind: BTreeMap<RaceKind, Vec<usize>> = BTreeMap::new();
+            for &u in idxs
+                .iter()
+                .filter(|&&i| ev[i].op == CapOp::Use && !ev[i].ok)
+            {
+                if ct.hb(u, w) {
+                    // The write is ordered after this use: it cannot be
+                    // what invalidated it.
+                    continue;
+                }
+                let kind = if ct.hb(w, u) {
+                    RaceKind::UseAfterRevoke
+                } else {
+                    RaceKind::Toctou
+                };
+                per_kind.entry(kind).or_default().push(u);
+            }
+            for (kind, uses) in per_kind {
+                let u = uses
+                    .into_iter()
+                    .min_by_key(|&u| ident(u))
+                    .expect("non-empty by construction");
+                // The latest program-order-prior passing admission check
+                // by the same subject opens the window, when recorded.
+                let check = idxs
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        ev[c].op == CapOp::Check
+                            && ev[c].ok
+                            && ev[c].subject == ev[u].subject
+                            && psi[c] < psi[u]
+                    })
+                    .max_by_key(|&c| psi[c]);
+                races
+                    .entry((ev[u].cap.clone(), kind, ident(w), (String::new(), 0)))
+                    .or_insert_with(|| Race {
+                        kind,
+                        cap: ev[u].cap.clone(),
+                        object: ev[u].object.clone(),
+                        subject: ev[u].subject.clone(),
+                        write_actor: ev[w].subject.clone(),
+                        write_op: ev[w].op,
+                        write_seq: ev[w].seq,
+                        use_seq: Some(ev[u].seq),
+                        check_seq: check.map(|c| ev[c].seq),
+                        other_write_seq: None,
+                    });
+            }
+        }
+
+        // Unordered effective writes by different actors, the pair
+        // ordered canonically by identity (not by seq).
+        for (a, &wa) in writes.iter().enumerate() {
+            for &wb in writes.iter().skip(a + 1) {
+                if ev[wa].subject != ev[wb].subject && ct.concurrent(wa, wb) {
+                    let (first, second) = if ident(wa) < ident(wb) {
+                        (wa, wb)
+                    } else {
+                        (wb, wa)
+                    };
+                    races
+                        .entry((
+                            ev[first].cap.clone(),
+                            RaceKind::WriteWrite,
+                            ident(first),
+                            ident(second),
+                        ))
+                        .or_insert_with(|| Race {
+                            kind: RaceKind::WriteWrite,
+                            cap: ev[first].cap.clone(),
+                            object: ev[first].object.clone(),
+                            subject: ev[first].subject.clone(),
+                            write_actor: ev[second].subject.clone(),
+                            write_op: ev[second].op,
+                            write_seq: ev[second].seq,
+                            use_seq: None,
+                            check_seq: None,
+                            other_write_seq: Some(ev[first].seq),
+                        });
+                }
+            }
+        }
+    }
+
+    races.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_sim::caps::CapEvent;
+    use bas_sim::time::SimTime;
+
+    fn ev(seq: u64, subject: &str, op: CapOp, cap: &str, ok: bool) -> CapEvent {
+        CapEvent {
+            seq,
+            at: SimTime::ZERO,
+            subject: subject.into(),
+            op,
+            cap: cap.into(),
+            object: "obj".into(),
+            ok,
+        }
+    }
+
+    #[test]
+    fn concurrent_revoke_in_the_window_is_toctou() {
+        let trace = CapTrace {
+            events: vec![
+                ev(0, "sensor", CapOp::Check, "c", true),
+                ev(1, "sched", CapOp::Revoke, "c", true),
+                ev(2, "sensor", CapOp::Use, "c", false),
+            ],
+            edges: vec![],
+        };
+        let races = detect(&trace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::Toctou);
+        assert_eq!(races[0].check_seq, Some(0));
+        assert_eq!(races[0].use_seq, Some(2));
+        assert_eq!(races[0].write_actor, "sched");
+    }
+
+    #[test]
+    fn ordered_revoke_before_use_is_use_after_revoke() {
+        // The victim itself performed the revoke: program order makes
+        // the write happen-before the stale use.
+        let trace = CapTrace {
+            events: vec![
+                ev(0, "sensor", CapOp::Revoke, "c", true),
+                ev(1, "sensor", CapOp::Use, "c", false),
+            ],
+            edges: vec![],
+        };
+        let races = detect(&trace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::UseAfterRevoke);
+        assert_eq!(races[0].check_seq, None);
+    }
+
+    #[test]
+    fn edge_ordered_revoke_is_use_after_revoke() {
+        // The revoke reaches the victim through an IPC edge before the
+        // stale use: ordered, not concurrent.
+        let trace = CapTrace {
+            events: vec![
+                ev(0, "admin", CapOp::Revoke, "c", true),
+                ev(1, "admin", CapOp::Use, "n", true),
+                ev(2, "sensor", CapOp::Recv, "n", true),
+                ev(3, "sensor", CapOp::Use, "c", false),
+            ],
+            edges: vec![(1, 2)],
+        };
+        let races = detect(&trace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::UseAfterRevoke);
+    }
+
+    #[test]
+    fn unordered_writes_by_distinct_actors_conflict() {
+        let trace = CapTrace {
+            events: vec![
+                ev(0, "admin", CapOp::Revoke, "c", true),
+                ev(1, "tenant", CapOp::Grant, "c", true),
+            ],
+            edges: vec![],
+        };
+        let races = detect(&trace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::WriteWrite);
+        assert_eq!(races[0].subject, "admin");
+        assert_eq!(races[0].write_actor, "tenant");
+    }
+
+    #[test]
+    fn noop_writes_and_clean_traces_are_silent() {
+        // A no-op revoke (ok = false) invalidates nothing; same-actor
+        // writes are program-ordered; checks and uses that stay ok are
+        // not races.
+        let trace = CapTrace {
+            events: vec![
+                ev(0, "sensor", CapOp::Check, "c", true),
+                ev(1, "sensor", CapOp::Use, "c", true),
+                ev(2, "sched", CapOp::Revoke, "c", false),
+                ev(3, "sched", CapOp::Grant, "c", true),
+                ev(4, "sched", CapOp::Revoke, "c", true),
+            ],
+            edges: vec![],
+        };
+        assert!(detect(&trace).is_empty());
+    }
+
+    #[test]
+    fn stale_uses_deduplicate_onto_the_earliest() {
+        let trace = CapTrace {
+            events: vec![
+                ev(0, "web", CapOp::Check, "c", true),
+                ev(1, "sched", CapOp::Revoke, "c", true),
+                ev(2, "web", CapOp::Use, "c", false),
+                ev(3, "web", CapOp::Use, "c", false),
+                ev(4, "web", CapOp::Use, "c", false),
+            ],
+            edges: vec![],
+        };
+        let races = detect(&trace);
+        assert_eq!(races.len(), 1, "one race per (cap, write, kind)");
+        assert_eq!(races[0].use_seq, Some(2), "earliest stale use");
+    }
+}

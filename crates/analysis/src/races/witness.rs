@@ -1,0 +1,80 @@
+//! 1-minimal interleaving witnesses, replayed through the real engine.
+//!
+//! A detected race names two trace events; a *witness* is the smallest
+//! churn schedule that still produces it. Minimization is delta-style
+//! over the scenario's schedule: repeatedly drop one churn event,
+//! re-run the **full** `ScenarioEngine` scenario (no trace surgery —
+//! the kernel itself decides what the reduced schedule does), and keep
+//! the drop iff a race with the same identity `(kind, cap)` survives.
+//! The loop runs to fixpoint, so the result is 1-minimal: removing any
+//! single remaining event makes the race vanish. The final fixpoint
+//! run doubles as replay confirmation — the reported witness is never
+//! an artifact of the reduction, it is a schedule the engine actually
+//! executed and the detector actually flagged.
+
+use bas_faults::plan::{FaultEvent, FaultPlan};
+
+use super::detect::{detect, Race, RaceKind};
+use super::scenarios::{run_churn_plan, ChurnScenario};
+
+/// A minimized, replay-confirmed schedule for one race.
+#[derive(Debug, Clone)]
+pub struct RaceWitness {
+    /// The scenario the race came from.
+    pub scenario: String,
+    /// The race's identity.
+    pub kind: RaceKind,
+    /// The raced capability.
+    pub cap: String,
+    /// The minimal churn schedule (subset of the scenario's events).
+    pub schedule: Vec<FaultEvent>,
+    /// Events the minimizer removed.
+    pub dropped: usize,
+    /// Whether the final fixpoint run still produced the race — by
+    /// construction this is the replay check, through the real engine.
+    pub replay_confirmed: bool,
+}
+
+/// True when running `events` under `sc`'s platform and horizon still
+/// yields a race with `race`'s `(kind, cap)` identity.
+fn reproduces(sc: &ChurnScenario, events: &[FaultEvent], race: &Race) -> bool {
+    let plan = FaultPlan::new(sc.plan.name(), events.to_vec());
+    let trace = run_churn_plan(sc.platform, &plan, sc.horizon);
+    detect(&trace)
+        .iter()
+        .any(|r| r.kind == race.kind && r.cap == race.cap)
+}
+
+/// Minimizes `sc`'s schedule against `race` and replay-confirms the
+/// result. Each candidate reduction is a complete scenario run, so the
+/// cost is `O(passes × events)` engine runs — small schedules only.
+pub fn minimize(sc: &ChurnScenario, race: &Race) -> RaceWitness {
+    let original = sc.plan.events().to_vec();
+    let mut events = original.clone();
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < events.len() {
+            let mut candidate = events.clone();
+            candidate.remove(i);
+            if reproduces(sc, &candidate, race) {
+                events = candidate;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    let replay_confirmed = reproduces(sc, &events, race);
+    RaceWitness {
+        scenario: sc.name.clone(),
+        kind: race.kind,
+        cap: race.cap.clone(),
+        dropped: original.len() - events.len(),
+        schedule: events,
+        replay_confirmed,
+    }
+}

@@ -1,0 +1,104 @@
+//! The seeded churn catalog against the live kernels: every scenario's
+//! detector outcome must match its recorded expectation exactly — the
+//! positive scenarios prove detection, the negative ones prove the
+//! zero-false-positive contract, and the storm scenarios prove witness
+//! minimization lands on single-event causes.
+
+use bas_analysis::races::{
+    churn_scenarios, detect, minimize, run_churn_plan, run_scenario, RaceKind,
+};
+use bas_core::scenario::Platform;
+use bas_faults::plan::FaultPlan;
+use bas_sim::caps::CapOp;
+use bas_sim::time::SimDuration;
+
+#[test]
+fn catalog_expectations_hold_on_every_platform() {
+    for sc in churn_scenarios() {
+        let trace = run_scenario(&sc);
+        let races = detect(&trace);
+        let mut kinds: Vec<RaceKind> = races.iter().map(|r| r.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        let mut expect = sc.expect.clone();
+        expect.sort();
+        assert_eq!(kinds, expect, "{}: detected race kinds", sc.name);
+        // Every reported race must be anchored to a churned capability:
+        // its racing write really exists in the trace and is effective.
+        for r in &races {
+            let w = trace
+                .events
+                .iter()
+                .find(|e| e.seq == r.write_seq)
+                .unwrap_or_else(|| panic!("{}: write {} missing", sc.name, r.write_seq));
+            assert!(
+                w.op.is_write() && w.ok,
+                "{}: racing write effective",
+                sc.name
+            );
+            assert_eq!(w.cap, r.cap, "{}: write anchors the raced cap", sc.name);
+        }
+    }
+}
+
+#[test]
+fn churn_free_runs_record_no_writes_and_no_races() {
+    // The structural zero-FP argument, checked end-to-end: without a
+    // churn schedule there are no write events, so the detector cannot
+    // fire no matter how much IPC the scenario does.
+    for platform in [Platform::Minix, Platform::Sel4, Platform::Linux] {
+        let plan = FaultPlan::new("baseline", vec![]);
+        let trace = run_churn_plan(platform, &plan, SimDuration::from_mins(3));
+        assert!(!trace.is_empty(), "{platform}: tracing was on");
+        assert!(
+            trace.events.iter().all(|e| !e.op.is_write()),
+            "{platform}: no churn means no policy writes"
+        );
+        assert!(
+            trace.events.iter().all(|e| e.op != CapOp::Use || e.ok),
+            "{platform}: no stale uses without churn"
+        );
+        assert!(detect(&trace).is_empty(), "{platform}: race-free");
+    }
+}
+
+#[test]
+fn storm_witnesses_minimize_to_single_event_causes() {
+    for sc in churn_scenarios()
+        .iter()
+        .filter(|s| s.name.ends_with("churn-storm"))
+    {
+        let races = detect(&run_scenario(sc));
+        assert!(!races.is_empty(), "{}: storm must race", sc.name);
+        for r in &races {
+            let w = minimize(sc, r);
+            assert!(w.replay_confirmed, "{}: witness replays", sc.name);
+            assert!(w.dropped > 0, "{}: storm schedules carry slack", sc.name);
+            match r.kind {
+                // The TOCTOU needs exactly the armed revoke.
+                RaceKind::Toctou => {
+                    assert_eq!(w.schedule.len(), 1, "{}: 1-minimal TOCTOU witness", sc.name)
+                }
+                // A write-write conflict needs both writers.
+                RaceKind::WriteWrite => assert_eq!(
+                    w.schedule.len(),
+                    2,
+                    "{}: 1-minimal write-write witness",
+                    sc.name
+                ),
+                RaceKind::UseAfterRevoke => {
+                    panic!("{}: storm plants no ordered revokes", sc.name)
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traces_and_reports_are_deterministic() {
+    let sc = &churn_scenarios()[3]; // linux/armed-revoke-toctou
+    let a = run_scenario(sc);
+    let b = run_scenario(sc);
+    assert_eq!(a, b, "same schedule, same trace");
+    assert_eq!(detect(&a), detect(&b));
+}

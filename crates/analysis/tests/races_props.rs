@@ -1,0 +1,258 @@
+//! Property-based tests for the race detector's foundations.
+//!
+//! Random event streams exercise the laws the unit tests spot-check:
+//! vector-clock join is a semilattice, happens-before is a strict
+//! partial order consistent with program order and the recorded IPC
+//! edges, and the detector's verdict — the multiset of race *keys* —
+//! is invariant under trace-equivalent reorderings (any linearization
+//! preserving per-subject order and edge direction).
+
+use std::collections::BTreeMap;
+
+use bas_analysis::races::{detect, ClockedTrace, VClock};
+use bas_sim::caps::{CapEvent, CapOp, CapTrace};
+use bas_sim::time::SimTime;
+use proptest::prelude::*;
+
+const SUBJECTS: [&str; 4] = ["sensor", "ctrl", "sched", "admin"];
+const CAPS: [&str; 2] = ["cap-a", "cap-b"];
+const OPS: [CapOp; 6] = [
+    CapOp::Grant,
+    CapOp::Attenuate,
+    CapOp::Revoke,
+    CapOp::Check,
+    CapOp::Use,
+    CapOp::Recv,
+];
+
+/// A clock built from a bounded number of ticks over the subject pool.
+fn arb_clock() -> impl Strategy<Value = VClock> {
+    prop::collection::vec(0usize..SUBJECTS.len(), 0..12).prop_map(|ticks| {
+        let mut c = VClock::new();
+        for t in ticks {
+            c.tick(SUBJECTS[t]);
+        }
+        c
+    })
+}
+
+/// Raw trace material: per-event `(subject, op, cap, ok)` picks plus
+/// edge picks resolved against the event list afterwards.
+#[allow(clippy::type_complexity)]
+fn arb_trace() -> impl Strategy<Value = CapTrace> {
+    let events = prop::collection::vec(
+        (
+            0usize..SUBJECTS.len(),
+            0usize..OPS.len(),
+            0usize..CAPS.len(),
+            any::<bool>(),
+        ),
+        2..24,
+    );
+    let edges = prop::collection::vec((any::<u64>(), any::<u64>()), 0..8);
+    (events, edges).prop_map(|(raw, picks)| {
+        let events: Vec<CapEvent> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, o, c, ok))| CapEvent {
+                seq: i as u64,
+                at: SimTime::ZERO,
+                subject: SUBJECTS[s].into(),
+                op: OPS[o],
+                cap: CAPS[c].into(),
+                object: "obj".into(),
+                ok,
+            })
+            .collect();
+        let n = events.len() as u64;
+        // Resolve picks into forward edges between distinct subjects —
+        // the only shape the kernels record (send side first).
+        let mut edges = Vec::new();
+        for (a, b) in picks {
+            let (mut f, mut t) = (a % n, b % n);
+            if f == t {
+                continue;
+            }
+            if f > t {
+                std::mem::swap(&mut f, &mut t);
+            }
+            if events[f as usize].subject != events[t as usize].subject {
+                edges.push((f, t));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        CapTrace { events, edges }
+    })
+}
+
+/// The precedence constraints a valid linearization must respect:
+/// program order within each subject plus every recorded edge.
+fn must_precede(trace: &CapTrace) -> Vec<(usize, usize)> {
+    let ev = &trace.events;
+    let mut prec = Vec::new();
+    for i in 0..ev.len() {
+        for j in (i + 1)..ev.len() {
+            if ev[i].subject == ev[j].subject {
+                prec.push((i, j));
+            }
+        }
+    }
+    for &(f, t) in &trace.edges {
+        prec.push((f as usize, t as usize));
+    }
+    prec
+}
+
+/// A random linear extension of the trace's precedence order, driven by
+/// `picks` (each step takes `picks[k] % ready.len()`): the reordered
+/// trace with seqs renumbered and edges remapped.
+fn reorder(trace: &CapTrace, picks: &[usize]) -> CapTrace {
+    let n = trace.events.len();
+    let prec = must_precede(trace);
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &prec {
+        indegree[b] += 1;
+        succs[a].push(b);
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut k = 0usize;
+    while !ready.is_empty() {
+        let pick = picks.get(k).copied().unwrap_or(0) % ready.len();
+        k += 1;
+        let i = ready.remove(pick);
+        order.push(i);
+        for &s in &succs[i] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "precedence order is acyclic");
+    // old index -> new seq
+    let mut new_seq = vec![0u64; n];
+    for (pos, &old) in order.iter().enumerate() {
+        new_seq[old] = pos as u64;
+    }
+    let events = order
+        .iter()
+        .map(|&old| CapEvent {
+            seq: new_seq[old],
+            ..trace.events[old].clone()
+        })
+        .collect();
+    let mut edges: Vec<(u64, u64)> = trace
+        .edges
+        .iter()
+        .map(|&(f, t)| (new_seq[f as usize], new_seq[t as usize]))
+        .collect();
+    edges.sort_unstable();
+    CapTrace { events, edges }
+}
+
+/// The reorder-invariant verdict: how many times each race key appears.
+fn key_multiset(trace: &CapTrace) -> BTreeMap<(String, String, String, String), usize> {
+    let mut m = BTreeMap::new();
+    for r in detect(trace) {
+        let (kind, cap, subject, actor) = r.key();
+        *m.entry((kind.code().to_string(), cap, subject, actor))
+            .or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    /// `join` is a semilattice operation: commutative, associative,
+    /// idempotent — and its result dominates both inputs.
+    #[test]
+    fn join_is_a_semilattice(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut a_bc = a.clone();
+        a_bc.join(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associative");
+
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert_eq!(&aa, &a, "idempotent");
+
+        prop_assert!(a.leq(&ab) && b.leq(&ab), "join dominates both");
+    }
+
+    /// `leq` is a partial order; `concurrent` is exactly its
+    /// incomparability relation.
+    #[test]
+    fn leq_is_a_partial_order(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        prop_assert!(a.leq(&a), "reflexive");
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(&a, &b, "antisymmetric");
+        }
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c), "transitive");
+        }
+        prop_assert_eq!(
+            a.concurrent(&b),
+            !a.leq(&b) && !b.leq(&a),
+            "concurrency = incomparability"
+        );
+    }
+
+    /// Happens-before over assigned clocks is a strict partial order
+    /// containing program order and the recorded edges.
+    #[test]
+    fn hb_is_a_strict_partial_order(trace in arb_trace()) {
+        let ct = ClockedTrace::assign(&trace);
+        let n = trace.events.len();
+        for a in 0..n {
+            prop_assert!(!ct.hb(a, a), "irreflexive");
+            for b in 0..n {
+                if ct.hb(a, b) {
+                    prop_assert!(!ct.hb(b, a), "asymmetric ({a}, {b})");
+                }
+                for c in 0..n {
+                    if ct.hb(a, b) && ct.hb(b, c) {
+                        prop_assert!(ct.hb(a, c), "transitive ({a}, {b}, {c})");
+                    }
+                }
+            }
+        }
+        // Program order and edges are contained in hb.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if trace.events[a].subject == trace.events[b].subject {
+                    prop_assert!(ct.hb(a, b), "program order ({a}, {b})");
+                }
+            }
+        }
+        for &(f, t) in &trace.edges {
+            prop_assert!(ct.hb(f as usize, t as usize), "edge ({f}, {t})");
+        }
+    }
+
+    /// The detector's verdict is a function of the happens-before
+    /// structure alone: any trace-equivalent reordering (same per-subject
+    /// order, same edges) yields the same multiset of race keys.
+    #[test]
+    fn detector_is_reorder_invariant(
+        trace in arb_trace(),
+        picks in prop::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let reordered = reorder(&trace, &picks);
+        prop_assert_eq!(
+            key_multiset(&trace),
+            key_multiset(&reordered),
+            "trace-equivalent reorderings agree"
+        );
+    }
+}

@@ -42,7 +42,7 @@ fn bench_mq_ops(c: &mut Criterion) {
         let mut q = MessageQueue::new("/bench", Uid::new(1), Mode::new(0o600), 64);
         b.iter(|| {
             let msg = arena.alloc(&[1, 2, 3, 4]);
-            q.push(MqMessage { priority: 0, msg });
+            q.push(MqMessage::new(0, msg));
             let m = q.pop().unwrap();
             arena.free(m.msg);
             black_box(m.priority)

@@ -268,6 +268,10 @@ fn main() {
             && report.contains("derived-capability-escalation"),
         "the report schema must enumerate the capability-flow attack classes"
     );
+    assert!(
+        report.contains("capability-race") && report.contains("use-after-revoke"),
+        "the report schema must enumerate the churn-race attack classes"
+    );
     println!("{report}");
 
     section("conclusion");

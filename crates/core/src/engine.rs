@@ -15,6 +15,7 @@
 //! [`platform::linux::LinuxStack`]: crate::platform::linux::LinuxStack
 
 use bas_plant::SharedPlant;
+use bas_sim::caps::{CapChurnOp, CapTrace};
 use bas_sim::device::DeviceBus;
 use bas_sim::fault::IpcFault;
 use bas_sim::metrics::KernelMetrics;
@@ -84,6 +85,34 @@ pub trait PlatformKernel {
 
     /// Jumps the kernel clock forward by `d` — a tick-skew fault.
     fn skew_clock(&mut self, d: SimDuration);
+
+    // ----- capability churn hooks (`bas-analysis::races`) -------------------
+
+    /// Applies a mid-run capability mutation: `op.subject` and `op.object`
+    /// are scenario instance names, and each platform maps them onto its
+    /// own authority structure — a MINIX ACM row, an seL4 CDT revoke
+    /// sweep, a Linux mq mode edit. Returns false when the platform
+    /// cannot resolve the pair (or the op was already in effect).
+    fn apply_cap_churn(&mut self, _op: &CapChurnOp) -> bool {
+        false
+    }
+
+    /// Arms `op` to fire immediately after the `after_checks`-th
+    /// subsequent *successful* admission check by `op.subject` toward
+    /// `op.object` — deterministically inside the platform's check→use
+    /// window. Default: unsupported no-op.
+    fn arm_cap_churn(&mut self, _op: &CapChurnOp, _after_checks: u32) {}
+
+    /// Starts recording the kernel's structured capability-event stream
+    /// ([`bas_sim::caps::CapEvent`]). Off by default; platforms without
+    /// instrumentation ignore the call.
+    fn enable_cap_trace(&mut self) {}
+
+    /// Snapshot of the capability-event stream recorded so far. Empty
+    /// when tracing was never enabled (or is unsupported).
+    fn cap_trace(&self) -> CapTrace {
+        CapTrace::default()
+    }
 }
 
 /// Hook called with the platform stack at every lockstep chunk boundary

@@ -858,4 +858,53 @@ impl PlatformKernel for LinuxStack {
     fn skew_clock(&mut self, d: bas_sim::time::SimDuration) {
         self.kernel.skew_clock(d);
     }
+
+    fn apply_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp) -> bool {
+        let mut changed = false;
+        for queue in churn_queues(&op.subject, &op.object) {
+            let q_op = bas_sim::caps::CapChurnOp {
+                object: queue.to_string(),
+                ..op.clone()
+            };
+            changed |= self.kernel.apply_cap_churn(&q_op);
+        }
+        changed
+    }
+
+    fn arm_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp, after_checks: u32) {
+        for queue in churn_queues(&op.subject, &op.object) {
+            let q_op = bas_sim::caps::CapChurnOp {
+                object: queue.to_string(),
+                ..op.clone()
+            };
+            self.kernel.arm_cap_churn(&q_op, after_checks);
+        }
+    }
+
+    fn enable_cap_trace(&mut self) {
+        self.kernel.enable_cap_trace();
+    }
+
+    fn cap_trace(&self) -> bas_sim::caps::CapTrace {
+        self.kernel.cap_trace()
+    }
+}
+
+/// Maps an instance-level channel (subject instance → destination
+/// instance) onto the mq names carrying it; an `op.object` that is
+/// already a VFS queue name (leading `/`) passes through unchanged.
+/// Unknown pairs map to nothing, and the churn op reports unresolved.
+fn churn_queues(subject: &str, object: &str) -> Vec<&'static str> {
+    use crate::proto::names;
+    if object.starts_with('/') {
+        return queues::ALL.into_iter().filter(|q| *q == object).collect();
+    }
+    match (subject, object) {
+        (names::SENSOR, names::CONTROL) => vec![queues::SENSOR_IN],
+        (names::WEB, names::CONTROL) => vec![queues::SETPOINT_IN, queues::STATUS_IN],
+        (names::CONTROL, names::HEATER) => vec![queues::HEATER_CMD],
+        (names::CONTROL, names::ALARM) => vec![queues::ALARM_CMD],
+        (names::CONTROL, names::WEB) => vec![queues::WEB_REPLY],
+        _ => Vec::new(),
+    }
 }

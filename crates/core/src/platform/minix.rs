@@ -1002,4 +1002,22 @@ impl PlatformKernel for MinixStack {
     fn skew_clock(&mut self, d: SimDuration) {
         self.kernel.skew_clock(d);
     }
+
+    fn apply_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp) -> bool {
+        // Instance names are MINIX process names verbatim; the kernel
+        // resolves them to ACM principals itself.
+        self.kernel.apply_cap_churn(op)
+    }
+
+    fn arm_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp, after_checks: u32) {
+        self.kernel.arm_cap_churn(op, after_checks);
+    }
+
+    fn enable_cap_trace(&mut self) {
+        self.kernel.enable_cap_trace();
+    }
+
+    fn cap_trace(&self) -> bas_sim::caps::CapTrace {
+        self.kernel.cap_trace()
+    }
 }

@@ -503,6 +503,49 @@ pub struct Sel4Stack {
     web_log: WebLog,
 }
 
+impl Sel4Stack {
+    /// Resolves an instance-level churn op into a kernel-level CDT sweep:
+    /// the subject thread's capabilities to every endpoint the
+    /// destination instance serves (`ep_<dest>_<iface>` in the realized
+    /// CapDL spec). Returns `None` when either side doesn't resolve.
+    fn churn_sweep(&self, op: &bas_sim::caps::CapChurnOp) -> Option<bas_sel4::kernel::ChurnSweep> {
+        use bas_sel4::rights::CapRights;
+        use bas_sim::caps::ChurnKind;
+
+        let holder = *self.sys.threads.get(&op.subject)?;
+        let prefix = format!("ep_{}_", op.object);
+        let objs: Vec<_> = self
+            .sys
+            .objects
+            .iter()
+            .filter(|(name, _)| name.starts_with(&prefix))
+            .map(|(_, &id)| id)
+            .collect();
+        if objs.is_empty() {
+            return None;
+        }
+        let (rights, badge) = match op.kind {
+            // A re-grant restores the client's RPC rights under its
+            // original badge, so the server's caller authentication
+            // still recognizes it.
+            ChurnKind::Grant => {
+                let badge = self.glue.badge_of(&op.subject, "ctrl").unwrap_or(0);
+                (CapRights::WRITE_GRANT, badge)
+            }
+            ChurnKind::Attenuate => (CapRights::READ, 0),
+            ChurnKind::Revoke => (CapRights::NONE, 0),
+        };
+        Some(bas_sel4::kernel::ChurnSweep {
+            kind: op.kind,
+            actor: op.actor.clone(),
+            holder,
+            objs,
+            rights,
+            badge,
+        })
+    }
+}
+
 /// A running seL4 scenario: the generic engine over [`Sel4Stack`].
 pub type Sel4Scenario = ScenarioEngine<Sel4Stack>;
 
@@ -675,5 +718,26 @@ impl PlatformKernel for Sel4Stack {
 
     fn skew_clock(&mut self, d: bas_sim::time::SimDuration) {
         self.kernel.skew_clock(d);
+    }
+
+    fn apply_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp) -> bool {
+        match self.churn_sweep(op) {
+            Some(sweep) => self.kernel.apply_churn_sweep(&sweep),
+            None => false,
+        }
+    }
+
+    fn arm_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp, after_checks: u32) {
+        if let Some(sweep) = self.churn_sweep(op) {
+            self.kernel.arm_churn_sweep(sweep, after_checks);
+        }
+    }
+
+    fn enable_cap_trace(&mut self) {
+        self.kernel.enable_cap_trace();
+    }
+
+    fn cap_trace(&self) -> bas_sim::caps::CapTrace {
+        self.kernel.cap_trace()
     }
 }

@@ -166,6 +166,18 @@ fn apply<K: PlatformKernel>(
             stack.skew_clock(*advance);
             true
         }
+        FaultKind::CapChurn {
+            op,
+            arm_after_checks,
+        } => match arm_after_checks {
+            // Arming always "lands": whether the window is ever entered
+            // again is the measurement, not the injection.
+            Some(n) => {
+                stack.arm_cap_churn(op, *n);
+                true
+            }
+            None => stack.apply_cap_churn(op),
+        },
         FaultKind::CrashStorm { .. } => {
             unreachable!("FaultPlan::new expands crash storms into Crash events")
         }

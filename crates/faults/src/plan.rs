@@ -5,6 +5,7 @@
 //! worker count. Randomized campaigns derive per-plan seeds *outside*
 //! the plan (see `campaign`); the plan itself is always explicit.
 
+use bas_sim::caps::{CapChurnOp, ChurnKind};
 use bas_sim::device::DeviceId;
 use bas_sim::time::SimDuration;
 
@@ -77,6 +78,18 @@ pub enum FaultKind {
         /// How far the clock jumps.
         advance: SimDuration,
     },
+    /// Mutates live authority through the platform's capability-churn
+    /// hook: a MINIX ACM row edit, an seL4 CDT sweep, a Linux mq chmod.
+    CapChurn {
+        /// The churn operation (kind, actor, subject, object — subject
+        /// and object are scenario instance names).
+        op: CapChurnOp,
+        /// `None` applies the op at the scheduled tick. `Some(n)` *arms*
+        /// it at the scheduled tick, to fire immediately after the n-th
+        /// subsequent successful admission check by `op.subject` toward
+        /// `op.object` — deterministically inside the check→use window.
+        arm_after_checks: Option<u32>,
+    },
 }
 
 impl FaultKind {
@@ -101,6 +114,13 @@ impl FaultKind {
                 period,
             } => format!("crash_storm {process} x{times}/{}s", period.as_secs()),
             FaultKind::ClockSkew { advance } => format!("clock_skew +{}s", advance.as_secs()),
+            FaultKind::CapChurn {
+                op,
+                arm_after_checks,
+            } => match arm_after_checks {
+                Some(n) => format!("{} armed@{n}", op.label()),
+                None => op.label(),
+            },
         }
     }
 
@@ -314,6 +334,30 @@ pub fn standard_plans() -> Vec<FaultPlan> {
             vec![
                 FaultEvent::new(s(300), FaultKind::ClockSkew { advance: s(30) }),
                 FaultEvent::new(s(600), FaultKind::ClockSkew { advance: s(30) }),
+            ],
+        ),
+        // Capability churn: the web interface's path to the controller is
+        // revoked for five minutes, then re-granted. Microkernels cut the
+        // channel cleanly; Linux only edits mode bits, and already-open
+        // descriptors keep working — the stale-authority contrast
+        // `bas-analysis::races` measures.
+        FaultPlan::new(
+            "cap_churn",
+            vec![
+                FaultEvent::new(
+                    s(300),
+                    FaultKind::CapChurn {
+                        op: CapChurnOp::new(ChurnKind::Revoke, names::WEB, names::CONTROL),
+                        arm_after_checks: None,
+                    },
+                ),
+                FaultEvent::new(
+                    s(600),
+                    FaultKind::CapChurn {
+                        op: CapChurnOp::new(ChurnKind::Grant, names::WEB, names::CONTROL),
+                        arm_after_checks: None,
+                    },
+                ),
             ],
         ),
     ]

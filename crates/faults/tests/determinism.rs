@@ -5,6 +5,7 @@
 use bas_core::proto::names;
 use bas_faults::campaign::{run_campaign, CampaignConfig};
 use bas_faults::plan::{FaultEvent, FaultKind, FaultPlan};
+use bas_sim::caps::{CapChurnOp, ChurnKind};
 use bas_sim::device::DeviceId;
 use bas_sim::time::SimDuration;
 
@@ -44,6 +45,35 @@ fn small_plans() -> Vec<FaultPlan> {
                 },
             )],
         ),
+        // Churn schedules must replay as deterministically as every other
+        // fault family: a timed revoke, an armed revoke sitting inside
+        // the admission window, and a regrant.
+        FaultPlan::new(
+            "cap_churn",
+            vec![
+                FaultEvent::new(
+                    s(60),
+                    FaultKind::CapChurn {
+                        op: CapChurnOp::new(ChurnKind::Revoke, names::WEB, names::CONTROL),
+                        arm_after_checks: None,
+                    },
+                ),
+                FaultEvent::new(
+                    s(90),
+                    FaultKind::CapChurn {
+                        op: CapChurnOp::new(ChurnKind::Grant, names::WEB, names::CONTROL),
+                        arm_after_checks: None,
+                    },
+                ),
+                FaultEvent::new(
+                    s(120),
+                    FaultKind::CapChurn {
+                        op: CapChurnOp::new(ChurnKind::Revoke, names::SENSOR, names::CONTROL),
+                        arm_after_checks: Some(2),
+                    },
+                ),
+            ],
+        ),
     ]
 }
 
@@ -64,7 +94,7 @@ fn report_is_byte_identical_across_worker_counts() {
     assert_eq!(one, render(4), "1 vs 4 workers");
     // Sanity: the report actually covers the full matrix.
     assert!(one.contains("\"cells\""));
-    assert_eq!(one.matches("\"plan\"").count(), 3 * 3, "one per cell");
+    assert_eq!(one.matches("\"plan\"").count(), 4 * 3, "one per cell");
 }
 
 #[test]

@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 
 use bas_sim::arena::{MsgArena, MsgRef};
+use bas_sim::caps::{CapChurnOp, CapLog, CapOp, CapTrace, ChurnKind};
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::{DeviceBus, DeviceId};
 use bas_sim::fault::{IpcFault, IpcFaultState};
@@ -85,6 +86,9 @@ enum Block {
         qid: u32,
         msg: MsgRef,
         priority: u32,
+        /// Capability-trace seq of the send's `Use` event, carried so the
+        /// eventual enqueue (and delivery) keeps its provenance.
+        use_seq: Option<u64>,
     },
     /// Blocked in `mq_receive` on an empty queue.
     MqRecvWait { qid: u32 },
@@ -121,6 +125,26 @@ pub struct LinuxKernel {
     max_procs: usize,
     last_run: Option<Pid>,
     ipc_faults: IpcFaultState,
+    /// Structured capability-event stream (disabled by default).
+    cap_log: CapLog,
+    /// Churn ops armed to fire after the Nth successful open check.
+    armed_churn: Vec<(CapChurnOp, u32)>,
+}
+
+/// The mode triple that governs `uid`'s access to a node owned by
+/// `owner`: the owner bits, the group bits, or — mirroring the loose
+/// no-group check in [`Mode::allows_with_group`] — the union of the group
+/// and other triples.
+fn class_bits(uid: Uid, owner: Uid, group: Option<Uid>) -> u16 {
+    if uid == owner {
+        0o700
+    } else if group == Some(uid) {
+        0o070
+    } else if group.is_some() {
+        0o007
+    } else {
+        0o077
+    }
 }
 
 /// Trace-only name lookup (runs inside lazy trace closures).
@@ -162,6 +186,8 @@ impl LinuxKernel {
             max_procs: config.max_procs,
             last_run: None,
             ipc_faults: IpcFaultState::default(),
+            cap_log: CapLog::new(),
+            armed_churn: Vec::new(),
         }
     }
 
@@ -234,6 +260,95 @@ impl LinuxKernel {
     /// Read access to the IPC fault queue (applied/pending counters).
     pub fn ipc_faults(&self) -> &IpcFaultState {
         &self.ipc_faults
+    }
+
+    // ----- capability churn ---------------------------------------------------
+
+    /// Starts recording the structured capability-event stream.
+    pub fn enable_cap_trace(&mut self) {
+        self.cap_log.enable();
+    }
+
+    /// Snapshot of the capability-event stream recorded so far.
+    pub fn cap_trace(&self) -> CapTrace {
+        self.cap_log.trace()
+    }
+
+    /// Applies a chmod-style churn op: edits the permission triple through
+    /// which the live process named `op.subject` reaches the queue named
+    /// `op.object`. Revoke clears the triple, attenuate strips its write
+    /// bits, grant sets read+write. Returns false when the subject or
+    /// queue is unknown or the bits were already in the requested state.
+    ///
+    /// Open descriptors are deliberately left untouched — exactly Linux's
+    /// semantics, and exactly the window the race detector hunts:
+    /// `mq_send` trusts the open-time DAC check forever after.
+    pub fn apply_cap_churn(&mut self, op: &CapChurnOp) -> bool {
+        let Some(uid) = self
+            .pid_of(&op.subject)
+            .and_then(|p| self.entry_ref(p))
+            .map(|e| e.uid)
+        else {
+            return false;
+        };
+        let Some(&qid) = self.queue_ids.get(&op.object) else {
+            return false;
+        };
+        let Some(q) = self.queues.get_mut(qid as usize).and_then(Option::as_mut) else {
+            return false;
+        };
+        let class = class_bits(uid, q.owner, q.group);
+        let old = q.mode.bits();
+        let new = match op.kind {
+            ChurnKind::Grant => old | (class & 0o666),
+            ChurnKind::Attenuate => old & !(class & 0o222),
+            ChurnKind::Revoke => old & !class,
+        };
+        q.mode = Mode::new(new);
+        let changed = new != old;
+        let cap_op = match op.kind {
+            ChurnKind::Grant => CapOp::Grant,
+            ChurnKind::Attenuate => CapOp::Attenuate,
+            ChurnKind::Revoke => CapOp::Revoke,
+        };
+        let now = self.clock.now();
+        self.cap_log.record_with(now, cap_op, changed, || {
+            (
+                op.actor.clone(),
+                format!("mq:{}:{}", op.object, op.subject),
+                op.object.clone(),
+            )
+        });
+        self.trace.record_with(now, None, "cap.churn", || {
+            format!("{} mode {old:04o} -> {new:04o}", op.label())
+        });
+        changed
+    }
+
+    /// Arms a churn op to fire immediately after the `after_checks`-th
+    /// subsequent *successful* DAC open check by `op.subject` on
+    /// `op.object` — deterministically inside the check→use window.
+    pub fn arm_cap_churn(&mut self, op: &CapChurnOp, after_checks: u32) {
+        self.armed_churn.push((op.clone(), after_checks));
+    }
+
+    fn fire_armed_churn(&mut self, opener: &str, qname: &str) {
+        let mut due = Vec::new();
+        self.armed_churn.retain_mut(|(op, remaining)| {
+            if op.subject != opener || op.object != qname {
+                return true;
+            }
+            if *remaining == 0 {
+                due.push(op.clone());
+                false
+            } else {
+                *remaining -= 1;
+                true
+            }
+        });
+        for op in due {
+            self.apply_cap_churn(&op);
+        }
     }
 
     /// Kills the named process outright (a simulated crash — distinct
@@ -554,6 +669,16 @@ impl LinuxKernel {
                     self.trace.record_with(now, Some(pid), "mq.create", || {
                         format!("{name} mode={:04o}", attr.mode)
                     });
+                    if self.cap_log.enabled() {
+                        let subject = self.entry_ref(pid).expect("caller").name.clone();
+                        self.cap_log.record_with(now, CapOp::Grant, true, || {
+                            (
+                                subject.clone(),
+                                format!("mq:{name}:{subject}"),
+                                name.clone(),
+                            )
+                        });
+                    }
                     qid
                 }
                 None => {
@@ -563,10 +688,27 @@ impl LinuxKernel {
             },
             Some(qid) => {
                 let q = self.queue_ref(qid).expect("interned name maps to queue");
-                if !q
-                    .mode
-                    .allows_with_group(uid, q.owner, q.group, access.read, access.write)
-                {
+                let allowed =
+                    q.mode
+                        .allows_with_group(uid, q.owner, q.group, access.read, access.write);
+                if self.cap_log.enabled() || !self.armed_churn.is_empty() {
+                    let subject = self.entry_ref(pid).expect("caller").name.clone();
+                    let now = self.clock.now();
+                    self.cap_log.record_with(now, CapOp::Check, allowed, || {
+                        (
+                            subject.clone(),
+                            format!("mq:{name}:{subject}"),
+                            name.clone(),
+                        )
+                    });
+                    if allowed {
+                        // The armed revoke lands *after* the DAC check and
+                        // *before* the descriptor is handed out — the
+                        // descriptor then outlives the permission.
+                        self.fire_armed_churn(&subject, &name);
+                    }
+                }
+                if !allowed {
                     self.metrics.access_denied += 1;
                     let now = self.clock.now();
                     self.trace.record_with(now, Some(pid), "dac.deny", || {
@@ -645,6 +787,27 @@ impl LinuxKernel {
             Some(IpcFault::Duplicate) | None => {}
         }
 
+        // The send-side capability use. `still_ok` is an observer-only
+        // recheck of the *current* mode bits: the kernel itself (like
+        // Linux) consults only the stored descriptor, so a send through a
+        // revoked-but-open descriptor proceeds — and is recorded with
+        // ok=false, the stale-authority evidence the detector consumes.
+        let use_seq = if self.cap_log.enabled() {
+            let q = self.queue_ref(oq.qid).expect("checked above");
+            let e = self.entry_ref(pid).expect("caller");
+            let still_ok = q
+                .mode
+                .allows_with_group(e.uid, q.owner, q.group, false, true);
+            let sender = e.name.clone();
+            let qname = q.name.clone();
+            let now = self.clock.now();
+            self.cap_log.record_with(now, CapOp::Use, still_ok, || {
+                (sender.clone(), format!("mq:{qname}:{sender}"), qname)
+            })
+        } else {
+            None
+        };
+
         // Stage the payload into the arena once (the user→kernel copy);
         // from here on only the handle moves.
         let msg = self.arena.alloc(&data);
@@ -661,6 +824,7 @@ impl LinuxKernel {
                     qid: oq.qid,
                     msg,
                     priority,
+                    use_seq,
                 });
             }
             return;
@@ -668,7 +832,7 @@ impl LinuxKernel {
         // A duplicated send is a second reference to the same slot, not a
         // second copy of the bytes.
         let duplicate = matches!(fault, Some(IpcFault::Duplicate)).then(|| self.arena.dup(msg));
-        q.push(MqMessage { priority, msg });
+        q.push(MqMessage::new(priority, msg).with_use_seq(use_seq));
         self.note_ipc(oq.qid, pid);
         if let Some(dup) = duplicate {
             // The queue absorbs a duplicate only while it has room; a
@@ -679,7 +843,7 @@ impl LinuxKernel {
             if q.is_full() {
                 self.arena.free(dup);
             } else {
-                q.push(MqMessage { priority, msg: dup });
+                q.push(MqMessage::new(priority, dup).with_use_seq(use_seq));
                 let now = self.clock.now();
                 let queues = &self.queues;
                 self.trace.record_with(now, Some(pid), "fault.ipc", || {
@@ -713,6 +877,7 @@ impl LinuxKernel {
                 // once, and the slot recycles immediately.
                 let data = self.arena.get(m.msg).to_vec();
                 self.arena.free(m.msg);
+                self.note_cap_recv(oq.qid, pid, m.use_seq);
                 self.ready_with(
                     pid,
                     Reply::Data {
@@ -878,6 +1043,7 @@ impl LinuxKernel {
                         .expect("nonempty");
                     let data = self.arena.get(m.msg).to_vec();
                     self.arena.free(m.msg);
+                    self.note_cap_recv(qid, r, m.use_seq);
                     self.ready_with(
                         r,
                         Reply::Data {
@@ -901,19 +1067,22 @@ impl LinuxKernel {
                     .then(|| Pid::new(i as u32))
                 });
                 if let Some(s) = sender {
-                    let (msg, priority) = {
+                    let (msg, priority, use_seq) = {
                         let entry = self.entry_mut(s).expect("sender alive");
                         match std::mem::replace(&mut entry.state, ProcState::Runnable) {
-                            ProcState::Blocked(Block::MqSendWait { msg, priority, .. }) => {
-                                (msg, priority)
-                            }
+                            ProcState::Blocked(Block::MqSendWait {
+                                msg,
+                                priority,
+                                use_seq,
+                                ..
+                            }) => (msg, priority, use_seq),
                             _ => unreachable!("sender was send-waiting"),
                         }
                     };
                     self.queues[qid as usize]
                         .as_mut()
                         .expect("exists")
-                        .push(MqMessage { priority, msg });
+                        .push(MqMessage::new(priority, msg).with_use_seq(use_seq));
                     self.note_ipc(qid, s);
                     self.ready_with(s, Reply::Ok);
                     progressed = true;
@@ -924,6 +1093,23 @@ impl LinuxKernel {
                 return;
             }
         }
+    }
+
+    /// Records the receiver-side `Recv` event and the happens-before edge
+    /// from the message's send-side `Use`, if capability tracing is on.
+    fn note_cap_recv(&mut self, qid: u32, receiver: Pid, use_seq: Option<u64>) {
+        if !self.cap_log.enabled() {
+            return;
+        }
+        let qname = qname_of(&self.queues, qid).to_string();
+        let Some(who) = self.entry_ref(receiver).map(|e| e.name.clone()) else {
+            return;
+        };
+        let now = self.clock.now();
+        let recv_seq = self.cap_log.record_with(now, CapOp::Recv, true, || {
+            (who.clone(), format!("mq:{qname}:{who}"), qname)
+        });
+        self.cap_log.edge(use_seq, recv_seq);
     }
 
     fn note_ipc(&mut self, qid: u32, sender: Pid) {

@@ -14,7 +14,7 @@ proptest! {
         let mut arena = MsgArena::default();
         let mut q = MessageQueue::new("/p", Uid::new(1), Mode::new(0o600), 64);
         for (prio, byte) in &msgs {
-            q.push(MqMessage { priority: *prio, msg: arena.alloc(&[*byte]) });
+            q.push(MqMessage::new(*prio, arena.alloc(&[*byte])));
         }
         // Reference: stable sort by priority descending.
         let mut expected: Vec<(u32, u8)> = msgs;
@@ -30,7 +30,7 @@ proptest! {
         let mut arena = MsgArena::default();
         let mut q = MessageQueue::new("/c", Uid::new(1), Mode::new(0o600), 64);
         for b in &msgs {
-            q.push(MqMessage { priority: 0, msg: arena.alloc(&[*b]) });
+            q.push(MqMessage::new(0, arena.alloc(&[*b])));
         }
         prop_assert_eq!(q.len(), msgs.len());
         let mut drained: Vec<u8> =

@@ -14,8 +14,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use bas_acm::{AcId, AccessControlMatrix, MsgType, QuotaTable, SyscallClass};
+use bas_acm::{
+    AcId, AccessControlMatrix, DelegationLog, MsgType, MsgTypeSet, QuotaTable, SyscallClass,
+};
 use bas_sim::arena::{MsgArena, MsgRef};
+use bas_sim::caps::{CapChurnOp, CapLog, CapOp, CapTrace, ChurnKind};
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::{DeviceBus, DeviceId};
 use bas_sim::fault::{IpcFault, IpcFaultState};
@@ -106,6 +109,14 @@ pub struct MinixKernel {
     /// `Duplicate` fault refcounts the slot here (no byte copy) and
     /// `do_receive` replays it on the destination's next receive.
     dup_stash: VecDeque<(Endpoint, Endpoint, u32, MsgRef)>,
+    /// Capability-operation event stream (disabled by default).
+    cap_log: CapLog,
+    /// Armed churn ops: each fires once its matching successful admission
+    /// check count reaches zero — deterministically *inside* the
+    /// check→delivery window, which is the race the detector hunts.
+    armed_churn: Vec<(CapChurnOp, u32)>,
+    /// Provenance of runtime ACM mutations (audited by `bas-analysis`).
+    delegations: DelegationLog,
 }
 
 impl std::fmt::Debug for MinixKernel {
@@ -151,6 +162,9 @@ impl MinixKernel {
             // slot-table growth.
             arena: MsgArena::with_capacity(config.max_procs),
             dup_stash: VecDeque::new(),
+            cap_log: CapLog::new(),
+            armed_churn: Vec::new(),
+            delegations: DelegationLog::new(),
         }
     }
 
@@ -277,6 +291,155 @@ impl MinixKernel {
     /// The compiled-in ACM.
     pub fn acm(&self) -> &AccessControlMatrix {
         &self.acm
+    }
+
+    /// Enables capability-operation recording (idempotent).
+    pub fn enable_cap_trace(&mut self) {
+        self.cap_log.enable();
+    }
+
+    /// Snapshots the capability-operation stream.
+    pub fn cap_trace(&self) -> CapTrace {
+        self.cap_log.trace()
+    }
+
+    /// Provenance log of runtime ACM mutations.
+    pub fn delegations(&self) -> &DelegationLog {
+        &self.delegations
+    }
+
+    /// Applies a mid-run capability mutation immediately. `subject` and
+    /// `object` are process names; the op edits the ACM row between their
+    /// access-control identities. Returns `false` if either name is
+    /// unknown or the op was a no-op (e.g. revoking an absent row).
+    pub fn apply_cap_churn(&mut self, op: &CapChurnOp) -> bool {
+        let Some(sub_ac) = self.ac_of_name(&op.subject) else {
+            return false;
+        };
+        let Some(dst_ac) = self.ac_of_name(&op.object) else {
+            return false;
+        };
+        // Platform interpretation of the abstract op: grants install the
+        // full type set; attenuation strips every payload-carrying type,
+        // keeping only acknowledgments.
+        let types = match op.kind {
+            ChurnKind::Attenuate => MsgTypeSet::of([MsgType::ACK]),
+            _ => MsgTypeSet::All,
+        };
+        self.churn_acm(
+            op.kind,
+            op.actor.clone(),
+            pm::PM_AC_ID,
+            sub_ac,
+            dst_ac,
+            types,
+            &op.subject,
+            &op.object,
+        )
+    }
+
+    /// Arms `op` to fire right after the `after_checks`-th *successful*
+    /// admission check on the same `subject → object` row. `0` fires on
+    /// the next matching check. Firing inside the check→delivery window is
+    /// what makes TOCTOU schedules deterministic on rendezvous IPC, where
+    /// the parked-send window is microseconds wide.
+    pub fn arm_cap_churn(&mut self, op: &CapChurnOp, after_checks: u32) {
+        self.armed_churn.push((op.clone(), after_checks));
+    }
+
+    /// Resolves a process name to its access-control identity.
+    fn ac_of_name(&self, name: &str) -> Option<AcId> {
+        if name == "pm" {
+            return Some(pm::PM_AC_ID);
+        }
+        let ep = self.names.get(name).copied()?;
+        let pid = self.lookup_live(ep)?;
+        Some(self.entry_ref(pid)?.pcb.ac_id)
+    }
+
+    /// Resolves an access-control identity back to a live process name
+    /// (the first live holder; scenario identities are one-per-process).
+    fn name_of_ac(&self, ac: AcId) -> Option<String> {
+        if ac == pm::PM_AC_ID {
+            return Some("pm".to_string());
+        }
+        self.slots.iter().find_map(|s| {
+            let e = s.entry.as_ref()?;
+            (e.pcb.ac_id == ac).then(|| e.pcb.name.clone())
+        })
+    }
+
+    /// The shared ACM-churn routine behind both the platform hook and the
+    /// PM RPCs: mutates the matrix, keeps delegation provenance, and emits
+    /// the write event. `types` is the installed set for grants and the
+    /// keep set for attenuation (ignored by revoke). Returns whether the
+    /// matrix changed.
+    #[allow(clippy::too_many_arguments)]
+    fn churn_acm(
+        &mut self,
+        kind: ChurnKind,
+        actor: String,
+        grantor: AcId,
+        sub_ac: AcId,
+        dst_ac: AcId,
+        types: MsgTypeSet,
+        sub_name: &str,
+        dst_name: &str,
+    ) -> bool {
+        let changed = match kind {
+            ChurnKind::Grant => {
+                self.acm.grant_types(sub_ac, dst_ac, types);
+                self.delegations.delegate(grantor, sub_ac, dst_ac, types);
+                true
+            }
+            ChurnKind::Attenuate => {
+                self.delegations.attenuate(sub_ac, dst_ac, types);
+                self.acm.attenuate_types(sub_ac, dst_ac, types)
+            }
+            ChurnKind::Revoke => {
+                self.delegations.revoke(sub_ac, dst_ac);
+                self.acm.revoke_channel(sub_ac, dst_ac)
+            }
+        };
+        let op = match kind {
+            ChurnKind::Grant => CapOp::Grant,
+            ChurnKind::Attenuate => CapOp::Attenuate,
+            ChurnKind::Revoke => CapOp::Revoke,
+        };
+        self.cap_log.record_with(self.clock.now(), op, changed, || {
+            (
+                actor.clone(),
+                format!("acm:{sub_ac}->{dst_ac}"),
+                dst_name.to_string(),
+            )
+        });
+        self.trace
+            .record_with(self.clock.now(), None, "cap.churn", || {
+                format!(
+                    "{actor}: {} {sub_name}({sub_ac}) -> {dst_name}({dst_ac})",
+                    kind.label()
+                )
+            });
+        changed
+    }
+
+    /// Fires any armed churn op matching a successful admission check on
+    /// `sub_name → dst_name`.
+    fn fire_armed_churn(&mut self, sub_name: &str, dst_name: &str) {
+        let mut due = Vec::new();
+        self.armed_churn.retain_mut(|(op, remaining)| {
+            if op.subject == sub_name && op.object == dst_name {
+                if *remaining == 0 {
+                    due.push(op.clone());
+                    return false;
+                }
+                *remaining -= 1;
+            }
+            true
+        });
+        for op in due {
+            self.apply_cap_churn(&op);
+        }
     }
 
     /// Reads a window of a live process's memory buffer — a debugger-style
@@ -680,6 +843,36 @@ impl MinixKernel {
 
         // 2. The mandatory ACM check — the paper's contribution.
         let decision = self.acm.check(caller_ac, dest_ac, MsgType::new(mtype));
+        // Capability-stream instrumentation (application IPC only — PM
+        // control traffic is not a churnable right). A successful check
+        // may trip an armed churn op: the mutation then lands *between*
+        // this admission check and the delivery that trusts it.
+        if dest != pm::PM_ENDPOINT && (self.cap_log.enabled() || !self.armed_churn.is_empty()) {
+            let sub_name = self
+                .entry_ref(caller)
+                .map(|e| e.pcb.name.clone())
+                .unwrap_or_default();
+            let dst_name = self
+                .lookup_live(dest)
+                .and_then(|p| self.entry_ref(p))
+                .map(|e| e.pcb.name.clone())
+                .unwrap_or_default();
+            self.cap_log.record_with(
+                self.clock.now(),
+                CapOp::Check,
+                decision.is_allowed(),
+                || {
+                    (
+                        sub_name.clone(),
+                        format!("acm:{caller_ac}->{dest_ac}"),
+                        dst_name.clone(),
+                    )
+                },
+            );
+            if decision.is_allowed() {
+                self.fire_armed_churn(&sub_name, &dst_name);
+            }
+        }
         if !decision.is_allowed() {
             self.metrics.access_denied += 1;
             self.trace
@@ -936,6 +1129,41 @@ impl MinixKernel {
             .record_with(self.clock.now(), Some(dest), "ipc.deliver", || {
                 format!("{source} -> {dest} m{mtype}")
             });
+        // Capability-stream instrumentation: the delivery *uses* the right
+        // that `do_send` admitted, without re-checking it — exactly MINIX's
+        // behavior. The recorded `ok` is an observer-only recheck against
+        // the *current* ACM; `ok = false` on a delivered message is the
+        // stale-handle use the race detector flags.
+        if self.cap_log.enabled() {
+            if let Some((src_ac, src_name)) = self
+                .lookup_live(source)
+                .and_then(|p| self.entry_ref(p))
+                .map(|e| (e.pcb.ac_id, e.pcb.name.clone()))
+            {
+                let dst = self.entry_ref(dest).expect("delivery target live");
+                let (dst_ac, dst_name) = (dst.pcb.ac_id, dst.pcb.name.clone());
+                let still_ok = self
+                    .acm
+                    .check(src_ac, dst_ac, MsgType::new(mtype))
+                    .is_allowed();
+                let now = self.clock.now();
+                let use_seq = self.cap_log.record_with(now, CapOp::Use, still_ok, || {
+                    (
+                        src_name.clone(),
+                        format!("acm:{src_ac}->{dst_ac}"),
+                        dst_name.clone(),
+                    )
+                });
+                let recv_seq = self.cap_log.record_with(now, CapOp::Recv, true, || {
+                    (
+                        dst_name.clone(),
+                        format!("acm:{src_ac}->{dst_ac}"),
+                        dst_name.clone(),
+                    )
+                });
+                self.cap_log.edge(use_seq, recv_seq);
+            }
+        }
         let payload = Payload::from_bytes(self.arena.get(msg));
         self.arena.free(msg);
         self.metrics.hot_path_allocs = self.arena.heap_events();
@@ -1029,6 +1257,46 @@ impl MinixKernel {
                 let mut p = Payload::zeroed();
                 p.write_u32(0, caller.as_u32());
                 p.write_u32(4, caller_ep.as_raw());
+                Some((pm::PM_OK, p))
+            }
+            pm::PM_DELEGATE | pm::PM_REVOKE | pm::PM_ATTENUATE => {
+                // Runtime policy churn as a PM RPC. The ACM already gated
+                // whether the caller may send this message type to PM at
+                // all (step 2 of `do_send`), mirroring how the paper's
+                // policy gates `kill`. Delegation is additionally bounded
+                // by the grantor's own authority: a caller can only hand
+                // out (a subset of) rights it holds itself.
+                let (sub_ac, dst_ac, types) = pm::decode_cap_rpc(&payload);
+                let kind = match mtype {
+                    pm::PM_DELEGATE => ChurnKind::Grant,
+                    pm::PM_REVOKE => ChurnKind::Revoke,
+                    _ => ChurnKind::Attenuate,
+                };
+                let actor = self
+                    .entry_ref(caller)
+                    .map(|e| e.pcb.name.clone())
+                    .unwrap_or_else(|| format!("{caller_ep}"));
+                if kind == ChurnKind::Grant && caller_ac != pm::PM_AC_ID {
+                    let own = self
+                        .acm
+                        .channel(caller_ac, dst_ac)
+                        .unwrap_or(MsgTypeSet::EMPTY);
+                    if types.intersect(own) != types {
+                        self.metrics.access_denied += 1;
+                        return Some((pm::PM_ERR, pm::encode_err(MinixError::PermissionDenied)));
+                    }
+                }
+                let sub_name = self
+                    .name_of_ac(sub_ac)
+                    .unwrap_or_else(|| format!("{sub_ac}"));
+                let dst_name = self
+                    .name_of_ac(dst_ac)
+                    .unwrap_or_else(|| format!("{dst_ac}"));
+                let changed = self.churn_acm(
+                    kind, actor, caller_ac, sub_ac, dst_ac, types, &sub_name, &dst_name,
+                );
+                let mut p = Payload::zeroed();
+                p.write_u32(0, u32::from(changed));
                 Some((pm::PM_OK, p))
             }
             _ => Some((pm::PM_ERR, pm::encode_err(MinixError::InvalidArgument))),

@@ -14,7 +14,7 @@
 //! layouts) plus an ACM policy helper; the handler lives in
 //! [`crate::kernel`] because it manipulates the process table.
 
-use bas_acm::{AcId, AcmBuilder, MsgType};
+use bas_acm::{AcId, AcmBuilder, MsgType, MsgTypeSet};
 
 use crate::endpoint::Endpoint;
 use crate::error::MinixError;
@@ -41,6 +41,14 @@ pub const PM_KILL: u32 = 3;
 pub const PM_EXIT: u32 = 4;
 /// `getpid()` — query the caller's pid.
 pub const PM_GETPID: u32 = 5;
+/// `delegate(subject, receiver, types)` — install (or widen) the ACM row
+/// `subject → receiver` with `types`. Mirrors MINIX's reincarnation-server
+/// pattern: policy mutation is itself an RPC that the ACM must authorize.
+pub const PM_DELEGATE: u32 = 6;
+/// `revoke(subject, receiver)` — remove the ACM row `subject → receiver`.
+pub const PM_REVOKE: u32 = 7;
+/// `attenuate(subject, receiver, keep)` — narrow the row to `keep`.
+pub const PM_ATTENUATE: u32 = 8;
 
 /// PM success reply type (payload is operation-specific).
 pub const PM_OK: u32 = 0;
@@ -83,6 +91,34 @@ pub fn encode_kill(target: Endpoint) -> Payload {
 /// Decodes a `kill` request.
 pub fn decode_kill(p: &Payload) -> Endpoint {
     Endpoint::from_raw(p.read_u32(0))
+}
+
+/// Encodes a capability-churn request (`delegate`/`revoke`/`attenuate`):
+/// the `subject → receiver` row plus a type set (ignored by `revoke`).
+pub fn encode_cap_rpc(subject: AcId, receiver: AcId, types: MsgTypeSet) -> Payload {
+    let mut p = Payload::zeroed();
+    p.write_u32(0, subject.as_u32());
+    p.write_u32(4, receiver.as_u32());
+    match types {
+        MsgTypeSet::All => p.write_u32(8, 1),
+        MsgTypeSet::Bitmap(bits) => {
+            p.write_u32(12, (bits & 0xffff_ffff) as u32);
+            p.write_u32(16, (bits >> 32) as u32);
+        }
+    }
+    p
+}
+
+/// Decodes a capability-churn request as `(subject, receiver, types)`.
+pub fn decode_cap_rpc(p: &Payload) -> (AcId, AcId, MsgTypeSet) {
+    let subject = AcId::new(p.read_u32(0));
+    let receiver = AcId::new(p.read_u32(4));
+    let types = if p.read_u32(8) == 1 {
+        MsgTypeSet::All
+    } else {
+        MsgTypeSet::Bitmap(p.read_u32(12) as u64 | ((p.read_u32(16) as u64) << 32))
+    };
+    (subject, receiver, types)
 }
 
 /// Encodes a PM error reply.
@@ -153,6 +189,18 @@ mod tests {
         assert!(!acm.check(ac, PM_AC_ID, MsgType::new(PM_KILL)).is_allowed());
         assert!(acm.check(PM_AC_ID, ac, MsgType::new(PM_OK)).is_allowed());
         assert!(acm.check(PM_AC_ID, ac, MsgType::new(PM_ERR)).is_allowed());
+    }
+
+    #[test]
+    fn cap_rpc_roundtrip() {
+        let all = encode_cap_rpc(AcId::new(104), AcId::new(100), MsgTypeSet::All);
+        assert_eq!(
+            decode_cap_rpc(&all),
+            (AcId::new(104), AcId::new(100), MsgTypeSet::All)
+        );
+        let wide = MsgTypeSet::Bitmap(0xdead_beef_0000_0042);
+        let bm = encode_cap_rpc(AcId::new(1), AcId::new(2), wide);
+        assert_eq!(decode_cap_rpc(&bm), (AcId::new(1), AcId::new(2), wide));
     }
 
     #[test]

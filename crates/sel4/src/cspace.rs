@@ -88,6 +88,24 @@ impl CSpace {
         Ok(())
     }
 
+    /// Overwrites the capability at an *occupied* slot (in-place rights
+    /// attenuation during churn sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Sel4Error::InvalidCapability`] if out of range or empty.
+    pub fn replace(&mut self, cptr: CPtr, cap: Capability) -> Result<(), Sel4Error> {
+        let slot = self
+            .slots
+            .get_mut(cptr.as_usize())
+            .ok_or(Sel4Error::InvalidCapability)?;
+        if slot.is_none() {
+            return Err(Sel4Error::InvalidCapability);
+        }
+        *slot = Some(cap);
+        Ok(())
+    }
+
     /// Removes and returns the capability at `cptr`.
     ///
     /// # Errors

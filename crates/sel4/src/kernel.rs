@@ -8,6 +8,7 @@
 //! here is the `create_*`/`grant_*` API used by `bas-capdl`'s realizer.
 
 use bas_sim::arena::{MsgArena, MsgRef};
+use bas_sim::caps::{CapLog, CapOp, CapTrace, ChurnKind};
 use bas_sim::clock::{CostModel, VirtualClock};
 use bas_sim::device::DeviceBus;
 use bas_sim::device::DeviceId;
@@ -46,7 +47,9 @@ struct QueuedSend {
     /// Arena handle to the staged message registers (owns one slot
     /// reference; freed when the transfer completes or aborts).
     words: MsgRef,
-    caps: Vec<Capability>,
+    /// Capabilities to transfer, each paired with its source slot in the
+    /// sender's CSpace (the receiver's copy becomes its CDT child).
+    caps: Vec<(Capability, CPtr)>,
     is_call: bool,
 }
 
@@ -101,6 +104,38 @@ pub struct Sel4Kernel {
     /// Fixed-slot message arena: staged message registers live here while
     /// a send is parked; queues and PCB states move 8-byte handles.
     arena: MsgArena,
+    /// Capability-operation event stream (disabled by default).
+    cap_log: CapLog,
+    /// Armed churn sweeps: each fires after its matching successful send
+    /// admission check count reaches zero — inside the check→delivery
+    /// TOCTOU window by construction.
+    armed_churn: Vec<(ChurnSweep, u32)>,
+    /// Lightweight capability derivation tree: `(holder, slot)` of a
+    /// derived capability → `(holder, slot)` it was minted or transferred
+    /// from. Roots (bootstrap grants) have no entry. Revoke sweeps walk
+    /// this to delete descendants, as seL4's CDT-based `revoke` does.
+    cdt: std::collections::BTreeMap<(u32, u32), (u32, u32)>,
+}
+
+/// A resolved mid-run capability mutation on the seL4 platform: act on
+/// every capability `holder` has over the listed endpoint objects (plus
+/// CDT descendants for revoke/attenuate). The platform layer resolves
+/// abstract `CapChurnOp` subject/object names to this form, since only it
+/// knows which realized endpoints serve which process.
+#[derive(Debug, Clone)]
+pub struct ChurnSweep {
+    /// The mutation.
+    pub kind: ChurnKind,
+    /// Acting subject recorded in the event stream.
+    pub actor: String,
+    /// The thread whose capabilities change.
+    pub holder: Pid,
+    /// The endpoint objects in scope.
+    pub objs: Vec<ObjId>,
+    /// Granted rights (grant) or the keep-mask (attenuate).
+    pub rights: CapRights,
+    /// Badge for newly granted capabilities.
+    pub badge: u64,
 }
 
 impl std::fmt::Debug for Sel4Kernel {
@@ -130,6 +165,9 @@ impl Sel4Kernel {
             ipc_faults: IpcFaultState::default(),
             // One parked send per thread bounds the slot working set.
             arena: MsgArena::with_capacity(config.max_threads),
+            cap_log: CapLog::new(),
+            armed_churn: Vec::new(),
+            cdt: std::collections::BTreeMap::new(),
             config,
         }
     }
@@ -199,7 +237,11 @@ impl Sel4Kernel {
     /// [`Sel4Error::NoFreeSlot`] if the CSpace is full.
     pub fn grant_cap(&mut self, pid: Pid, cap: Capability) -> Result<CPtr, Sel4Error> {
         let entry = self.entry_mut(pid).ok_or(Sel4Error::InvalidCapability)?;
-        entry.cspace.insert(cap)
+        let slot = entry.cspace.insert(cap)?;
+        // A fresh grant is a CDT root: clear any stale derivation record
+        // left by a previously revoked occupant of the slot.
+        self.cdt.remove(&(pid.as_u32(), slot.slot()));
+        Ok(slot)
     }
 
     /// Installs a capability at an explicit slot (CapDL layouts).
@@ -209,7 +251,9 @@ impl Sel4Kernel {
     /// Propagates CSpace insertion errors.
     pub fn grant_cap_at(&mut self, pid: Pid, slot: CPtr, cap: Capability) -> Result<(), Sel4Error> {
         let entry = self.entry_mut(pid).ok_or(Sel4Error::InvalidCapability)?;
-        entry.cspace.insert_at(slot, cap)
+        entry.cspace.insert_at(slot, cap)?;
+        self.cdt.remove(&(pid.as_u32(), slot.slot()));
+        Ok(())
     }
 
     /// Convenience: grants an endpoint capability.
@@ -305,6 +349,174 @@ impl Sel4Kernel {
     /// Disables tracing (throughput benchmarks).
     pub fn disable_trace(&mut self) {
         self.trace.disable();
+    }
+
+    /// Enables capability-operation recording (idempotent).
+    pub fn enable_cap_trace(&mut self) {
+        self.cap_log.enable();
+    }
+
+    /// Snapshots the capability-operation stream.
+    pub fn cap_trace(&self) -> CapTrace {
+        self.cap_log.trace()
+    }
+
+    /// Applies a resolved churn sweep immediately. Returns `true` if any
+    /// capability actually changed (a revoke of an absent capability or an
+    /// attenuation already in effect returns `false`).
+    pub fn apply_churn_sweep(&mut self, sweep: &ChurnSweep) -> bool {
+        let holder_name = self
+            .entry_ref(sweep.holder)
+            .map(|e| e.name.clone())
+            .unwrap_or_default();
+        let mut any = false;
+        for &obj in &sweep.objs {
+            let changed = match sweep.kind {
+                ChurnKind::Grant => self
+                    .grant_cap(
+                        sweep.holder,
+                        Capability::to_object(obj, sweep.rights, sweep.badge),
+                    )
+                    .is_ok(),
+                ChurnKind::Attenuate => {
+                    let slots = self.matching_slots(sweep.holder, obj);
+                    let mut n = 0;
+                    for slot in slots {
+                        n += self.attenuate_cap_and_descendants(sweep.holder, slot, sweep.rights);
+                    }
+                    n > 0
+                }
+                ChurnKind::Revoke => {
+                    let slots = self.matching_slots(sweep.holder, obj);
+                    let mut n = 0;
+                    for slot in slots {
+                        n += self.remove_cap_and_descendants(sweep.holder, slot);
+                    }
+                    n > 0
+                }
+            };
+            let op = match sweep.kind {
+                ChurnKind::Grant => CapOp::Grant,
+                ChurnKind::Attenuate => CapOp::Attenuate,
+                ChurnKind::Revoke => CapOp::Revoke,
+            };
+            self.cap_log.record_with(self.clock.now(), op, changed, || {
+                (
+                    sweep.actor.clone(),
+                    format!("{holder_name}:{obj}"),
+                    format!("{obj}"),
+                )
+            });
+            self.trace
+                .record_with(self.clock.now(), None, "cap.churn", || {
+                    format!(
+                        "{}: {} {holder_name} caps on {obj}",
+                        sweep.actor,
+                        sweep.kind.label()
+                    )
+                });
+            any |= changed;
+        }
+        any
+    }
+
+    /// Arms `sweep` to fire right after the `after_checks`-th successful
+    /// send admission check by `sweep.holder` on any endpoint in
+    /// `sweep.objs` (`0` fires on the next matching check) — landing the
+    /// mutation deterministically inside the check→delivery window.
+    pub fn arm_churn_sweep(&mut self, sweep: ChurnSweep, after_checks: u32) {
+        self.armed_churn.push((sweep, after_checks));
+    }
+
+    /// Slots in `holder`'s CSpace holding capabilities to `obj`.
+    fn matching_slots(&self, holder: Pid, obj: ObjId) -> Vec<CPtr> {
+        self.entry_ref(holder)
+            .map(|e| {
+                e.cspace
+                    .iter()
+                    .filter(|(_, c)| c.object() == Some(obj))
+                    .map(|(p, _)| p)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Deletes the capability at `(holder, slot)` and every CDT descendant
+    /// (mints and transfers derived from it), as seL4's `revoke` does.
+    /// Returns how many capabilities were deleted.
+    fn remove_cap_and_descendants(&mut self, holder: Pid, slot: CPtr) -> usize {
+        let mut queue = vec![(holder.as_u32(), slot.slot())];
+        let mut removed = 0;
+        while let Some(key) = queue.pop() {
+            let children: Vec<(u32, u32)> = self
+                .cdt
+                .iter()
+                .filter(|(_, parent)| **parent == key)
+                .map(|(child, _)| *child)
+                .collect();
+            queue.extend(children);
+            if let Some(entry) = self.entry_mut(Pid::new(key.0)) {
+                if entry.cspace.remove(CPtr::new(key.1)).is_ok() {
+                    removed += 1;
+                }
+            }
+            self.cdt.remove(&key);
+        }
+        removed
+    }
+
+    /// Narrows the rights of the capability at `(holder, slot)` and every
+    /// CDT descendant to their intersection with `keep`. Returns how many
+    /// capabilities actually changed.
+    fn attenuate_cap_and_descendants(&mut self, holder: Pid, slot: CPtr, keep: CapRights) -> usize {
+        let mut queue = vec![(holder.as_u32(), slot.slot())];
+        let mut changed = 0;
+        while let Some(key) = queue.pop() {
+            let children: Vec<(u32, u32)> = self
+                .cdt
+                .iter()
+                .filter(|(_, parent)| **parent == key)
+                .map(|(child, _)| *child)
+                .collect();
+            queue.extend(children);
+            if let Some(entry) = self.entry_mut(Pid::new(key.0)) {
+                let cptr = CPtr::new(key.1);
+                if let Ok(cap) = entry.cspace.lookup(cptr) {
+                    let narrowed = Capability {
+                        target: cap.target,
+                        rights: cap.rights.intersect(keep),
+                        badge: cap.badge,
+                    };
+                    if narrowed.rights != cap.rights && entry.cspace.replace(cptr, narrowed).is_ok()
+                    {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Fires any armed churn sweep matching a successful admission check
+    /// by `caller` on endpoint `ep`.
+    fn fire_armed_churn(&mut self, caller: Pid, ep: ObjId) {
+        if self.armed_churn.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        self.armed_churn.retain_mut(|(sweep, remaining)| {
+            if sweep.holder == caller && sweep.objs.contains(&ep) {
+                if *remaining == 0 {
+                    due.push(sweep.clone());
+                    return false;
+                }
+                *remaining -= 1;
+            }
+            true
+        });
+        for sweep in due {
+            self.apply_churn_sweep(&sweep);
+        }
     }
 
     /// A thread's CSpace (CapDL verification reads this).
@@ -595,6 +807,31 @@ impl Sel4Kernel {
             Ok(v) => v,
             Err(e) => return self.deny(caller, e, "send"),
         };
+        // Capability-stream instrumentation: one admission-check event per
+        // send attempt that *found* a capability (a revoked capability
+        // fails the lookup above and never reaches this gate). A
+        // successful check may trip an armed churn sweep: the mutation
+        // then lands between this check and the delivery that trusts it.
+        let rights_ok = cap.rights.write
+            && (!is_call || cap.rights.grant)
+            && (msg.caps.is_empty() || cap.rights.grant);
+        if self.cap_log.enabled() || !self.armed_churn.is_empty() {
+            let caller_name = self
+                .entry_ref(caller)
+                .map(|e| e.name.clone())
+                .unwrap_or_default();
+            self.cap_log
+                .record_with(self.clock.now(), CapOp::Check, rights_ok, || {
+                    (
+                        caller_name.clone(),
+                        format!("{caller_name}:{ep}"),
+                        format!("{ep}"),
+                    )
+                });
+            if rights_ok {
+                self.fire_armed_churn(caller, ep);
+            }
+        }
         if !cap.rights.write {
             return self.deny(caller, Sel4Error::InsufficientRights, "send without write");
         }
@@ -611,7 +848,9 @@ impl Sel4Kernel {
             );
         }
 
-        // Resolve capabilities to transfer from the sender's CSpace.
+        // Resolve capabilities to transfer from the sender's CSpace,
+        // keeping the source slot so the receiver's copy can be linked
+        // into the derivation tree.
         let mut caps = Vec::with_capacity(msg.caps.len());
         for src in &msg.caps {
             match self
@@ -620,7 +859,7 @@ impl Sel4Kernel {
                 .cspace
                 .lookup(*src)
             {
-                Ok(c) => caps.push(c),
+                Ok(c) => caps.push((c, *src)),
                 Err(e) => return self.deny(caller, e, "transfer source missing"),
             }
         }
@@ -677,7 +916,7 @@ impl Sel4Kernel {
         };
 
         if let Some(receiver) = self.find_receiver(ep) {
-            self.rendezvous(caller, receiver, queued);
+            self.rendezvous(caller, receiver, ep, queued);
         } else if blocking {
             if let Some(entry) = self.entry_mut(caller) {
                 entry.state = ProcState::Blocked(Block::SendingOn { ep, queued });
@@ -716,7 +955,7 @@ impl Sel4Kernel {
                         _ => unreachable!("sender was sending"),
                     }
                 };
-                self.rendezvous_with_waiting_receiver(sender_pid, caller, queued);
+                self.rendezvous_with_waiting_receiver(sender_pid, caller, ep, queued);
             }
             None if blocking => {
                 if let Some(entry) = self.entry_mut(caller) {
@@ -728,21 +967,27 @@ impl Sel4Kernel {
     }
 
     /// Completes a rendezvous where the receiver was found blocked.
-    fn rendezvous(&mut self, sender: Pid, receiver: Pid, queued: QueuedSend) {
+    fn rendezvous(&mut self, sender: Pid, receiver: Pid, ep: ObjId, queued: QueuedSend) {
         // Receiver was blocked ReceivingOn; clear its state first.
         if let Some(entry) = self.entry_mut(receiver) {
             entry.state = ProcState::Runnable;
         }
-        self.complete_transfer(sender, receiver, queued);
+        self.complete_transfer(sender, receiver, ep, queued);
     }
 
     /// Completes a rendezvous where the sender was found blocked (receiver
     /// just called recv).
-    fn rendezvous_with_waiting_receiver(&mut self, sender: Pid, receiver: Pid, queued: QueuedSend) {
-        self.complete_transfer(sender, receiver, queued);
+    fn rendezvous_with_waiting_receiver(
+        &mut self,
+        sender: Pid,
+        receiver: Pid,
+        ep: ObjId,
+        queued: QueuedSend,
+    ) {
+        self.complete_transfer(sender, receiver, ep, queued);
     }
 
-    fn complete_transfer(&mut self, sender: Pid, receiver: Pid, queued: QueuedSend) {
+    fn complete_transfer(&mut self, sender: Pid, receiver: Pid, ep: ObjId, queued: QueuedSend) {
         let QueuedSend {
             badge,
             label,
@@ -757,16 +1002,24 @@ impl Sel4Kernel {
         self.metrics.hot_path_allocs = self.arena.heap_events();
 
         // Install transferred caps into the receiver's CSpace; drops on
-        // overflow (with a trace record), as real seL4 truncates.
+        // overflow (with a trace record), as real seL4 truncates. Each
+        // installed copy is a CDT child of the sender's source slot, so a
+        // later revoke sweep on the sender reaps it too.
         let mut received_caps = Vec::new();
-        for c in caps {
+        for (c, src_slot) in caps {
             match self
                 .entry_mut(receiver)
                 .expect("receiver alive")
                 .cspace
                 .insert(c)
             {
-                Ok(slot) => received_caps.push(slot),
+                Ok(slot) => {
+                    self.cdt.insert(
+                        (receiver.as_u32(), slot.slot()),
+                        (sender.as_u32(), src_slot.slot()),
+                    );
+                    received_caps.push(slot);
+                }
                 Err(_) => self.trace.record(
                     self.clock.now(),
                     Some(receiver),
@@ -784,6 +1037,46 @@ impl Sel4Kernel {
             .record_with(self.clock.now(), Some(receiver), "ipc.deliver", || {
                 format!("{sender} -> {receiver} label={label} badge={badge}")
             });
+
+        // Capability-stream instrumentation: the delivery *uses* the
+        // admission decision made at send time without re-checking — real
+        // seL4 behavior. `ok` is an observer-only recheck against the
+        // sender's *current* CSpace; `ok = false` on a delivered message
+        // is the stale-handle use the race detector flags.
+        if self.cap_log.enabled() {
+            let sender_name = self
+                .entry_ref(sender)
+                .map(|e| e.name.clone())
+                .unwrap_or_default();
+            let receiver_name = self
+                .entry_ref(receiver)
+                .map(|e| e.name.clone())
+                .unwrap_or_default();
+            let still_ok = self
+                .entry_ref(sender)
+                .map(|e| {
+                    e.cspace
+                        .iter()
+                        .any(|(_, c)| c.object() == Some(ep) && c.rights.write)
+                })
+                .unwrap_or(false);
+            let now = self.clock.now();
+            let use_seq = self.cap_log.record_with(now, CapOp::Use, still_ok, || {
+                (
+                    sender_name.clone(),
+                    format!("{sender_name}:{ep}"),
+                    format!("{ep}"),
+                )
+            });
+            let recv_seq = self.cap_log.record_with(now, CapOp::Recv, true, || {
+                (
+                    receiver_name.clone(),
+                    format!("{sender_name}:{ep}"),
+                    format!("{ep}"),
+                )
+            });
+            self.cap_log.edge(use_seq, recv_seq);
+        }
 
         if is_call {
             if let Some(entry) = self.entry_mut(receiver) {
@@ -996,7 +1289,15 @@ impl Sel4Kernel {
             .cspace
             .insert(derived)
         {
-            Ok(slot) => Reply::Slot(slot),
+            Ok(slot) => {
+                // A minted copy is a CDT child of its source: revoking the
+                // source sweeps it away.
+                self.cdt.insert(
+                    (caller.as_u32(), slot.slot()),
+                    (caller.as_u32(), src.slot()),
+                );
+                Reply::Slot(slot)
+            }
             Err(e) => Reply::Err(e),
         };
         self.ready_with(caller, r);
@@ -1111,6 +1412,10 @@ impl Sel4Kernel {
         }
         self.run_queue.remove(pid);
         self.timers.cancel(pid);
+        // The dead thread's CSpace is gone; drop its derivation records
+        // (entries derived *from* them become roots, which is harmless:
+        // sweeps start from live holders).
+        self.cdt.retain(|child, _| child.0 != pid.as_u32());
         self.metrics.processes_reaped += 1;
         if self.last_run == Some(pid) {
             self.last_run = None;

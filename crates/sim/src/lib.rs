@@ -44,6 +44,7 @@
 //! ```
 
 pub mod arena;
+pub mod caps;
 pub mod clock;
 pub mod device;
 pub mod fault;
@@ -57,6 +58,7 @@ pub mod timer;
 pub mod trace;
 
 pub use arena::{MsgArena, MsgRef};
+pub use caps::{CapChurnOp, CapEvent, CapLog, CapOp, CapTrace, ChurnKind};
 pub use clock::{CostModel, VirtualClock};
 pub use device::{Device, DeviceBus, DeviceId};
 pub use fault::{FaultyDevice, IpcFault, IpcFaultState, SensorFaultHandle, SensorFaultMode};
