@@ -12,11 +12,13 @@ cargo clippy --workspace --all-targets -- -D warnings \
   -W clippy::redundant_clone -W clippy::needless_collect \
   -W clippy::large_enum_variant
 
-echo "== cargo clippy (bas-analysis + bas-faults: no unwrap in the analyzers) =="
+echo "== cargo clippy (bas-analysis + bas-faults + bas-fleet: no unwrap in the analyzers) =="
 # The static analyzer is the crate whose own soundness claims the repo
-# leans on, and bas-faults drives the churn schedules the race detector
-# trusts; panicking escape hatches are held to a stricter bar in both.
-cargo clippy -p bas-analysis -p bas-faults --all-targets -- -D warnings \
+# leans on, bas-faults drives the churn schedules the race detector
+# trusts, and bas-fleet is the long-running executor where a stray panic
+# takes down a whole worker pool; panicking escape hatches are held to a
+# stricter bar in all three.
+cargo clippy -p bas-analysis -p bas-faults -p bas-fleet --all-targets -- -D warnings \
   -W clippy::unwrap_used
 
 echo "== cargo test =="
@@ -107,6 +109,24 @@ for metric in '"messages_per_second"' '"fleet_ipc_messages_per_wall_second"'; do
     if (cur < floor) { print "** fleet throughput regressed >30% **"; exit 1 }
   }'
 done
+# Snapshot-fork boot gates: instances/sec has a floor like the other
+# rates; bytes/instance is a regression in the *upward* direction, so it
+# gets a ceiling instead. The leading quote anchors each grep to the
+# snapshot-path keys (the cold-path ones are "cold_..."-prefixed).
+current=$(grep -m1 -o '"boot_instances_per_sec": *[0-9.eE+-]*' BENCH_fleet.json | sed 's/.*: *//')
+baseline=$(grep -m1 -o '"boot_instances_per_sec": *[0-9.eE+-]*' BENCH_fleet_baseline.json | sed 's/.*: *//')
+awk -v cur="$current" -v base="$baseline" 'BEGIN {
+  floor = base * 0.7;
+  printf "boot_instances_per_sec: current %.0f, baseline %.0f, floor %.0f\n", cur, base, floor;
+  if (cur < floor) { print "** snapshot boot throughput regressed >30% **"; exit 1 }
+}'
+current=$(grep -m1 -o '"bytes_per_instance": *[0-9.eE+-]*' BENCH_fleet.json | sed 's/.*: *//')
+baseline=$(grep -m1 -o '"bytes_per_instance": *[0-9.eE+-]*' BENCH_fleet_baseline.json | sed 's/.*: *//')
+awk -v cur="$current" -v base="$baseline" 'BEGIN {
+  ceiling = base * 1.3;
+  printf "bytes_per_instance: current %.0f, baseline %.0f, ceiling %.0f\n", cur, base, ceiling;
+  if (cur > ceiling) { print "** snapshot boot memory per instance regressed >30% **"; exit 1 }
+}'
 # The 2-worker speedup floor needs real cores; on a single-CPU host the
 # determinism and throughput gates above still ran.
 cores=$(grep -m1 -o '"cores": *[0-9]*' BENCH_fleet.json | sed 's/.*: *//')

@@ -157,7 +157,7 @@ fn run_minix_ablation(
             Box::new(MinixAttacker::new(lookups, builder, ev.clone()))
         })),
         web_uid: 1000,
-        acm,
+        acm: acm.map(std::sync::Arc::new),
         ..MinixOverrides::default()
     };
     let mut s = build_minix(&scenario_cfg, overrides);
@@ -291,6 +291,7 @@ fn run_sel4_ablation(extra_caps: Vec<ExtraCap>) -> (bool, bool) {
             }
         })),
         extra_caps,
+        ..Sel4Overrides::default()
     };
     let mut s = build_sel4(&cfg, overrides);
     s.run_for(WARMUP + SimDuration::from_secs(1_020));

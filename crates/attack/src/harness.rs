@@ -110,6 +110,7 @@ pub fn run_attack(
                         ))
                     })),
                     extra_caps: Vec::new(),
+                    ..Sel4Overrides::default()
                 };
                 let mut s = build_sel4(&config.scenario, overrides);
                 s.run_for(total);

@@ -82,7 +82,7 @@ fn run_minix_attack(
             Box::new(MinixAttacker::new(lookups, builder, ev.clone()))
         })),
         web_uid: 1000,
-        acm,
+        acm: acm.map(std::sync::Arc::new),
         ..MinixOverrides::default()
     };
     let mut s = h.build_stack::<MinixStack>(&scenario_cfg, overrides);

@@ -44,6 +44,7 @@ fn main() {
                 ))
             })),
             extra_caps: Vec::new(),
+            ..Sel4Overrides::default()
         };
         let mut s = h.build_stack::<Sel4Stack>(&scenario_cfg(), overrides);
         s.run_for(WARMUP + SimDuration::from_secs(1_020));
@@ -105,6 +106,7 @@ fn main() {
                     badge: 99,
                 },
             ],
+            ..Sel4Overrides::default()
         };
         let mut s = h.build_stack::<Sel4Stack>(&scenario_cfg(), overrides);
 

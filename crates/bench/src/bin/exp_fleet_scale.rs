@@ -13,14 +13,31 @@
 //! allocations) rather than plant physics. `ci.sh` gates both this rate
 //! and the fleet throughput against `BENCH_fleet_baseline.json`.
 //!
+//! On top of the throughput sweep, the binary benchmarks the *boot
+//! path* under a counting global allocator: cold `boot_platform` per
+//! instance versus the snapshot/fork path (one warm template, instances
+//! forked and recycled through an `InstancePool`). Full mode drives the
+//! boot schedule of a 100,000-instance benign fleet through one pool on
+//! one thread and asserts snapshot boot is ≥10x faster and ≥5x lighter
+//! in allocated bytes per instance than cold boot (MINIX, the default
+//! platform); `ci.sh` additionally gates `boot_instances_per_sec` and
+//! `bytes_per_instance` against the committed baseline.
+//!
 //! Run: `cargo run --release -p bas-bench --bin exp_fleet_scale [-- --quick --platform minix]`
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use bas_acm::{AcId, AccessControlMatrix};
 use bas_bench::{rule, section, Harness};
-use bas_core::scenario::Platform;
-use bas_fleet::{run_fleet_with, FleetConfig, Json, WorkerPool};
+use bas_core::scenario::{Platform, ScenarioConfig};
+use bas_core::EngineSnapshot;
+use bas_fleet::{
+    instance_seed, run_fleet_with, FleetConfig, InstancePool, Json, WorkerPool,
+    DEFAULT_MAX_RESIDENT,
+};
 use bas_minix::endpoint::Endpoint;
 use bas_minix::kernel::{MinixConfig, MinixKernel};
 use bas_minix::message::Payload;
@@ -28,6 +45,39 @@ use bas_minix::syscall::{Reply, Syscall};
 use bas_sim::clock::CostModel;
 use bas_sim::process::{Action, Process};
 use bas_sim::time::SimDuration;
+
+/// Bytes and calls handed out by the global allocator; the boot
+/// benchmark reads deltas around each boot loop, so `bytes_per_instance`
+/// counts every allocation a boot performs (frees are irrelevant: the
+/// cost being measured is allocator traffic, not residency).
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 const PUMP_ID: AcId = AcId::new(40);
 const SINK_ID: AcId = AcId::new(41);
@@ -153,6 +203,110 @@ fn main() {
         hot_wall,
         hot_rate / 1e6
     );
+
+    // ------------------------------------------------------------------
+    // Boot path: cold vs snapshot/fork, one thread, counting allocator.
+    // ------------------------------------------------------------------
+    let boot_instances = h.scale(100_000, 10_000) as usize;
+    let cold_iters = h.scale(2_000, 500) as usize;
+    section(&format!(
+        "boot path on {platform}: cold boot ({cold_iters} instances) vs snapshot/fork \
+         ({boot_instances}-instance fleet boot schedule, one thread)"
+    ));
+    let template = ScenarioConfig::quiet();
+    // Warm once so lazy one-time initialization stays out of both deltas.
+    std::hint::black_box(&bas_core::boot_platform(platform, &template));
+
+    let bytes0 = ALLOC_BYTES.load(Ordering::SeqCst);
+    let calls0 = ALLOC_CALLS.load(Ordering::SeqCst);
+    let t0 = Instant::now();
+    for i in 0..cold_iters {
+        let mut cfg = template.clone();
+        cfg.seed = instance_seed(42, i);
+        std::hint::black_box(&bas_core::boot_platform(platform, &cfg));
+    }
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let cold_bytes = ALLOC_BYTES.load(Ordering::SeqCst) - bytes0;
+    let cold_calls = ALLOC_CALLS.load(Ordering::SeqCst) - calls0;
+    let cold_rate = cold_iters as f64 / cold_wall.max(1e-9);
+    let cold_bpi = cold_bytes as f64 / cold_iters as f64;
+
+    // Snapshot/fork: capture the warm template once (inside the timed
+    // region — it is part of the snapshot path's cost), then run the
+    // whole fleet's boot schedule through one InstancePool in cohorts of
+    // DEFAULT_MAX_RESIDENT. The first cohort forks fresh engines; every
+    // later cohort recycles checked-in ones, which is the steady state a
+    // 100k-instance fleet spends >99% of its boots in.
+    let boot_config = FleetConfig::benign(platform, boot_instances, 1);
+    let bytes0 = ALLOC_BYTES.load(Ordering::SeqCst);
+    let calls0 = ALLOC_CALLS.load(Ordering::SeqCst);
+    let t0 = Instant::now();
+    let snapshot = Arc::new(EngineSnapshot::capture(platform, &template));
+    let mut instance_pool = InstancePool::new(Some(snapshot));
+    let mut cohort = Vec::with_capacity(DEFAULT_MAX_RESIDENT);
+    let mut booted = 0usize;
+    while booted < boot_instances {
+        let n = DEFAULT_MAX_RESIDENT.min(boot_instances - booted);
+        for k in 0..n {
+            cohort.push(instance_pool.checkout(&boot_config, booted + k));
+        }
+        booted += n;
+        for engine in cohort.drain(..) {
+            instance_pool.checkin(engine);
+        }
+    }
+    let snap_wall = t0.elapsed().as_secs_f64();
+    let snap_bytes = ALLOC_BYTES.load(Ordering::SeqCst) - bytes0;
+    let snap_calls = ALLOC_CALLS.load(Ordering::SeqCst) - calls0;
+    let boot_rate = boot_instances as f64 / snap_wall.max(1e-9);
+    let snap_bpi = snap_bytes as f64 / boot_instances as f64;
+    let boot_speedup = boot_rate / cold_rate.max(1e-9);
+    let bytes_ratio = cold_bpi / snap_bpi.max(1e-9);
+
+    println!(
+        "{:<10} {:>10} {:>14} {:>16} {:>14}",
+        "path", "boots", "boots/sec", "bytes/instance", "allocs/instance"
+    );
+    rule();
+    println!(
+        "{:<10} {:>10} {:>14.0} {:>16.0} {:>14.1}",
+        "cold",
+        cold_iters,
+        cold_rate,
+        cold_bpi,
+        cold_calls as f64 / cold_iters as f64
+    );
+    println!(
+        "{:<10} {:>10} {:>14.0} {:>16.0} {:>14.1}",
+        "snapshot",
+        boot_instances,
+        boot_rate,
+        snap_bpi,
+        snap_calls as f64 / boot_instances as f64
+    );
+    println!(
+        "snapshot vs cold: {boot_speedup:.1}x faster, {bytes_ratio:.1}x fewer allocated bytes \
+         ({} forked fresh, {} recycled)",
+        instance_pool.materialized(),
+        instance_pool.recycled()
+    );
+    // The pool must have served the entire schedule, forking at most one
+    // cohort's worth of engines and recycling everything else.
+    assert_eq!(
+        instance_pool.materialized() + instance_pool.recycled(),
+        boot_instances as u64
+    );
+    assert!(instance_pool.materialized() <= DEFAULT_MAX_RESIDENT as u64);
+    if !h.quick() && platform == Platform::Minix {
+        assert!(
+            boot_speedup >= 10.0,
+            "snapshot boot must be >=10x faster than cold boot, got {boot_speedup:.1}x"
+        );
+        assert!(
+            bytes_ratio >= 5.0,
+            "snapshot boot must allocate >=5x fewer bytes per instance, got {bytes_ratio:.1}x"
+        );
+    }
 
     section(&format!(
         "fleet scaling on {platform}: instances × workers, {} simulated minutes each",
@@ -299,7 +453,7 @@ fn main() {
     }
 
     h.write_json(&Json::obj(vec![
-        ("schema", Json::Str("bas-fleet-scale/v2".into())),
+        ("schema", Json::Str("bas-fleet-scale/v3".into())),
         ("platform", Json::Str(platform.to_string())),
         ("horizon_s", Json::Num(horizon.as_secs_f64())),
         ("cores", Json::UInt(cores as u64)),
@@ -310,6 +464,21 @@ fn main() {
                 ("wall_seconds", Json::Num(hot_wall)),
                 ("messages_per_second", Json::Num(hot_rate)),
                 ("heap_events", Json::UInt(hot_heap_events)),
+            ]),
+        ),
+        (
+            "boot",
+            Json::obj(vec![
+                ("fleet_instances", Json::UInt(boot_instances as u64)),
+                ("cold_instances", Json::UInt(cold_iters as u64)),
+                ("cold_boot_instances_per_sec", Json::Num(cold_rate)),
+                ("cold_bytes_per_instance", Json::Num(cold_bpi)),
+                ("boot_instances_per_sec", Json::Num(boot_rate)),
+                ("bytes_per_instance", Json::Num(snap_bpi)),
+                ("boot_speedup", Json::Num(boot_speedup)),
+                ("bytes_ratio", Json::Num(bytes_ratio)),
+                ("materialized", Json::UInt(instance_pool.materialized())),
+                ("recycled", Json::UInt(instance_pool.recycled())),
             ]),
         ),
         (

@@ -64,6 +64,16 @@ pub trait PlatformKernel {
     /// Responses observed by the (benign) web interface.
     fn web_responses(&self) -> Vec<BasMsg>;
 
+    /// Returns the stack to its just-booted state under `config`, reusing
+    /// live allocations — the snapshot-fork boot path. `config` must be
+    /// the boot template modulo `seed` (the stack re-runs its stored boot
+    /// plan; only the plant is re-seeded). Returns `false` when this stack
+    /// cannot guarantee byte-identity with a cold boot (e.g. one-shot
+    /// attacker overrides), in which case the caller must cold-boot.
+    fn reset_to_boot(&mut self, _config: &ScenarioConfig) -> bool {
+        false
+    }
+
     // ----- fault-injection hooks (`bas-faults`) -----------------------------
 
     /// Mutable access to the kernel's device bus, so fault interposers
@@ -225,6 +235,17 @@ impl<K: PlatformKernel> Scenario for ScenarioEngine<K> {
 
     fn web_responses(&self) -> Vec<BasMsg> {
         self.stack.web_responses()
+    }
+
+    fn reset_to_boot(&mut self, config: &ScenarioConfig) -> bool {
+        if !self.stack.reset_to_boot(config) {
+            return false;
+        }
+        self.plant = self.stack.plant();
+        self.chunk = config.lockstep_chunk;
+        self.reference_changes = config.reference_changes();
+        self.next_reference = 0;
+        true
     }
 }
 

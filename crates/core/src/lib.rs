@@ -38,6 +38,7 @@ pub mod policy;
 pub mod proto;
 pub mod scenario;
 pub mod semantics;
+pub mod snapshot;
 
 pub use engine::{boot_platform, PlatformKernel, ScenarioEngine};
 pub use proto::BasMsg;
@@ -45,3 +46,4 @@ pub use scenario::{
     critical_alive, plant_snapshot, PlantSnapshot, Platform, Scenario, ScenarioConfig,
 };
 pub use semantics::StepSemantics;
+pub use snapshot::EngineSnapshot;

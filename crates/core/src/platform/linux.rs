@@ -638,6 +638,17 @@ pub struct LinuxStack {
     pub kernel: LinuxKernel,
     plant: SharedPlant,
     web_log: WebLog,
+    /// Boot-template knobs kept so [`PlatformKernel::reset_to_boot`] can
+    /// re-run the same queue creation and spawns.
+    scheme: UidScheme,
+    web_uid: u32,
+    /// False when a custom web factory booted this stack: factories may
+    /// be stateful, so recycling cannot guarantee cold-boot identity.
+    forkable: bool,
+    /// True once anything mutated the kernel after boot. While false the
+    /// stack is still the boot template verbatim (the seed only reaches
+    /// the plant), so recycling skips the kernel reset and respawns.
+    ran: bool,
 }
 
 /// A running Linux scenario: the generic engine over [`LinuxStack`].
@@ -678,9 +689,59 @@ fn boot_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxStack 
     });
     install_devices(&plant, kernel.devices_mut());
 
-    // "The scenario process in Linux spawns all other processes and
-    // creates 6 message queues" — the loader role, performed at build
-    // time.
+    let web_log = new_web_log();
+    let web_uid = overrides
+        .web_uid
+        .unwrap_or_else(|| scheme.uid_of(names::WEB));
+    let forkable = overrides.web_factory.is_none();
+    let web_logic: LinuxProcess = match &overrides.web_factory {
+        Some(factory) => factory(),
+        None => benign_web(config, &web_log),
+    };
+    populate_scenario(&mut kernel, config, scheme, web_uid, web_logic);
+
+    // Register program images so fork-based attacks work.
+    kernel.register_program(
+        "sleeper",
+        Box::new(|| {
+            Box::new(bas_sim::script::Script::<Syscall, Reply>::looping(vec![
+                Syscall::Sleep {
+                    duration: SimDuration::from_secs(3_600),
+                },
+            ]))
+        }),
+    );
+
+    LinuxStack {
+        kernel,
+        plant,
+        web_log,
+        scheme,
+        web_uid,
+        forkable,
+        ran: false,
+    }
+}
+
+/// The benign web-interface process for `config`'s schedule.
+fn benign_web(config: &ScenarioConfig, web_log: &WebLog) -> LinuxProcess {
+    Box::new(LinuxWeb::new(
+        WebSchedule::new(config.web_schedule.clone()),
+        web_log.clone(),
+    ))
+}
+
+/// Queue creation plus the five boot spawns, shared verbatim between cold
+/// boot and [`PlatformKernel::reset_to_boot`]: "The scenario process in
+/// Linux spawns all other processes and creates 6 message queues" — the
+/// loader role, performed at build time.
+fn populate_scenario(
+    kernel: &mut LinuxKernel,
+    config: &ScenarioConfig,
+    scheme: UidScheme,
+    web_uid: u32,
+    web_logic: LinuxProcess,
+) {
     let capacity = 64;
     match scheme {
         UidScheme::SharedAccount => {
@@ -738,8 +799,6 @@ fn boot_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxStack 
         }
     }
 
-    let web_log = new_web_log();
-
     let control_config = config.control;
     kernel
         .spawn(
@@ -769,38 +828,9 @@ fn boot_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxStack 
             Box::new(LinuxSensor::new(config.sensor_period)),
         )
         .expect("room for sensor");
-
-    let web_uid = overrides
-        .web_uid
-        .unwrap_or_else(|| scheme.uid_of(names::WEB));
-    let web_logic: LinuxProcess = match &overrides.web_factory {
-        Some(factory) => factory(),
-        None => Box::new(LinuxWeb::new(
-            WebSchedule::new(config.web_schedule.clone()),
-            web_log.clone(),
-        )),
-    };
     kernel
         .spawn(names::WEB, web_uid, web_logic)
         .expect("room for web interface");
-
-    // Register program images so fork-based attacks work.
-    kernel.register_program(
-        "sleeper",
-        Box::new(|| {
-            Box::new(bas_sim::script::Script::<Syscall, Reply>::looping(vec![
-                Syscall::Sleep {
-                    duration: SimDuration::from_secs(3_600),
-                },
-            ]))
-        }),
-    );
-
-    LinuxStack {
-        kernel,
-        plant,
-        web_log,
-    }
 }
 
 impl PlatformKernel for LinuxStack {
@@ -816,6 +846,7 @@ impl PlatformKernel for LinuxStack {
     }
 
     fn run_until(&mut self, target: SimTime) {
+        self.ran = true;
         self.kernel.run_until(target);
     }
 
@@ -839,15 +870,46 @@ impl PlatformKernel for LinuxStack {
         self.web_log.borrow().clone()
     }
 
+    fn reset_to_boot(&mut self, config: &ScenarioConfig) -> bool {
+        if !self.forkable {
+            return false;
+        }
+        if self.ran {
+            self.kernel.reset_to_boot();
+            let web_logic = benign_web(config, &self.web_log);
+            populate_scenario(
+                &mut self.kernel,
+                config,
+                self.scheme,
+                self.web_uid,
+                web_logic,
+            );
+            // The "sleeper" program registered at cold boot survives the
+            // kernel reset, so it is not re-registered here.
+            self.ran = false;
+        }
+        // A never-stepped kernel is still the boot image verbatim (the
+        // seed only reaches the plant). Re-seed the plant in place: the
+        // `Rc` identity is what the installed plant devices hold.
+        *self.plant.borrow_mut() = PlantWorld::new(config.synced_plant(), config.seed);
+        self.web_log.borrow_mut().clear();
+        true
+    }
+
     fn devices_mut(&mut self) -> &mut bas_sim::device::DeviceBus {
+        // Interposed fault devices survive a kernel reset, so recycling
+        // can no longer promise cold-boot identity.
+        self.forkable = false;
         self.kernel.devices_mut()
     }
 
     fn inject_crash(&mut self, name: &str) -> bool {
+        self.ran = true;
         self.kernel.kill_named(name)
     }
 
     fn arm_ipc_fault(&mut self, fault: bas_sim::fault::IpcFault, count: u32) {
+        self.ran = true;
         self.kernel.ipc_faults_mut().arm(fault, count);
     }
 
@@ -856,10 +918,12 @@ impl PlatformKernel for LinuxStack {
     }
 
     fn skew_clock(&mut self, d: bas_sim::time::SimDuration) {
+        self.ran = true;
         self.kernel.skew_clock(d);
     }
 
     fn apply_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp) -> bool {
+        self.ran = true;
         let mut changed = false;
         for queue in churn_queues(&op.subject, &op.object) {
             let q_op = bas_sim::caps::CapChurnOp {
@@ -872,6 +936,7 @@ impl PlatformKernel for LinuxStack {
     }
 
     fn arm_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp, after_checks: u32) {
+        self.ran = true;
         for queue in churn_queues(&op.subject, &op.object) {
             let q_op = bas_sim::caps::CapChurnOp {
                 object: queue.to_string(),
@@ -882,6 +947,7 @@ impl PlatformKernel for LinuxStack {
     }
 
     fn enable_cap_trace(&mut self) {
+        self.ran = true;
         self.kernel.enable_cap_trace();
     }
 

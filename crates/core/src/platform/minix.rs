@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use bas_acm::AccessControlMatrix;
 use bas_minix::endpoint::Endpoint;
@@ -724,7 +725,7 @@ impl Process for MinixLoader {
 /// The supervisor is itself just a process under the ACM: its authority
 /// to restart components is exactly its `PM_FORK2` row, nothing ambient.
 pub struct MinixSupervisor {
-    watch: Vec<(String, u32, bas_acm::AcId, u32)>, // (name, program, ac, uid)
+    watch: Vec<(&'static str, u32, bas_acm::AcId, u32)>, // (name, program, ac, uid)
     period: SimDuration,
     idx: usize,
     state: SupSt,
@@ -740,7 +741,7 @@ enum SupSt {
 impl MinixSupervisor {
     /// Creates a supervisor checking each `(name, program, ac_id, uid)`
     /// entry every `period`.
-    pub fn new(watch: Vec<(String, u32, bas_acm::AcId, u32)>, period: SimDuration) -> Self {
+    pub fn new(watch: Vec<(&'static str, u32, bas_acm::AcId, u32)>, period: SimDuration) -> Self {
         MinixSupervisor {
             watch,
             period,
@@ -758,7 +759,7 @@ impl MinixSupervisor {
         }
         self.state = SupSt::AwaitLookup;
         Action::Syscall(Syscall::Lookup {
-            name: self.watch[self.idx].0.clone(),
+            name: self.watch[self.idx].0.to_string(),
         })
     }
 
@@ -786,7 +787,7 @@ impl Process for MinixSupervisor {
                 Some(Reply::Resolved(_)) => self.advance(),
                 _ => {
                     // Watched process is gone: reincarnate it.
-                    let (_, program, ac_id, uid) = self.watch[self.idx].clone();
+                    let (_, program, ac_id, uid) = self.watch[self.idx];
                     self.state = SupSt::AwaitFork;
                     Action::Syscall(Syscall::SendRec {
                         dest: pm::PM_ENDPOINT,
@@ -817,8 +818,9 @@ pub struct MinixOverrides {
     pub web_factory: Option<Box<dyn Fn() -> MinixProcess>>,
     /// The web interface's uid (0 simulates the root-escalation variant).
     pub web_uid: u32,
-    /// Replaces the compiled-in ACM (ablation experiments).
-    pub acm: Option<AccessControlMatrix>,
+    /// Replaces the compiled-in ACM (ablation experiments; `Arc` so the
+    /// snapshot-fork boot path can share one matrix across a fleet).
+    pub acm: Option<Arc<AccessControlMatrix>>,
     /// Runs a [`MinixSupervisor`] watching the four critical processes
     /// (MINIX's self-repair behavior). Crash *injection* is no longer an
     /// override: `bas-faults` kills processes through
@@ -843,6 +845,23 @@ pub struct MinixStack {
     pub kernel: MinixKernel,
     plant: SharedPlant,
     web_log: WebLog,
+    /// The boot fork plan, kept so [`PlatformKernel::reset_to_boot`] can
+    /// re-run exactly the boot-time spawns (program ids, identities and
+    /// uids — including overridden web factories, which live on in the
+    /// kernel's program registry).
+    boot_plan: Vec<(u32, bas_acm::AcId, u32)>,
+    /// Whether boot spawned the reincarnation-server supervisor.
+    supervise: bool,
+    /// False when a custom web factory was installed: attacker factories
+    /// may be stateful (one-shot script cells), so re-invoking them on a
+    /// recycled kernel cannot guarantee cold-boot identity.
+    forkable: bool,
+    /// True once anything mutated the kernel after boot (stepping, fault
+    /// or churn injection). A stack with `ran == false` is still byte-
+    /// identical to the boot template — only the plant carries the seed —
+    /// so [`PlatformKernel::reset_to_boot`] can skip the kernel reset and
+    /// the respawns entirely. Every mutating trait method sets this.
+    ran: bool,
 }
 
 /// A running MINIX scenario: the generic engine over [`MinixStack`].
@@ -859,14 +878,19 @@ fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack 
         config.seed,
     )));
 
-    let mut kernel = MinixKernel::new(MinixConfig {
-        max_procs: config.max_procs,
-        cost_model: config.cost_model,
-        acm: overrides.acm.unwrap_or_else(policy::scenario_acm),
-        quotas: policy::scenario_quotas(config.web_fork_limit),
-        device_owners: policy::scenario_device_owners(),
-        ..MinixConfig::default()
-    });
+    let acm = overrides
+        .acm
+        .unwrap_or_else(|| Arc::new(policy::scenario_acm()));
+    let mut kernel = MinixKernel::with_shared_acm(
+        MinixConfig {
+            max_procs: config.max_procs,
+            cost_model: config.cost_model,
+            quotas: policy::scenario_quotas(config.web_fork_limit),
+            device_owners: policy::scenario_device_owners(),
+            ..MinixConfig::default()
+        },
+        acm,
+    );
     install_devices(&plant, kernel.devices_mut());
 
     let web_log = new_web_log();
@@ -888,6 +912,7 @@ fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack 
     let alarm_prog =
         kernel.register_program(names::ALARM, Box::new(|| Box::new(MinixActuator::alarm())));
 
+    let forkable = overrides.web_factory.is_none();
     let web_prog = match overrides.web_factory {
         Some(factory) => kernel.register_program(names::WEB, factory),
         None => {
@@ -907,29 +932,50 @@ fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack 
 
     // Fork order: controller first so lookups converge quickly, then
     // drivers, sensor, and finally the untrusted web interface.
-    let plan = vec![
+    let boot_plan = vec![
         (control_prog, AC_CONTROL, 1000),
         (heater_prog, AC_HEATER, 1000),
         (alarm_prog, AC_ALARM, 1000),
         (sensor_prog, AC_SENSOR, 1000),
         (web_prog, AC_WEB, overrides.web_uid),
     ];
+    spawn_boot_processes(&mut kernel, &boot_plan, overrides.supervise);
+
+    MinixStack {
+        kernel,
+        plant,
+        web_log,
+        boot_plan,
+        supervise: overrides.supervise,
+        forkable,
+        ran: false,
+    }
+}
+
+/// The boot-time spawns, shared verbatim between cold boot and
+/// [`PlatformKernel::reset_to_boot`]: the loader (who forks the plan
+/// through PM) and optionally the supervisor watching the four critical
+/// entries (the plan's head, in registration order).
+fn spawn_boot_processes(
+    kernel: &mut MinixKernel,
+    boot_plan: &[(u32, bas_acm::AcId, u32)],
+    supervise: bool,
+) {
     kernel
         .spawn(
             names::SCENARIO,
             AC_SCENARIO,
             0,
-            Box::new(MinixLoader::new(plan)),
+            Box::new(MinixLoader::new(boot_plan.to_vec())),
         )
         .expect("fresh kernel has room for the loader");
 
-    if overrides.supervise {
-        let watch = vec![
-            (names::CONTROL.to_string(), control_prog, AC_CONTROL, 1000),
-            (names::HEATER.to_string(), heater_prog, AC_HEATER, 1000),
-            (names::ALARM.to_string(), alarm_prog, AC_ALARM, 1000),
-            (names::SENSOR.to_string(), sensor_prog, AC_SENSOR, 1000),
-        ];
+    if supervise {
+        let watch = [names::CONTROL, names::HEATER, names::ALARM, names::SENSOR]
+            .iter()
+            .zip(boot_plan)
+            .map(|(&name, &(prog, ac, uid))| (name, prog, ac, uid))
+            .collect();
         kernel
             .spawn(
                 "supervisor",
@@ -938,12 +984,6 @@ fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack 
                 Box::new(MinixSupervisor::new(watch, SimDuration::from_secs(2))),
             )
             .expect("fresh kernel has room for the supervisor");
-    }
-
-    MinixStack {
-        kernel,
-        plant,
-        web_log,
     }
 }
 
@@ -960,6 +1000,7 @@ impl PlatformKernel for MinixStack {
     }
 
     fn run_until(&mut self, target: SimTime) {
+        self.ran = true;
         self.kernel.run_until(target);
     }
 
@@ -983,15 +1024,39 @@ impl PlatformKernel for MinixStack {
         self.web_log.borrow().clone()
     }
 
+    fn reset_to_boot(&mut self, config: &ScenarioConfig) -> bool {
+        if !self.forkable {
+            return false;
+        }
+        if self.ran {
+            self.kernel.reset_to_boot();
+            spawn_boot_processes(&mut self.kernel, &self.boot_plan, self.supervise);
+            self.ran = false;
+        }
+        // A never-stepped kernel is still the boot image verbatim (the
+        // seed only reaches the plant), so only the plant needs work.
+        // Re-seed it in place: the `Rc` identity is what the installed
+        // plant devices and the registered web factory hold.
+        *self.plant.borrow_mut() = PlantWorld::new(config.synced_plant(), config.seed);
+        self.web_log.borrow_mut().clear();
+        true
+    }
+
     fn devices_mut(&mut self) -> &mut bas_sim::device::DeviceBus {
+        // Interposed fault devices survive a kernel reset, so a stack
+        // whose device bus was touched can no longer promise cold-boot
+        // identity on recycle.
+        self.forkable = false;
         self.kernel.devices_mut()
     }
 
     fn inject_crash(&mut self, name: &str) -> bool {
+        self.ran = true;
         self.kernel.kill_named(name)
     }
 
     fn arm_ipc_fault(&mut self, fault: bas_sim::fault::IpcFault, count: u32) {
+        self.ran = true;
         self.kernel.ipc_faults_mut().arm(fault, count);
     }
 
@@ -1000,20 +1065,24 @@ impl PlatformKernel for MinixStack {
     }
 
     fn skew_clock(&mut self, d: SimDuration) {
+        self.ran = true;
         self.kernel.skew_clock(d);
     }
 
     fn apply_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp) -> bool {
+        self.ran = true;
         // Instance names are MINIX process names verbatim; the kernel
         // resolves them to ACM principals itself.
         self.kernel.apply_cap_churn(op)
     }
 
     fn arm_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp, after_checks: u32) {
+        self.ran = true;
         self.kernel.arm_cap_churn(op, after_checks);
     }
 
     fn enable_cap_trace(&mut self) {
+        self.ran = true;
         self.kernel.enable_cap_trace();
     }
 

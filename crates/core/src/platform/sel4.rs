@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use bas_camkes::codegen::{compile, GlueMap};
 use bas_camkes::glue::{RpcClient, RpcRequest, RpcServer};
@@ -486,6 +487,10 @@ pub struct Sel4Overrides {
     pub web_factory: Option<WebThreadFactory>,
     /// Extra capability grants applied after boot-time verification.
     pub extra_caps: Vec<ExtraCap>,
+    /// Pre-compiled CapDL artifacts shared behind `Arc` — the
+    /// snapshot-fork boot path, where a fleet of instances realizes one
+    /// compiled spec instead of re-running the CAmkES compiler per boot.
+    pub compiled: Option<(Arc<CapDlSpec>, Arc<GlueMap>)>,
 }
 
 /// The booted seL4/CAmkES stack: kernel, compiled CapDL artifacts, plant,
@@ -494,13 +499,22 @@ pub struct Sel4Stack {
     /// The simulated kernel (public for experiment introspection).
     pub kernel: Sel4Kernel,
     /// The compiled CapDL spec (for live verification experiments).
-    pub spec: CapDlSpec,
+    /// `Arc`: boot-time state, shareable across forked instances.
+    pub spec: Arc<CapDlSpec>,
     /// Bootstrap name maps.
     pub sys: RealizedSystem,
-    /// Slot/badge layout.
-    pub glue: GlueMap,
+    /// Slot/badge layout. `Arc`: boot-time state, shareable across forks.
+    pub glue: Arc<GlueMap>,
     plant: SharedPlant,
     web_log: WebLog,
+    /// False when attacker overrides (web factory, extra caps) booted
+    /// this stack: those are one-shot, so a recycled kernel cannot
+    /// guarantee cold-boot identity.
+    forkable: bool,
+    /// True once anything mutated the kernel after boot. While false the
+    /// stack is still the boot template verbatim (the seed only reaches
+    /// the plant), so recycling skips the kernel reset and re-realize.
+    ran: bool,
 }
 
 impl Sel4Stack {
@@ -560,8 +574,14 @@ pub fn build_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Scen
 }
 
 fn boot_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Stack {
-    let assembly = policy::scenario_assembly();
-    let (spec, glue) = compile(&assembly).expect("scenario assembly is valid");
+    let (spec, glue) = match overrides.compiled {
+        Some((spec, glue)) => (spec, glue),
+        None => {
+            let assembly = policy::scenario_assembly();
+            let (spec, glue) = compile(&assembly).expect("scenario assembly is valid");
+            (Arc::new(spec), Arc::new(glue))
+        }
+    };
 
     let plant: SharedPlant = Rc::new(std::cell::RefCell::new(PlantWorld::new(
         config.synced_plant(),
@@ -576,51 +596,8 @@ fn boot_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Stack {
     install_devices(&plant, kernel.devices_mut());
 
     let web_log = new_web_log();
-    let mut web_factory = overrides.web_factory;
-
-    let control_config = config.control;
-    let period = config.sensor_period;
-    let schedule = config.web_schedule.clone();
-    let web_log_for_loader = web_log.clone();
-    let glue_for_loader = glue.clone();
-
-    let mut loader = |name: &str| -> Option<Sel4Thread> {
-        let g = &glue_for_loader;
-        match name {
-            x if x == instances::CONTROL => Some(Box::new(Sel4Control::new(
-                ControlCore::new(control_config),
-                RpcServer::new(g.server_slot(instances::CONTROL, "ctrl")?),
-                RpcClient::new(g.client_slot(instances::CONTROL, "fan")?),
-                RpcClient::new(g.client_slot(instances::CONTROL, "alarm")?),
-                g.badge_of(instances::SENSOR, "ctrl")?,
-                g.badge_of(instances::WEB, "ctrl")?,
-            ))),
-            x if x == instances::SENSOR => Some(Box::new(Sel4Sensor::new(
-                g.device_slot(instances::SENSOR, "temp")?,
-                RpcClient::new(g.client_slot(instances::SENSOR, "ctrl")?),
-                period,
-            ))),
-            x if x == instances::HEATER => Some(Box::new(Sel4Actuator::new(
-                RpcServer::new(g.server_slot(instances::HEATER, "cmd")?),
-                g.device_slot(instances::HEATER, "fan")?,
-                instances::HEATER,
-            ))),
-            x if x == instances::ALARM => Some(Box::new(Sel4Actuator::new(
-                RpcServer::new(g.server_slot(instances::ALARM, "cmd")?),
-                g.device_slot(instances::ALARM, "alarm")?,
-                instances::ALARM,
-            ))),
-            x if x == instances::WEB => match web_factory.take() {
-                Some(factory) => Some(factory(g)),
-                None => Some(Box::new(Sel4Web::new(
-                    RpcClient::new(g.client_slot(instances::WEB, "ctrl")?),
-                    WebSchedule::new(schedule.clone()),
-                    web_log_for_loader.clone(),
-                ))),
-            },
-            _ => None,
-        }
-    };
+    let forkable = overrides.web_factory.is_none() && overrides.extra_caps.is_empty();
+    let mut loader = scenario_loader(config, glue.clone(), web_log.clone(), overrides.web_factory);
 
     let sys = realize(&spec, &mut kernel, &mut loader).expect("scenario realizes");
 
@@ -661,6 +638,59 @@ fn boot_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Stack {
         glue,
         plant,
         web_log,
+        forkable,
+        ran: false,
+    }
+}
+
+/// The boot-time thread loader over a compiled glue map, shared verbatim
+/// between cold boot and [`PlatformKernel::reset_to_boot`]: the realizer
+/// calls it once per CapDL instance, in spec order.
+fn scenario_loader(
+    config: &ScenarioConfig,
+    glue: Arc<GlueMap>,
+    web_log: WebLog,
+    mut web_factory: Option<WebThreadFactory>,
+) -> impl FnMut(&str) -> Option<Sel4Thread> {
+    let control_config = config.control;
+    let period = config.sensor_period;
+    let schedule = config.web_schedule.clone();
+    move |name: &str| -> Option<Sel4Thread> {
+        let g = &*glue;
+        match name {
+            x if x == instances::CONTROL => Some(Box::new(Sel4Control::new(
+                ControlCore::new(control_config),
+                RpcServer::new(g.server_slot(instances::CONTROL, "ctrl")?),
+                RpcClient::new(g.client_slot(instances::CONTROL, "fan")?),
+                RpcClient::new(g.client_slot(instances::CONTROL, "alarm")?),
+                g.badge_of(instances::SENSOR, "ctrl")?,
+                g.badge_of(instances::WEB, "ctrl")?,
+            ))),
+            x if x == instances::SENSOR => Some(Box::new(Sel4Sensor::new(
+                g.device_slot(instances::SENSOR, "temp")?,
+                RpcClient::new(g.client_slot(instances::SENSOR, "ctrl")?),
+                period,
+            ))),
+            x if x == instances::HEATER => Some(Box::new(Sel4Actuator::new(
+                RpcServer::new(g.server_slot(instances::HEATER, "cmd")?),
+                g.device_slot(instances::HEATER, "fan")?,
+                instances::HEATER,
+            ))),
+            x if x == instances::ALARM => Some(Box::new(Sel4Actuator::new(
+                RpcServer::new(g.server_slot(instances::ALARM, "cmd")?),
+                g.device_slot(instances::ALARM, "alarm")?,
+                instances::ALARM,
+            ))),
+            x if x == instances::WEB => match web_factory.take() {
+                Some(factory) => Some(factory(g)),
+                None => Some(Box::new(Sel4Web::new(
+                    RpcClient::new(g.client_slot(instances::WEB, "ctrl")?),
+                    WebSchedule::new(schedule.clone()),
+                    web_log.clone(),
+                ))),
+            },
+            _ => None,
+        }
     }
 }
 
@@ -677,6 +707,7 @@ impl PlatformKernel for Sel4Stack {
     }
 
     fn run_until(&mut self, target: SimTime) {
+        self.ran = true;
         self.kernel.run_until(target);
     }
 
@@ -700,15 +731,53 @@ impl PlatformKernel for Sel4Stack {
         self.web_log.borrow().clone()
     }
 
+    fn reset_to_boot(&mut self, config: &ScenarioConfig) -> bool {
+        if !self.forkable {
+            return false;
+        }
+        if self.ran {
+            self.kernel.reset_to_boot();
+            // Re-realize the shared spec: objects and threads come back in
+            // spec order, so ids and CSpace layouts match a cold boot. The
+            // boot-time CapDL verification is skipped — `verify` is a pure
+            // function of (spec, kernel, sys), all reconstructed identically
+            // to the template boot that already passed it.
+            let mut loader = scenario_loader(config, self.glue.clone(), self.web_log.clone(), None);
+            self.sys =
+                realize(&self.spec, &mut self.kernel, &mut loader).expect("scenario realizes");
+            for name in [
+                instances::CONTROL,
+                instances::HEATER,
+                instances::ALARM,
+                instances::SENSOR,
+                instances::WEB,
+            ] {
+                self.kernel.start_thread(self.sys.threads[name]);
+            }
+            self.ran = false;
+        }
+        // A never-stepped kernel is still the boot image verbatim (the
+        // seed only reaches the plant). Re-seed the plant in place: the
+        // `Rc` identity is what the installed plant devices hold.
+        *self.plant.borrow_mut() = PlantWorld::new(config.synced_plant(), config.seed);
+        self.web_log.borrow_mut().clear();
+        true
+    }
+
     fn devices_mut(&mut self) -> &mut bas_sim::device::DeviceBus {
+        // Interposed fault devices survive a kernel reset, so recycling
+        // can no longer promise cold-boot identity.
+        self.forkable = false;
         self.kernel.devices_mut()
     }
 
     fn inject_crash(&mut self, name: &str) -> bool {
+        self.ran = true;
         self.kernel.kill_named(name)
     }
 
     fn arm_ipc_fault(&mut self, fault: bas_sim::fault::IpcFault, count: u32) {
+        self.ran = true;
         self.kernel.ipc_faults_mut().arm(fault, count);
     }
 
@@ -717,10 +786,12 @@ impl PlatformKernel for Sel4Stack {
     }
 
     fn skew_clock(&mut self, d: bas_sim::time::SimDuration) {
+        self.ran = true;
         self.kernel.skew_clock(d);
     }
 
     fn apply_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp) -> bool {
+        self.ran = true;
         match self.churn_sweep(op) {
             Some(sweep) => self.kernel.apply_churn_sweep(&sweep),
             None => false,
@@ -728,12 +799,14 @@ impl PlatformKernel for Sel4Stack {
     }
 
     fn arm_cap_churn(&mut self, op: &bas_sim::caps::CapChurnOp, after_checks: u32) {
+        self.ran = true;
         if let Some(sweep) = self.churn_sweep(op) {
             self.kernel.arm_churn_sweep(sweep, after_checks);
         }
     }
 
     fn enable_cap_trace(&mut self) {
+        self.ran = true;
         self.kernel.enable_cap_trace();
     }
 

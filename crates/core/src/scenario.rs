@@ -179,6 +179,15 @@ pub trait Scenario {
 
     /// Responses observed by the web interface.
     fn web_responses(&self) -> Vec<BasMsg>;
+
+    /// Returns the scenario to its just-booted state under `config` (the
+    /// boot template modulo `seed`), reusing live allocations — the
+    /// snapshot-fork recycling path. Returns `false` when the scenario
+    /// cannot guarantee byte-identity with a cold boot; the caller must
+    /// then boot a fresh instance instead.
+    fn reset_to_boot(&mut self, _config: &ScenarioConfig) -> bool {
+        false
+    }
 }
 
 /// A serializable snapshot of the plant's safety state at some instant —

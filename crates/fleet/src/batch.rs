@@ -21,6 +21,7 @@ use bas_core::scenario::{critical_alive, plant_snapshot, Scenario};
 use bas_sim::time::SimDuration;
 
 use crate::engine::FleetConfig;
+use crate::instances::InstancePool;
 use crate::report::InstanceReport;
 use crate::seed::instance_seed;
 
@@ -36,18 +37,25 @@ pub struct EngineBatch {
 }
 
 impl EngineBatch {
-    /// Boots every instance in `range` on the calling thread.
+    /// Boots every instance in `range` cold on the calling thread.
     pub fn boot(config: &FleetConfig, range: Range<usize>) -> EngineBatch {
+        EngineBatch::materialize(&mut InstancePool::new(None), config, range)
+    }
+
+    /// Draws every instance in `range` from `pool` — recycled, forked,
+    /// or cold-booted per the pool's boot mode — on the calling thread.
+    pub fn materialize(
+        pool: &mut InstancePool,
+        config: &FleetConfig,
+        range: Range<usize>,
+    ) -> EngineBatch {
         let base_index = range.start;
         let len = range.len();
         let mut engines = Vec::with_capacity(len);
         let mut seeds = Vec::with_capacity(len);
         for index in range {
-            let seed = instance_seed(config.root_seed, index);
-            let mut scenario_cfg = config.template.clone();
-            scenario_cfg.seed = seed;
-            engines.push(bas_core::boot_platform(config.platform, &scenario_cfg));
-            seeds.push(seed);
+            engines.push(pool.checkout(config, index));
+            seeds.push(instance_seed(config.root_seed, index));
         }
         EngineBatch {
             base_index,
@@ -88,6 +96,16 @@ impl EngineBatch {
     /// Snapshots every instance into index-ordered reports, consuming
     /// the batch.
     pub fn finish(self) -> Vec<InstanceReport> {
+        self.reports(|_| {})
+    }
+
+    /// Like [`EngineBatch::finish`], but returns the spent engines to
+    /// `pool` for recycling into the next cohort.
+    pub fn finish_into(self, pool: &mut InstancePool) -> Vec<InstanceReport> {
+        self.reports(|engine| pool.checkin(engine))
+    }
+
+    fn reports(self, mut retire: impl FnMut(Box<dyn Scenario>)) -> Vec<InstanceReport> {
         let EngineBatch {
             base_index,
             engines,
@@ -98,14 +116,18 @@ impl EngineBatch {
         engines
             .into_iter()
             .enumerate()
-            .map(|(i, engine)| InstanceReport {
-                index: base_index + i,
-                seed: seeds[i],
-                sim_seconds: now_s[i],
-                critical_alive: critical_alive(engine.as_ref()),
-                metrics: engine.metrics(),
-                plant: plant_snapshot(engine.as_ref()),
-                attack: None,
+            .map(|(i, engine)| {
+                let report = InstanceReport {
+                    index: base_index + i,
+                    seed: seeds[i],
+                    sim_seconds: now_s[i],
+                    critical_alive: critical_alive(engine.as_ref()),
+                    metrics: engine.metrics(),
+                    plant: plant_snapshot(engine.as_ref()),
+                    attack: None,
+                };
+                retire(engine);
+                report
             })
             .collect()
     }

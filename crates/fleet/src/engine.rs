@@ -19,14 +19,17 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use bas_attack::harness::{run_attack, AttackRunConfig};
 use bas_attack::model::{AttackId, AttackerModel};
 use bas_core::scenario::{critical_alive, plant_snapshot, Platform, ScenarioConfig};
+use bas_core::EngineSnapshot;
 use bas_sim::time::SimDuration;
 
 use crate::batch::EngineBatch;
+use crate::instances::InstancePool;
 use crate::pool::WorkerPool;
 use crate::report::{AttackCell, FleetReport, InstanceReport};
 use crate::seed::instance_seed;
@@ -56,6 +59,38 @@ impl Campaign {
     }
 }
 
+/// How benign fleet instances come into existence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BootMode {
+    /// Boot one warm template per fleet, fork instances from it and
+    /// recycle idle engines in place (the default; byte-identical to
+    /// [`BootMode::Cold`] by the `bas-core` snapshot soundness guards).
+    #[default]
+    Snapshot,
+    /// Boot every instance from scratch (the pre-snapshot path; kept as
+    /// the reference the byte-identity tests compare against).
+    Cold,
+}
+
+/// A [`FleetConfig`] shape the validated constructors reject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// `instances == 0`: a fleet needs at least one building.
+    ZeroInstances,
+}
+
+impl std::fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetConfigError::ZeroInstances => {
+                write!(f, "fleet needs at least one instance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
 /// Configuration of one fleet run.
 #[derive(Clone)]
 pub struct FleetConfig {
@@ -74,23 +109,65 @@ pub struct FleetConfig {
     /// Scenario template for benign instances (seed is overwritten
     /// per instance).
     pub template: ScenarioConfig,
+    /// How benign instances boot (campaigns always boot cold through
+    /// the attack harness).
+    pub boot: BootMode,
+    /// Engines resident per worker at once. Benign fleets larger than
+    /// `workers × max_resident` run in cohorts, recycling engines
+    /// between cohorts, which bounds memory at ~`max_resident` stacks
+    /// per worker no matter the fleet size.
+    pub max_resident: usize,
     /// `Some` turns the fleet into an attack campaign.
     pub campaign: Option<Campaign>,
 }
 
+/// Default for [`FleetConfig::max_resident`]: large enough that the
+/// BENCH-quoted 256-instance fleet stays fully resident on one worker,
+/// small enough that a 100k fleet fits comfortably in memory.
+pub const DEFAULT_MAX_RESIDENT: usize = 256;
+
 impl FleetConfig {
     /// A benign fleet with the default quiet scenario and a 30-minute
     /// horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is invalid (`instances == 0`); use
+    /// [`FleetConfig::try_benign`] to handle that as a value.
     pub fn benign(platform: Platform, instances: usize, workers: usize) -> FleetConfig {
-        FleetConfig {
+        FleetConfig::try_benign(platform, instances, workers).expect("valid benign fleet shape")
+    }
+
+    /// A benign fleet, validated at construction: rejects
+    /// `instances == 0` and clamps `workers` into `1..=instances`.
+    pub fn try_benign(
+        platform: Platform,
+        instances: usize,
+        workers: usize,
+    ) -> Result<FleetConfig, FleetConfigError> {
+        if instances == 0 {
+            return Err(FleetConfigError::ZeroInstances);
+        }
+        Ok(FleetConfig {
             platform,
             instances,
-            workers,
+            workers: workers.clamp(1, instances),
             root_seed: 42,
             horizon: SimDuration::from_mins(30),
             template: ScenarioConfig::quiet(),
+            boot: BootMode::default(),
+            max_resident: DEFAULT_MAX_RESIDENT,
             campaign: None,
+        })
+    }
+
+    /// Checks the invariants [`FleetConfig::try_benign`] establishes
+    /// (fields are public, so hand-built configs can break them).
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.instances == 0 {
+            return Err(FleetConfigError::ZeroInstances);
         }
+        Ok(())
     }
 }
 
@@ -126,9 +203,15 @@ pub struct FleetRun {
 
 /// Tickets claimed per fetch: large enough to keep workers off the
 /// shared counter's cache line most of the time, small enough that a
-/// straggler chunk cannot idle the other workers at the tail.
+/// straggler chunk cannot idle the other workers at the tail. Capped at
+/// each worker's fair share, `instances / workers`, so no single claim
+/// can swallow more items than the smallest even split — without the
+/// cap a caller with `workers > instances / chunk` could see one worker
+/// drain the whole counter while the rest never claim a ticket.
 fn claim_chunk(instances: usize, workers: usize) -> usize {
-    (instances / (workers * 8)).clamp(1, 64)
+    let workers = workers.max(1);
+    let fair_share = (instances / workers).max(1);
+    (instances / (workers * 8)).clamp(1, 64).min(fair_share)
 }
 
 /// Runs `count` independent work items across `workers` threads and
@@ -205,16 +288,46 @@ fn epoch_duration(config: &FleetConfig) -> SimDuration {
 /// function of the configuration regardless of worker count or pool
 /// size.
 pub fn run_fleet_with(pool: &WorkerPool, config: &FleetConfig) -> FleetRun {
-    assert!(config.instances > 0, "fleet needs at least one instance");
+    // Degenerate shapes are rejected at construction (`try_benign`); a
+    // hand-built empty config still gets an empty report, not a panic.
+    if config.validate().is_err() {
+        return FleetRun {
+            report: FleetReport::aggregate(
+                config.platform,
+                config.root_seed,
+                config.campaign.as_ref().map(|c| (c.attack, c.attacker)),
+                Vec::new(),
+            ),
+            wall: WallStats {
+                workers: 0,
+                batch_size: 0,
+                wall_seconds: 0.0,
+                sim_seconds_per_wall_second: 0.0,
+                ipc_messages_per_wall_second: 0.0,
+                worker_utilization: Vec::new(),
+            },
+        };
+    }
     let workers = config.workers.clamp(1, config.instances).min(pool.size());
     let batch_size = config.instances.div_ceil(workers);
+    // The warm template boots once per fleet; every worker forks its
+    // instances from the same shared snapshot. Campaigns and cold mode
+    // skip the capture (their instances never touch it).
+    let snapshot = match (&config.campaign, config.boot) {
+        (None, BootMode::Snapshot) => Some(Arc::new(EngineSnapshot::capture(
+            config.platform,
+            &config.template,
+        ))),
+        _ => None,
+    };
     let start = Instant::now();
 
     let jobs: Vec<_> = (0..workers)
         .map(|w| {
             let config = config.clone();
+            let snapshot = snapshot.clone();
             let range = (w * batch_size)..((w + 1) * batch_size).min(config.instances);
-            move || run_batch(&config, range)
+            move || run_batch(&config, snapshot, range)
         })
         .collect();
     let batches = pool.run(jobs);
@@ -245,23 +358,38 @@ pub fn run_fleet_with(pool: &WorkerPool, config: &FleetConfig) -> FleetRun {
     FleetRun { report, wall }
 }
 
-/// One worker's whole run: boot the batch, sweep it to the horizon in
-/// epochs, snapshot. Returns the index-ordered reports plus the busy
-/// seconds spent (for [`WallStats::worker_utilization`]).
-fn run_batch(config: &FleetConfig, range: Range<usize>) -> (Vec<InstanceReport>, f64) {
+/// One worker's whole run: materialize cohorts of at most
+/// [`FleetConfig::max_resident`] instances from the pool, sweep each to
+/// the horizon in epochs, recycle its engines into the next cohort.
+/// Returns the index-ordered reports plus the busy seconds spent (for
+/// [`WallStats::worker_utilization`]).
+fn run_batch(
+    config: &FleetConfig,
+    snapshot: Option<Arc<EngineSnapshot>>,
+    range: Range<usize>,
+) -> (Vec<InstanceReport>, f64) {
     let t0 = Instant::now();
     let reports = match &config.campaign {
         None => {
-            let mut batch = EngineBatch::boot(config, range);
+            let mut pool = InstancePool::for_config(config, snapshot);
             let epoch_ns = epoch_duration(config).as_nanos().max(1);
             let total_ns = config.horizon.as_nanos();
-            let mut done_ns = 0;
-            while done_ns < total_ns {
-                let step = (total_ns - done_ns).min(epoch_ns);
-                batch.advance(SimDuration::from_nanos(step));
-                done_ns += step;
+            let cohort = config.max_resident.max(1);
+            let mut reports = Vec::with_capacity(range.len());
+            let mut begin = range.start;
+            while begin < range.end {
+                let end = (begin + cohort).min(range.end);
+                let mut batch = EngineBatch::materialize(&mut pool, config, begin..end);
+                let mut done_ns = 0;
+                while done_ns < total_ns {
+                    let step = (total_ns - done_ns).min(epoch_ns);
+                    batch.advance(SimDuration::from_nanos(step));
+                    done_ns += step;
+                }
+                reports.extend(batch.finish_into(&mut pool));
+                begin = end;
             }
-            batch.finish()
+            reports
         }
         // Attack campaigns drive each instance through the attack
         // harness's own warmup/window/cooldown phases; they cannot be
@@ -349,6 +477,67 @@ mod tests {
                 assert_eq!(r.seed, instance_seed(config.root_seed, i));
             }
         }
+    }
+
+    #[test]
+    fn zero_instance_fleet_is_rejected_at_construction() {
+        assert_eq!(
+            FleetConfig::try_benign(Platform::Minix, 0, 4).err(),
+            Some(FleetConfigError::ZeroInstances)
+        );
+        assert!(FleetConfigError::ZeroInstances
+            .to_string()
+            .contains("one instance"));
+    }
+
+    #[test]
+    fn try_benign_clamps_workers_into_instance_range() {
+        let config = FleetConfig::try_benign(Platform::Minix, 3, 99).expect("valid");
+        assert_eq!(config.workers, 3);
+        let config = FleetConfig::try_benign(Platform::Minix, 3, 0).expect("valid");
+        assert_eq!(config.workers, 1);
+    }
+
+    #[test]
+    fn degenerate_config_yields_empty_run_not_panic() {
+        // Fields are public; a hand-built zero-instance config must not
+        // bring down the runner.
+        let mut config = FleetConfig::benign(Platform::Minix, 1, 1);
+        config.instances = 0;
+        let run = run_fleet(&config);
+        assert_eq!(run.report.instances, 0);
+        assert!(run.report.per_instance.is_empty());
+    }
+
+    #[test]
+    fn claim_chunk_never_exceeds_smallest_worker_share() {
+        // Regression: a claim larger than `instances / workers` lets one
+        // worker drain the ticket counter while others idle.
+        for instances in [1, 2, 7, 9, 16, 65, 100, 513, 4096, 100_000] {
+            for workers in [1, 2, 3, 4, 8, 16, 64, 200] {
+                let chunk = claim_chunk(instances, workers);
+                assert!(chunk >= 1, "{instances}x{workers}");
+                let fair_share = (instances / workers).max(1);
+                assert!(
+                    chunk <= fair_share,
+                    "claim_chunk({instances}, {workers}) = {chunk} > fair share {fair_share}"
+                );
+                assert!(chunk <= 64, "{instances}x{workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_and_cold_boot_agree_across_cohorts() {
+        // max_resident smaller than the fleet forces recycling through
+        // the freelist; the reports must still be byte-identical.
+        let mut config = FleetConfig::benign(Platform::Minix, 5, 2);
+        config.horizon = SimDuration::from_mins(2);
+        config.max_resident = 2;
+        let snap = run_fleet(&config);
+        config.boot = BootMode::Cold;
+        let cold = run_fleet(&config);
+        assert_eq!(snap.report.to_json(), cold.report.to_json());
     }
 
     #[test]

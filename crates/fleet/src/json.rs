@@ -142,7 +142,7 @@ mod tests {
         let two = j.render();
         assert_eq!(one, two);
         // Insertion order preserved: "b" before "a".
-        assert!(one.find("\"b\"").unwrap() < one.find("\"a\"").unwrap());
+        assert!(one.find("\"b\"").expect("b key") < one.find("\"a\"").expect("a key"));
         assert!(one.contains("\\\"y"));
         assert!(one.ends_with('\n'));
     }

@@ -15,6 +15,9 @@
 //! - [`seed`] — per-instance seed derivation (SplitMix64 over
 //!   root + index·γ),
 //! - [`pool`] — the persistent [`pool::WorkerPool`] threads,
+//! - [`instances`] — [`instances::InstancePool`], the snapshot/fork
+//!   boot path: per-worker engine recycling against one shared
+//!   [`bas_core::EngineSnapshot`],
 //! - [`batch`] — [`batch::EngineBatch`], a worker's resident instances
 //!   in struct-of-arrays layout,
 //! - [`engine`] — [`engine::FleetConfig`], [`engine::run_fleet`], and
@@ -35,6 +38,7 @@
 
 pub mod batch;
 pub mod engine;
+pub mod instances;
 pub mod json;
 pub mod pool;
 pub mod report;
@@ -42,8 +46,10 @@ pub mod seed;
 
 pub use batch::EngineBatch;
 pub use engine::{
-    run_cells, run_fleet, run_fleet_with, Campaign, FleetConfig, FleetRun, WallStats,
+    run_cells, run_fleet, run_fleet_with, BootMode, Campaign, FleetConfig, FleetConfigError,
+    FleetRun, WallStats, DEFAULT_MAX_RESIDENT,
 };
+pub use instances::InstancePool;
 pub use json::Json;
 pub use pool::WorkerPool;
 pub use report::{FleetReport, FleetTotals, InstanceReport, LatencyHistogram};

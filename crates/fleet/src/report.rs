@@ -419,7 +419,7 @@ mod tests {
         assert_eq!(report.totals.safety_violations, 1);
         assert_eq!(report.totals.critical_losses, 1);
         assert_eq!(report.alarm_latency.samples, 2);
-        let c = report.campaign.unwrap();
+        let c = report.campaign.expect("campaign totals present");
         assert_eq!(c.mechanism_succeeded, 2);
         assert_eq!(c.compromised, 0);
         let json = report.to_json();

@@ -191,6 +191,31 @@ impl LinuxKernel {
         }
     }
 
+    /// Returns the kernel to the state it had immediately after
+    /// [`Self::new`] plus `register_program` calls — the snapshot-fork
+    /// boot path. Registered programs, installed devices and the `/dev`
+    /// node table survive (boot-template state); processes, queues, the
+    /// VFS name table and every other mutable structure are emptied in
+    /// place, reusing live allocations. The caller re-runs the same
+    /// boot-time queue creation and spawns afterwards, which re-interns
+    /// queue ids in creation order — byte-identical to a cold boot.
+    pub fn reset_to_boot(&mut self) {
+        self.procs.clear();
+        self.queues.clear();
+        self.queue_ids.clear();
+        self.arena.reset_to_capacity(self.max_procs);
+        self.names.clear();
+        self.run_queue.clear();
+        self.timers.clear();
+        self.clock.reset();
+        self.metrics = KernelMetrics::default();
+        self.trace.clear();
+        self.last_run = None;
+        self.ipc_faults = IpcFaultState::default();
+        self.cap_log = CapLog::new();
+        self.armed_churn.clear();
+    }
+
     // ----- construction ------------------------------------------------------
 
     /// Registers a program image for `Fork`; returns nothing (forks refer

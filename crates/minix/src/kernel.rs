@@ -13,6 +13,7 @@
 //!    server only through `do_send`, so the ACM gates them too.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use bas_acm::{
     AcId, AccessControlMatrix, DelegationLog, MsgType, MsgTypeSet, QuotaTable, SyscallClass,
@@ -95,7 +96,13 @@ pub struct MinixKernel {
     devices: DeviceBus,
     programs: Vec<(String, ProgramFactory<Syscall, Reply>)>,
     names: BTreeMap<String, Endpoint>,
-    acm: AccessControlMatrix,
+    /// The live ACM. Shared (`Arc`) so a fleet of forked kernels can point
+    /// at one boot matrix; copy-on-write via [`Arc::make_mut`] the moment
+    /// a churn op mutates it, so sharing never changes semantics.
+    acm: Arc<AccessControlMatrix>,
+    /// The boot-time ACM, kept so [`Self::reset_to_boot`] can restore the
+    /// pristine matrix after runtime churn.
+    boot_acm: Arc<AccessControlMatrix>,
     quotas: QuotaTable,
     device_owners: BTreeMap<DeviceId, AcId>,
     last_run: Option<Pid>,
@@ -131,7 +138,19 @@ impl std::fmt::Debug for MinixKernel {
 
 impl MinixKernel {
     /// Boots a kernel: slot 0 is reserved for the PM server.
-    pub fn new(config: MinixConfig) -> Self {
+    pub fn new(mut config: MinixConfig) -> Self {
+        let acm = Arc::new(std::mem::replace(
+            &mut config.acm,
+            AccessControlMatrix::deny_all(),
+        ));
+        MinixKernel::with_shared_acm(config, acm)
+    }
+
+    /// Boots a kernel whose ACM is shared with other kernels behind an
+    /// `Arc` — the snapshot-fork boot path, where every benign instance of
+    /// a template points at one boot matrix. `config.acm` is ignored.
+    /// Runtime churn copies on write, so sharing is unobservable.
+    pub fn with_shared_acm(config: MinixConfig, acm: Arc<AccessControlMatrix>) -> Self {
         assert!(config.max_procs >= 2, "need at least PM plus one process");
         let mut slots = Vec::with_capacity(config.max_procs);
         for _ in 0..config.max_procs {
@@ -152,7 +171,8 @@ impl MinixKernel {
             devices: DeviceBus::new(),
             programs: Vec::new(),
             names,
-            acm: config.acm,
+            acm: acm.clone(),
+            boot_acm: acm,
             quotas: config.quotas,
             device_owners: config.device_owners,
             last_run: None,
@@ -225,6 +245,44 @@ impl MinixKernel {
     /// Mutable access to the device bus, for installing plant devices.
     pub fn devices_mut(&mut self) -> &mut DeviceBus {
         &mut self.devices
+    }
+
+    /// Returns the kernel to the state it had immediately after
+    /// [`Self::new`] plus `register_program` calls — the snapshot-fork
+    /// boot path. Registered programs and installed devices survive (both
+    /// are boot-template state); everything mutable — processes, queues,
+    /// timers, clock, metrics, traces, arena, runtime ACM churn, quota
+    /// usage — is restored to its pristine boot value, reusing the live
+    /// allocations instead of reallocating them. The caller re-runs the
+    /// same boot-time `spawn` calls afterwards; byte-identity with a cold
+    /// boot follows because the re-run population code observes exactly
+    /// the state a fresh kernel presents.
+    pub fn reset_to_boot(&mut self) {
+        for slot in &mut self.slots {
+            // Only touched slots need work: a slot with generation 0 and
+            // no entry is already in its post-`new` state.
+            if slot.generation != 0 || slot.entry.is_some() {
+                slot.generation = 0;
+                slot.entry = None;
+            }
+        }
+        self.run_queue.clear();
+        self.timers.clear();
+        self.clock.reset();
+        self.metrics = KernelMetrics::default();
+        self.trace.clear();
+        // The PM name is the only boot-time entry; every other name was
+        // inserted by a spawn and dies with its process table.
+        self.names.retain(|name, _| name == "pm");
+        self.acm = self.boot_acm.clone();
+        self.quotas.reset_usage();
+        self.last_run = None;
+        self.ipc_faults = IpcFaultState::default();
+        self.arena.reset_to_capacity(self.slots.len());
+        self.dup_stash.clear();
+        self.cap_log = CapLog::new();
+        self.armed_churn.clear();
+        self.delegations = DelegationLog::new();
     }
 
     // ----- fault injection -------------------------------------------------------
@@ -386,19 +444,21 @@ impl MinixKernel {
         sub_name: &str,
         dst_name: &str,
     ) -> bool {
+        // Copy-on-write: churn is the only ACM mutation, so forked kernels
+        // share the boot matrix until the first churn op unshares it here.
         let changed = match kind {
             ChurnKind::Grant => {
-                self.acm.grant_types(sub_ac, dst_ac, types);
+                Arc::make_mut(&mut self.acm).grant_types(sub_ac, dst_ac, types);
                 self.delegations.delegate(grantor, sub_ac, dst_ac, types);
                 true
             }
             ChurnKind::Attenuate => {
                 self.delegations.attenuate(sub_ac, dst_ac, types);
-                self.acm.attenuate_types(sub_ac, dst_ac, types)
+                Arc::make_mut(&mut self.acm).attenuate_types(sub_ac, dst_ac, types)
             }
             ChurnKind::Revoke => {
                 self.delegations.revoke(sub_ac, dst_ac);
-                self.acm.revoke_channel(sub_ac, dst_ac)
+                Arc::make_mut(&mut self.acm).revoke_channel(sub_ac, dst_ac)
             }
         };
         let op = match kind {

@@ -172,6 +172,30 @@ impl Sel4Kernel {
         }
     }
 
+    /// Returns the kernel to the state it had immediately after
+    /// [`Self::new`] — the snapshot-fork boot path. Installed bus devices
+    /// survive (boot-template state); kernel objects, threads, the CDT and
+    /// every other mutable structure are emptied in place, reusing live
+    /// allocations. The caller re-runs the realizer over the (shared)
+    /// CapDL spec afterwards, which re-creates objects and threads in the
+    /// same order a cold boot would — so object ids, CSpace layouts and
+    /// the whole subsequent run are byte-identical.
+    pub fn reset_to_boot(&mut self) {
+        self.objects.clear();
+        self.threads.clear();
+        self.run_queue.clear();
+        self.timers.clear();
+        self.clock.reset();
+        self.metrics = KernelMetrics::default();
+        self.trace.clear();
+        self.last_run = None;
+        self.ipc_faults = IpcFaultState::default();
+        self.arena.reset_to_capacity(self.config.max_threads);
+        self.cap_log = CapLog::new();
+        self.armed_churn.clear();
+        self.cdt.clear();
+    }
+
     // ----- bootstrap API ----------------------------------------------------
 
     /// Allocates an endpoint object.

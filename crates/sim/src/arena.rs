@@ -83,6 +83,12 @@ pub struct MsgArena {
     free: Vec<u32>,
     heap_events: u64,
     live: usize,
+    /// True once any slot has ever been handed out. Every observable
+    /// mutation starts with [`Self::alloc`] (free/dup need a previously
+    /// allocated [`MsgRef`]), so `!dirty` proves the arena is still
+    /// byte-identical to what [`Self::with_capacity`] built — letting
+    /// [`Self::reset_to_capacity`] skip the rebuild on pristine arenas.
+    dirty: bool,
 }
 
 impl MsgArena {
@@ -103,12 +109,48 @@ impl MsgArena {
             free: Vec::with_capacity(slots.max(1)),
             heap_events: 0,
             live: 0,
+            dirty: false,
         };
         // LIFO free list: slot 0 is handed out first.
         for i in (0..slots as u32).rev() {
             a.free.push(i);
         }
         a
+    }
+
+    /// Returns the arena to the state [`Self::with_capacity`]`(slots)`
+    /// produces, reusing the existing allocations (the snapshot-fork boot
+    /// path: a recycled kernel must be byte-identical to a cold-booted
+    /// one without re-allocating its arena).
+    ///
+    /// The `bytes` region is deliberately *not* zeroed: `lens` is the
+    /// authoritative payload extent, and every slot's bytes are written by
+    /// [`Self::alloc`] before any read, so stale bytes from a previous
+    /// incarnation are unobservable. Everything observable — generations,
+    /// refcounts, spills, the LIFO free-list order, `heap_events`, `live`
+    /// — is restored exactly.
+    pub fn reset_to_capacity(&mut self, slots: usize) {
+        if !self.dirty && self.gens.len() == slots {
+            // Never allocated from since construction/last reset: already
+            // in the exact `with_capacity(slots)` state.
+            return;
+        }
+        self.bytes.resize(slots * SLOT_BYTES, 0);
+        self.lens.clear();
+        self.lens.resize(slots, 0);
+        self.gens.clear();
+        self.gens.resize(slots, 0);
+        self.refs.clear();
+        self.refs.resize(slots, 0);
+        self.spill.clear();
+        self.spill.resize(slots, None);
+        self.free.clear();
+        for i in (0..slots as u32).rev() {
+            self.free.push(i);
+        }
+        self.heap_events = 0;
+        self.live = 0;
+        self.dirty = false;
     }
 
     fn grab_slot(&mut self) -> usize {
@@ -131,6 +173,7 @@ impl MsgArena {
     /// [`SLOT_BYTES`] spill to the heap and are counted in
     /// [`Self::heap_events`].
     pub fn alloc(&mut self, data: &[u8]) -> MsgRef {
+        self.dirty = true;
         let i = self.grab_slot();
         self.refs[i] = 1;
         self.live += 1;
@@ -298,6 +341,35 @@ mod tests {
         assert_ne!(r2.generation(), r1.generation());
         assert_eq!(a.try_get(r1), None);
         assert_eq!(a.get(r2), b"world");
+    }
+
+    #[test]
+    fn reset_restores_with_capacity_state_observably() {
+        // Exercise a pre-warmed arena hard: spills, growth past capacity,
+        // frees out of order — then reset and check every observable
+        // against a genuinely fresh arena by replaying one allocation
+        // sequence on both.
+        let mut used = MsgArena::with_capacity(4);
+        let refs: Vec<MsgRef> = (0..6).map(|i| used.alloc(&[i as u8; 8])).collect();
+        used.alloc(&[7u8; 200]); // spill
+        used.free(refs[1]);
+        used.free(refs[4]);
+        assert!(used.heap_events() > 0);
+
+        used.reset_to_capacity(4);
+        let mut fresh = MsgArena::with_capacity(4);
+        assert_eq!(used.slots(), fresh.slots());
+        assert_eq!(used.live(), 0);
+        assert_eq!(used.heap_events(), 0);
+        for payload in [&b"a"[..], b"bb", b"ccc", b"dddd", b"extra"] {
+            let ru = used.alloc(payload);
+            let rf = fresh.alloc(payload);
+            // Identical handles: same slot order, same (zeroed) generations.
+            assert_eq!(ru, rf);
+            assert_eq!(used.get(ru), fresh.get(rf));
+        }
+        assert_eq!(used.live(), fresh.live());
+        assert_eq!(used.heap_events(), fresh.heap_events());
     }
 
     #[test]

@@ -91,6 +91,12 @@ impl VirtualClock {
         self.now
     }
 
+    /// Rewinds the clock to boot time, keeping the cost model
+    /// (snapshot-fork boot).
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+    }
+
     /// The cost model in effect.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
@@ -158,6 +164,16 @@ mod tests {
         clk.charge_ipc_copy(1_000_000);
         clk.charge_user_compute();
         assert_eq!(clk.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_rewinds_but_keeps_cost_model() {
+        let mut clk = VirtualClock::new(CostModel::default());
+        clk.charge_context_switch();
+        clk.reset();
+        assert_eq!(clk.now(), SimTime::ZERO);
+        clk.charge_context_switch();
+        assert_eq!(clk.now().as_nanos(), 2_000);
     }
 
     #[test]

@@ -72,6 +72,14 @@ impl RunQueue {
         }
     }
 
+    /// Empties the queue and its membership bitmap, keeping both
+    /// allocations (snapshot-fork boot: a recycled queue behaves exactly
+    /// like [`Self::new`] without reallocating).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+        self.queued.clear();
+    }
+
     /// True if `pid` is currently queued.
     pub fn contains(&self, pid: Pid) -> bool {
         self.queued
@@ -136,6 +144,18 @@ mod tests {
         q.enqueue(Pid::new(7));
         assert_eq!(q.len(), 1);
         assert_eq!(q.iter().collect::<Vec<_>>(), vec![Pid::new(7)]);
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut q = RunQueue::new();
+        q.enqueue(Pid::new(3));
+        q.enqueue(Pid::new(5));
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.contains(Pid::new(3)));
+        q.enqueue(Pid::new(3));
+        assert_eq!(q.dequeue(), Some(Pid::new(3)));
     }
 
     #[test]

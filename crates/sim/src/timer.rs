@@ -73,6 +73,14 @@ impl TimerQueue {
         self.heap = entries.into();
     }
 
+    /// Disarms everything and rewinds the tie-breaking sequence to zero,
+    /// keeping the heap allocation (snapshot-fork boot: insertion order
+    /// after a reset must tie-break exactly like a fresh queue's).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
+
     /// Number of armed wakeups.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -117,6 +125,20 @@ mod tests {
         tq.cancel(Pid::new(1));
         assert_eq!(tq.len(), 1);
         assert_eq!(tq.pop_due(SimTime::from_nanos(100)), vec![Pid::new(2)]);
+    }
+
+    #[test]
+    fn clear_rewinds_tie_breaking_sequence() {
+        let mut tq = TimerQueue::new();
+        tq.arm(SimTime::from_nanos(5), Pid::new(1));
+        tq.arm(SimTime::from_nanos(5), Pid::new(2));
+        tq.clear();
+        assert!(tq.is_empty());
+        // Post-clear arms tie-break exactly like a fresh queue's.
+        let t = SimTime::from_nanos(5);
+        tq.arm(t, Pid::new(9));
+        tq.arm(t, Pid::new(4));
+        assert_eq!(tq.pop_due(t), vec![Pid::new(9), Pid::new(4)]);
     }
 
     #[test]
