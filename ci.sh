@@ -18,7 +18,7 @@ echo "== cargo clippy (bas-analysis + bas-faults + bas-fleet: no unwrap in the a
 # trusts, and bas-fleet is the long-running executor where a stray panic
 # takes down a whole worker pool; panicking escape hatches are held to a
 # stricter bar in all three.
-cargo clippy -p bas-analysis -p bas-faults -p bas-fleet --all-targets -- -D warnings \
+cargo clippy -p bas-analysis -p bas-faults -p bas-fleet -p bas-traffic --all-targets -- -D warnings \
   -W clippy::unwrap_used
 
 echo "== cargo test =="
@@ -142,5 +142,25 @@ fi
 # Leave the committed full-mode BENCH_fleet.json (256-instance sweep) in
 # place rather than the quick file the gate just measured.
 ./target/release/exp_fleet_scale > /dev/null
+
+echo "== traffic perf gate (E18: requests/sec vs committed baseline, 30% floor) =="
+# exp_traffic itself asserts the deterministic TrafficReport is
+# byte-identical across every worker count it sweeps (a file-level cmp
+# would trip on the wall-clock sweep numbers, so the check lives inside
+# the binary). The gate here adds the throughput floor: the --quick
+# sustained requests/sec must stay within 30% of the committed
+# BENCH_traffic_baseline.json (refresh the baseline deliberately when
+# the machine or the front-end changes for good reason).
+./target/release/exp_traffic --quick > /dev/null
+current=$(grep -m1 -o '"requests_per_wall_second": *[0-9.eE+-]*' BENCH_traffic.json | sed 's/.*: *//')
+baseline=$(grep -m1 -o '"requests_per_wall_second": *[0-9.eE+-]*' BENCH_traffic_baseline.json | sed 's/.*: *//')
+awk -v cur="$current" -v base="$baseline" 'BEGIN {
+  floor = base * 0.7;
+  printf "requests/sec: current %.0f, baseline %.0f, floor %.0f\n", cur, base, floor;
+  if (cur < floor) { print "** traffic throughput regressed >30% **"; exit 1 }
+}'
+# Leave the committed full-mode BENCH_traffic.json (1 024-instance run,
+# which also enforces the 100k requests/sec floor) in place.
+./target/release/exp_traffic > /dev/null
 
 echo "CI OK"

@@ -61,6 +61,23 @@ pub enum AttackId {
 }
 
 impl AttackId {
+    /// The E18 traffic mix: relative weights for the attacks a
+    /// network-reachable BAS front-end actually absorbs, following the
+    /// incident taxonomy of dos Santos et al., *Leveraging Operational
+    /// Technology and the Internet of Things to Attack Smart Buildings*
+    /// (arXiv:1912.02480): protocol flooding and setpoint/property
+    /// tampering dominate, replay of captured legitimate commands and
+    /// sensor spoofing follow, blind capability brute-forcing trails.
+    /// Weights are relative (the sampler normalizes); order is the
+    /// deterministic tie-break for cumulative sampling.
+    pub const TRAFFIC_MIX: [(AttackId, f64); 5] = [
+        (AttackId::FloodLegitChannel, 0.30),
+        (AttackId::SetpointTamper, 0.25),
+        (AttackId::ReplaySetpoint, 0.20),
+        (AttackId::SpoofSensorData, 0.15),
+        (AttackId::BruteForceHandles, 0.10),
+    ];
+
     /// All attacks, in matrix order.
     pub const ALL: [AttackId; 9] = [
         AttackId::SpoofSensorData,

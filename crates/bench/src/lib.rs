@@ -21,6 +21,7 @@
 //! | `exp_model_check` | E14 — bounded model checking + counterexample replay |
 //! | `exp_fault_campaign` | E16 — fault campaign: plans × platforms scorecard |
 //! | `exp_cap_flow` | E17 — capability-flow analyzer vs model checker differential |
+//! | `exp_traffic` | E18 — multi-tenant traffic front-end under attack mix |
 //! | `exp_cap_races` | E19 — capability-churn races: detector vs checker vs static leaks |
 //!
 //! Every binary drives a [`Harness`], which owns the shared experiment

@@ -21,6 +21,7 @@ use bas_sim::fault::IpcFault;
 use bas_sim::metrics::KernelMetrics;
 use bas_sim::time::{SimDuration, SimTime};
 
+use crate::logic::web::RequestSample;
 use crate::proto::BasMsg;
 use crate::scenario::{Platform, Scenario, ScenarioConfig};
 
@@ -63,6 +64,12 @@ pub trait PlatformKernel {
 
     /// Responses observed by the (benign) web interface.
     fn web_responses(&self) -> Vec<BasMsg>;
+
+    /// Completed web requests with scheduled/completed stamps. Default:
+    /// no request accounting (attacker-replaced webs, legacy stacks).
+    fn web_requests(&self) -> Vec<RequestSample> {
+        Vec::new()
+    }
 
     /// Returns the stack to its just-booted state under `config`, reusing
     /// live allocations — the snapshot-fork boot path. `config` must be
@@ -235,6 +242,10 @@ impl<K: PlatformKernel> Scenario for ScenarioEngine<K> {
 
     fn web_responses(&self) -> Vec<BasMsg> {
         self.stack.web_responses()
+    }
+
+    fn request_samples(&self) -> Vec<RequestSample> {
+        self.stack.web_requests()
     }
 
     fn reset_to_boot(&mut self, config: &ScenarioConfig) -> bool {

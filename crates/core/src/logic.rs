@@ -6,4 +6,5 @@
 
 pub mod control;
 pub mod http;
+pub mod traffic;
 pub mod web;

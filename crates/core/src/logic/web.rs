@@ -4,6 +4,16 @@
 //! desired room temperature setpoint". The benign schedule drives that
 //! legitimate channel; attack variants (in `bas-attack`) replace the whole
 //! process, modeling remote compromise.
+//!
+//! For multi-tenant traffic (E18) the schedule is shared between the
+//! platform stack and its web process through a [`SharedSchedule`] cell:
+//! the stack re-images the cell on snapshot recycling, and the process
+//! reads it lazily through a [`ScheduleCursor`], so per-instance traffic
+//! survives the warm-boot path without respawning anything. Completed
+//! requests are stamped into a [`RequestLog`] for latency accounting.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use bas_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -42,6 +52,13 @@ impl WebSchedule {
     }
 
     /// Pops the next action if it is due at `now`.
+    ///
+    /// At most one action per call: a burst of same-tick actions takes
+    /// one wake cycle each. High-rate traffic must use [`drain_due`]
+    /// instead; this single-pop form survives for the legacy callers
+    /// whose syscall sequences tests pin.
+    ///
+    /// [`drain_due`]: WebSchedule::drain_due
     pub fn pop_due(&mut self, now: SimTime) -> Option<WebAction> {
         match self.actions.get(self.next) {
             Some(&(t, action)) if t <= now => {
@@ -52,10 +69,110 @@ impl WebSchedule {
         }
     }
 
+    /// Appends every action due at `now` (scheduled time ≤ `now`) to
+    /// `out`, with its scheduled time, advancing past all of them.
+    pub fn drain_due(&mut self, now: SimTime, out: &mut Vec<(SimTime, WebAction)>) {
+        while let Some(&(t, action)) = self.actions.get(self.next) {
+            if t > now {
+                break;
+            }
+            self.next += 1;
+            out.push((t, action));
+        }
+    }
+
     /// Actions not yet popped.
     pub fn remaining(&self) -> usize {
         self.actions.len() - self.next
     }
+}
+
+/// A schedule's action list shared between a platform stack and its web
+/// process. The stack overwrites the cell on boot re-imaging; cursors
+/// pick the new contents up on their next wake.
+pub type SharedSchedule = Rc<RefCell<Vec<(SimTime, WebAction)>>>;
+
+/// Builds a [`SharedSchedule`] from an already time-sorted action list.
+pub fn shared_schedule(mut actions: Vec<(SimTime, WebAction)>) -> SharedSchedule {
+    actions.sort_by_key(|(t, _)| *t);
+    Rc::new(RefCell::new(actions))
+}
+
+/// A web process's read position into a [`SharedSchedule`].
+///
+/// Unlike [`WebSchedule`], the actions live behind the shared cell, so a
+/// snapshot-recycled stack can swap in the next instance's traffic
+/// without reconstructing the process that reads it. The cursor resets
+/// to the front whenever the cell is re-imaged (the stack rebuilds the
+/// process state on the `ran` path and the pristine path never moved
+/// the cursor, so `next == 0` is always correct after a swap).
+#[derive(Debug, Clone)]
+pub struct ScheduleCursor {
+    actions: SharedSchedule,
+    next: usize,
+}
+
+impl ScheduleCursor {
+    /// A cursor at the front of `actions`.
+    pub fn new(actions: SharedSchedule) -> Self {
+        ScheduleCursor { actions, next: 0 }
+    }
+
+    /// A cursor over a private copy of `schedule` (legacy constructor
+    /// path — no sharing with any stack).
+    pub fn detached(schedule: &WebSchedule) -> Self {
+        ScheduleCursor {
+            actions: Rc::new(RefCell::new(schedule.actions.clone())),
+            next: schedule.next,
+        }
+    }
+
+    /// The time of the next pending action.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.actions.borrow().get(self.next).map(|(t, _)| *t)
+    }
+
+    /// Appends every action due at `now` to `out` (see
+    /// [`WebSchedule::drain_due`]).
+    pub fn drain_due(&mut self, now: SimTime, out: &mut Vec<(SimTime, WebAction)>) {
+        let actions = self.actions.borrow();
+        while let Some(&(t, action)) = actions.get(self.next) {
+            if t > now {
+                break;
+            }
+            self.next += 1;
+            out.push((t, action));
+        }
+    }
+
+    /// Actions not yet drained.
+    pub fn remaining(&self) -> usize {
+        self.actions.borrow().len().saturating_sub(self.next)
+    }
+}
+
+/// One completed web request, stamped by the web process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestSample {
+    /// When the open-loop generator scheduled the request.
+    pub scheduled: SimTime,
+    /// When the web process observed the reply (the `GetTime`-class
+    /// syscall after the RPC round-trip), so the latency
+    /// `completed - scheduled` includes open-loop queueing delay.
+    pub completed: SimTime,
+    /// The action that was issued.
+    pub action: WebAction,
+    /// The reply decoded as a well-formed response.
+    pub ok: bool,
+}
+
+/// Completed-request log shared between a platform stack and its web
+/// process; cleared by the stack on boot re-imaging.
+pub type RequestLog = Rc<RefCell<Vec<RequestSample>>>;
+
+/// An empty [`RequestLog`].
+pub fn new_request_log() -> RequestLog {
+    Rc::new(RefCell::new(Vec::new()))
 }
 
 #[cfg(test)]
@@ -86,5 +203,67 @@ mod tests {
         let mut s = WebSchedule::idle();
         assert_eq!(s.next_time(), None);
         assert_eq!(s.pop_due(at(1_000_000)), None);
+    }
+
+    #[test]
+    fn pop_due_drains_one_action_per_call() {
+        // Regression pin for the legacy single-pop contract: three
+        // actions due at the same tick take three calls, one cycle each.
+        let mut s = WebSchedule::new(vec![
+            (at(10), WebAction::QueryStatus),
+            (at(10), WebAction::SetSetpoint(23_000)),
+            (at(10), WebAction::QueryStatus),
+        ]);
+        assert!(s.pop_due(at(10)).is_some());
+        assert_eq!(s.remaining(), 2, "same-tick burst deferred by pop_due");
+        assert!(s.pop_due(at(10)).is_some());
+        assert!(s.pop_due(at(10)).is_some());
+        assert_eq!(s.pop_due(at(10)), None);
+    }
+
+    #[test]
+    fn drain_due_delivers_same_tick_bursts_at_once() {
+        let mut s = WebSchedule::new(vec![
+            (at(10), WebAction::QueryStatus),
+            (at(10), WebAction::SetSetpoint(23_000)),
+            (at(20), WebAction::QueryStatus),
+        ]);
+        let mut out = Vec::new();
+        s.drain_due(at(5), &mut out);
+        assert!(out.is_empty());
+        s.drain_due(at(10), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                (at(10), WebAction::QueryStatus),
+                (at(10), WebAction::SetSetpoint(23_000)),
+            ]
+        );
+        assert_eq!(s.remaining(), 1);
+        out.clear();
+        s.drain_due(at(30), &mut out);
+        assert_eq!(out, vec![(at(20), WebAction::QueryStatus)]);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn cursor_follows_shared_cell_reimaging() {
+        let cell = shared_schedule(vec![(at(10), WebAction::QueryStatus)]);
+        let mut cursor = ScheduleCursor::new(cell.clone());
+        let mut out = Vec::new();
+        cursor.drain_due(at(10), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(cursor.remaining(), 0);
+        // Stack re-images the cell for the next instance; a fresh cursor
+        // (rebuilt boot state) sees the new traffic.
+        *cell.borrow_mut() = vec![
+            (at(1), WebAction::SetSetpoint(22_100)),
+            (at(2), WebAction::QueryStatus),
+        ];
+        let mut cursor = ScheduleCursor::new(cell);
+        assert_eq!(cursor.next_time(), Some(at(1)));
+        out.clear();
+        cursor.drain_due(at(2), &mut out);
+        assert_eq!(out.len(), 2);
     }
 }

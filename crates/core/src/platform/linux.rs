@@ -35,7 +35,10 @@ use bas_sim::time::{SimDuration, SimTime};
 
 use crate::engine::{PlatformKernel, ScenarioEngine};
 use crate::logic::control::{ControlCore, Directive};
-use crate::logic::web::{WebAction, WebSchedule};
+use crate::logic::web::{
+    new_request_log, shared_schedule, RequestLog, RequestSample, ScheduleCursor, SharedSchedule,
+    WebAction, WebSchedule,
+};
 use crate::policy::queues;
 use crate::proto::{names, BasMsg};
 use crate::scenario::{new_web_log, Platform, ScenarioConfig, WebLog};
@@ -485,9 +488,20 @@ impl Process for LinuxActuator {
 
 /// The benign Linux web interface: scripted administrator actions over
 /// the setpoint/status queues, awaiting replies on the reply queue.
+///
+/// Same-tick bursts drain in one wake (the next send issues straight
+/// after the previous reply, no intervening `GetTime`), and completed
+/// requests are stamped into the optional [`RequestLog`] at the next
+/// clock read — see [`MinixWeb`] for the shared rationale.
+///
+/// [`MinixWeb`]: crate::platform::minix::MinixWeb
 pub struct LinuxWeb {
-    schedule: WebSchedule,
+    schedule: ScheduleCursor,
     responses: WebLog,
+    requests: Option<RequestLog>,
+    pending: VecDeque<(SimTime, WebAction)>,
+    inflight: Option<(SimTime, WebAction)>,
+    unstamped: Vec<(SimTime, WebAction, bool)>,
     state: WebSt,
 }
 
@@ -510,13 +524,61 @@ const WQD_STATUS: u32 = 1;
 const WQD_REPLY: u32 = 2;
 
 impl LinuxWeb {
-    /// Creates the benign web interface.
+    /// Creates the benign web interface over a private schedule copy.
     pub fn new(schedule: WebSchedule, responses: WebLog) -> Self {
+        LinuxWeb::with_cursor(ScheduleCursor::detached(&schedule), responses, None)
+    }
+
+    /// Creates the benign web interface over a shared schedule cell,
+    /// stamping completed requests into `requests`.
+    pub fn with_cursor(
+        schedule: ScheduleCursor,
+        responses: WebLog,
+        requests: Option<RequestLog>,
+    ) -> Self {
         LinuxWeb {
             schedule,
             responses,
+            requests,
+            pending: VecDeque::new(),
+            inflight: None,
+            unstamped: Vec::new(),
             state: WebSt::Start,
         }
+    }
+
+    fn send_next(&mut self) -> Action<Syscall> {
+        let (scheduled, action) = self.pending.pop_front().expect("pending action");
+        self.inflight = Some((scheduled, action));
+        let (qd, msg) = match action {
+            WebAction::SetSetpoint(mc) => (WQD_SETPOINT, BasMsg::SetpointUpdate { milli_c: mc }),
+            WebAction::QueryStatus => (WQD_STATUS, BasMsg::StatusQuery),
+        };
+        self.state = WebSt::AwaitSend;
+        Action::Syscall(Syscall::MqSend {
+            qd,
+            data: msg.to_bytes(),
+            priority: 0,
+            nonblocking: false,
+        })
+    }
+
+    fn stamp_completions(&mut self, now: SimTime) {
+        if self.unstamped.is_empty() {
+            return;
+        }
+        if let Some(log) = &self.requests {
+            let mut log = log.borrow_mut();
+            for &(scheduled, action, ok) in &self.unstamped {
+                log.push(RequestSample {
+                    scheduled,
+                    completed: now,
+                    action,
+                    ok,
+                });
+            }
+        }
+        self.unstamped.clear();
     }
 }
 
@@ -551,6 +613,15 @@ impl Process for LinuxWeb {
                     Some(Reply::Time(t)) => t,
                     _ => SimTime::ZERO,
                 };
+                self.stamp_completions(now);
+                if self.pending.is_empty() {
+                    let mut due = Vec::new();
+                    self.schedule.drain_due(now, &mut due);
+                    self.pending.extend(due);
+                }
+                if !self.pending.is_empty() {
+                    return self.send_next();
+                }
                 match self.schedule.next_time() {
                     None => {
                         self.state = WebSt::AwaitSleep;
@@ -558,25 +629,9 @@ impl Process for LinuxWeb {
                             duration: SimDuration::from_secs(3_600),
                         })
                     }
-                    Some(t) if now < t => {
+                    Some(t) => {
                         self.state = WebSt::AwaitSleep;
                         Action::Syscall(Syscall::Sleep { duration: t - now })
-                    }
-                    Some(_) => {
-                        let action = self.schedule.pop_due(now).expect("due action");
-                        let (qd, msg) = match action {
-                            WebAction::SetSetpoint(mc) => {
-                                (WQD_SETPOINT, BasMsg::SetpointUpdate { milli_c: mc })
-                            }
-                            WebAction::QueryStatus => (WQD_STATUS, BasMsg::StatusQuery),
-                        };
-                        self.state = WebSt::AwaitSend;
-                        Action::Syscall(Syscall::MqSend {
-                            qd,
-                            data: msg.to_bytes(),
-                            priority: 0,
-                            nonblocking: false,
-                        })
                     }
                 }
             }
@@ -592,10 +647,19 @@ impl Process for LinuxWeb {
                 })
             }
             WebSt::AwaitReply => {
+                let mut ok = false;
                 if let Some(Reply::Data { data, .. }) = reply {
                     if let Ok(decoded) = BasMsg::from_bytes(&data) {
                         self.responses.borrow_mut().push(decoded);
+                        ok = true;
                     }
+                }
+                if let Some((scheduled, action)) = self.inflight.take() {
+                    self.unstamped.push((scheduled, action, ok));
+                }
+                if !self.pending.is_empty() {
+                    // Burst tail: next send immediately, no clock read.
+                    return self.send_next();
                 }
                 self.state = WebSt::AwaitTime;
                 Action::Syscall(Syscall::GetTime)
@@ -638,6 +702,13 @@ pub struct LinuxStack {
     pub kernel: LinuxKernel,
     plant: SharedPlant,
     web_log: WebLog,
+    /// The effective action schedule, shared with the benign web
+    /// process and re-imaged per instance on recycling (the process
+    /// spawned at boot holds a cursor over this cell, so the pristine
+    /// fast path — which skips respawns — still picks up new traffic).
+    web_schedule: SharedSchedule,
+    /// Completed-request stamps from the benign web process.
+    web_requests: RequestLog,
     /// Boot-template knobs kept so [`PlatformKernel::reset_to_boot`] can
     /// re-run the same queue creation and spawns.
     scheme: UidScheme,
@@ -690,13 +761,15 @@ fn boot_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxStack 
     install_devices(&plant, kernel.devices_mut());
 
     let web_log = new_web_log();
+    let web_schedule = shared_schedule(config.effective_web_schedule());
+    let web_requests = new_request_log();
     let web_uid = overrides
         .web_uid
         .unwrap_or_else(|| scheme.uid_of(names::WEB));
     let forkable = overrides.web_factory.is_none();
     let web_logic: LinuxProcess = match &overrides.web_factory {
         Some(factory) => factory(),
-        None => benign_web(config, &web_log),
+        None => benign_web(&web_schedule, &web_log, &web_requests),
     };
     populate_scenario(&mut kernel, config, scheme, web_uid, web_logic);
 
@@ -716,6 +789,8 @@ fn boot_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxStack 
         kernel,
         plant,
         web_log,
+        web_schedule,
+        web_requests,
         scheme,
         web_uid,
         forkable,
@@ -723,11 +798,17 @@ fn boot_linux(config: &ScenarioConfig, overrides: LinuxOverrides) -> LinuxStack 
     }
 }
 
-/// The benign web-interface process for `config`'s schedule.
-fn benign_web(config: &ScenarioConfig, web_log: &WebLog) -> LinuxProcess {
-    Box::new(LinuxWeb::new(
-        WebSchedule::new(config.web_schedule.clone()),
+/// The benign web-interface process over the stack's shared schedule
+/// cell and request log.
+fn benign_web(
+    web_schedule: &SharedSchedule,
+    web_log: &WebLog,
+    web_requests: &RequestLog,
+) -> LinuxProcess {
+    Box::new(LinuxWeb::with_cursor(
+        ScheduleCursor::new(web_schedule.clone()),
         web_log.clone(),
+        Some(web_requests.clone()),
     ))
 }
 
@@ -870,13 +951,21 @@ impl PlatformKernel for LinuxStack {
         self.web_log.borrow().clone()
     }
 
+    fn web_requests(&self) -> Vec<RequestSample> {
+        self.web_requests.borrow().clone()
+    }
+
     fn reset_to_boot(&mut self, config: &ScenarioConfig) -> bool {
         if !self.forkable {
             return false;
         }
+        // Re-image the shared schedule cell first: under traffic the
+        // schedule is seed-derived, and the boot-time web process (kept
+        // by the pristine path below) reads this cell lazily.
+        *self.web_schedule.borrow_mut() = config.effective_web_schedule();
         if self.ran {
             self.kernel.reset_to_boot();
-            let web_logic = benign_web(config, &self.web_log);
+            let web_logic = benign_web(&self.web_schedule, &self.web_log, &self.web_requests);
             populate_scenario(
                 &mut self.kernel,
                 config,
@@ -893,6 +982,7 @@ impl PlatformKernel for LinuxStack {
         // `Rc` identity is what the installed plant devices hold.
         *self.plant.borrow_mut() = PlantWorld::new(config.synced_plant(), config.seed);
         self.web_log.borrow_mut().clear();
+        self.web_requests.borrow_mut().clear();
         true
     }
 

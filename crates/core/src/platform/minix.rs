@@ -28,7 +28,10 @@ use bas_sim::time::{SimDuration, SimTime};
 
 use crate::engine::{PlatformKernel, ScenarioEngine};
 use crate::logic::control::{ControlCore, Directive};
-use crate::logic::web::{WebAction, WebSchedule};
+use crate::logic::web::{
+    new_request_log, shared_schedule, RequestLog, RequestSample, ScheduleCursor, SharedSchedule,
+    WebAction, WebSchedule,
+};
 use crate::policy;
 use crate::proto::{
     names, BasMsg, AC_ALARM, AC_CONTROL, AC_HEATER, AC_SCENARIO, AC_SENSOR, AC_WEB,
@@ -550,10 +553,25 @@ impl Process for MinixActuator {
 
 /// The benign web interface: performs the scripted administrator actions
 /// over `sendrec` RPC and records the controller's answers.
+///
+/// Same-tick bursts (high-rate traffic, E18) are drained in one wake:
+/// every due action is collected via [`ScheduleCursor::drain_due`] and
+/// the RPCs issue back-to-back without an intervening `GetUptime`, so a
+/// burst costs one wake cycle instead of one cycle per request. Each
+/// completed request is stamped into the optional [`RequestLog`] at the
+/// next observed uptime (the first clock read after its reply), so the
+/// measured latency includes the open-loop queueing delay.
 pub struct MinixWeb {
     control: Option<Endpoint>,
-    schedule: WebSchedule,
+    schedule: ScheduleCursor,
     responses: WebLog,
+    requests: Option<RequestLog>,
+    /// Due actions drained but not yet sent (same-tick burst tail).
+    pending: VecDeque<(SimTime, WebAction)>,
+    /// The action whose RPC is in flight.
+    inflight: Option<(SimTime, WebAction)>,
+    /// Replied requests awaiting a completion timestamp.
+    unstamped: Vec<(SimTime, WebAction, bool)>,
     retries: u32,
     state: WebSt,
 }
@@ -568,15 +586,65 @@ enum WebSt {
 }
 
 impl MinixWeb {
-    /// Creates the benign web interface.
+    /// Creates the benign web interface over a private schedule copy.
     pub fn new(schedule: WebSchedule, responses: WebLog) -> Self {
+        MinixWeb::with_cursor(ScheduleCursor::detached(&schedule), responses, None)
+    }
+
+    /// Creates the benign web interface over a shared schedule cell,
+    /// stamping completed requests into `requests`.
+    pub fn with_cursor(
+        schedule: ScheduleCursor,
+        responses: WebLog,
+        requests: Option<RequestLog>,
+    ) -> Self {
         MinixWeb {
             control: None,
             schedule,
             responses,
+            requests,
+            pending: VecDeque::new(),
+            inflight: None,
+            unstamped: Vec::new(),
             retries: 0,
             state: WebSt::Init,
         }
+    }
+
+    /// Issues the RPC for the next pending action.
+    fn send_next(&mut self) -> Action<Syscall> {
+        let (scheduled, action) = self.pending.pop_front().expect("pending action");
+        self.inflight = Some((scheduled, action));
+        let msg = match action {
+            WebAction::SetSetpoint(mc) => BasMsg::SetpointUpdate { milli_c: mc },
+            WebAction::QueryStatus => BasMsg::StatusQuery,
+        };
+        let (mtype, payload) = msg.to_minix();
+        self.state = WebSt::AwaitRpc;
+        Action::Syscall(Syscall::SendRec {
+            dest: self.control.expect("looked up"),
+            mtype,
+            payload,
+        })
+    }
+
+    /// Stamps every replied request with `now` as its completion time.
+    fn stamp_completions(&mut self, now: SimTime) {
+        if self.unstamped.is_empty() {
+            return;
+        }
+        if let Some(log) = &self.requests {
+            let mut log = log.borrow_mut();
+            for &(scheduled, action, ok) in &self.unstamped {
+                log.push(RequestSample {
+                    scheduled,
+                    completed: now,
+                    action,
+                    ok,
+                });
+            }
+        }
+        self.unstamped.clear();
     }
 }
 
@@ -620,6 +688,15 @@ impl Process for MinixWeb {
                     Some(Reply::Uptime(t)) => t,
                     _ => SimTime::ZERO,
                 };
+                self.stamp_completions(now);
+                if self.pending.is_empty() {
+                    let mut due = Vec::new();
+                    self.schedule.drain_due(now, &mut due);
+                    self.pending.extend(due);
+                }
+                if !self.pending.is_empty() {
+                    return self.send_next();
+                }
                 match self.schedule.next_time() {
                     None => {
                         // Session script exhausted: the web server idles
@@ -629,23 +706,9 @@ impl Process for MinixWeb {
                             duration: SimDuration::from_secs(3_600),
                         })
                     }
-                    Some(t) if now < t => {
+                    Some(t) => {
                         self.state = WebSt::AwaitSleep;
                         Action::Syscall(Syscall::Sleep { duration: t - now })
-                    }
-                    Some(_) => {
-                        let action = self.schedule.pop_due(now).expect("due action");
-                        let msg = match action {
-                            WebAction::SetSetpoint(mc) => BasMsg::SetpointUpdate { milli_c: mc },
-                            WebAction::QueryStatus => BasMsg::StatusQuery,
-                        };
-                        let (mtype, payload) = msg.to_minix();
-                        self.state = WebSt::AwaitRpc;
-                        Action::Syscall(Syscall::SendRec {
-                            dest: self.control.expect("looked up"),
-                            mtype,
-                            payload,
-                        })
                     }
                 }
             }
@@ -654,10 +717,19 @@ impl Process for MinixWeb {
                 Action::Syscall(Syscall::GetUptime)
             }
             WebSt::AwaitRpc => {
+                let mut ok = false;
                 if let Some(Reply::Msg(m)) = reply {
                     if let Ok(decoded) = BasMsg::from_minix(m.mtype, &m.payload) {
                         self.responses.borrow_mut().push(decoded);
+                        ok = true;
                     }
+                }
+                if let Some((scheduled, action)) = self.inflight.take() {
+                    self.unstamped.push((scheduled, action, ok));
+                }
+                if !self.pending.is_empty() {
+                    // Burst tail: next RPC immediately, no clock read.
+                    return self.send_next();
                 }
                 self.state = WebSt::AwaitTime;
                 Action::Syscall(Syscall::GetUptime)
@@ -845,6 +917,12 @@ pub struct MinixStack {
     pub kernel: MinixKernel,
     plant: SharedPlant,
     web_log: WebLog,
+    /// The effective action schedule, shared with the benign web
+    /// process (the registered factory holds the same cell), re-imaged
+    /// per instance by [`PlatformKernel::reset_to_boot`].
+    web_schedule: SharedSchedule,
+    /// Completed-request stamps from the benign web process.
+    web_requests: RequestLog,
     /// The boot fork plan, kept so [`PlatformKernel::reset_to_boot`] can
     /// re-run exactly the boot-time spawns (program ids, identities and
     /// uids — including overridden web factories, which live on in the
@@ -894,6 +972,8 @@ fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack 
     install_devices(&plant, kernel.devices_mut());
 
     let web_log = new_web_log();
+    let web_schedule = shared_schedule(config.effective_web_schedule());
+    let web_requests = new_request_log();
 
     let period = config.sensor_period;
     let sensor_prog = kernel.register_program(
@@ -916,14 +996,19 @@ fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack 
     let web_prog = match overrides.web_factory {
         Some(factory) => kernel.register_program(names::WEB, factory),
         None => {
-            let schedule = config.web_schedule.clone();
+            // The factory holds the *shared* schedule cell: the loader
+            // forks the web process lazily during stepping, so a
+            // recycled stack's re-imaged cell is picked up at fork time.
+            let schedule = web_schedule.clone();
             let log = web_log.clone();
+            let requests = web_requests.clone();
             kernel.register_program(
                 names::WEB,
                 Box::new(move || {
-                    Box::new(MinixWeb::new(
-                        WebSchedule::new(schedule.clone()),
+                    Box::new(MinixWeb::with_cursor(
+                        ScheduleCursor::new(schedule.clone()),
                         log.clone(),
+                        Some(requests.clone()),
                     ))
                 }),
             )
@@ -945,6 +1030,8 @@ fn boot_minix(config: &ScenarioConfig, overrides: MinixOverrides) -> MinixStack 
         kernel,
         plant,
         web_log,
+        web_schedule,
+        web_requests,
         boot_plan,
         supervise: overrides.supervise,
         forkable,
@@ -1024,6 +1111,10 @@ impl PlatformKernel for MinixStack {
         self.web_log.borrow().clone()
     }
 
+    fn web_requests(&self) -> Vec<RequestSample> {
+        self.web_requests.borrow().clone()
+    }
+
     fn reset_to_boot(&mut self, config: &ScenarioConfig) -> bool {
         if !self.forkable {
             return false;
@@ -1038,7 +1129,12 @@ impl PlatformKernel for MinixStack {
         // Re-seed it in place: the `Rc` identity is what the installed
         // plant devices and the registered web factory hold.
         *self.plant.borrow_mut() = PlantWorld::new(config.synced_plant(), config.seed);
+        // The schedule is seed-derived under traffic, so the shared cell
+        // is re-imaged on every recycle — the web factory holds the same
+        // cell and forks a cursor over the new contents.
+        *self.web_schedule.borrow_mut() = config.effective_web_schedule();
         self.web_log.borrow_mut().clear();
+        self.web_requests.borrow_mut().clear();
         true
     }
 

@@ -30,7 +30,10 @@ use bas_sim::time::{SimDuration, SimTime};
 
 use crate::engine::{PlatformKernel, ScenarioEngine};
 use crate::logic::control::{ControlCore, Directive};
-use crate::logic::web::{WebAction, WebSchedule};
+use crate::logic::web::{
+    new_request_log, shared_schedule, RequestLog, RequestSample, ScheduleCursor, SharedSchedule,
+    WebAction, WebSchedule,
+};
 use crate::policy::{self, actuator_rpc, ctrl_rpc, instances};
 use crate::proto::BasMsg;
 use crate::scenario::{new_web_log, Platform, ScenarioConfig, WebLog};
@@ -351,11 +354,21 @@ impl Process for Sel4Actuator {
 // ---------------------------------------------------------------------------
 
 /// The benign web interface thread: scripted administrator RPCs.
+///
+/// Same-tick bursts drain in one wake (back-to-back RPCs with no
+/// intervening `GetTime`), and completed requests are stamped into the
+/// optional [`RequestLog`] at the next clock read — see [`MinixWeb`]
+/// for the shared rationale.
+///
+/// [`MinixWeb`]: crate::platform::minix::MinixWeb
 pub struct Sel4Web {
     ctrl: RpcClient,
-    schedule: WebSchedule,
+    schedule: ScheduleCursor,
     responses: WebLog,
-    last_action: Option<WebAction>,
+    requests: Option<RequestLog>,
+    pending: VecDeque<(SimTime, WebAction)>,
+    inflight: Option<(SimTime, WebAction)>,
+    unstamped: Vec<(SimTime, WebAction, bool)>,
     state: WebSt,
 }
 
@@ -367,15 +380,59 @@ enum WebSt {
 }
 
 impl Sel4Web {
-    /// Creates the benign web interface.
+    /// Creates the benign web interface over a private schedule copy.
     pub fn new(ctrl: RpcClient, schedule: WebSchedule, responses: WebLog) -> Self {
+        Sel4Web::with_cursor(ctrl, ScheduleCursor::detached(&schedule), responses, None)
+    }
+
+    /// Creates the benign web interface over a shared schedule cell,
+    /// stamping completed requests into `requests`.
+    pub fn with_cursor(
+        ctrl: RpcClient,
+        schedule: ScheduleCursor,
+        responses: WebLog,
+        requests: Option<RequestLog>,
+    ) -> Self {
         Sel4Web {
             ctrl,
             schedule,
             responses,
-            last_action: None,
+            requests,
+            pending: VecDeque::new(),
+            inflight: None,
+            unstamped: Vec::new(),
             state: WebSt::Start,
         }
+    }
+
+    fn send_next(&mut self) -> Action<Syscall> {
+        let (scheduled, action) = self.pending.pop_front().expect("pending action");
+        self.inflight = Some((scheduled, action));
+        self.state = WebSt::AwaitRpc;
+        match action {
+            WebAction::SetSetpoint(mc) => {
+                Action::Syscall(self.ctrl.call(ctrl_rpc::SET_SETPOINT, vec![encode_i32(mc)]))
+            }
+            WebAction::QueryStatus => Action::Syscall(self.ctrl.call(ctrl_rpc::GET_STATUS, vec![])),
+        }
+    }
+
+    fn stamp_completions(&mut self, now: SimTime) {
+        if self.unstamped.is_empty() {
+            return;
+        }
+        if let Some(log) = &self.requests {
+            let mut log = log.borrow_mut();
+            for &(scheduled, action, ok) in &self.unstamped {
+                log.push(RequestSample {
+                    scheduled,
+                    completed: now,
+                    action,
+                    ok,
+                });
+            }
+        }
+        self.unstamped.clear();
     }
 }
 
@@ -394,6 +451,15 @@ impl Process for Sel4Web {
                     Some(Reply::Time(t)) => t,
                     _ => SimTime::ZERO,
                 };
+                self.stamp_completions(now);
+                if self.pending.is_empty() {
+                    let mut due = Vec::new();
+                    self.schedule.drain_due(now, &mut due);
+                    self.pending.extend(due);
+                }
+                if !self.pending.is_empty() {
+                    return self.send_next();
+                }
                 match self.schedule.next_time() {
                     None => {
                         self.state = WebSt::AwaitSleep;
@@ -401,22 +467,9 @@ impl Process for Sel4Web {
                             duration: SimDuration::from_secs(3_600),
                         })
                     }
-                    Some(t) if now < t => {
+                    Some(t) => {
                         self.state = WebSt::AwaitSleep;
                         Action::Syscall(Syscall::Sleep { duration: t - now })
-                    }
-                    Some(_) => {
-                        let action = self.schedule.pop_due(now).expect("due action");
-                        self.last_action = Some(action);
-                        self.state = WebSt::AwaitRpc;
-                        match action {
-                            WebAction::SetSetpoint(mc) => Action::Syscall(
-                                self.ctrl.call(ctrl_rpc::SET_SETPOINT, vec![encode_i32(mc)]),
-                            ),
-                            WebAction::QueryStatus => {
-                                Action::Syscall(self.ctrl.call(ctrl_rpc::GET_STATUS, vec![]))
-                            }
-                        }
                     }
                 }
             }
@@ -425,14 +478,15 @@ impl Process for Sel4Web {
                 Action::Syscall(Syscall::GetTime)
             }
             WebSt::AwaitRpc => {
+                let mut ok = false;
                 if let Some(Reply::Msg(m)) = reply {
-                    let decoded = match self.last_action {
-                        Some(WebAction::SetSetpoint(_)) if !m.words.is_empty() => {
+                    let decoded = match self.inflight {
+                        Some((_, WebAction::SetSetpoint(_))) if !m.words.is_empty() => {
                             Some(BasMsg::Ack {
                                 code: m.words[0] as u32,
                             })
                         }
-                        Some(WebAction::QueryStatus) if m.words.len() >= 4 => {
+                        Some((_, WebAction::QueryStatus)) if m.words.len() >= 4 => {
                             Some(BasMsg::Status {
                                 temp_milli_c: decode_i32(m.words[0]),
                                 setpoint_milli_c: decode_i32(m.words[1]),
@@ -444,7 +498,14 @@ impl Process for Sel4Web {
                     };
                     if let Some(d) = decoded {
                         self.responses.borrow_mut().push(d);
+                        ok = true;
                     }
+                }
+                if let Some((scheduled, action)) = self.inflight.take() {
+                    self.unstamped.push((scheduled, action, ok));
+                }
+                if !self.pending.is_empty() {
+                    return self.send_next();
                 }
                 self.state = WebSt::AwaitTime;
                 Action::Syscall(Syscall::GetTime)
@@ -507,6 +568,13 @@ pub struct Sel4Stack {
     pub glue: Arc<GlueMap>,
     plant: SharedPlant,
     web_log: WebLog,
+    /// The effective action schedule, shared with the benign web thread
+    /// and re-imaged per instance on recycling (the thread realized at
+    /// boot holds a cursor over this cell, so the pristine fast path —
+    /// which skips re-realization — still picks up new traffic).
+    web_schedule: SharedSchedule,
+    /// Completed-request stamps from the benign web thread.
+    web_requests: RequestLog,
     /// False when attacker overrides (web factory, extra caps) booted
     /// this stack: those are one-shot, so a recycled kernel cannot
     /// guarantee cold-boot identity.
@@ -596,8 +664,17 @@ fn boot_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Stack {
     install_devices(&plant, kernel.devices_mut());
 
     let web_log = new_web_log();
+    let web_schedule = shared_schedule(config.effective_web_schedule());
+    let web_requests = new_request_log();
     let forkable = overrides.web_factory.is_none() && overrides.extra_caps.is_empty();
-    let mut loader = scenario_loader(config, glue.clone(), web_log.clone(), overrides.web_factory);
+    let mut loader = scenario_loader(
+        config,
+        glue.clone(),
+        web_log.clone(),
+        web_schedule.clone(),
+        web_requests.clone(),
+        overrides.web_factory,
+    );
 
     let sys = realize(&spec, &mut kernel, &mut loader).expect("scenario realizes");
 
@@ -638,6 +715,8 @@ fn boot_sel4(config: &ScenarioConfig, overrides: Sel4Overrides) -> Sel4Stack {
         glue,
         plant,
         web_log,
+        web_schedule,
+        web_requests,
         forkable,
         ran: false,
     }
@@ -650,11 +729,12 @@ fn scenario_loader(
     config: &ScenarioConfig,
     glue: Arc<GlueMap>,
     web_log: WebLog,
+    web_schedule: SharedSchedule,
+    web_requests: RequestLog,
     mut web_factory: Option<WebThreadFactory>,
 ) -> impl FnMut(&str) -> Option<Sel4Thread> {
     let control_config = config.control;
     let period = config.sensor_period;
-    let schedule = config.web_schedule.clone();
     move |name: &str| -> Option<Sel4Thread> {
         let g = &*glue;
         match name {
@@ -683,10 +763,11 @@ fn scenario_loader(
             ))),
             x if x == instances::WEB => match web_factory.take() {
                 Some(factory) => Some(factory(g)),
-                None => Some(Box::new(Sel4Web::new(
+                None => Some(Box::new(Sel4Web::with_cursor(
                     RpcClient::new(g.client_slot(instances::WEB, "ctrl")?),
-                    WebSchedule::new(schedule.clone()),
+                    ScheduleCursor::new(web_schedule.clone()),
                     web_log.clone(),
+                    Some(web_requests.clone()),
                 ))),
             },
             _ => None,
@@ -731,10 +812,19 @@ impl PlatformKernel for Sel4Stack {
         self.web_log.borrow().clone()
     }
 
+    fn web_requests(&self) -> Vec<RequestSample> {
+        self.web_requests.borrow().clone()
+    }
+
     fn reset_to_boot(&mut self, config: &ScenarioConfig) -> bool {
         if !self.forkable {
             return false;
         }
+        // Re-image the shared schedule cell first: under traffic the
+        // schedule is seed-derived, and the realized web thread (on the
+        // pristine path below, the *boot-time* thread with its cursor
+        // still at the front) reads this cell lazily.
+        *self.web_schedule.borrow_mut() = config.effective_web_schedule();
         if self.ran {
             self.kernel.reset_to_boot();
             // Re-realize the shared spec: objects and threads come back in
@@ -742,7 +832,14 @@ impl PlatformKernel for Sel4Stack {
             // boot-time CapDL verification is skipped — `verify` is a pure
             // function of (spec, kernel, sys), all reconstructed identically
             // to the template boot that already passed it.
-            let mut loader = scenario_loader(config, self.glue.clone(), self.web_log.clone(), None);
+            let mut loader = scenario_loader(
+                config,
+                self.glue.clone(),
+                self.web_log.clone(),
+                self.web_schedule.clone(),
+                self.web_requests.clone(),
+                None,
+            );
             self.sys =
                 realize(&self.spec, &mut self.kernel, &mut loader).expect("scenario realizes");
             for name in [
@@ -761,6 +858,7 @@ impl PlatformKernel for Sel4Stack {
         // `Rc` identity is what the installed plant devices hold.
         *self.plant.borrow_mut() = PlantWorld::new(config.synced_plant(), config.seed);
         self.web_log.borrow_mut().clear();
+        self.web_requests.borrow_mut().clear();
         true
     }
 

@@ -11,7 +11,8 @@ use bas_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::logic::control::ControlConfig;
-use crate::logic::web::WebAction;
+use crate::logic::traffic::TrafficProfile;
+use crate::logic::web::{RequestSample, WebAction};
 use crate::proto::BasMsg;
 
 /// Which platform a scenario instance runs on.
@@ -58,6 +59,11 @@ pub struct ScenarioConfig {
     pub sensor_period: SimDuration,
     /// Scripted administrator actions on the web interface.
     pub web_schedule: Vec<(SimTime, WebAction)>,
+    /// Optional multi-tenant load (E18): expanded per instance from the
+    /// instance seed and merged into the effective schedule, so the
+    /// template stays identical across a fleet (snapshot/fork boot)
+    /// while every instance carries its own traffic.
+    pub traffic: Option<TrafficProfile>,
     /// Kernel process-table size.
     pub max_procs: usize,
     /// Fork quota for the web interface (`None` = paper baseline).
@@ -86,6 +92,7 @@ impl Default for ScenarioConfig {
                     WebAction::QueryStatus,
                 ),
             ],
+            traffic: None,
             max_procs: 32,
             web_fork_limit: None,
             cost_model: CostModel::default(),
@@ -123,11 +130,26 @@ impl ScenarioConfig {
         }
     }
 
+    /// The complete action schedule the web interface replays: the
+    /// scripted `web_schedule` merged with the per-instance traffic
+    /// expansion (a pure function of `(template, seed)`), sorted stably
+    /// by time.
+    pub fn effective_web_schedule(&self) -> Vec<(SimTime, WebAction)> {
+        let mut v = self.web_schedule.clone();
+        if let Some(profile) = &self.traffic {
+            v.extend(profile.generate(self.seed));
+        }
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+
     /// The authorized setpoint changes (in range, in time order) the
-    /// safety oracle should follow during a run.
+    /// safety oracle should follow during a run. Follows the *effective*
+    /// schedule, so tenant setpoint writes move the oracle's reference
+    /// exactly like scripted administrator writes.
     pub fn reference_changes(&self) -> Vec<(SimTime, i32)> {
         let mut v: Vec<(SimTime, i32)> = self
-            .web_schedule
+            .effective_web_schedule()
             .iter()
             .filter_map(|(t, a)| match a {
                 WebAction::SetSetpoint(mc)
@@ -179,6 +201,12 @@ pub trait Scenario {
 
     /// Responses observed by the web interface.
     fn web_responses(&self) -> Vec<BasMsg>;
+
+    /// Completed web requests with scheduled/completed stamps (empty on
+    /// stacks without request accounting, e.g. attacker-replaced webs).
+    fn request_samples(&self) -> Vec<RequestSample> {
+        Vec::new()
+    }
 
     /// Returns the scenario to its just-booted state under `config` (the
     /// boot template modulo `seed`), reusing live allocations — the

@@ -22,7 +22,7 @@ use bas_sim::time::SimDuration;
 
 use crate::engine::FleetConfig;
 use crate::instances::InstancePool;
-use crate::report::InstanceReport;
+use crate::report::{InstanceReport, RequestStats};
 use crate::seed::instance_seed;
 
 /// A worker's resident instances: cold boxed engines plus hot
@@ -125,6 +125,7 @@ impl EngineBatch {
                     metrics: engine.metrics(),
                     plant: plant_snapshot(engine.as_ref()),
                     attack: None,
+                    requests: RequestStats::from_samples(&engine.request_samples()),
                 };
                 retire(engine);
                 report

@@ -31,7 +31,7 @@ use bas_sim::time::SimDuration;
 use crate::batch::EngineBatch;
 use crate::instances::InstancePool;
 use crate::pool::WorkerPool;
-use crate::report::{AttackCell, FleetReport, InstanceReport};
+use crate::report::{AttackCell, FleetReport, InstanceReport, RequestStats};
 use crate::seed::instance_seed;
 
 /// An attack campaign: every instance runs the same attack under the
@@ -186,6 +186,9 @@ pub struct WallStats {
     pub sim_seconds_per_wall_second: f64,
     /// IPC messages delivered per wall-clock second.
     pub ipc_messages_per_wall_second: f64,
+    /// Web requests completed per wall-clock second (0 for fleets
+    /// without traffic; the E18 headline number).
+    pub requests_per_wall_second: f64,
     /// Per-worker busy fraction (batch compute time / run wall time),
     /// one entry per worker; tail imbalance shows up here.
     pub worker_utilization: Vec<f64>,
@@ -254,7 +257,21 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
+            .enumerate()
+            .flat_map(|(w, h)| match h.join() {
+                Ok(local) => local,
+                // Re-panic with the worker's own payload text plus its
+                // index — `.expect(..)` here would report only
+                // "Any { .. }", losing the panicking instance's message.
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    panic!("fleet worker {w} panicked: {msg}");
+                }
+            })
             .collect()
     });
 
@@ -304,6 +321,7 @@ pub fn run_fleet_with(pool: &WorkerPool, config: &FleetConfig) -> FleetRun {
                 wall_seconds: 0.0,
                 sim_seconds_per_wall_second: 0.0,
                 ipc_messages_per_wall_second: 0.0,
+                requests_per_wall_second: 0.0,
                 worker_utilization: Vec::new(),
             },
         };
@@ -353,6 +371,7 @@ pub fn run_fleet_with(pool: &WorkerPool, config: &FleetConfig) -> FleetRun {
         wall_seconds,
         sim_seconds_per_wall_second: report.totals.sim_seconds / denom,
         ipc_messages_per_wall_second: report.totals.ipc_messages as f64 / denom,
+        requests_per_wall_second: report.totals.requests as f64 / denom,
         worker_utilization,
     };
     FleetRun { report, wall }
@@ -417,6 +436,7 @@ fn run_instance(config: &FleetConfig, index: usize) -> InstanceReport {
                 metrics: s.metrics(),
                 plant: plant_snapshot(s.as_ref()),
                 attack: None,
+                requests: RequestStats::from_samples(&s.request_samples()),
             }
         }
         Some(campaign) => {
@@ -435,6 +455,7 @@ fn run_instance(config: &FleetConfig, index: usize) -> InstanceReport {
                 metrics: outcome.metrics,
                 plant: outcome.plant,
                 attack: Some(cell),
+                requests: None,
             }
         }
     }
@@ -525,6 +546,25 @@ mod tests {
                 assert!(chunk <= 64, "{instances}x{workers}");
             }
         }
+    }
+
+    #[test]
+    fn run_cells_preserves_worker_panic_payload() {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cells(4, 1, |index| {
+                if index == 2 {
+                    panic!("instance {index} exploded");
+                }
+                index
+            })
+        }))
+        .expect_err("worker panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted panic payload");
+        assert!(msg.contains("fleet worker 0"), "{msg}");
+        assert!(msg.contains("instance 2 exploded"), "{msg}");
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use engine::{
 pub use instances::InstancePool;
 pub use json::Json;
 pub use pool::WorkerPool;
-pub use report::{FleetReport, FleetTotals, InstanceReport, LatencyHistogram};
+pub use report::{FleetReport, FleetTotals, InstanceReport, LatencyHistogram, RequestStats};
 pub use seed::instance_seed;

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::json::Json;
 
-/// A fixed-width histogram of excursion→alarm latencies, seconds.
+/// A fixed-width histogram of latencies, seconds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     /// Width of each bin, seconds.
@@ -23,7 +23,13 @@ pub struct LatencyHistogram {
     pub counts: Vec<u64>,
     /// Samples at or beyond the last bin edge.
     pub overflow: u64,
-    /// Total samples recorded.
+    /// Non-finite samples (NaN/±inf) rejected by [`record`]: they carry
+    /// no latency information, so they are counted here and excluded
+    /// from `samples`, `sum_s`, and `max_s`.
+    ///
+    /// [`record`]: LatencyHistogram::record
+    pub invalid: u64,
+    /// Total samples recorded (excludes `invalid`).
     pub samples: u64,
     /// Sum of all samples (for the mean), seconds.
     pub sum_s: f64,
@@ -44,6 +50,7 @@ impl LatencyHistogram {
             bin_width_s,
             counts: vec![0; bins],
             overflow: 0,
+            invalid: 0,
             samples: 0,
             sum_s: 0.0,
             max_s: 0.0,
@@ -51,17 +58,31 @@ impl LatencyHistogram {
     }
 
     /// Records one latency sample.
+    ///
+    /// Non-finite samples count only toward `invalid` — a NaN must not
+    /// masquerade as a slow request in `overflow`, and adding it to
+    /// `sum_s`/`max_s` would poison the mean and max forever. Negative
+    /// samples (clock-skew artifacts) clamp to bin 0 and contribute
+    /// zero latency to the sum, so `overflow` keeps its documented
+    /// meaning: at or beyond the last bin edge, nothing else.
     pub fn record(&mut self, latency_s: f64) {
-        let bin = (latency_s / self.bin_width_s).floor();
-        if bin >= 0.0 && (bin as usize) < self.counts.len() {
-            self.counts[bin as usize] += 1;
+        if !latency_s.is_finite() {
+            self.invalid += 1;
+            return;
+        }
+        let v = latency_s.max(0.0);
+        let bin = v / self.bin_width_s;
+        if bin.is_finite() && (bin.floor() as usize) < self.counts.len() {
+            self.counts[bin.floor() as usize] += 1;
         } else {
+            // Beyond the last edge — including the degenerate
+            // bin_width_s <= 0 geometry, where every bin is empty.
             self.overflow += 1;
         }
         self.samples += 1;
-        self.sum_s += latency_s;
-        if latency_s > self.max_s {
-            self.max_s = latency_s;
+        self.sum_s += v;
+        if v > self.max_s {
+            self.max_s = v;
         }
     }
 
@@ -74,7 +95,47 @@ impl LatencyHistogram {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// Folds `other` into `self`. Both histograms must share a geometry.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            (self.bin_width_s, self.counts.len()),
+            (other.bin_width_s, other.counts.len()),
+            "merging histograms with different geometries"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.invalid += other.invalid;
+        self.samples += other.samples;
+        self.sum_s += other.sum_s;
+        if other.max_s > self.max_s {
+            self.max_s = other.max_s;
+        }
+    }
+
+    /// The latency at quantile `p` (e.g. `0.99`), estimated as the upper
+    /// edge of the bin holding the rank-`ceil(p·samples)` sample — a
+    /// conservative (never understating) bound given fixed-width bins.
+    /// Ranks landing in the overflow region report `max_s`; an empty
+    /// histogram reports 0.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let rank = ((p * self.samples as f64).ceil() as u64).clamp(1, self.samples);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (i + 1) as f64 * self.bin_width_s;
+            }
+        }
+        self.max_s
+    }
+
+    /// The histogram as a [`Json`] tree (for embedding in reports).
+    pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("bin_width_s", Json::Num(self.bin_width_s)),
             (
@@ -82,10 +143,87 @@ impl LatencyHistogram {
                 Json::Arr(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
             ),
             ("overflow", Json::UInt(self.overflow)),
+            ("invalid", Json::UInt(self.invalid)),
             ("samples", Json::UInt(self.samples)),
             ("mean_s", Json::Num(self.mean_s())),
             ("max_s", Json::Num(self.max_s)),
         ])
+    }
+}
+
+/// Web-request accounting for one instance (the E18 traffic runs).
+///
+/// Latency is `completed - scheduled` per request — open-loop time in
+/// queue plus the RPC round trip — binned at sub-millisecond geometry
+/// ([`RequestStats::BIN_WIDTH_S`]) since kernel round trips sit far
+/// below the 30 s alarm-latency bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// Requests completed (a response came back, ok or error).
+    pub requests: u64,
+    /// Requests whose response decoded as a success.
+    pub ok: u64,
+    /// Request-latency distribution, seconds.
+    pub latency: LatencyHistogram,
+}
+
+impl RequestStats {
+    /// 1 ms bins over 0–200 ms: queueing under overload shows up as
+    /// mass marching right; overflow means multi-epoch stalls.
+    pub const BIN_WIDTH_S: f64 = 1e-3;
+    /// Default bin count for request latencies.
+    pub const BINS: usize = 200;
+
+    /// An empty accounting block with the standard geometry.
+    pub fn new() -> RequestStats {
+        RequestStats {
+            requests: 0,
+            ok: 0,
+            latency: LatencyHistogram::new(Self::BIN_WIDTH_S, Self::BINS),
+        }
+    }
+
+    /// Folds one completed request in.
+    pub fn push(&mut self, latency_s: f64, ok: bool) {
+        self.requests += 1;
+        if ok {
+            self.ok += 1;
+        }
+        self.latency.record(latency_s);
+    }
+
+    /// Folds `other` into `self` (same geometry required).
+    pub fn merge(&mut self, other: &RequestStats) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Accounts a scenario's completed-request log; `None` when the
+    /// instance logged nothing (so quiet fleets keep `requests: null`).
+    pub fn from_samples(samples: &[bas_core::logic::web::RequestSample]) -> Option<RequestStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut stats = RequestStats::new();
+        for s in samples {
+            stats.push((s.completed - s.scheduled).as_secs_f64(), s.ok);
+        }
+        Some(stats)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::UInt(self.requests)),
+            ("ok", Json::UInt(self.ok)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+impl Default for RequestStats {
+    fn default() -> Self {
+        RequestStats::new()
     }
 }
 
@@ -115,6 +253,9 @@ pub struct InstanceReport {
     pub plant: PlantSnapshot,
     /// Campaign verdict (`None` for benign fleets).
     pub attack: Option<AttackCell>,
+    /// Web-request accounting (`None` when the instance logged no
+    /// requests — quiet schedules, attacker-replaced webs).
+    pub requests: Option<RequestStats>,
 }
 
 impl InstanceReport {
@@ -135,6 +276,13 @@ impl InstanceReport {
                     ("mechanism_succeeded", Json::Bool(cell.mechanism_succeeded)),
                     ("compromised", Json::Bool(cell.compromised)),
                 ]),
+            },
+        ));
+        fields.push((
+            "requests",
+            match &self.requests {
+                None => Json::Null,
+                Some(stats) => stats.to_json(),
             },
         ));
         Json::obj(fields)
@@ -161,6 +309,13 @@ pub struct FleetTotals {
     /// Total IPC hot-path heap events (arena growth + spills); a warm
     /// fleet holds this at the boot-time baseline.
     pub hot_path_allocs: u64,
+    /// Total sends that had to block (receiver absent / queue full) —
+    /// the fleet-wide backpressure signal E18 watches.
+    pub ipc_waits: u64,
+    /// Total web requests completed across the fleet.
+    pub requests: u64,
+    /// Web requests whose response decoded as a success.
+    pub requests_ok: u64,
     /// Instances whose safety property was violated.
     pub safety_violations: usize,
     /// Instances that lost a critical process.
@@ -178,6 +333,9 @@ impl FleetTotals {
             ("access_denied", Json::UInt(self.access_denied)),
             ("processes_created", Json::UInt(self.processes_created)),
             ("hot_path_allocs", Json::UInt(self.hot_path_allocs)),
+            ("ipc_waits", Json::UInt(self.ipc_waits)),
+            ("requests", Json::UInt(self.requests)),
+            ("requests_ok", Json::UInt(self.requests_ok)),
             (
                 "safety_violations",
                 Json::UInt(self.safety_violations as u64),
@@ -219,6 +377,9 @@ pub struct FleetReport {
     pub totals: FleetTotals,
     /// Excursion→alarm latency distribution across the fleet.
     pub alarm_latency: LatencyHistogram,
+    /// Web-request latency distribution merged across instances
+    /// (empty geometry with zero samples for fleets without traffic).
+    pub request_latency: LatencyHistogram,
     /// Per-instance outcomes, ordered by instance index.
     pub per_instance: Vec<InstanceReport>,
 }
@@ -243,6 +404,7 @@ impl FleetReport {
             LatencyHistogram::DEFAULT_BIN_WIDTH_S,
             LatencyHistogram::DEFAULT_BINS,
         );
+        let mut req_hist = LatencyHistogram::new(RequestStats::BIN_WIDTH_S, RequestStats::BINS);
         let mut mech = 0usize;
         let mut comp = 0usize;
         for r in &per_instance {
@@ -254,6 +416,12 @@ impl FleetReport {
             totals.access_denied += r.metrics.access_denied;
             totals.processes_created += r.metrics.processes_created;
             totals.hot_path_allocs += r.metrics.hot_path_allocs;
+            totals.ipc_waits += r.metrics.ipc_waits;
+            if let Some(stats) = &r.requests {
+                totals.requests += stats.requests;
+                totals.requests_ok += stats.ok;
+                req_hist.merge(&stats.latency);
+            }
             if r.plant.safety_violated {
                 totals.safety_violations += 1;
             }
@@ -284,6 +452,7 @@ impl FleetReport {
             }),
             totals,
             alarm_latency: hist,
+            request_latency: req_hist,
             per_instance,
         }
     }
@@ -297,7 +466,7 @@ impl FleetReport {
     /// The report as a [`Json`] tree (for embedding in larger reports).
     pub fn to_json_value(&self) -> Json {
         Json::obj(vec![
-            ("schema", Json::Str("bas-fleet-report/v1".into())),
+            ("schema", Json::Str("bas-fleet-report/v2".into())),
             ("platform", Json::Str(self.platform.to_string())),
             ("root_seed", Json::UInt(self.root_seed)),
             ("instances", Json::UInt(self.instances as u64)),
@@ -318,6 +487,7 @@ impl FleetReport {
             ),
             ("totals", self.totals.to_json()),
             ("alarm_latency", self.alarm_latency.to_json()),
+            ("request_latency", self.request_latency.to_json()),
             (
                 "per_instance",
                 Json::Arr(self.per_instance.iter().map(|r| r.to_json()).collect()),
@@ -338,6 +508,7 @@ pub fn metrics_to_json(m: &KernelMetrics) -> Json {
         ("processes_created", Json::UInt(m.processes_created)),
         ("processes_reaped", Json::UInt(m.processes_reaped)),
         ("hot_path_allocs", Json::UInt(m.hot_path_allocs)),
+        ("ipc_waits", Json::UInt(m.ipc_waits)),
     ])
 }
 
@@ -359,6 +530,8 @@ pub fn plant_to_json(p: &PlantSnapshot) -> Json {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
 
     #[test]
@@ -374,8 +547,138 @@ mod tests {
         assert_eq!(h.counts[1], 1);
         assert_eq!(h.counts[19], 1);
         assert_eq!(h.overflow, 2);
+        assert_eq!(h.invalid, 0);
         assert_eq!(h.samples, 6);
         assert!(h.max_s >= 1e9);
+    }
+
+    #[test]
+    fn histogram_rejects_nan_without_poisoning_stats() {
+        let mut h = LatencyHistogram::new(30.0, 20);
+        h.record(f64::NAN);
+        // The old code folded NaN into `overflow` and added it to
+        // `sum_s`, making every later mean NaN.
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.invalid, 1);
+        assert_eq!(h.samples, 0);
+        assert!(h.mean_s().is_finite());
+        h.record(45.0);
+        assert_eq!(h.samples, 1);
+        assert_eq!(h.mean_s(), 45.0);
+        assert_eq!(h.max_s, 45.0);
+    }
+
+    #[test]
+    fn histogram_rejects_infinities() {
+        let mut h = LatencyHistogram::new(30.0, 20);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.invalid, 2);
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.samples, 0);
+        assert_eq!(h.sum_s, 0.0);
+        assert_eq!(h.max_s, 0.0);
+    }
+
+    #[test]
+    fn histogram_clamps_negative_to_first_bin() {
+        let mut h = LatencyHistogram::new(30.0, 20);
+        h.record(-5.0);
+        // The old code sent negatives to `overflow` ("at or beyond the
+        // last bin edge") and subtracted them from `sum_s`.
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.samples, 1);
+        assert_eq!(h.sum_s, 0.0);
+        assert_eq!(h.mean_s(), 0.0);
+    }
+
+    #[test]
+    fn histogram_exact_bin_edges() {
+        let mut h = LatencyHistogram::new(10.0, 3);
+        h.record(0.0);
+        h.record(10.0);
+        h.record(20.0);
+        h.record(30.0); // == last edge → overflow
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.overflow, 1);
+    }
+
+    #[test]
+    fn histogram_zero_bin_width_is_all_overflow() {
+        let mut h = LatencyHistogram::new(0.0, 4);
+        h.record(0.0);
+        h.record(1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.counts, vec![0, 0, 0, 0]);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.invalid, 1);
+        assert_eq!(h.samples, 2);
+        assert_eq!(h.sum_s, 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_and_percentiles() {
+        let mut a = LatencyHistogram::new(1.0, 10);
+        let mut b = LatencyHistogram::new(1.0, 10);
+        for _ in 0..90 {
+            a.record(0.5);
+        }
+        for _ in 0..10 {
+            b.record(8.5);
+        }
+        b.record(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.samples, 100);
+        assert_eq!(a.invalid, 1);
+        assert_eq!(a.percentile(0.50), 1.0);
+        assert_eq!(a.percentile(0.90), 1.0);
+        assert_eq!(a.percentile(0.95), 9.0);
+        assert_eq!(a.percentile(0.99), 9.0);
+        // Empty histogram: every percentile is 0.
+        assert_eq!(LatencyHistogram::new(1.0, 4).percentile(0.99), 0.0);
+        // Rank in the overflow region reports the observed max.
+        let mut o = LatencyHistogram::new(1.0, 2);
+        o.record(7.5);
+        assert_eq!(o.percentile(0.99), 7.5);
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_accounting_is_conserved(
+            samples in prop::collection::vec(-1e6f64..1e6, 0..200),
+            nans in 0usize..4,
+        ) {
+            let mut h = LatencyHistogram::new(30.0, 20);
+            for &s in &samples {
+                h.record(s);
+            }
+            for _ in 0..nans {
+                h.record(f64::NAN);
+            }
+            let binned: u64 = h.counts.iter().sum();
+            prop_assert_eq!(binned + h.overflow, h.samples);
+            prop_assert_eq!(h.samples, samples.len() as u64);
+            prop_assert_eq!(h.invalid, nans as u64);
+            prop_assert!(h.sum_s.is_finite() && h.sum_s >= 0.0);
+            prop_assert!(h.max_s.is_finite() && h.max_s >= 0.0);
+            prop_assert!(h.mean_s().is_finite());
+        }
+
+        #[test]
+        fn histogram_percentile_is_monotone(
+            samples in prop::collection::vec(0.0f64..700.0, 1..100),
+        ) {
+            let mut h = LatencyHistogram::new(30.0, 20);
+            for &s in &samples {
+                h.record(s);
+            }
+            let p50 = h.percentile(0.50);
+            let p95 = h.percentile(0.95);
+            let p99 = h.percentile(0.99);
+            prop_assert!(p50 <= p95 && p95 <= p99);
+            prop_assert!(p99 <= h.max_s.max(20.0 * 30.0));
+        }
     }
 
     #[test]
@@ -400,6 +703,7 @@ mod tests {
                     alarm_latencies_s: vec![300.0],
                 },
                 attack: cell,
+                requests: None,
             };
         let cell = AttackCell {
             mechanism_succeeded: true,
@@ -423,8 +727,52 @@ mod tests {
         assert_eq!(c.mechanism_succeeded, 2);
         assert_eq!(c.compromised, 0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"bas-fleet-report/v1\""));
+        assert!(json.contains("\"schema\": \"bas-fleet-report/v2\""));
         assert!(json.contains("\"fork-bomb\""));
         assert_eq!(json, report.to_json());
+    }
+
+    #[test]
+    fn aggregate_merges_request_stats() {
+        let make = |index: usize, stats: Option<RequestStats>| InstanceReport {
+            index,
+            seed: index as u64,
+            sim_seconds: 10.0,
+            critical_alive: true,
+            metrics: KernelMetrics {
+                ipc_waits: 2,
+                ..KernelMetrics::default()
+            },
+            plant: PlantSnapshot {
+                safety_violated: false,
+                max_deviation_c: 0.1,
+                in_band_fraction: 1.0,
+                final_temp_c: 22.0,
+                alarm_on: false,
+                fan_switches: 0,
+                alarm_latencies_s: vec![],
+            },
+            attack: None,
+            requests: stats,
+        };
+        let mut a = RequestStats::new();
+        a.push(0.0005, true);
+        a.push(0.0015, true);
+        let mut b = RequestStats::new();
+        b.push(0.150, false);
+        let report = FleetReport::aggregate(
+            Platform::Sel4,
+            7,
+            None,
+            vec![make(0, Some(a)), make(1, Some(b)), make(2, None)],
+        );
+        assert_eq!(report.totals.requests, 3);
+        assert_eq!(report.totals.requests_ok, 2);
+        assert_eq!(report.totals.ipc_waits, 6);
+        assert_eq!(report.request_latency.samples, 3);
+        assert!(report.request_latency.percentile(0.99) >= 0.150);
+        let json = report.to_json();
+        assert!(json.contains("\"request_latency\""));
+        assert!(json.contains("\"ipc_waits\": 6"));
     }
 }

@@ -844,6 +844,7 @@ impl LinuxKernel {
                 self.arena.free(msg);
                 return self.ready_with(pid, Reply::Err(LinuxError::WouldBlock));
             }
+            self.metrics.ipc_waits += 1;
             if let Some(entry) = self.entry_mut(pid) {
                 entry.state = ProcState::Blocked(Block::MqSendWait {
                     qid: oq.qid,

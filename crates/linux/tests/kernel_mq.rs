@@ -189,6 +189,8 @@ fn full_queue_blocks_sender_until_receiver_drains() {
     let got = replies(&rx_log);
     assert_eq!(got[1].data(), Some(&[1u8][..]));
     assert_eq!(got[2].data(), Some(&[2u8][..]));
+    // Exactly one send hit the full queue: one ipc_wait of backpressure.
+    assert_eq!(k.metrics().ipc_waits, 1);
 }
 
 #[test]

@@ -1047,6 +1047,7 @@ impl MinixKernel {
                 self.ready_with(caller, Reply::Ok);
             }
         } else if blocking {
+            self.metrics.ipc_waits += 1;
             if let Some(entry) = self.entry_mut(caller) {
                 entry.state = ProcState::Blocked(BlockReason::Sending {
                     dest,

@@ -70,6 +70,8 @@ fn receive_then_send_also_rendezvouses() {
     assert_eq!(msg.source, tx, "kernel must stamp the true sender endpoint");
     assert_eq!(msg.mtype, 9);
     assert_eq!(msg.payload.as_bytes()[0], 5);
+    // The receiver was already at its rendezvous: no backpressure.
+    assert_eq!(k.metrics().ipc_waits, 0);
 }
 
 #[test]
@@ -405,6 +407,10 @@ fn blocked_sender_unblocked_with_error_when_peer_dies() {
         collected_replies(&tx_log),
         vec![Reply::Err(MinixError::DeadSourceOrDestination)]
     );
+    // The blocked send is backpressure: exactly one ipc_wait, and no
+    // message was ever delivered.
+    assert_eq!(k.metrics().ipc_waits, 1);
+    assert_eq!(k.metrics().ipc_messages, 0);
 }
 
 #[test]

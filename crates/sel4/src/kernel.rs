@@ -942,6 +942,7 @@ impl Sel4Kernel {
         if let Some(receiver) = self.find_receiver(ep) {
             self.rendezvous(caller, receiver, ep, queued);
         } else if blocking {
+            self.metrics.ipc_waits += 1;
             if let Some(entry) = self.entry_mut(caller) {
                 entry.state = ProcState::Blocked(Block::SendingOn { ep, queued });
             }

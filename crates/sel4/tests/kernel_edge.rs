@@ -60,6 +60,9 @@ fn nbsend_fails_cleanly_and_blocking_pair_still_works_after() {
         2,
         "only the blocking send arrived"
     );
+    // The failed NBSend does not count as backpressure; the parked
+    // blocking send counts exactly once.
+    assert_eq!(k.metrics().ipc_waits, 1);
 }
 
 #[test]

@@ -40,6 +40,11 @@ pub struct KernelMetrics {
     /// kernel holds this constant across ticks; the zero-alloc test gates
     /// on it.
     pub hot_path_allocs: u64,
+    /// Sends that had to block — the receiver was not at its rendezvous
+    /// (MINIX/seL4) or the queue was full (Linux mq). The queue-depth /
+    /// backpressure signal the traffic experiments (E18) watch: offered
+    /// load beyond the service rate shows up here first.
+    pub ipc_waits: u64,
 }
 
 impl KernelMetrics {
@@ -71,6 +76,7 @@ impl KernelMetrics {
                 .processes_reaped
                 .saturating_sub(earlier.processes_reaped),
             hot_path_allocs: self.hot_path_allocs.saturating_sub(earlier.hot_path_allocs),
+            ipc_waits: self.ipc_waits.saturating_sub(earlier.ipc_waits),
         }
     }
 }
@@ -81,7 +87,7 @@ impl fmt::Display for KernelMetrics {
             f,
             "ctx_switches={} kernel_entries={} ipc_messages={} ipc_bytes={} \
              access_denied={} syscall_errors={} procs_created={} procs_reaped={} \
-             hot_path_allocs={}",
+             hot_path_allocs={} ipc_waits={}",
             self.context_switches,
             self.kernel_entries,
             self.ipc_messages,
@@ -91,6 +97,7 @@ impl fmt::Display for KernelMetrics {
             self.processes_created,
             self.processes_reaped,
             self.hot_path_allocs,
+            self.ipc_waits,
         )
     }
 }
@@ -158,6 +165,7 @@ mod tests {
             "procs_created",
             "procs_reaped",
             "hot_path_allocs",
+            "ipc_waits",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }

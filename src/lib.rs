@@ -18,6 +18,8 @@
 //! - [`attack`] — attacker models, attack library and outcome harness
 //! - [`faults`] — fault-schedule DSL, injection and degradation campaigns
 //! - [`analysis`] — static policy IR, attack prediction and policy linter
+//! - [`fleet`] — parallel fleet engine with deterministic reports
+//! - [`traffic`] — E18 multi-tenant traffic front-end over the fleet
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
 
@@ -29,8 +31,10 @@ pub use bas_camkes as camkes;
 pub use bas_capdl as capdl;
 pub use bas_core as core;
 pub use bas_faults as faults;
+pub use bas_fleet as fleet;
 pub use bas_linux as linux;
 pub use bas_minix as minix;
 pub use bas_plant as plant;
 pub use bas_sel4 as sel4;
 pub use bas_sim as sim;
+pub use bas_traffic as traffic;
